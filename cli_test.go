@@ -1,0 +1,422 @@
+package ocep_test
+
+import (
+	"bufio"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ocep"
+)
+
+// buildTool compiles one cmd/ binary into a shared temp dir (once per
+// test run) and returns its path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	dir := sharedBinDir(t)
+	bin := filepath.Join(dir, name)
+	if _, err := os.Stat(bin); err == nil {
+		return bin
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+var binDir string
+
+func sharedBinDir(t *testing.T) string {
+	t.Helper()
+	if binDir == "" {
+		dir, err := os.MkdirTemp("", "ocep-bin-")
+		if err != nil {
+			t.Fatal(err)
+		}
+		binDir = dir
+	}
+	return binDir
+}
+
+func TestPatterncCLI(t *testing.T) {
+	bin := buildTool(t, "patternc")
+
+	t.Run("file", func(t *testing.T) {
+		pat := filepath.Join(t.TempDir(), "p.pat")
+		src := `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`
+		if err := os.WriteFile(pat, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command(bin, pat).CombinedOutput()
+		if err != nil {
+			t.Fatalf("patternc: %v\n%s", err, out)
+		}
+		for _, want := range []string{"leaves (k=2)", "terminating"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("stdin", func(t *testing.T) {
+		cmd := exec.Command(bin, "-")
+		cmd.Stdin = strings.NewReader(`A := [*, a, *]; pattern := A;`)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("patternc -: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "leaves (k=1)") {
+			t.Errorf("unexpected output:\n%s", out)
+		}
+	})
+
+	t.Run("builtin", func(t *testing.T) {
+		out, err := exec.Command(bin, "-builtin", "ordering").CombinedOutput()
+		if err != nil {
+			t.Fatalf("patternc -builtin: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "Synch") {
+			t.Errorf("built-in ordering pattern missing Synch:\n%s", out)
+		}
+	})
+
+	t.Run("error", func(t *testing.T) {
+		cmd := exec.Command(bin, "-")
+		cmd.Stdin = strings.NewReader(`pattern := Zed;`)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("invalid pattern must fail, got:\n%s", out)
+		}
+		if !strings.Contains(string(out), "undefined class") {
+			t.Errorf("error output missing cause:\n%s", out)
+		}
+	})
+}
+
+// syncBuffer is a mutex-guarded output buffer safe to poll while an
+// exec.Cmd writes into it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+func TestPoetdAndOcepmonCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping process-spawning test")
+	}
+	poetd := buildTool(t, "poetd")
+	ocepmon := buildTool(t, "ocepmon")
+	addr := freePort(t)
+	dumpFile := filepath.Join(t.TempDir(), "run.poet")
+
+	// Start the daemon.
+	daemon := exec.Command(poetd, "-listen", addr, "-dump", dumpFile)
+	daemonOut, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = daemon.Process.Kill()
+		_, _ = daemon.Process.Wait()
+	}()
+	// Wait for "listening".
+	scanner := bufio.NewScanner(daemonOut)
+	ready := false
+	for scanner.Scan() {
+		if strings.Contains(scanner.Text(), "listening") {
+			ready = true
+			break
+		}
+	}
+	if !ready {
+		t.Fatalf("poetd did not report listening")
+	}
+	go func() { // drain remaining daemon output
+		for scanner.Scan() {
+		}
+	}()
+
+	// Start a monitor on the race pattern.
+	pat := filepath.Join(t.TempDir(), "race.pat")
+	src := `
+		W := [primary, write, $key];
+		R := [replica, read,  $key];
+		pattern := W || R;
+	`
+	if err := os.WriteFile(pat, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mon := exec.Command(ocepmon, "-addr", addr, "-pattern", pat, "-stats")
+	monOut := &syncBuffer{}
+	mon.Stdout = monOut
+	mon.Stderr = monOut
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Report a stale-read scenario as a target.
+	rep, err := ocep.DialReporter(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := []ocep.RawEvent{
+		{Trace: "primary", Seq: 1, Kind: ocep.KindInternal, Type: "write", Text: "k"},
+		{Trace: "replica", Seq: 1, Kind: ocep.KindInternal, Type: "read", Text: "k"},
+	}
+	for _, r := range raws {
+		if err := rep.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = rep.Close()
+
+	// Give the pipeline a moment, then stop everything gracefully.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(monOut.String(), "match #1") {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("poetd exit: %v", err)
+	}
+	if err := mon.Wait(); err != nil {
+		t.Fatalf("ocepmon exit: %v\n%s", err, monOut)
+	}
+	out := monOut.String()
+	if !strings.Contains(out, "match #1") {
+		t.Fatalf("monitor reported no match:\n%s", out)
+	}
+	if !strings.Contains(out, "complete matches: 1") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+
+	// The daemon dumped the trace; reload it into a fresh collector.
+	c := ocep.NewCollector()
+	n, err := c.ReloadFile(dumpFile)
+	if err != nil {
+		t.Fatalf("reloading dump: %v", err)
+	}
+	if n != len(raws) {
+		t.Fatalf("dump holds %d events, want %d", n, len(raws))
+	}
+}
+
+// TestFullPipelineCLI runs the complete distributed demo: poetd serving,
+// ocepgen generating the ordering-bug workload over TCP, and ocepmon
+// matching the built-in pattern — three separate processes.
+func TestFullPipelineCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping process-spawning test")
+	}
+	poetd := buildTool(t, "poetd")
+	ocepmon := buildTool(t, "ocepmon")
+	ocepgen := buildTool(t, "ocepgen")
+	addr := freePort(t)
+
+	daemon := exec.Command(poetd, "-listen", addr, "-quiet")
+	daemonOut, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = daemon.Process.Kill()
+		_, _ = daemon.Process.Wait()
+	}()
+	scanner := bufio.NewScanner(daemonOut)
+	for scanner.Scan() {
+		if strings.Contains(scanner.Text(), "listening") {
+			break
+		}
+	}
+	go func() {
+		for scanner.Scan() {
+		}
+	}()
+
+	mon := exec.Command(ocepmon, "-addr", addr, "-builtin", "ordering", "-stats")
+	monOut := &syncBuffer{}
+	mon.Stdout = monOut
+	mon.Stderr = monOut
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := exec.Command(ocepgen, "-addr", addr, "-case", "ordering",
+		"-traces", "8", "-events", "2000", "-bug", "0.5", "-seed", "6")
+	genOut, err := gen.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ocepgen: %v\n%s", err, genOut)
+	}
+	if !strings.Contains(string(genOut), "violations seeded") {
+		t.Fatalf("generator output unexpected:\n%s", genOut)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(monOut.String(), "match #1") {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("poetd: %v", err)
+	}
+	if err := mon.Wait(); err != nil {
+		t.Fatalf("ocepmon: %v\n%s", err, monOut)
+	}
+	if !strings.Contains(monOut.String(), "match #1") {
+		t.Fatalf("monitor found no ordering violations:\n%s", monOut)
+	}
+}
+
+func TestOcepbenchCLI(t *testing.T) {
+	bench := buildTool(t, "ocepbench")
+
+	out, err := exec.Command(bench, "-fig", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ocepbench -fig 3: %v\n%s", err, out)
+	}
+	for _, want := range []string{"All:", "Window:", "OCEP:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("fig 3 output missing %q:\n%s", want, out)
+		}
+	}
+
+	if out, err := exec.Command(bench, "-fig", "99").CombinedOutput(); err == nil {
+		t.Fatalf("unknown figure must fail:\n%s", out)
+	}
+	if out, err := exec.Command(bench).CombinedOutput(); err == nil {
+		t.Fatalf("no flags must fail with usage:\n%s", out)
+	}
+	out, err = exec.Command(bench, "-lattice").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ocepbench -lattice: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Lattice cuts") {
+		t.Errorf("lattice output wrong:\n%s", out)
+	}
+}
+
+func TestOcepviewCLI(t *testing.T) {
+	ocepview := buildTool(t, "ocepview")
+
+	// Build a small dump with a stale read in it.
+	collector := ocep.NewCollector()
+	collector.RetainLog()
+	raws := []ocep.RawEvent{
+		{Trace: "primary", Seq: 1, Kind: ocep.KindInternal, Type: "write", Text: "k"},
+		{Trace: "primary", Seq: 2, Kind: ocep.KindSend, Type: "replicate", Text: "k", MsgID: 1},
+		{Trace: "replica", Seq: 1, Kind: ocep.KindInternal, Type: "read", Text: "k"},
+		{Trace: "replica", Seq: 2, Kind: ocep.KindReceive, Type: "apply", Text: "k", MsgID: 1},
+	}
+	for _, r := range raws {
+		if err := collector.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump := filepath.Join(t.TempDir(), "view.poet")
+	if err := collector.DumpFile(dump); err != nil {
+		t.Fatal(err)
+	}
+	pat := filepath.Join(t.TempDir(), "stale.pat")
+	src := `W := [primary, write, $k]; R := [replica, read, $k]; pattern := W || R;`
+	if err := os.WriteFile(pat, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(ocepview, "-dump", dump, "-arrows", "-pattern", pat).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ocepview: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"primary |", "replica |", "matched 1 reported", "#", "messages:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Causal slice extraction: the stale-read match involves only the
+	// write and the read, so the slice excludes the replication pair.
+	sliceFile := filepath.Join(t.TempDir(), "slice.poet.gz")
+	out, err = exec.Command(ocepview, "-dump", dump, "-pattern", pat, "-slice", sliceFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ocepview -slice: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "causal slice: 2 of 4 events") {
+		t.Errorf("slice summary wrong:\n%s", out)
+	}
+	rc := ocep.NewCollector()
+	if n, err := rc.ReloadFile(sliceFile); err != nil || n != 2 {
+		t.Fatalf("slice reload = %d, %v", n, err)
+	}
+
+	// Errors: missing dump flag, window too wide, slice without pattern.
+	if out, err := exec.Command(ocepview).CombinedOutput(); err == nil {
+		t.Fatalf("missing -dump must fail:\n%s", out)
+	}
+	if out, err := exec.Command(ocepview, "-dump", dump, "-width", "2").CombinedOutput(); err == nil {
+		t.Fatalf("too-narrow width must fail:\n%s", out)
+	}
+	if out, err := exec.Command(ocepview, "-dump", dump, "-slice", sliceFile).CombinedOutput(); err == nil {
+		t.Fatalf("-slice without a pattern must fail:\n%s", out)
+	}
+}
+
+func TestOcepmonBuiltinFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping process-spawning test")
+	}
+	ocepmon := buildTool(t, "ocepmon")
+	// Unknown builtin fails fast (no server needed: flag parsing first).
+	out, err := exec.Command(ocepmon, "-builtin", "nope", "-addr", "127.0.0.1:1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown builtin must fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown built-in") {
+		t.Errorf("error output:\n%s", out)
+	}
+}

@@ -1,0 +1,122 @@
+// Command ocepgen drives one of the paper's case-study workloads against
+// a live poetd server, so the full distributed pipeline can be exercised
+// by hand:
+//
+//	poetd -listen :7524                                  # terminal 1
+//	ocepmon -addr :7524 -builtin ordering                # terminal 2
+//	ocepgen -addr :7524 -case ordering -traces 20        # terminal 3
+//
+// Usage:
+//
+//	ocepgen -addr host:port -case deadlock|races|atomicity|ordering
+//	        [-traces N] [-events N] [-bug 0.01] [-cycle 2] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+
+	"ocep"
+	"ocep/internal/poet"
+	"ocep/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ocepgen: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// lockedReporter serializes concurrent workload goroutines onto one TCP
+// reporter connection.
+type lockedReporter struct {
+	mu  sync.Mutex
+	rep *poet.Reporter
+}
+
+func (s *lockedReporter) Report(raw poet.RawEvent) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rep.Report(raw)
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7524", "poetd server address")
+		caseName = flag.String("case", "ordering", "workload: deadlock, races, atomicity, ordering")
+		traces   = flag.Int("traces", 10, "process/thread count")
+		events   = flag.Int("events", 50_000, "approximate event count")
+		bugProb  = flag.Float64("bug", 0.01, "violation probability")
+		cycleLen = flag.Int("cycle", 2, "deadlock cycle length")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if *traces < 2 {
+		return fmt.Errorf("-traces must be at least 2 (got %d)", *traces)
+	}
+	if *caseName == "races" && *traces < 3 {
+		return fmt.Errorf("the races case needs at least 3 traces (got %d)", *traces)
+	}
+	if *events < 1 {
+		return fmt.Errorf("-events must be positive (got %d)", *events)
+	}
+	if *cycleLen < 2 {
+		return fmt.Errorf("-cycle must be at least 2 (got %d)", *cycleLen)
+	}
+
+	rep, err := ocep.DialReporter(*addr)
+	if err != nil {
+		return err
+	}
+	defer rep.Close()
+	sink := &lockedReporter{rep: rep}
+
+	var res workload.Result
+	switch *caseName {
+	case "deadlock":
+		ranks := *traces - *traces%*cycleLen
+		if ranks < *cycleLen {
+			ranks = *cycleLen
+		}
+		rounds := *events / (3 * ranks)
+		res, err = workload.GenDeadlock(workload.DeadlockConfig{
+			Ranks: ranks, CycleLen: *cycleLen, Rounds: rounds,
+			BugProb: *bugProb, Seed: *seed, Sink: sink,
+		})
+	case "races":
+		waves := *events / (2 * (*traces - 1))
+		res, err = workload.GenMsgRace(workload.MsgRaceConfig{
+			Ranks: *traces, Waves: waves, Sink: sink,
+		})
+	case "atomicity":
+		iters := *events / (8 * *traces)
+		res, err = workload.GenAtomicity(workload.AtomicityConfig{
+			Threads: *traces, Iterations: iters,
+			BugProb: *bugProb, Seed: *seed, Sink: sink,
+		})
+	case "ordering":
+		perSession := (*events/(*traces-1) - 7) / 2
+		if perSession < 0 {
+			perSession = 0
+		}
+		res, err = workload.GenReplication(workload.ReplicationConfig{
+			Followers: *traces - 1, UpdatesPerSession: perSession,
+			BugProb: *bugProb, Seed: *seed, Sink: sink,
+		})
+	default:
+		return fmt.Errorf("unknown case %q", *caseName)
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("done: %d events reported, %d violations seeded", res.Events, len(res.Markers))
+	for _, m := range res.Markers {
+		log.Printf("  seeded: %s", m)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command ocepmon is the online OCEP monitor: it connects to a poetd
+// server as a monitor client, receives the linearized event stream, and
+// matches a causal event pattern, printing each reported match (the
+// representative subset by default) as it is found.
+//
+// Usage:
+//
+//	ocepmon -pattern file.pat [-addr host:port] [-all] [-guarantee]
+//	        [-stats] [-builtin name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ocep"
+	"ocep/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ocepmon: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// indent prefixes every line with two spaces.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7524", "poetd server address")
+		patFile    = flag.String("pattern", "", "pattern definition file")
+		builtin    = flag.String("builtin", "", "use a built-in case-study pattern (deadlock2, deadlock3, race, atomicity, ordering)")
+		reportAll  = flag.Bool("all", false, "report every complete match, not just the representative subset")
+		guarantee  = flag.Bool("guarantee", false, "run pinned searches so the k*n subset guarantee is exact")
+		printStats = flag.Bool("stats", false, "print matcher statistics when the stream ends")
+		explain    = flag.Bool("explain", false, "print the causal evidence for each match")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *builtin != "":
+		switch *builtin {
+		case "deadlock2":
+			src = workload.DeadlockPattern(2)
+		case "deadlock3":
+			src = workload.DeadlockPattern(3)
+		case "race":
+			src = workload.MsgRacePattern()
+		case "atomicity":
+			src = workload.AtomicityPattern()
+		case "ordering":
+			src = workload.OrderingPattern()
+		default:
+			return fmt.Errorf("unknown built-in %q", *builtin)
+		}
+	case *patFile != "":
+		data, err := os.ReadFile(*patFile)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("a pattern is required: -pattern file.pat or -builtin name")
+	}
+
+	client, err := ocep.DialMonitor(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	count := 0
+	var mon *ocep.Monitor
+	opts := []ocep.Option{ocep.WithMatchHandler(func(m ocep.Match) {
+		count++
+		fmt.Printf("match #%d:\n", count)
+		if *explain {
+			fmt.Print(indent(mon.Explain(m)))
+			return
+		}
+		for _, e := range m.Events {
+			name, _ := client.TraceName(e.ID.Trace)
+			fmt.Printf("  %s on %s: type=%q text=%q vc=%s\n", e.ID, name, e.Type, e.Text, e.VC)
+		}
+		if len(m.Bindings) > 0 {
+			var parts []string
+			for k, v := range m.Bindings {
+				parts = append(parts, fmt.Sprintf("$%s=%q", k, v))
+			}
+			fmt.Printf("  bindings: %s\n", strings.Join(parts, " "))
+		}
+	})}
+	if *reportAll {
+		opts = append(opts, ocep.WithReportAll())
+	}
+	if *guarantee {
+		opts = append(opts, ocep.WithGuaranteedCoverage())
+	}
+	var err2 error
+	mon, err2 = ocep.NewMonitor(src, opts...)
+	if err2 != nil {
+		return err2
+	}
+	log.Printf("connected to %s; pattern length k=%d", *addr, mon.PatternLength())
+	if err := mon.Run(client); err != nil {
+		return err
+	}
+	log.Printf("stream ended: %d matches reported", count)
+	if *printStats {
+		s := mon.Stats()
+		fmt.Printf("events seen:      %d\n", s.EventsSeen)
+		fmt.Printf("events matched:   %d\n", s.EventsMatched)
+		fmt.Printf("triggers:         %d\n", s.Triggers)
+		fmt.Printf("complete matches: %d\n", s.CompleteMatches)
+		fmt.Printf("reported:         %d\n", s.Reported)
+		fmt.Printf("redundant:        %d\n", s.Redundant)
+		fmt.Printf("history size:     %d (pruned %d)\n", s.HistorySize, s.HistoryPruned)
+	}
+	return nil
+}

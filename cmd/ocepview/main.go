@@ -1,0 +1,142 @@
+// Command ocepview renders a process-time diagram of a dumped POET trace
+// file — the visualization role of the original POET tool. With a
+// pattern, it replays the trace through the matcher and highlights the
+// events of every reported match.
+//
+// Usage:
+//
+//	ocepview -dump run.poet [-from N] [-to N] [-width N] [-arrows]
+//	         [-pattern file.pat | -builtin name]
+//
+// Windows wider than -width are rejected; use -from/-to to page through
+// large dumps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ocep/internal/core"
+	"ocep/internal/event"
+	"ocep/internal/pattern"
+	"ocep/internal/poet"
+	"ocep/internal/slice"
+	"ocep/internal/view"
+	"ocep/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ocepview: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dump     = flag.String("dump", "", "POET dump file to render (required)")
+		from     = flag.Int("from", 0, "first delivery index to render")
+		to       = flag.Int("to", 0, "one past the last delivery index (0 = end)")
+		width    = flag.Int("width", 120, "maximum event columns")
+		arrows   = flag.Bool("arrows", false, "list message arrows inside the window")
+		patFile  = flag.String("pattern", "", "pattern file: highlight matched events")
+		builtin  = flag.String("builtin", "", "built-in pattern (deadlock2, deadlock3, race, atomicity, ordering)")
+		sliceOut = flag.String("slice", "", "write the causal slice of the matched events to this dump file (requires a pattern; .gz compresses)")
+	)
+	flag.Parse()
+	if *dump == "" {
+		return fmt.Errorf("a dump file is required: -dump run.poet")
+	}
+
+	collector := poet.NewCollector()
+	if _, err := collector.ReloadFile(*dump); err != nil {
+		return err
+	}
+	st := collector.Store()
+	ordered := collector.Ordered()
+
+	var marks map[event.ID]bool
+	src := ""
+	switch {
+	case *patFile != "":
+		data, err := os.ReadFile(*patFile)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	case *builtin != "":
+		switch *builtin {
+		case "deadlock2":
+			src = workload.DeadlockPattern(2)
+		case "deadlock3":
+			src = workload.DeadlockPattern(3)
+		case "race":
+			src = workload.MsgRacePattern()
+		case "atomicity":
+			src = workload.AtomicityPattern()
+		case "ordering":
+			src = workload.OrderingPattern()
+		default:
+			return fmt.Errorf("unknown built-in %q", *builtin)
+		}
+	}
+	if src != "" {
+		f, err := pattern.Parse(src)
+		if err != nil {
+			return err
+		}
+		pat, err := pattern.Compile(f)
+		if err != nil {
+			return err
+		}
+		m := core.NewMatcherOn(pat, st, core.Options{})
+		var matched [][]*event.Event
+		for _, e := range ordered {
+			got, err := m.Feed(e)
+			if err != nil {
+				return err
+			}
+			for _, mm := range got {
+				matched = append(matched, mm.Events)
+			}
+		}
+		marks = view.MarksOf(matched)
+		fmt.Printf("pattern matched %d reported occurrences (%d events highlighted)\n",
+			len(matched), len(marks))
+		if *sliceOut != "" {
+			if len(matched) == 0 {
+				return fmt.Errorf("no matches: nothing to slice")
+			}
+			var all []*event.Event
+			for _, mm := range matched {
+				all = append(all, mm...)
+			}
+			cut, err := slice.Of(st, all)
+			if err != nil {
+				return err
+			}
+			sc, err := cut.Replay(st, ordered)
+			if err != nil {
+				return err
+			}
+			if err := sc.DumpFile(*sliceOut); err != nil {
+				return err
+			}
+			fmt.Printf("causal slice: %d of %d events written to %s\n",
+				cut.Size(), st.TotalEvents(), *sliceOut)
+		}
+	} else if *sliceOut != "" {
+		return fmt.Errorf("-slice requires a pattern (-pattern or -builtin)")
+	}
+
+	out, err := view.Render(st, ordered, view.Options{
+		From: *from, To: *to, MaxWidth: *width,
+		Marks: marks, Arrows: *arrows,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

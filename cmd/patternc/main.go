@@ -1,0 +1,93 @@
+// Command patternc checks and describes OCEP pattern definitions: it
+// parses and compiles a pattern source and prints the compiled form
+// (classes, pattern-tree leaves, pairwise causal constraints, and the
+// terminating event classes), or a position-annotated error.
+//
+// Usage:
+//
+//	patternc file.pat        # check a file
+//	patternc -               # read from stdin
+//	patternc -builtin name   # describe a built-in case-study pattern
+//	                          (deadlock2, deadlock3, race, atomicity,
+//	                           ordering)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ocep/internal/pattern"
+	"ocep/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "patternc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func builtinPattern(name string) (string, bool) {
+	switch name {
+	case "deadlock2":
+		return workload.DeadlockPattern(2), true
+	case "deadlock3":
+		return workload.DeadlockPattern(3), true
+	case "race":
+		return workload.MsgRacePattern(), true
+	case "atomicity":
+		return workload.AtomicityPattern(), true
+	case "ordering":
+		return workload.OrderingPattern(), true
+	default:
+		return "", false
+	}
+}
+
+func run() error {
+	builtin := flag.String("builtin", "", "describe a built-in case-study pattern")
+	format := flag.Bool("fmt", false, "print the pattern reformatted to canonical source instead of describing it")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *builtin != "":
+		s, ok := builtinPattern(*builtin)
+		if !ok {
+			return fmt.Errorf("unknown built-in %q (try deadlock2, deadlock3, race, atomicity, ordering)", *builtin)
+		}
+		src = s
+		fmt.Printf("# built-in pattern %q\n%s\n", *builtin, src)
+	case flag.NArg() == 1 && flag.Arg(0) == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return fmt.Errorf("reading stdin: %w", err)
+		}
+		src = string(data)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("usage: patternc <file.pat | -> | -builtin name")
+	}
+
+	f, err := pattern.Parse(src)
+	if err != nil {
+		return err
+	}
+	if *format {
+		fmt.Print(pattern.Format(f))
+		return nil
+	}
+	compiled, err := pattern.Compile(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(pattern.Describe(compiled))
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command poetd runs a standalone POET collector server: instrumented
+// targets connect to report raw events, monitor clients (e.g. ocepmon)
+// connect to receive the linearized, vector-timestamped event stream.
+//
+// Usage:
+//
+//	poetd [-listen addr] [-reload trace.poet] [-dump trace.poet] [-quiet]
+//
+// With -dump, the delivered raw-event log is written to the given file
+// on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
+// dump and reload features.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ocep/internal/poet"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("poetd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7524", "address to listen on")
+		reload = flag.String("reload", "", "trace file to replay into the collector at startup")
+		dump   = flag.String("dump", "", "write the delivered raw-event log to this file on shutdown")
+		quiet  = flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	)
+	flag.Parse()
+
+	collector := poet.NewCollector()
+	if *dump != "" {
+		collector.RetainLog()
+	}
+	if *reload != "" {
+		n, err := collector.ReloadFile(*reload)
+		if err != nil {
+			return fmt.Errorf("reload: %w", err)
+		}
+		log.Printf("reloaded %d events from %s", n, *reload)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	server := poet.NewServer(collector, logf)
+	addr, err := server.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down: %d events delivered, %d pending",
+		collector.Delivered(), collector.Pending())
+	for _, ts := range collector.TraceStats() {
+		log.Printf("  trace %-20s delivered=%d comm=%d buffered=%d",
+			ts.Name, ts.Delivered, ts.Comm, ts.Buffered)
+	}
+	if err := server.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	if *dump != "" {
+		if err := collector.DumpFile(*dump); err != nil {
+			return fmt.Errorf("dump: %w", err)
+		}
+		log.Printf("dumped trace to %s", *dump)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Intrusion detection with long-interval causal patterns (the use case
+// of the paper's introduction that rules out sliding windows): a
+// three-stage attack — credential theft on one host, lateral movement to
+// a second, exfiltration from a third — may unfold over an arbitrarily
+// long run. A time- or count-based window forgets the first stage long
+// before the last one happens; the causal pattern keeps matching because
+// OCEP's history is bounded by the duplicate rule, not by age.
+//
+//	Theft   := [*, auth_theft,   $cred];
+//	Lateral := [*, lateral_move, $cred];
+//	Exfil   := [*, exfiltrate,   $cred];
+//	Theft $t; Lateral $l; Exfil $e;
+//	pattern := ($t -> $l) && ($l -> $e);
+//
+// Run with:
+//
+//	go run ./examples/intrusion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ocep"
+)
+
+const attackPattern = `
+	Theft   := [*, auth_theft,   $cred];
+	Lateral := [*, lateral_move, $cred];
+	Exfil   := [*, exfiltrate,   $cred];
+	Theft $t; Lateral $l; Exfil $e;
+	pattern := ($t -> $l) && ($l -> $e);
+`
+
+func main() {
+	collector := ocep.NewCollector()
+	detected := 0
+	mon, err := ocep.NewMonitor(attackPattern, ocep.WithMatchHandler(func(m ocep.Match) {
+		detected++
+		fmt.Printf("ATTACK CHAIN for credential %q: theft=%s -> lateral=%s -> exfil=%s\n",
+			m.Bindings["cred"], m.Events[0].ID, m.Events[1].ID, m.Events[2].ID)
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon.Attach(collector)
+
+	seqs := map[string]int{}
+	report := func(host string, kind ocep.Kind, typ, text string, msgID uint64) {
+		seqs[host]++
+		err := collector.Report(ocep.RawEvent{
+			Trace: host, Seq: seqs[host], Kind: kind, Type: typ, Text: text, MsgID: msgID,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	noise := func(host string, n int) {
+		for i := 0; i < n; i++ {
+			report(host, ocep.KindInternal, "request", "regular traffic", 0)
+		}
+	}
+
+	// Stage 1: credential theft on web-1.
+	noise("web-1", 40)
+	report("web-1", ocep.KindInternal, "auth_theft", "cred-771", 0)
+
+	// A long quiet interval: thousands of unrelated events. Any n^2
+	// window has long forgotten the theft by the end of it.
+	for _, host := range []string{"web-1", "db-1", "bastion"} {
+		noise(host, 2000)
+	}
+
+	// Stage 2: lateral movement — the attacker's session hops from
+	// web-1 to the bastion (a real message, so the causal chain holds).
+	report("web-1", ocep.KindSend, "session", "bastion", 1)
+	report("bastion", ocep.KindReceive, "lateral_move", "cred-771", 1)
+
+	// More noise, then stage 3: exfiltration from the database host,
+	// again causally chained through a message.
+	noise("bastion", 1500)
+	report("bastion", ocep.KindSend, "session", "db-1", 2)
+	report("db-1", ocep.KindReceive, "exfiltrate", "cred-771", 2)
+
+	// A decoy: an exfiltrate event with a different credential and no
+	// causal path from any theft — must not match.
+	report("db-1", ocep.KindInternal, "exfiltrate", "cred-999", 0)
+
+	if err := mon.Err(); err != nil {
+		log.Fatal(err)
+	}
+	s := mon.Stats()
+	fmt.Printf("\nrun: %d events, attack chains detected: %d\n", s.EventsSeen, detected)
+	fmt.Printf("matcher history: %d entries retained (%d pruned by the duplicate rule)\n",
+		s.HistorySize, s.HistoryPruned)
+	if detected != 1 {
+		log.Fatalf("expected exactly one attack chain, found %d", detected)
+	}
+}

@@ -1,0 +1,76 @@
+// Message-race detection (Section V-C2): worker ranks send results to a
+// coordinator that accepts them with a blocking any-source receive.
+// Concurrent incoming messages race: they may be consumed in either
+// order, a classic source of nondeterministic bugs.
+//
+// The causal pattern pairs each send with its receive via the link
+// operator (~) and requires two sends into the same process to be
+// concurrent:
+//
+//	S1 := [*, mpi_send, $d];  R1 := [$d, mpi_recv, *];
+//	S2 := [*, mpi_send, $d];  R2 := [$d, mpi_recv, *];
+//	S1 $s1; R1 $r1; S2 $s2; R2 $r2;
+//	pattern := ($s1 ~ $r1) && ($s2 ~ $r2) && ($s1 || $s2);
+//
+// The example also runs the serialized (token-passing) protocol to show
+// zero false positives on a race-free run.
+//
+// Run with:
+//
+//	go run ./examples/message-race
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ocep"
+	"ocep/internal/workload"
+)
+
+func run(serialize bool) (reported int, seeded int) {
+	collector := ocep.NewCollector()
+	mon, err := ocep.NewMonitor(workload.MsgRacePattern(),
+		ocep.WithMatchHandler(func(m ocep.Match) {
+			reported++
+			if reported <= 3 {
+				s1, r1, s2 := m.Events[0], m.Events[1], m.Events[2]
+				fmt.Printf("  race into %s: send %s (recv %s) vs send %s\n",
+					m.Bindings["d"], s1.ID, r1.ID, s2.ID)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon.Attach(collector)
+
+	res, err := workload.GenMsgRace(workload.MsgRaceConfig{
+		Ranks:     6,
+		Waves:     20,
+		Serialize: serialize,
+		Sink:      collector,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return reported, len(res.Markers)
+}
+
+func main() {
+	fmt.Println("racy protocol (all workers send concurrently):")
+	reported, seeded := run(false)
+	fmt.Printf("  %d racing sends seeded, %d race matches reported\n\n", seeded, reported)
+	if reported == 0 {
+		log.Fatal("expected races in the concurrent protocol")
+	}
+
+	fmt.Println("serialized protocol (token passing):")
+	reported, _ = run(true)
+	fmt.Printf("  %d race matches reported (expected 0)\n", reported)
+	if reported != 0 {
+		log.Fatal("false positives in the serialized protocol")
+	}
+}

@@ -1,0 +1,10 @@
+# Three-stage pipeline handoff: the same request must flow ingest ->
+# transform -> publish in causal order; the event variables make all
+# three conjuncts talk about one request's chain.
+Ingest    := [*, ingest,    $req];
+Transform := [*, transform, $req];
+Publish   := [*, publish,   $req];
+Ingest    $i;
+Transform $t;
+Publish   $p;
+pattern := ($i -> $t) && ($t -> $p);

@@ -1,0 +1,6 @@
+# Stale read on a replicated store: a write on the primary and a read of
+# the same key on the replica that are causally concurrent — the read
+# cannot have observed the write.
+W := [primary, write, $key];
+R := [replica, read,  $key];
+pattern := W || R;

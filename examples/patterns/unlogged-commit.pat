@@ -1,0 +1,8 @@
+# Write-ahead-logging violation: a commit that is not causally preceded
+# by a flush of the same transaction's log record. The lim-> operator
+# would be wrong here (it quantifies over Commit's own class); instead
+# the pattern asks for a commit concurrent with its own flush — with
+# correct WAL the flush always happens before the commit.
+Flush  := [*, wal_flush, $txn];
+Commit := [*, commit,    $txn];
+pattern := Flush || Commit;

@@ -1,0 +1,14 @@
+# The ordering bug of ZooKeeper issue #962 (paper Section III-D): a
+# snapshot taken for a synchronizing follower is followed by an update
+# before it is forwarded, so the follower receives stale service data.
+#
+# $1 binds the follower's trace, $2 the leader's; $Diff and $Write pin
+# the snapshot and the offending update to single events across the
+# three conjuncts.
+Synch    := [$1, Synch_Leader, $2];
+Snapshot := [$2, Take_Snapshot, ''];
+Update   := [$2, Make_Update, ''];
+Forward  := [$2, Take_Snapshot, $1];
+Snapshot $Diff;
+Update   $Write;
+pattern  := (Synch -> $Diff) && ($Diff -> $Write) && ($Write -> Forward);

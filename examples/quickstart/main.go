@@ -1,0 +1,68 @@
+// Quickstart: instrument a toy replicated store, collect its events with
+// an in-process POET collector, and monitor a causal pattern online.
+//
+// The scenario: a primary accepts writes and replicates them to a
+// replica; clients read from the replica. The safety condition is that a
+// read of a key returns a value causally after the write of that key.
+// The pattern catches the violation directly: a write and a read of the
+// same key that are causally CONCURRENT — the read cannot have seen the
+// write.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ocep"
+)
+
+func main() {
+	collector := ocep.NewCollector()
+
+	// W || R with the key bound by $key: a stale read.
+	mon, err := ocep.NewMonitor(`
+		W := [primary, write, $key];
+		R := [replica, read,  $key];
+		pattern := W || R;
+	`, ocep.WithMatchHandler(func(m ocep.Match) {
+		fmt.Printf("VIOLATION: stale read of key %q: write %s is concurrent with read %s\n",
+			m.Bindings["key"], m.Events[0].ID, m.Events[1].ID)
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon.Attach(collector)
+
+	report := func(raw ocep.RawEvent) {
+		if err := collector.Report(raw); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Key "a": written, replicated, then read — the read is causally
+	// after the write, so the pattern does not match.
+	report(ocep.RawEvent{Trace: "primary", Seq: 1, Kind: ocep.KindInternal, Type: "write", Text: "a"})
+	report(ocep.RawEvent{Trace: "primary", Seq: 2, Kind: ocep.KindSend, Type: "replicate", Text: "a", MsgID: 1})
+	report(ocep.RawEvent{Trace: "replica", Seq: 1, Kind: ocep.KindReceive, Type: "apply", Text: "a", MsgID: 1})
+	report(ocep.RawEvent{Trace: "replica", Seq: 2, Kind: ocep.KindInternal, Type: "read", Text: "a"})
+
+	// Key "b": written on the primary, but read on the replica before
+	// the replication message arrives — concurrent, a stale read.
+	report(ocep.RawEvent{Trace: "primary", Seq: 3, Kind: ocep.KindInternal, Type: "write", Text: "b"})
+	report(ocep.RawEvent{Trace: "replica", Seq: 3, Kind: ocep.KindInternal, Type: "read", Text: "b"})
+	report(ocep.RawEvent{Trace: "primary", Seq: 4, Kind: ocep.KindSend, Type: "replicate", Text: "b", MsgID: 2})
+	report(ocep.RawEvent{Trace: "replica", Seq: 4, Kind: ocep.KindReceive, Type: "apply", Text: "b", MsgID: 2})
+
+	if err := mon.Err(); err != nil {
+		log.Fatal(err)
+	}
+	s := mon.Stats()
+	fmt.Printf("done: %d events seen, %d matches reported\n", s.EventsSeen, s.Reported)
+	if s.Reported != 1 {
+		log.Fatalf("expected exactly one violation, found %d", s.Reported)
+	}
+}

@@ -1,0 +1,38 @@
+package ocep_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every runnable example end to end: each one
+// asserts its own expectations internally (detected violations, zero
+// false positives) and exits non-zero on failure.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: examples spawn processes and simulate workloads")
+	}
+	examples := []string{
+		"quickstart",
+		"zookeeper-ordering",
+		"mpi-deadlock",
+		"message-race",
+		"atomicity",
+		"intrusion",
+		"suite",
+	}
+	for _, name := range examples {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(strings.ToLower(string(out)), "run") &&
+				!strings.Contains(string(out), "done") {
+				t.Logf("output:\n%s", out)
+			}
+		})
+	}
+}

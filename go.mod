@@ -1,0 +1,3 @@
+module ocep
+
+go 1.22

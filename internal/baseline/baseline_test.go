@@ -1,0 +1,341 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocep/internal/baseline"
+	"ocep/internal/core"
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+	"ocep/internal/pattern"
+	"ocep/internal/poet"
+	"ocep/internal/workload"
+)
+
+func compile(t *testing.T, src string) *pattern.Compiled {
+	t.Helper()
+	f, err := pattern.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := pattern.Compile(f)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func TestOracleSimple(t *testing.T) {
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	st, _ := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s"},
+		{Trace: 1, Kind: event.KindReceive, Type: "b", From: "s"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+	})
+	matches := baseline.AllMatches(pat, st)
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d want 2 (a->b1, a->b2)", len(matches))
+	}
+	cov := baseline.Coverage(matches)
+	if !cov[[2]int{0, 0}] || !cov[[2]int{1, 1}] {
+		t.Fatalf("coverage wrong: %v", cov)
+	}
+}
+
+func TestWindowMatcherMatchesInsideWindow(t *testing.T) {
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	st, evs := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s"},
+		{Trace: 1, Kind: event.KindReceive, Type: "b", From: "s"},
+	})
+	w := baseline.NewWindowMatcher(pat, st, 10)
+	var all []core.Match
+	for _, e := range evs {
+		all = append(all, w.Feed(e)...)
+	}
+	if len(all) != 1 {
+		t.Fatalf("window matches = %d want 1", len(all))
+	}
+}
+
+// TestWindowOmission reproduces the omission problem of Figure 3: a
+// match whose events are farther apart than the window is missed.
+func TestWindowOmission(t *testing.T) {
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	// One early a (a send), then filler, then the receive b.
+	ops := []eventtest.Op{{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s"}}
+	for i := 0; i < 20; i++ {
+		ops = append(ops, eventtest.Op{Trace: 0, Kind: event.KindInternal, Type: "x"})
+	}
+	ops = append(ops, eventtest.Op{Trace: 1, Kind: event.KindReceive, Type: "b", From: "s"})
+	st, evs := eventtest.Build(2, ops)
+
+	w := baseline.NewWindowMatcher(pat, st, 4) // n^2 for n=2
+	var windowed []core.Match
+	for _, e := range evs {
+		windowed = append(windowed, w.Feed(e)...)
+	}
+	if len(windowed) != 0 {
+		t.Fatalf("window matcher should miss the long-span match, found %d", len(windowed))
+	}
+	// The oracle (and OCEP) find it.
+	if got := len(baseline.AllMatches(pat, st)); got != 1 {
+		t.Fatalf("oracle matches = %d want 1", got)
+	}
+	m := core.NewMatcherOn(pat, st, core.Options{})
+	var reported []core.Match
+	for _, e := range evs {
+		got, err := m.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reported = append(reported, got...)
+	}
+	if len(reported) != 1 {
+		t.Fatalf("OCEP must report the long-span match, got %d", len(reported))
+	}
+}
+
+// TestWindowAgainstOracleRandom: the window matcher's matches are always
+// a subset of the oracle's.
+func TestWindowAgainstOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	for round := 0; round < 5; round++ {
+		st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces: 3, Events: 60, SendProb: 0.3, RecvProb: 0.3,
+			Types: []string{"a", "b"},
+		})
+		oracleSet := map[string]bool{}
+		for _, m := range baseline.AllMatches(pat, st) {
+			oracleSet[key(m)] = true
+		}
+		w := baseline.NewWindowMatcher(pat, st, 9)
+		seen := map[string]bool{}
+		for _, e := range evs {
+			for _, m := range w.Feed(e) {
+				k := key(m)
+				if !oracleSet[k] {
+					t.Fatalf("round %d: window reported invalid match %s", round, k)
+				}
+				if seen[k] {
+					t.Fatalf("round %d: window reported duplicate match %s", round, k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func key(m core.Match) string {
+	s := ""
+	for _, e := range m.Events {
+		s += e.ID.String() + ";"
+	}
+	return s
+}
+
+func TestWindowMatcherCompoundPattern(t *testing.T) {
+	// Weak precedence between compounds is checked by the window
+	// matcher's completion path.
+	pat := compile(t, `
+		A := [*, a, *]; B := [*, b, *]; C := [*, c, *]; D := [*, d, *];
+		pattern := (A || B) -> (C || D);
+	`)
+	st, evs := eventtest.Build(4, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+		{Trace: 2, Kind: event.KindReceive, Type: "c", From: "s"},
+		{Trace: 3, Kind: event.KindInternal, Type: "d"},
+	})
+	w := baseline.NewWindowMatcher(pat, st, 16)
+	var all []core.Match
+	for _, e := range evs {
+		all = append(all, w.Feed(e)...)
+	}
+	if len(all) == 0 {
+		t.Fatalf("window matcher missed the compound match inside the window")
+	}
+	if got := len(w.Window()); got != len(evs) {
+		t.Fatalf("window holds %d events, want %d", got, len(evs))
+	}
+}
+
+func TestWindowMatcherEviction(t *testing.T) {
+	pat := compile(t, `A := [*, a, *]; pattern := A;`)
+	st, evs := eventtest.Build(1, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+	})
+	w := baseline.NewWindowMatcher(pat, st, 2)
+	for _, e := range evs {
+		w.Feed(e)
+	}
+	if got := len(w.Window()); got != 2 {
+		t.Fatalf("window size = %d want 2 after eviction", got)
+	}
+	if w.Window()[0].ID.Index != 2 {
+		t.Fatalf("oldest event not evicted: %v", w.Window()[0].ID)
+	}
+}
+
+func TestDepGraphDetectsCycle(t *testing.T) {
+	c := poet.NewCollector()
+	res, err := workload.GenDeadlock(workload.DeadlockConfig{
+		Ranks: 4, CycleLen: 2, Rounds: 100, BugProb: 0.1, Seed: 12, Sink: c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Markers) == 0 {
+		t.Skip("no buggy rounds at this seed")
+	}
+	st := c.Store()
+	d := baseline.NewDepGraphDetector(st.NumTraces(), 0)
+	cycles := 0
+	for _, e := range c.Ordered() {
+		if cyc := d.Feed(st, e); cyc != nil {
+			cycles++
+		}
+	}
+	if cycles == 0 {
+		t.Fatalf("dependency graph found no cycles for %d buggy rounds", len(res.Markers))
+	}
+	if d.EdgeCount() != 0 {
+		t.Fatalf("edges leaked: %d", d.EdgeCount())
+	}
+}
+
+func TestDepGraphNoCycleWhenSafe(t *testing.T) {
+	c := poet.NewCollector()
+	if _, err := workload.GenDeadlock(workload.DeadlockConfig{
+		Ranks: 4, CycleLen: 2, Rounds: 50, BugProb: 0, Seed: 13, Sink: c,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Store()
+	d := baseline.NewDepGraphDetector(st.NumTraces(), 0)
+	for _, e := range c.Ordered() {
+		if cyc := d.Feed(st, e); cyc != nil {
+			// The wait-for overapproximation may see transient cycles
+			// in the safe staggered protocol only if sends cross; the
+			// staggered protocol orders them, so none should appear.
+			t.Fatalf("unexpected cycle %v in safe run", cyc)
+		}
+	}
+}
+
+func TestRaceCheckerAgreesWithPattern(t *testing.T) {
+	c := poet.NewCollector()
+	if _, err := workload.GenMsgRace(workload.MsgRaceConfig{Ranks: 4, Waves: 5, Sink: c}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Store()
+	rc := baseline.NewRaceChecker()
+	for _, e := range c.Ordered() {
+		rc.Feed(st, e)
+	}
+	if rc.Races == 0 {
+		t.Fatalf("race checker found nothing in the racy benchmark")
+	}
+	// Serialized run: no races.
+	c2 := poet.NewCollector()
+	if _, err := workload.GenMsgRace(workload.MsgRaceConfig{Ranks: 4, Waves: 5, Serialize: true, Sink: c2}); err != nil {
+		t.Fatal(err)
+	}
+	rc2 := baseline.NewRaceChecker()
+	for _, e := range c2.Ordered() {
+		rc2.Feed(c2.Store(), e)
+	}
+	if rc2.Races != 0 {
+		t.Fatalf("race checker reported %d races in a serialized run", rc2.Races)
+	}
+}
+
+func TestDepGraphMaxLen(t *testing.T) {
+	// Hand-fed 3-cycle: p0 -> p1 -> p2 -> p0, all sends delivered before
+	// any receive. The event text carries the destination trace name,
+	// matching the mpi runtime's convention.
+	c := poet.NewCollector()
+	for _, name := range []string{"p0", "p1", "p2"} {
+		c.RegisterTrace(name)
+	}
+	raws := []poet.RawEvent{
+		{Trace: "p0", Seq: 1, Kind: event.KindSend, Type: "mpi_send", Text: "p1", MsgID: 1},
+		{Trace: "p1", Seq: 1, Kind: event.KindSend, Type: "mpi_send", Text: "p2", MsgID: 2},
+		{Trace: "p2", Seq: 1, Kind: event.KindSend, Type: "mpi_send", Text: "p0", MsgID: 3},
+		{Trace: "p1", Seq: 2, Kind: event.KindReceive, Type: "mpi_recv", Text: "p0", MsgID: 1},
+		{Trace: "p2", Seq: 2, Kind: event.KindReceive, Type: "mpi_recv", Text: "p1", MsgID: 2},
+		{Trace: "p0", Seq: 2, Kind: event.KindReceive, Type: "mpi_recv", Text: "p2", MsgID: 3},
+	}
+	for _, r := range raws {
+		if err := c.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Store()
+	d2 := baseline.NewDepGraphDetector(st.NumTraces(), 2)
+	d3 := baseline.NewDepGraphDetector(st.NumTraces(), 3)
+	found2, found3 := 0, 0
+	for _, e := range c.Ordered() {
+		if d2.Feed(st, e) != nil {
+			found2++
+		}
+		if d3.Feed(st, e) != nil {
+			found3++
+		}
+	}
+	if found2 != 0 {
+		t.Fatalf("maxLen=2 detector found %d 3-cycles", found2)
+	}
+	if found3 != 1 {
+		t.Fatalf("maxLen=3 detector found %d cycles, want 1", found3)
+	}
+}
+
+// TestDepGraphOrderSensitivity documents a qualitative limitation of the
+// graph baseline that causal matching does not share: on a linearization
+// in which a receive interleaves between the cycle's sends, the wait-for
+// cycle is never simultaneously present, so the graph detector misses a
+// deadlock-unsafe state that the causal pattern still finds (the sends
+// stay pairwise concurrent no matter the delivery order).
+func TestDepGraphOrderSensitivity(t *testing.T) {
+	c := poet.NewCollector()
+	for _, name := range []string{"p0", "p1", "p2"} {
+		c.RegisterTrace(name)
+	}
+	raws := []poet.RawEvent{
+		{Trace: "p0", Seq: 1, Kind: event.KindSend, Type: "mpi_send", Text: "p1", MsgID: 1},
+		{Trace: "p2", Seq: 1, Kind: event.KindSend, Type: "mpi_send", Text: "p0", MsgID: 3},
+		// p0's receive lands before p1's send: the p0 -> p1 edge is
+		// gone by the time the cycle would close.
+		{Trace: "p0", Seq: 2, Kind: event.KindReceive, Type: "mpi_recv", Text: "p2", MsgID: 3},
+		{Trace: "p1", Seq: 1, Kind: event.KindSend, Type: "mpi_send", Text: "p2", MsgID: 2},
+		{Trace: "p1", Seq: 2, Kind: event.KindReceive, Type: "mpi_recv", Text: "p0", MsgID: 1},
+		{Trace: "p2", Seq: 2, Kind: event.KindReceive, Type: "mpi_recv", Text: "p1", MsgID: 2},
+	}
+	for _, r := range raws {
+		if err := c.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Store()
+	d := baseline.NewDepGraphDetector(st.NumTraces(), 0)
+	cycles := 0
+	for _, e := range c.Ordered() {
+		if d.Feed(st, e) != nil {
+			cycles++
+		}
+	}
+	if cycles != 0 {
+		t.Fatalf("graph detector unexpectedly found the interleaved cycle")
+	}
+	// The causal pattern still matches: the three sends are concurrent.
+	pat := compile(t, workload.DeadlockPattern(3))
+	matches := baseline.AllMatches(pat, st)
+	if len(matches) == 0 {
+		t.Fatalf("causal pattern must find the cycle regardless of delivery order")
+	}
+}

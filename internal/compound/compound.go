@@ -1,0 +1,178 @@
+// Package compound implements the causality framework for compound
+// events of Section III-B: relations between non-empty SETS of primitive
+// events. Strong and weak precedence alone cannot classify all pairs of
+// compound events, so the framework adds overlap, crossing and
+// entanglement, after which any two compound events stand in exactly one
+// of four relations: A -> B, B -> A, A || B, or A <-> B (the
+// classification property, tested in this package).
+//
+// The pattern matcher uses the same definitions operationally (compiled
+// to pairwise constraints and completion-time disjuncts); this package
+// provides them as a standalone, queryable API over match results and
+// arbitrary event sets.
+package compound
+
+import (
+	"fmt"
+
+	"ocep/internal/event"
+)
+
+// Compound is a non-empty set of causally related primitive events. The
+// slice order carries no meaning; events must be distinct (same pointer
+// or same ID counts as the same event).
+type Compound []*event.Event
+
+// Relation classifies a pair of compound events.
+type Relation int
+
+// The four mutually exclusive compound relations. Values start at 1 so
+// the zero value is detectably invalid.
+const (
+	// RelPrecedes: A -> B (weak precedence, not entangled).
+	RelPrecedes Relation = iota + 1
+	// RelFollows: B -> A.
+	RelFollows
+	// RelConcurrent: every cross pair is causally unrelated.
+	RelConcurrent
+	// RelEntangled: A and B cross or overlap.
+	RelEntangled
+)
+
+// String names the relation with the paper's operators.
+func (r Relation) String() string {
+	switch r {
+	case RelPrecedes:
+		return "->"
+	case RelFollows:
+		return "<-"
+	case RelConcurrent:
+		return "||"
+	case RelEntangled:
+		return "<->"
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// contains reports whether the compound holds the event (by ID).
+func (c Compound) contains(e *event.Event) bool {
+	for _, x := range c {
+		if x == e || x.ID == e.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether the two compounds share at least one event
+// (A ∩ B != ∅).
+func (c Compound) Overlaps(d Compound) bool {
+	for _, e := range c {
+		if d.contains(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Disjoint reports whether the two compounds share no event.
+func (c Compound) Disjoint(d Compound) bool { return !c.Overlaps(d) }
+
+// anyOrdered reports whether some event of c happens before some event
+// of d.
+func anyOrdered(c, d Compound) bool {
+	for _, a := range c {
+		for _, b := range d {
+			if a.Before(b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Crosses reports whether the compounds cross: ordered pairs exist in
+// both directions while the compounds are disjoint.
+func (c Compound) Crosses(d Compound) bool {
+	return c.Disjoint(d) && anyOrdered(c, d) && anyOrdered(d, c)
+}
+
+// Entangled implements equation (1): A <-> B iff A crosses B or A
+// overlaps B.
+func (c Compound) Entangled(d Compound) bool {
+	return c.Crosses(d) || c.Overlaps(d)
+}
+
+// Precedes implements equation (2): A -> B iff some event of A happens
+// before some event of B and the compounds are not entangled.
+func (c Compound) Precedes(d Compound) bool {
+	return anyOrdered(c, d) && !c.Entangled(d)
+}
+
+// StrongPrecedes is Lamport's strong precedence: every event of c
+// happens before every event of d.
+func (c Compound) StrongPrecedes(d Compound) bool {
+	if len(c) == 0 || len(d) == 0 {
+		return false
+	}
+	for _, a := range c {
+		for _, b := range d {
+			if !a.Before(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Concurrent implements equation (3): every cross pair of events is
+// causally unrelated (which also excludes shared events, since an event
+// is not concurrent with itself).
+func (c Compound) Concurrent(d Compound) bool {
+	if len(c) == 0 || len(d) == 0 {
+		return false
+	}
+	for _, a := range c {
+		for _, b := range d {
+			if !a.Concurrent(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Classify returns the unique relation between the two non-empty
+// compounds (the classification property of Section III-B).
+func Classify(c, d Compound) Relation {
+	switch {
+	case c.Entangled(d):
+		return RelEntangled
+	case anyOrdered(c, d):
+		return RelPrecedes
+	case anyOrdered(d, c):
+		return RelFollows
+	default:
+		return RelConcurrent
+	}
+}
+
+// Span returns the causally earliest and latest events of the compound
+// under the happens-before order (events may be incomparable; Span picks
+// minimal/maximal elements, useful for reporting).
+func (c Compound) Span() (first, last *event.Event) {
+	if len(c) == 0 {
+		return nil, nil
+	}
+	first, last = c[0], c[0]
+	for _, e := range c[1:] {
+		if e.Before(first) {
+			first = e
+		}
+		if last.Before(e) {
+			last = e
+		}
+	}
+	return first, last
+}

@@ -1,0 +1,235 @@
+package compound
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+)
+
+// fixture builds the canonical crossing scenario:
+//
+//	p0:  a0 (send m1)            a1 (recv m2)
+//	p1:  b0 (send m2)            b1 (recv m1)
+//
+// A = {a0, a1}, B = {b0, b1}: a0 -> b1 and b0 -> a1, so A crosses B.
+func fixture(t *testing.T) (Compound, Compound) {
+	t.Helper()
+	_, evs := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "m1"},
+		{Trace: 1, Kind: event.KindSend, Type: "b", Label: "m2"},
+		{Trace: 1, Kind: event.KindReceive, Type: "b", From: "m1"},
+		{Trace: 0, Kind: event.KindReceive, Type: "a", From: "m2"},
+	})
+	a := Compound{evs[0], evs[3]}
+	b := Compound{evs[1], evs[2]}
+	return a, b
+}
+
+func TestCrossesAndEntangled(t *testing.T) {
+	a, b := fixture(t)
+	if !a.Crosses(b) || !b.Crosses(a) {
+		t.Fatalf("fixture compounds must cross")
+	}
+	if !a.Entangled(b) {
+		t.Fatalf("crossing compounds are entangled")
+	}
+	if a.Precedes(b) || b.Precedes(a) {
+		t.Fatalf("entangled compounds precede neither way")
+	}
+	if got := Classify(a, b); got != RelEntangled {
+		t.Fatalf("Classify = %v want <->", got)
+	}
+}
+
+func TestOverlapIsEntangled(t *testing.T) {
+	a, b := fixture(t)
+	shared := append(Compound{}, a...)
+	shared = append(shared, b[0])
+	if !shared.Overlaps(b) {
+		t.Fatalf("sharing an event must overlap")
+	}
+	if shared.Disjoint(b) {
+		t.Fatalf("overlap and disjoint are contradictory")
+	}
+	if !shared.Entangled(b) {
+		t.Fatalf("overlapping compounds are entangled")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	_, evs := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s"},
+		{Trace: 1, Kind: event.KindReceive, Type: "b", From: "s"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+	})
+	a := Compound{evs[0], evs[1]}
+	b := Compound{evs[2], evs[3]}
+	if !a.StrongPrecedes(b) {
+		t.Fatalf("every a precedes every b")
+	}
+	if !a.Precedes(b) {
+		t.Fatalf("strong precedence implies weak precedence")
+	}
+	if b.Precedes(a) || b.StrongPrecedes(a) {
+		t.Fatalf("precedence is antisymmetric")
+	}
+	if got := Classify(a, b); got != RelPrecedes {
+		t.Fatalf("Classify = %v want ->", got)
+	}
+	if got := Classify(b, a); got != RelFollows {
+		t.Fatalf("Classify = %v want <-", got)
+	}
+}
+
+func TestWeakWithoutStrong(t *testing.T) {
+	// a0 -> b, but a1 is concurrent with b: weak holds, strong fails.
+	_, evs := eventtest.Build(3, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s"},
+		{Trace: 2, Kind: event.KindInternal, Type: "a"},
+		{Trace: 1, Kind: event.KindReceive, Type: "b", From: "s"},
+	})
+	a := Compound{evs[0], evs[1]}
+	b := Compound{evs[2]}
+	if a.StrongPrecedes(b) {
+		t.Fatalf("strong precedence must fail")
+	}
+	if !a.Precedes(b) {
+		t.Fatalf("weak precedence must hold")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	_, evs := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+	})
+	a := Compound{evs[0]}
+	b := Compound{evs[1]}
+	if !a.Concurrent(b) {
+		t.Fatalf("unrelated singletons are concurrent")
+	}
+	if got := Classify(a, b); got != RelConcurrent {
+		t.Fatalf("Classify = %v want ||", got)
+	}
+	// A compound is never concurrent with one sharing an event.
+	if a.Concurrent(append(Compound{}, evs[0])) {
+		t.Fatalf("an event is not concurrent with itself")
+	}
+}
+
+func TestEmptyCompounds(t *testing.T) {
+	a, _ := fixture(t)
+	var empty Compound
+	if empty.Concurrent(a) || a.Concurrent(empty) {
+		t.Fatalf("concurrency is defined on non-empty sets")
+	}
+	if empty.StrongPrecedes(a) || a.StrongPrecedes(empty) {
+		t.Fatalf("strong precedence is defined on non-empty sets")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	_, evs := eventtest.Build(1, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},
+	})
+	c := Compound{evs[1], evs[2], evs[0]}
+	first, last := c.Span()
+	if first != evs[0] || last != evs[2] {
+		t.Fatalf("span = %s..%s", first.ID, last.ID)
+	}
+	var empty Compound
+	if f, l := empty.Span(); f != nil || l != nil {
+		t.Fatalf("empty span must be nil")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	wants := map[Relation]string{
+		RelPrecedes: "->", RelFollows: "<-", RelConcurrent: "||",
+		RelEntangled: "<->", Relation(0): "Relation(0)",
+	}
+	for r, want := range wants {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", int(r), got, want)
+		}
+	}
+}
+
+// TestClassificationProperty checks the Section III-B theorem on random
+// histories: any two disjoint non-empty compounds stand in exactly one
+// of the four relations, and Classify agrees with the predicates.
+func TestClassificationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for round := 0; round < 20; round++ {
+		_, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces: 2 + rng.Intn(4), Events: 40,
+			SendProb: 0.3, RecvProb: 0.3,
+		})
+		// Sample two random disjoint compounds.
+		perm := rng.Perm(len(evs))
+		na := 1 + rng.Intn(4)
+		nb := 1 + rng.Intn(4)
+		if na+nb > len(evs) {
+			continue
+		}
+		var a, b Compound
+		for _, i := range perm[:na] {
+			a = append(a, evs[i])
+		}
+		for _, i := range perm[na : na+nb] {
+			b = append(b, evs[i])
+		}
+		holds := 0
+		if a.Precedes(b) {
+			holds++
+		}
+		if b.Precedes(a) {
+			holds++
+		}
+		if a.Concurrent(b) {
+			holds++
+		}
+		if a.Entangled(b) {
+			holds++
+		}
+		if holds != 1 {
+			t.Fatalf("round %d: %d relations hold simultaneously", round, holds)
+		}
+		got := Classify(a, b)
+		switch {
+		case a.Precedes(b) && got != RelPrecedes,
+			b.Precedes(a) && got != RelFollows,
+			a.Concurrent(b) && got != RelConcurrent,
+			a.Entangled(b) && got != RelEntangled:
+			t.Fatalf("round %d: Classify = %v disagrees with predicates", round, got)
+		}
+		// Symmetry checks.
+		if a.Entangled(b) != b.Entangled(a) {
+			t.Fatalf("entanglement must be symmetric")
+		}
+		if a.Concurrent(b) != b.Concurrent(a) {
+			t.Fatalf("concurrency must be symmetric")
+		}
+	}
+}
+
+// TestStrongImpliesWeak on random compounds.
+func TestStrongImpliesWeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for round := 0; round < 30; round++ {
+		_, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces: 3, Events: 30, SendProb: 0.35, RecvProb: 0.35,
+		})
+		perm := rng.Perm(len(evs))
+		a := Compound{evs[perm[0]], evs[perm[1]]}
+		b := Compound{evs[perm[2]], evs[perm[3]]}
+		if a.StrongPrecedes(b) && !a.Precedes(b) {
+			t.Fatalf("strong precedence must imply weak precedence")
+		}
+	}
+}

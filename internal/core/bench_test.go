@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocep/internal/core"
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+	"ocep/internal/pattern"
+)
+
+// benchStream builds a reusable random computation for matcher
+// micro-benchmarks.
+func benchStream(b *testing.B, traces, events int) (*event.Store, []*event.Event) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return eventtest.Random(rng, eventtest.RandomConfig{
+		Traces: traces, Events: events,
+		SendProb: 0.3, RecvProb: 0.3,
+		Types: []string{"a", "b", "noise"},
+	})
+}
+
+// BenchmarkFeedNonMatching measures the fast path: events that join no
+// leaf history.
+func BenchmarkFeedNonMatching(b *testing.B) {
+	f := mustParseCompile(b, `A := [*, nothing, *]; B := [*, never, *]; pattern := A -> B;`)
+	st, evs := benchStream(b, 8, 20_000)
+	m := core.NewMatcherOn(f, st, core.Options{})
+	pos := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pos == len(evs) {
+			b.StopTimer()
+			m = core.NewMatcherOn(f, st, core.Options{})
+			pos = 0
+			b.StartTimer()
+		}
+		if _, err := m.Feed(evs[pos]); err != nil {
+			b.Fatal(err)
+		}
+		pos++
+	}
+}
+
+// BenchmarkFeedTriggering measures the full path on a pattern whose
+// classes match the stream.
+func BenchmarkFeedTriggering(b *testing.B) {
+	f := mustParseCompile(b, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	st, evs := benchStream(b, 8, 20_000)
+	m := core.NewMatcherOn(f, st, core.Options{RepresentativeOnly: true})
+	pos := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pos == len(evs) {
+			b.StopTimer()
+			m = core.NewMatcherOn(f, st, core.Options{RepresentativeOnly: true})
+			pos = 0
+			b.StartTimer()
+		}
+		if _, err := m.Feed(evs[pos]); err != nil {
+			b.Fatal(err)
+		}
+		pos++
+	}
+}
+
+func mustParseCompile(b *testing.B, src string) *pattern.Compiled {
+	b.Helper()
+	f, err := pattern.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := pattern.Compile(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pat
+}

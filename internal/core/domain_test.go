@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+	"ocep/internal/pattern"
+)
+
+// domainFixture builds the two-trace diagram used by the Figure 4 unit
+// tests:
+//
+//	p0:  e1  e2(send m)  e3
+//	p1:  f1  f2(recv m)  f3
+//
+// so GP(e2, p1) = 0, LS(e2, p1) = 2, GP(f2, p0) = 2, LS(f2, p0) = 0.
+func domainFixture(t *testing.T) (*event.Store, []*event.Event) {
+	t.Helper()
+	return eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},           // e1
+		{Trace: 0, Kind: event.KindSend, Type: "x", Label: "m"},   // e2
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},           // e3
+		{Trace: 1, Kind: event.KindInternal, Type: "y"},           // f1
+		{Trace: 1, Kind: event.KindReceive, Type: "y", From: "m"}, // f2
+		{Trace: 1, Kind: event.KindInternal, Type: "y"},           // f3
+	})
+}
+
+func TestRestrictDomainFigure4(t *testing.T) {
+	st, evs := domainFixture(t)
+	e2 := evs[1] // the send on p0
+	full := interval{1, st.Len(1)}
+
+	// placed -> leaf: [LS(e2, p1), inf) = [2, 3].
+	iv := restrictDomain(st, full, pattern.RelAfter, e2, 1)
+	if iv.lo != 2 || iv.hi != 3 {
+		t.Errorf("after: interval = [%d,%d] want [2,3]", iv.lo, iv.hi)
+	}
+
+	// leaf -> placed: (-inf, GP(e2, p1)] = empty (GP is 0).
+	iv = restrictDomain(st, full, pattern.RelBefore, e2, 1)
+	if !iv.empty() {
+		t.Errorf("before: interval = [%d,%d] want empty", iv.lo, iv.hi)
+	}
+
+	// placed || leaf: (GP(e2,p1), LS(e2,p1)) = (0, 2) = {1}.
+	iv = restrictDomain(st, full, pattern.RelConcurrent, e2, 1)
+	if iv.lo != 1 || iv.hi != 1 {
+		t.Errorf("concurrent: interval = [%d,%d] want [1,1]", iv.lo, iv.hi)
+	}
+
+	// The receive direction: f2's GP on p0 is e2 (index 2).
+	f2 := evs[4]
+	iv = restrictDomain(st, interval{1, st.Len(0)}, pattern.RelBefore, f2, 0)
+	if iv.lo != 1 || iv.hi != 2 {
+		t.Errorf("before (toward f2): interval = [%d,%d] want [1,2]", iv.lo, iv.hi)
+	}
+	// Nothing on p0 is after f2 yet: LS = 0, after-domain empty.
+	iv = restrictDomain(st, interval{1, st.Len(0)}, pattern.RelAfter, f2, 0)
+	if !iv.empty() {
+		t.Errorf("after (toward f2): interval = [%d,%d] want empty", iv.lo, iv.hi)
+	}
+	// Concurrency with f2 on p0: (GP, LS) = (2, inf) -> [3, 3].
+	iv = restrictDomain(st, interval{1, st.Len(0)}, pattern.RelConcurrent, f2, 0)
+	if iv.lo != 3 || iv.hi != 3 {
+		t.Errorf("concurrent (toward f2): interval = [%d,%d] want [3,3]", iv.lo, iv.hi)
+	}
+}
+
+func TestRestrictDomainLink(t *testing.T) {
+	st, evs := domainFixture(t)
+	e2, f2 := evs[1], evs[4]
+	full := interval{1, st.Len(1)}
+	// Link pins to the partner's position.
+	iv := restrictDomain(st, full, pattern.RelLink, e2, 1)
+	if iv.lo != f2.ID.Index || iv.hi != f2.ID.Index {
+		t.Errorf("link: interval = [%d,%d] want [%d,%d]", iv.lo, iv.hi, f2.ID.Index, f2.ID.Index)
+	}
+	// Wrong trace: empty.
+	iv = restrictDomain(st, interval{1, st.Len(0)}, pattern.RelLink, e2, 0)
+	if !iv.empty() {
+		t.Errorf("link on wrong trace must be empty")
+	}
+	// No partner: empty.
+	e1 := evs[0]
+	iv = restrictDomain(st, full, pattern.RelLink, e1, 1)
+	if !iv.empty() {
+		t.Errorf("link with no partner must be empty")
+	}
+}
+
+func TestConflictBoundFigure5(t *testing.T) {
+	st, evs := domainFixture(t)
+	e2 := evs[1]
+
+	// Build a leaf history over p1's events.
+	h := newHistory()
+	for _, e := range st.Events(1) {
+		h.add(e, 0, false)
+	}
+
+	// Figure 5a: placed -> leaf conflicted; the resolving placed
+	// candidate must precede the latest class event on p1 (f3): bound =
+	// GP(f3, p0) = 2 (the send).
+	c := conflictBound(st, pattern.RelAfter, e2, 1, h, 3)
+	if !c.hasBound || c.level != 3 {
+		t.Fatalf("after-conflict = %+v", c)
+	}
+	if c.bound != 2 {
+		t.Errorf("after-conflict bound = %d want 2", c.bound)
+	}
+
+	// Figure 5a with no class events at all on the trace: dead (bound 0).
+	empty := newHistory()
+	c = conflictBound(st, pattern.RelAfter, e2, 1, empty, 1)
+	if !c.hasBound || c.bound != 0 {
+		t.Errorf("after-conflict on empty history = %+v want dead", c)
+	}
+
+	// Figure 5b: leaf -> placed always prunes the placed trace.
+	c = conflictBound(st, pattern.RelBefore, e2, 1, h, 2)
+	if !c.hasBound || c.bound != 0 {
+		t.Errorf("before-conflict = %+v want dead", c)
+	}
+
+	// Figure 5c: concurrency conflict where every class event on p1
+	// happens after e2 ... use f2/f3 only (drop f1 so nothing precedes
+	// nor is concurrent): dead for earlier placed candidates.
+	hAfter := newHistory()
+	hAfter.add(evs[4], 0, false) // f2
+	hAfter.add(evs[5], 0, false) // f3
+	c = conflictBound(st, pattern.RelConcurrent, e2, 1, hAfter, 1)
+	if !c.hasBound || c.bound != 0 {
+		t.Errorf("concurrent-conflict (all after) = %+v want dead", c)
+	}
+
+	// Figure 5c with a class event before the placed one: the bound is
+	// LS(e', placedTrace) - 1. Place f2 (on p1) as the conflicting
+	// event and give the leaf a history on p0 whose only event is e1
+	// (before f2 via the message? e1 -> e2 -> f2, yes).
+	hBefore := newHistory()
+	hBefore.add(evs[0], 0, false) // e1 on p0
+	c = conflictBound(st, pattern.RelConcurrent, evs[4], 0, hBefore, 1)
+	if !c.hasBound {
+		t.Fatalf("concurrent-conflict (one before) = %+v want a bound", c)
+	}
+	// e' = e1; LS(e1, p1) = f2 at index 2; bound = 1.
+	if c.bound != 1 {
+		t.Errorf("concurrent-conflict bound = %d want 1", c.bound)
+	}
+}
+
+func TestConflictBoundLinkHasNoBound(t *testing.T) {
+	st, evs := domainFixture(t)
+	h := newHistory()
+	c := conflictBound(st, pattern.RelLink, evs[0], 1, h, 1)
+	if c.hasBound {
+		t.Errorf("link conflicts must fall back to chronological: %+v", c)
+	}
+}

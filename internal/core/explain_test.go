@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"ocep/internal/core"
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+)
+
+func TestExplainMatch(t *testing.T) {
+	pat := compile(t, `
+		Req  := [*, request,  $id];
+		Resp := [*, response, $id];
+		pattern := Req -> Resp;
+	`)
+	st, evs := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "request", Text: "42", Label: "m"},
+		{Trace: 1, Kind: event.KindReceive, Type: "response", Text: "42", From: "m"},
+	})
+	_, matches := feedAll(t, pat, st, evs, core.Options{})
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	out := core.ExplainMatch(pat, matches[0], st.TraceName)
+	for _, want := range []string{
+		"match:",
+		"Req#0 = t0#1 on p0",
+		"Resp#1 = t1#1 on p1",
+		"$id = \"42\"",
+		"t0#1 -> t1#1",
+		"V(t0#1)[t0]=1 <= V(t1#1)[t0]=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainMatchConcurrent(t *testing.T) {
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A || B;`)
+	st, evs := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+	})
+	_, matches := feedAll(t, pat, st, evs, core.Options{})
+	if len(matches) == 0 {
+		t.Fatalf("no match")
+	}
+	out := core.ExplainMatch(pat, matches[0], st.TraceName)
+	if !strings.Contains(out, "||") || !strings.Contains(out, ">") {
+		t.Errorf("concurrency evidence missing:\n%s", out)
+	}
+}
+
+func TestExplainMatchLinkAndDisjunct(t *testing.T) {
+	pat := compile(t, `
+		S := [*, send, *]; R := [*, recv, *];
+		A := [*, a, *]; B := [*, b, *]; C := [*, c, *]; D := [*, d, *];
+		pattern := (S ~ R) && ((A || B) -> (C || D));
+	`)
+	st, evs := eventtest.Build(4, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "x"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+		{Trace: 2, Kind: event.KindReceive, Type: "c", From: "x"},
+		{Trace: 3, Kind: event.KindInternal, Type: "d"},
+		{Trace: 0, Kind: event.KindSend, Type: "send", Label: "m"},
+		{Trace: 1, Kind: event.KindReceive, Type: "recv", From: "m"},
+	})
+	_, matches := feedAll(t, pat, st, evs, core.Options{ReportAll: true})
+	if len(matches) == 0 {
+		t.Fatalf("no match")
+	}
+	out := core.ExplainMatch(pat, matches[0], st.TraceName)
+	if !strings.Contains(out, "partners") {
+		t.Errorf("link evidence missing:\n%s", out)
+	}
+	if !strings.Contains(out, "weak precedence witnessed by") {
+		t.Errorf("disjunct witness missing:\n%s", out)
+	}
+}

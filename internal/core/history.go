@@ -1,0 +1,124 @@
+// Package core implements the OCEP online causal-event-pattern matcher
+// (Section IV of the paper): per-leaf event histories, causality-interval
+// domain restriction (Figure 4), the goForward/goBackward backtracking
+// search with conflict-directed backjumping (Algorithms 1-3, Figure 5),
+// and representative-subset maintenance (Section IV-B).
+package core
+
+import (
+	"sort"
+
+	"ocep/internal/event"
+)
+
+// histEntry is one matched event in a leaf history, together with the
+// trace's communication-event count at the time it was appended. Two
+// same-class internal events with equal counts have no send or receive
+// between them and therefore the same causal relation to events on other
+// traces (Section V-D).
+type histEntry struct {
+	ev     *event.Event
+	commAt int
+}
+
+// history is the History attribute of one pattern-tree leaf: the matched
+// primitive events grouped by trace, totally ordered within each trace.
+type history struct {
+	perTrace [][]histEntry
+	// pruned counts events discarded by the duplicate rule.
+	pruned int
+}
+
+func newHistory() *history { return &history{} }
+
+// add appends ev to the history. commAt is the communication-event count
+// of ev's trace including ev itself. When prune is set, an internal event
+// whose predecessor in this history is an internal event with no
+// communication between them is discarded (the O(1) rule of Section V-D):
+// the two are causally interchangeable with respect to other traces.
+func (h *history) add(ev *event.Event, commAt int, prune bool) {
+	t := int(ev.ID.Trace)
+	for t >= len(h.perTrace) {
+		h.perTrace = append(h.perTrace, nil)
+	}
+	if prune && ev.Kind == event.KindInternal {
+		if entries := h.perTrace[t]; len(entries) > 0 {
+			last := entries[len(entries)-1]
+			if last.ev.Kind == event.KindInternal && last.commAt == commAt {
+				h.pruned++
+				return
+			}
+		}
+	}
+	h.perTrace[t] = append(h.perTrace[t], histEntry{ev: ev, commAt: commAt})
+}
+
+// entries returns the history of trace t.
+func (h *history) entries(t int) []histEntry {
+	if t >= len(h.perTrace) {
+		return nil
+	}
+	return h.perTrace[t]
+}
+
+// numTraces returns the number of traces the history has seen.
+func (h *history) numTraces() int { return len(h.perTrace) }
+
+// size returns the total number of retained entries.
+func (h *history) size() int {
+	n := 0
+	for _, tr := range h.perTrace {
+		n += len(tr)
+	}
+	return n
+}
+
+// lastPos returns the trace position (event index) of the last entry on
+// trace t, or 0 if the trace has none.
+func (h *history) lastPos(t int) int {
+	entries := h.entries(t)
+	if len(entries) == 0 {
+		return 0
+	}
+	return entries[len(entries)-1].ev.ID.Index
+}
+
+// rangeEntries returns the sub-slice of trace t's entries whose trace
+// positions fall in [lo, hi], using binary search. An empty slice means
+// the interval holds no candidate.
+func (h *history) rangeEntries(t, lo, hi int) []histEntry {
+	entries := h.entries(t)
+	if len(entries) == 0 || lo > hi {
+		return nil
+	}
+	start := sort.Search(len(entries), func(i int) bool {
+		return entries[i].ev.ID.Index >= lo
+	})
+	end := sort.Search(len(entries), func(i int) bool {
+		return entries[i].ev.ID.Index > hi
+	})
+	if start >= end {
+		return nil
+	}
+	return entries[start:end]
+}
+
+// anyBetween reports whether the history holds an event x (other than a
+// and b themselves) with a -> x and x -> b, using the store's GP/LS
+// queries per trace. It implements the completion check of the limited
+// precedence operator lim->.
+func (h *history) anyBetween(st *event.Store, a, b *event.Event) bool {
+	for t := 0; t < h.numTraces(); t++ {
+		lo := st.LS(a, event.TraceID(t))
+		if lo == 0 {
+			continue
+		}
+		hi := st.GP(b, event.TraceID(t))
+		for _, ent := range h.rangeEntries(t, lo, hi) {
+			if ent.ev != a && ent.ev != b {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+	"ocep/internal/vclock"
+)
+
+func ev(trace event.TraceID, index int, kind event.Kind) *event.Event {
+	vc := vclock.New(int(trace) + 1)
+	vc[trace] = int32(index)
+	return &event.Event{
+		ID:   event.ID{Trace: trace, Index: index},
+		Kind: kind,
+		Type: "x",
+		VC:   vc,
+	}
+}
+
+func TestHistoryAddAndEntries(t *testing.T) {
+	h := newHistory()
+	h.add(ev(0, 1, event.KindInternal), 0, false)
+	h.add(ev(0, 2, event.KindInternal), 0, false)
+	h.add(ev(2, 1, event.KindInternal), 0, false)
+	if h.size() != 3 {
+		t.Fatalf("size = %d want 3", h.size())
+	}
+	if got := len(h.entries(0)); got != 2 {
+		t.Fatalf("trace0 entries = %d want 2", got)
+	}
+	if h.entries(5) != nil {
+		t.Fatalf("unknown trace must have nil entries")
+	}
+	if h.numTraces() != 3 {
+		t.Fatalf("numTraces = %d want 3", h.numTraces())
+	}
+	if h.lastPos(0) != 2 || h.lastPos(1) != 0 {
+		t.Fatalf("lastPos wrong: %d %d", h.lastPos(0), h.lastPos(1))
+	}
+}
+
+func TestHistoryPruneRule(t *testing.T) {
+	h := newHistory()
+	// Internal, no comm between -> second pruned.
+	h.add(ev(0, 1, event.KindInternal), 0, true)
+	h.add(ev(0, 2, event.KindInternal), 0, true)
+	if h.size() != 1 || h.pruned != 1 {
+		t.Fatalf("size/pruned = %d/%d want 1/1", h.size(), h.pruned)
+	}
+	// A send bumps the comm count: the next internal is kept.
+	h.add(ev(0, 4, event.KindInternal), 1, true)
+	if h.size() != 2 {
+		t.Fatalf("internal after comm must be kept: size = %d", h.size())
+	}
+	// Comm events themselves are never pruned.
+	h.add(ev(0, 5, event.KindSend), 2, true)
+	h.add(ev(0, 6, event.KindSend), 3, true)
+	if h.size() != 4 {
+		t.Fatalf("comm events must never be pruned: size = %d", h.size())
+	}
+	// Internal following a comm entry is kept even with equal counts.
+	h.add(ev(0, 7, event.KindInternal), 3, true)
+	if h.size() != 5 {
+		t.Fatalf("internal after send entry must be kept: size = %d", h.size())
+	}
+	// And one more comm-free internal is pruned again.
+	h.add(ev(0, 8, event.KindInternal), 3, true)
+	if h.size() != 5 || h.pruned != 2 {
+		t.Fatalf("size/pruned = %d/%d want 5/2", h.size(), h.pruned)
+	}
+}
+
+func TestHistoryRangeEntries(t *testing.T) {
+	h := newHistory()
+	for _, idx := range []int{2, 5, 9, 14} {
+		h.add(ev(0, idx, event.KindSend), idx, false)
+	}
+	tests := []struct {
+		lo, hi int
+		want   int
+	}{
+		{1, 20, 4},
+		{2, 2, 1},
+		{3, 4, 0},
+		{5, 9, 2},
+		{15, 20, 0},
+		{9, 5, 0}, // inverted = empty
+		{0, 1, 0},
+	}
+	for _, tc := range tests {
+		if got := len(h.rangeEntries(0, tc.lo, tc.hi)); got != tc.want {
+			t.Errorf("rangeEntries(%d,%d) = %d want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+	if got := len(h.rangeEntries(3, 1, 10)); got != 0 {
+		t.Errorf("rangeEntries on empty trace = %d want 0", got)
+	}
+}
+
+func TestHistoryAnyBetween(t *testing.T) {
+	// Build a -> x -> b across traces via messages; x same class as a.
+	st, evs := eventtest.Build(3, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s1"},   // a
+		{Trace: 1, Kind: event.KindReceive, Type: "a", From: "s1"}, // x (class a)
+		{Trace: 1, Kind: event.KindSend, Type: "m", Label: "s2"},
+		{Trace: 2, Kind: event.KindReceive, Type: "b", From: "s2"}, // b
+	})
+	h := newHistory()
+	for _, e := range evs {
+		if e.Type == "a" {
+			h.add(e, st.CommCount(e.ID.Trace), false)
+		}
+	}
+	a, b := evs[0], evs[3]
+	if !h.anyBetween(st, a, b) {
+		t.Fatalf("x lies causally between a and b")
+	}
+	// Between x and b there is nothing.
+	x := evs[1]
+	if h.anyBetween(st, x, b) {
+		t.Fatalf("nothing lies between x and b")
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if (interval{1, 2}).empty() || !(interval{3, 2}).empty() {
+		t.Fatalf("interval emptiness wrong")
+	}
+}

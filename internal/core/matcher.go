@@ -1,0 +1,917 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ocep/internal/event"
+	"ocep/internal/pattern"
+)
+
+// Options tunes the matcher. The zero value is the configuration
+// evaluated in the paper: duplicate pruning on, causality-driven domain
+// restriction on, backjumping on, representative-subset reporting.
+type Options struct {
+	// DisablePruning turns off the O(1) duplicate rule on leaf
+	// histories (Section V-D). Pruning is also disabled automatically
+	// when the pattern uses lim->, whose completion check needs the
+	// full class history.
+	DisablePruning bool
+	// DisableBackjumping falls back to chronological backtracking
+	// (the "very basic implementation" of Section IV-C).
+	DisableBackjumping bool
+	// DisableCausalDomains skips the Figure 4 interval restriction and
+	// instead checks the causal constraints per candidate. Matches are
+	// unchanged; only the searched volume grows. Ablation only.
+	DisableCausalDomains bool
+	// ReportAll switches the per-trigger search to exhaustive
+	// enumeration and reports every complete match (instead of the
+	// paper's one-match-per-trace-per-level enumeration). Intended for
+	// tests and small runs; the volume can be combinatorial.
+	ReportAll bool
+	// RepresentativeOnly suppresses any complete match that covers no
+	// new (leaf, trace) pair, so the total number of reported matches
+	// over the whole run is bounded by k*n (the stored-subset bound of
+	// Section IV-B applied to reporting). By default every match the
+	// per-trigger enumeration finds is reported, which is how the
+	// paper's Figure 3 presents per-arrival results.
+	RepresentativeOnly bool
+	// CoverageSkip skips, while searching, traces whose (leaf, trace)
+	// pair is already covered. This bounds work per event further but
+	// may leave other pairs uncovered; it is an approximate mode kept
+	// for the ablation study.
+	CoverageSkip bool
+	// MaxTriggerMatches aborts a single trigger's search after this
+	// many complete matches (0 = unlimited). A safety valve for
+	// adversarial inputs.
+	MaxTriggerMatches int
+	// GuaranteeCoverage runs, after the paper's per-trace enumeration,
+	// one pinned search per still-uncovered (leaf, trace) pair. This
+	// makes the k*n representative-subset property exact (the paper's
+	// enumeration is best-effort for patterns whose constraints are
+	// not monotone in candidate choice, e.g. mixed order/concurrency).
+	GuaranteeCoverage bool
+	// ParallelTraces, when greater than 1, explores the top
+	// backtracking level's traces concurrently with that many workers —
+	// the parallelism the paper's Section VI suggests ("each of these
+	// traces represents a subtree in the total search space"). The
+	// reported match SET is unchanged (report order may differ);
+	// incompatible with RepresentativeOnly, CoverageSkip and
+	// GuaranteeCoverage, which fall back to sequential search.
+	ParallelTraces int
+	// StaticOrder uses the compile-time evaluation order of the
+	// pattern tree (the paper's Order attribute) instead of the dynamic
+	// most-constrained-first ordering. Dynamic ordering can be orders
+	// of magnitude faster on cyclic patterns because it instantiates
+	// leaves whose process variable is already bound first; this flag
+	// reproduces the paper's behaviour for comparison.
+	StaticOrder bool
+}
+
+// Match is one reported pattern match: the matched event per pattern-tree
+// leaf, and the attribute-variable bindings that witnessed it.
+type Match struct {
+	// Events holds the matched event for each leaf, indexed like
+	// Compiled.Leaves.
+	Events []*event.Event
+	// Bindings is the witnessing attribute-variable environment.
+	Bindings map[string]string
+}
+
+// Stats are cumulative matcher counters.
+type Stats struct {
+	// EventsSeen counts events fed to the matcher.
+	EventsSeen int
+	// EventsMatched counts events that joined at least one leaf history.
+	EventsMatched int
+	// Triggers counts terminating events that started a search.
+	Triggers int
+	// CompleteMatches counts complete matches found, reported or not.
+	CompleteMatches int
+	// Reported counts matches reported (covering new pairs, or all
+	// matches under ReportAll).
+	Reported int
+	// Redundant counts complete matches suppressed as covering nothing
+	// new.
+	Redundant int
+	// CandidatesTried counts candidate instantiations.
+	CandidatesTried int
+	// DomainsComputed counts per-trace domain computations.
+	DomainsComputed int
+	// BackjumpSkips counts candidates skipped by conflict-directed
+	// backjumping.
+	BackjumpSkips int
+	// HistoryPruned counts events discarded by the duplicate rule.
+	HistoryPruned int
+	// HistorySize is the current total number of retained history
+	// entries across leaves.
+	HistorySize int
+}
+
+// Matcher is the OCEP online matcher for one compiled pattern. It owns an
+// event store fed with the linearized event stream. Not safe for
+// concurrent use: feed it from the single delivery goroutine.
+type Matcher struct {
+	pat   *pattern.Compiled
+	store *event.Store
+	hist  []*history
+	// covered[leaf][trace] marks (leaf, trace) pairs already present in
+	// a reported match; the representative subset is complete when every
+	// pair that occurs in some match is covered.
+	covered [][]bool
+	opts    Options
+	prune   bool
+	// external marks a shared store: Feed validates instead of appends.
+	external bool
+	// coverMu guards covered and the shared Stats when ParallelTraces
+	// workers run; uncontended in sequential mode.
+	coverMu sync.Mutex
+	// comm counts, per trace, the communication events fed so far. The
+	// matcher keeps its own counters (rather than using the store's) so
+	// the duplicate rule sees delivery-time counts even when the shared
+	// store was populated ahead of the replay.
+	comm  []int
+	stats Stats
+}
+
+// NewMatcher builds a matcher for the compiled pattern with its own
+// event store; events enter only through Feed, which appends them.
+func NewMatcher(pat *pattern.Compiled, opts Options) *Matcher {
+	return newMatcher(pat, event.NewStore(), false, opts)
+}
+
+// NewMatcherOn builds a matcher that shares an externally owned store
+// (typically the POET collector's). Feed then expects each event to be
+// appended to the store already, saving a duplicate copy of every vector
+// timestamp.
+func NewMatcherOn(pat *pattern.Compiled, st *event.Store, opts Options) *Matcher {
+	return newMatcher(pat, st, true, opts)
+}
+
+func newMatcher(pat *pattern.Compiled, st *event.Store, external bool, opts Options) *Matcher {
+	m := &Matcher{
+		pat:      pat,
+		store:    st,
+		external: external,
+		hist:     make([]*history, pat.K()),
+		covered:  make([][]bool, pat.K()),
+		opts:     opts,
+		prune:    !opts.DisablePruning,
+	}
+	for i := range m.hist {
+		m.hist[i] = newHistory()
+	}
+	// lim->'s completion check scans the class history; pruning would
+	// make it miss intervening events.
+	for i := 0; i < pat.K() && m.prune; i++ {
+		for j := 0; j < pat.K(); j++ {
+			if pat.Rel[i][j] == pattern.RelLim || pat.Rel[i][j] == pattern.RelLimAfter {
+				m.prune = false
+			}
+		}
+	}
+	return m
+}
+
+// Store exposes the matcher's event store (read-only use).
+func (m *Matcher) Store() *event.Store { return m.store }
+
+// Stats returns a copy of the cumulative counters.
+func (m *Matcher) Stats() Stats {
+	s := m.stats
+	s.HistorySize = 0
+	s.HistoryPruned = 0
+	for _, h := range m.hist {
+		s.HistorySize += h.size()
+		s.HistoryPruned += h.pruned
+	}
+	return s
+}
+
+// Pattern returns the compiled pattern the matcher runs.
+func (m *Matcher) Pattern() *pattern.Compiled { return m.pat }
+
+// CoveredPair is one (event class, trace) pair of the representative
+// subset.
+type CoveredPair struct {
+	// Leaf indexes Compiled.Leaves.
+	Leaf int
+	// Trace is the covered trace.
+	Trace event.TraceID
+}
+
+// Coverage returns the (leaf, trace) pairs covered so far — the
+// representative subset's footprint (Section IV-B): for each returned
+// pair, some reported match contained an event of that leaf's class on
+// that trace. Pairs are ordered by leaf then trace.
+func (m *Matcher) Coverage() []CoveredPair {
+	m.coverMu.Lock()
+	defer m.coverMu.Unlock()
+	var out []CoveredPair
+	for leaf, row := range m.covered {
+		for tr, ok := range row {
+			if ok {
+				out = append(out, CoveredPair{Leaf: leaf, Trace: event.TraceID(tr)})
+			}
+		}
+	}
+	return out
+}
+
+// RegisterTrace forwards to the store so trace names are known before
+// events arrive (class process attributes match trace names).
+func (m *Matcher) RegisterTrace(name string) event.TraceID {
+	return m.store.RegisterTrace(name)
+}
+
+// Feed consumes the next event of the linearized delivery stream and
+// returns the matches it completes (nil most of the time). The event's
+// Index must be the next position of its trace.
+func (m *Matcher) Feed(e *event.Event) ([]Match, error) {
+	if m.external {
+		if got := m.store.Get(e.ID); got != e {
+			return nil, fmt.Errorf("feed: event %s not present in the shared store", e.ID)
+		}
+	} else if err := m.store.Append(e); err != nil {
+		return nil, fmt.Errorf("feed: %w", err)
+	}
+	m.stats.EventsSeen++
+	traceName := m.store.TraceName(e.ID.Trace)
+	for int(e.ID.Trace) >= len(m.comm) {
+		m.comm = append(m.comm, 0)
+	}
+	if e.Kind.IsComm() {
+		m.comm[e.ID.Trace]++
+	}
+	commAt := m.comm[e.ID.Trace]
+	joined := false
+	for i, leaf := range m.pat.Leaves {
+		if leaf.Class.MatchesIgnoringVars(e, traceName) {
+			m.hist[i].add(e, commAt, m.prune)
+			joined = true
+		}
+	}
+	if !joined {
+		return nil, nil
+	}
+	m.stats.EventsMatched++
+	var out []Match
+	for i, leaf := range m.pat.Leaves {
+		if !m.pat.Terminating[i] || !leaf.Class.MatchesIgnoringVars(e, traceName) {
+			continue
+		}
+		out = append(out, m.trigger(i, e)...)
+	}
+	return out, nil
+}
+
+// isCovered reports whether the (leaf, trace) pair is covered.
+func (m *Matcher) isCovered(leaf int, trace event.TraceID) bool {
+	row := m.covered[leaf]
+	return int(trace) < len(row) && row[trace]
+}
+
+// cover marks the pair and reports whether it was new. Guarded so
+// parallel top-level workers can report concurrently.
+func (m *Matcher) cover(leaf int, trace event.TraceID) bool {
+	m.coverMu.Lock()
+	defer m.coverMu.Unlock()
+	for int(trace) >= len(m.covered[leaf]) {
+		m.covered[leaf] = append(m.covered[leaf], false)
+	}
+	if m.covered[leaf][trace] {
+		return false
+	}
+	m.covered[leaf][trace] = true
+	return true
+}
+
+// search carries the per-trigger state of the backtracking run.
+type search struct {
+	m *Matcher
+	// levelLeaf[li] is the leaf placed at backtracking level li. Level
+	// 0 is the trigger; later levels are chosen dynamically (see
+	// chooseLeaf), so positions are stable along one search path.
+	levelLeaf []int
+	// staticOrder, when non-nil, fixes the evaluation order
+	// (Options.StaticOrder).
+	staticOrder []int
+	// stats receives this search's counter increments: the matcher's
+	// own counters in sequential mode, a worker-local struct when the
+	// top level runs in parallel.
+	stats *Stats
+	// topFilter, when non-nil, restricts the traces explored at level 1
+	// (parallel worker partitioning).
+	topFilter func(tr int) bool
+	assigned  []*event.Event
+	env       *pattern.Env
+	matches   []Match
+	found     int
+	aborted   bool
+	// pinned search mode (GuaranteeCoverage): pinLeaf must be matched
+	// on pinTrace, and the search stops at the first complete match.
+	pinLeaf   int // -1 when not pinned
+	pinTrace  event.TraceID
+	stopFirst bool
+}
+
+// placeResult reports the outcome of placing one level (and everything
+// below it).
+type placeResult struct {
+	// matched is true when at least one complete match was found.
+	matched bool
+	// valid is true when the failure is entirely explained by the
+	// returned conflicts, each of which holds while its cause level's
+	// event is unchanged. Only meaningful when !matched.
+	valid bool
+	// conflicts are the per-trace empty-domain causes.
+	conflicts []conflict
+}
+
+// trigger runs the search with e fixed as the match's terminating event
+// at leaf index trig.
+func (m *Matcher) trigger(trig int, e *event.Event) []Match {
+	s := &search{
+		m:         m,
+		levelLeaf: make([]int, m.pat.K()),
+		assigned:  make([]*event.Event, m.pat.K()),
+		env:       pattern.NewEnv(),
+		pinLeaf:   -1,
+		stats:     &m.stats,
+	}
+	if m.opts.StaticOrder {
+		s.staticOrder = m.pat.Orders[trig]
+	}
+	if !m.pat.Leaves[trig].Class.MatchEvent(e, m.store.TraceName(e.ID.Trace), s.env) {
+		return nil
+	}
+	m.stats.Triggers++
+	s.levelLeaf[0] = trig
+	s.assigned[trig] = e
+	switch {
+	case m.pat.K() == 1:
+		s.complete()
+	case m.parallelWorkers() > 1:
+		s.matches = m.parallelTrigger(trig, e)
+	default:
+		s.place(1)
+	}
+	if m.opts.GuaranteeCoverage && !s.aborted {
+		m.pinnedSweep(trig, e, s)
+	}
+	return s.matches
+}
+
+// parallelWorkers returns the effective top-level worker count.
+// Parallelism is disabled for the reporting modes whose decisions depend
+// on global enumeration order.
+func (m *Matcher) parallelWorkers() int {
+	if m.opts.ParallelTraces <= 1 || m.opts.RepresentativeOnly ||
+		m.opts.CoverageSkip || m.opts.GuaranteeCoverage ||
+		m.opts.MaxTriggerMatches > 0 {
+		return 1
+	}
+	return m.opts.ParallelTraces
+}
+
+// parallelTrigger explores the top backtracking level's traces with a
+// pool of worker searches (Section VI's observation that each trace of a
+// backtracking level roots an independent subtree). Each worker owns its
+// environment, assignment and counters; the matcher's counters receive
+// the summed deltas and the reported match set equals the sequential
+// one (the report order may differ).
+func (m *Matcher) parallelTrigger(trig int, e *event.Event) []Match {
+	workers := m.parallelWorkers()
+	traceName := m.store.TraceName(e.ID.Trace)
+	results := make([][]Match, workers)
+	deltas := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &search{
+				m:         m,
+				levelLeaf: make([]int, m.pat.K()),
+				assigned:  make([]*event.Event, m.pat.K()),
+				env:       pattern.NewEnv(),
+				pinLeaf:   -1,
+				stats:     &deltas[w],
+				topFilter: func(tr int) bool { return tr%workers == w },
+			}
+			if m.opts.StaticOrder {
+				ws.staticOrder = m.pat.Orders[trig]
+			}
+			if !m.pat.Leaves[trig].Class.MatchEvent(e, traceName, ws.env) {
+				return
+			}
+			ws.levelLeaf[0] = trig
+			ws.assigned[trig] = e
+			ws.place(1)
+			results[w] = ws.matches
+		}(w)
+	}
+	wg.Wait()
+	var out []Match
+	for w := 0; w < workers; w++ {
+		out = append(out, results[w]...)
+		m.stats.CandidatesTried += deltas[w].CandidatesTried
+		m.stats.DomainsComputed += deltas[w].DomainsComputed
+		m.stats.BackjumpSkips += deltas[w].BackjumpSkips
+		m.stats.CompleteMatches += deltas[w].CompleteMatches
+		m.stats.Reported += deltas[w].Reported
+		m.stats.Redundant += deltas[w].Redundant
+	}
+	return out
+}
+
+// pinnedSweep runs one first-match search per uncovered (leaf, trace)
+// pair, pinning the leaf to the trace, so the representative subset is
+// exactly the k*n guarantee of Section IV-B.
+func (m *Matcher) pinnedSweep(trig int, e *event.Event, base *search) {
+	n := m.store.NumTraces()
+	for leafIdx := 0; leafIdx < m.pat.K(); leafIdx++ {
+		for tr := 0; tr < n; tr++ {
+			trace := event.TraceID(tr)
+			if m.isCovered(leafIdx, trace) || m.hist[leafIdx].lastPos(tr) == 0 {
+				continue
+			}
+			if leafIdx == trig && trace != e.ID.Trace {
+				continue // the trigger leaf is fixed to e
+			}
+			s := &search{
+				m:         m,
+				levelLeaf: make([]int, m.pat.K()),
+				assigned:  make([]*event.Event, m.pat.K()),
+				env:       pattern.NewEnv(),
+				pinLeaf:   leafIdx,
+				pinTrace:  trace,
+				stopFirst: true,
+				stats:     &m.stats,
+			}
+			if m.opts.StaticOrder {
+				s.staticOrder = m.pat.Orders[trig]
+			}
+			if !m.pat.Leaves[trig].Class.MatchEvent(e, m.store.TraceName(e.ID.Trace), s.env) {
+				return
+			}
+			s.levelLeaf[0] = trig
+			s.assigned[trig] = e
+			if m.pat.K() == 1 {
+				s.complete()
+			} else {
+				s.place(1)
+			}
+			base.matches = append(base.matches, s.matches...)
+		}
+	}
+}
+
+// place instantiates the leaf at position li of the evaluation order
+// against every trace, enumerating candidates latest-first within the
+// Figure 4 causality interval, and recurses. It implements goForward
+// (Algorithm 2) with the goBackward jumps (Algorithm 3, Figure 5) folded
+// into the candidate loop as provably safe skips.
+// chooseLeaf picks the leaf to instantiate at level li: dynamic
+// most-constrained-first ordering. A leaf linked (~) to a placed event
+// has a domain of exactly one event; a leaf whose process attribute is
+// already resolvable is confined to one trace; otherwise prefer the leaf
+// with the most constraints to placed leaves. This dynamic ordering is
+// what makes the "isolate the relevant traces" behaviour of Section V-D
+// hold for every trigger leaf of a cyclic pattern, not just the
+// fortunate ones.
+func (s *search) chooseLeaf(li int) int {
+	m := s.m
+	if s.staticOrder != nil {
+		return s.staticOrder[li]
+	}
+	best, bestScore := -1, -1
+	for cand := 0; cand < m.pat.K(); cand++ {
+		if s.assigned[cand] != nil {
+			continue
+		}
+		// Constraint connectivity dominates (every constraint to a
+		// placed leaf narrows the Figure 4 interval); a link pins the
+		// domain to one event and wins outright; a resolvable process
+		// hint only breaks ties — an unconstrained leaf is a huge
+		// domain even on a single trace.
+		score := 0
+		for pj := 0; pj < li; pj++ {
+			switch m.pat.Rel[cand][s.levelLeaf[pj]] {
+			case pattern.RelNone:
+			case pattern.RelLink:
+				score += 100_000
+			default:
+				score += 10
+			}
+		}
+		if _, ok := s.procHint(m.pat.Leaves[cand]); ok {
+			score += 5
+		}
+		if score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return best
+}
+
+func (s *search) place(li int) placeResult {
+	m := s.m
+	leafIdx := s.chooseLeaf(li)
+	s.levelLeaf[li] = leafIdx
+	leaf := m.pat.Leaves[leafIdx]
+	res := placeResult{valid: true}
+	n := m.store.NumTraces()
+	// Trace isolation (Section V-D): when the leaf's process attribute
+	// is an exact name or an already-bound variable, only that trace
+	// can hold a matching event — skip the rest of the scan. This is
+	// what keeps patterns that name their participants nearly flat in
+	// the total trace count (Figure 9).
+	// A hint-based skip depends on the variable bindings made by the
+	// earlier levels, so for the backjump analysis it is a conflict
+	// attributed (without a bound) to the deepest earlier level; an
+	// exact (literal) process attribute is env-independent and thus
+	// structural.
+	hintConflict := conflict{level: li - 1, hasBound: false}
+	if leaf.Class.Proc.Kind == pattern.AttrExact {
+		hintConflict = conflict{level: -1}
+	}
+	pinned := -1
+	if name, ok := s.procHint(leaf); ok {
+		tid, known := m.store.TraceByName(name)
+		if !known {
+			// No such trace: no candidates anywhere under this prefix.
+			res.conflicts = append(res.conflicts, hintConflict)
+			return res
+		}
+		pinned = int(tid)
+	}
+	// A leaf linked (~) to a placed event can only match that event's
+	// partner: pin the scan to the partner's trace. Valid while the
+	// linking level's event is unchanged.
+	for pj := 0; pj < li; pj++ {
+		placedLeaf := s.levelLeaf[pj]
+		if m.pat.Rel[leafIdx][placedLeaf] != pattern.RelLink {
+			continue
+		}
+		partner := s.assigned[placedLeaf].Partner
+		linkConflict := conflict{level: pj, hasBound: false}
+		if partner.IsZero() {
+			res.conflicts = append(res.conflicts, linkConflict)
+			return res
+		}
+		if pinned >= 0 && pinned != int(partner.Trace) {
+			// Contradicts the process hint: empty everywhere.
+			res.conflicts = append(res.conflicts, hintConflict, linkConflict)
+			return res
+		}
+		pinned = int(partner.Trace)
+		hintConflict = linkConflict
+	}
+	first, last := 0, n-1
+	if pinned >= 0 {
+		// One conflict stands in for every skipped trace: they are all
+		// empty for the same reason (the binding or link that pinned
+		// the scan).
+		first, last = pinned, pinned
+		if n > 1 {
+			res.conflicts = append(res.conflicts, hintConflict)
+		}
+	}
+	for tr := first; tr <= last; tr++ {
+		if li == 1 && s.topFilter != nil && !s.topFilter(tr) {
+			continue // another parallel worker owns this trace
+		}
+		if s.aborted {
+			res.valid = false
+			return res
+		}
+		trace := event.TraceID(tr)
+		if s.pinLeaf == leafIdx && trace != s.pinTrace {
+			res.valid = false
+			continue
+		}
+		if m.opts.CoverageSkip && s.pinLeaf == -1 && m.isCovered(leafIdx, trace) && !res.matched {
+			res.valid = false // skipped traces are unexplained
+			continue
+		}
+		cands, confl, structEmpty := s.domainOn(li, leafIdx, trace)
+		if len(cands) == 0 {
+			if structEmpty {
+				res.conflicts = append(res.conflicts, conflict{level: -1})
+			} else {
+				res.conflicts = append(res.conflicts, confl)
+			}
+			continue
+		}
+		traceRes := s.tryCandidates(li, leaf, leafIdx, trace, cands)
+		if traceRes.matched {
+			res.matched = true
+			if s.stopFirst {
+				return res
+			}
+			continue // a complete match on this trace: move to the next
+		}
+		if traceRes.hopeless {
+			// Failure below is independent of this level entirely:
+			// no assignment here (on any trace) can help.
+			return placeResult{valid: true, conflicts: traceRes.conflicts}
+		}
+		// Candidates were tried and failed; the trace's failure is not
+		// summarized by a conflict on an earlier level.
+		res.valid = false
+	}
+	return res
+}
+
+// traceOutcome is the result of trying one trace's candidates.
+type traceOutcome struct {
+	matched  bool
+	hopeless bool
+	// conflicts, when hopeless, explain the failure in terms of levels
+	// strictly earlier than the current one.
+	conflicts []conflict
+}
+
+// tryCandidates enumerates the candidates of one trace latest-first,
+// applying backjump bounds as deeper levels fail.
+func (s *search) tryCandidates(li int, leaf *pattern.Leaf, leafIdx int, trace event.TraceID, cands []histEntry) traceOutcome {
+	m := s.m
+	traceName := m.store.TraceName(trace)
+	jumpBound := int(^uint(0) >> 1) // max int: no bound yet
+	matchedAny := false
+	for ci := len(cands) - 1; ci >= 0; ci-- {
+		if s.aborted {
+			return traceOutcome{}
+		}
+		cand := cands[ci]
+		pos := cand.ev.ID.Index
+		if pos > jumpBound {
+			s.stats.BackjumpSkips++
+			continue
+		}
+		if s.isAssigned(cand.ev) {
+			continue // leaves bind distinct events
+		}
+		if m.opts.DisableCausalDomains && !s.checkCandidate(li, cand.ev) {
+			continue
+		}
+		mark := s.env.Mark()
+		if !leaf.Class.MatchEvent(cand.ev, traceName, s.env) {
+			continue
+		}
+		s.assigned[leafIdx] = cand.ev
+		s.stats.CandidatesTried++
+		var sub placeResult
+		if li+1 == m.pat.K() {
+			sub = s.complete()
+		} else {
+			sub = s.place(li + 1)
+		}
+		s.assigned[leafIdx] = nil
+		s.env.Rewind(mark)
+		if sub.matched {
+			if m.opts.ReportAll {
+				// Exhaustive mode: keep enumerating this trace.
+				matchedAny = true
+				continue
+			}
+			return traceOutcome{matched: true}
+		}
+		if m.opts.DisableBackjumping || !sub.valid {
+			continue // chronological backtracking
+		}
+		// Conflict analysis (Figure 5 / goBackward): partition the
+		// failure causes between this level and strictly earlier ones.
+		mineMax, mineUnbounded, anyMine := -1, false, false
+		for _, c := range sub.conflicts {
+			if c.level == li {
+				anyMine = true
+				if !c.hasBound {
+					mineUnbounded = true
+				} else if c.bound > mineMax {
+					mineMax = c.bound
+				}
+			}
+		}
+		switch {
+		case !anyMine:
+			// Every conflict is caused by an earlier level (or is
+			// structural): changing this level cannot help.
+			return traceOutcome{hopeless: true, conflicts: sub.conflicts}
+		case mineUnbounded:
+			// Some conflict on this level has no provable bound.
+			continue
+		case mineMax <= 0:
+			// This level's conflicts demand pruning its whole trace.
+			return traceOutcome{matched: matchedAny}
+		default:
+			jumpBound = mineMax
+		}
+	}
+	return traceOutcome{matched: matchedAny}
+}
+
+// procHint resolves the leaf's process attribute to a concrete trace
+// name when possible: an exact literal, or a variable already bound in
+// the environment.
+func (s *search) procHint(leaf *pattern.Leaf) (string, bool) {
+	switch leaf.Class.Proc.Kind {
+	case pattern.AttrExact:
+		return leaf.Class.Proc.Value, true
+	case pattern.AttrVar:
+		return s.env.Lookup(leaf.Class.Proc.Value)
+	default:
+		return "", false
+	}
+}
+
+// isAssigned reports whether ev is already bound to some leaf.
+func (s *search) isAssigned(ev *event.Event) bool {
+	for _, a := range s.assigned {
+		if a == ev {
+			return true
+		}
+	}
+	return false
+}
+
+// domainOn computes the candidate list for the given level's leaf on one
+// trace. It returns the candidates (in trace order; callers enumerate
+// from the end), the conflict describing an empty domain, and whether the
+// emptiness is structural (no restriction involved).
+func (s *search) domainOn(li, leafIdx int, trace event.TraceID) ([]histEntry, conflict, bool) {
+	m := s.m
+	h := m.hist[leafIdx]
+	s.stats.DomainsComputed++
+	length := h.lastPos(int(trace))
+	if length == 0 {
+		return nil, conflict{}, true
+	}
+	iv := interval{1, m.store.Len(trace)}
+	if !m.opts.DisableCausalDomains {
+		for pj := 0; pj < li; pj++ {
+			placedLeaf := s.levelLeaf[pj]
+			rel := m.pat.Rel[leafIdx][placedLeaf]
+			if rel == pattern.RelNone {
+				continue
+			}
+			placed := s.assigned[placedLeaf]
+			iv = restrictDomain(m.store, iv, rel, placed, trace)
+			if iv.empty() {
+				return nil, conflictBound(m.store, rel, placed, trace, h, pj), false
+			}
+		}
+	}
+	cands := h.rangeEntries(int(trace), iv.lo, iv.hi)
+	if len(cands) == 0 {
+		// The interval is non-empty but holds no class event. Attribute
+		// the failure to the innermost restricting level when domains
+		// are on; with a full interval this is structural.
+		if iv.lo == 1 && iv.hi == m.store.Len(trace) {
+			return nil, conflict{}, true
+		}
+		// Find the last placed level that narrowed the interval and
+		// derive its bound; a conservative no-bound conflict keeps the
+		// analysis sound when attribution is ambiguous.
+		return nil, s.narrowingConflict(li, leafIdx, trace), false
+	}
+	return cands, conflict{}, false
+}
+
+// narrowingConflict attributes an interval that is non-empty in positions
+// but empty in class events. The emptiness depends jointly on every
+// restricting level, and a conflict is only valid while all levels up to
+// its cause are unchanged, so it must be attributed to the deepest
+// restricting level, with no bound (changing that level may reopen the
+// interval in ways the Figure 5 analysis does not cover).
+func (s *search) narrowingConflict(li, leafIdx int, trace event.TraceID) conflict {
+	m := s.m
+	deepest := -1
+	for pj := 0; pj < li; pj++ {
+		placedLeaf := s.levelLeaf[pj]
+		if m.pat.Rel[leafIdx][placedLeaf] != pattern.RelNone {
+			deepest = pj
+		}
+	}
+	return conflict{level: deepest, hasBound: false}
+}
+
+// checkCandidate verifies the causal constraints of a candidate against
+// all placed events directly. Used only when DisableCausalDomains is set
+// (the ablation path); with domains on, the interval already guarantees
+// these.
+func (s *search) checkCandidate(li int, cand *event.Event) bool {
+	m := s.m
+	leafIdx := s.levelLeaf[li]
+	for pj := 0; pj < li; pj++ {
+		placedLeaf := s.levelLeaf[pj]
+		rel := m.pat.Rel[leafIdx][placedLeaf]
+		if rel == pattern.RelNone {
+			continue
+		}
+		placed := s.assigned[placedLeaf]
+		if !relHolds(rel, cand, placed) {
+			return false
+		}
+	}
+	return true
+}
+
+// relHolds evaluates a compiled relation between two concrete events,
+// from a's perspective.
+func relHolds(rel pattern.Rel, a, b *event.Event) bool {
+	switch rel {
+	case pattern.RelBefore, pattern.RelLim:
+		return a.Before(b)
+	case pattern.RelAfter, pattern.RelLimAfter:
+		return b.Before(a)
+	case pattern.RelConcurrent:
+		return a.Concurrent(b)
+	case pattern.RelLink:
+		return a.Partner == b.ID && b.Partner == a.ID
+	default:
+		return true
+	}
+}
+
+// complete validates a full assignment (compound disjuncts and lim->
+// completion checks), updates the representative subset, and records the
+// match.
+func (s *search) complete() placeResult {
+	m := s.m
+	if !s.checkDisjuncts() || !s.checkLim() {
+		return placeResult{valid: false}
+	}
+	s.stats.CompleteMatches++
+	newCoverage := false
+	for leafIdx, ev := range s.assigned {
+		if m.cover(leafIdx, ev.ID.Trace) {
+			newCoverage = true
+		}
+	}
+	if newCoverage || !m.opts.RepresentativeOnly {
+		events := make([]*event.Event, len(s.assigned))
+		copy(events, s.assigned)
+		s.matches = append(s.matches, Match{Events: events, Bindings: s.env.Snapshot()})
+		s.stats.Reported++
+	} else {
+		s.stats.Redundant++
+	}
+	s.found++
+	if m.opts.MaxTriggerMatches > 0 && s.found >= m.opts.MaxTriggerMatches {
+		s.aborted = true
+	}
+	return placeResult{matched: true}
+}
+
+// checkDisjuncts evaluates the compound-level constraints: weak
+// precedence (at least one ordered pair, and not entangled) and
+// entanglement (ordered pairs in both directions).
+func (s *search) checkDisjuncts() bool {
+	for _, d := range s.m.pat.Disjuncts {
+		ab := existsOrdered(s.assigned, d.A, d.B)
+		ba := existsOrdered(s.assigned, d.B, d.A)
+		switch d.Op {
+		case pattern.OpBefore:
+			if !ab || ba { // ba too would mean the compounds cross
+				return false
+			}
+		case pattern.OpEntangled:
+			if !ab || !ba {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// existsOrdered reports whether some event of leaves as happens before
+// some event of leaves bs.
+func existsOrdered(assigned []*event.Event, as, bs []int) bool {
+	for _, ai := range as {
+		for _, bi := range bs {
+			if assigned[ai].Before(assigned[bi]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkLim validates every lim-> pair: no same-class event causally
+// between the matched endpoints.
+func (s *search) checkLim() bool {
+	m := s.m
+	for i := 0; i < m.pat.K(); i++ {
+		for j := 0; j < m.pat.K(); j++ {
+			if m.pat.Rel[i][j] != pattern.RelLim {
+				continue
+			}
+			if m.hist[i].anyBetween(m.store, s.assigned[i], s.assigned[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

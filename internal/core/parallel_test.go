@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ocep/internal/core"
+	"ocep/internal/event/eventtest"
+)
+
+// TestParallelMatchesSequential: the parallel top level reports exactly
+// the sequential match set on random workloads and patterns.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1212))
+	for pi, src := range randomPatterns {
+		pat := compile(t, src)
+		for round := 0; round < 4; round++ {
+			st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+				Traces: 4 + rng.Intn(3), Events: 80,
+				SendProb: 0.3, RecvProb: 0.3,
+				Types: []string{"a", "b", "c"},
+			})
+			_, seq := feedAll(t, pat, st, evs, core.Options{DisablePruning: true})
+			_, par := feedAll(t, pat, st, evs, core.Options{DisablePruning: true, ParallelTraces: 4})
+			sk := make([]string, len(seq))
+			for i, m := range seq {
+				sk[i] = matchKey(m)
+			}
+			pk := make([]string, len(par))
+			for i, m := range par {
+				pk[i] = matchKey(m)
+			}
+			sort.Strings(sk)
+			sort.Strings(pk)
+			if len(sk) != len(pk) {
+				t.Fatalf("pattern %d round %d: sequential %d matches, parallel %d", pi, round, len(sk), len(pk))
+			}
+			for i := range sk {
+				if sk[i] != pk[i] {
+					t.Fatalf("pattern %d round %d: match sets differ: %s vs %s", pi, round, sk[i], pk[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelStatsMerged: worker counters land in the matcher's stats.
+func TestParallelStatsMerged(t *testing.T) {
+	rng := rand.New(rand.NewSource(333))
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+		Traces: 5, Events: 100, SendProb: 0.3, RecvProb: 0.3,
+		Types: []string{"a", "b"},
+	})
+	mSeq, _ := feedAll(t, pat, st, evs, core.Options{DisablePruning: true})
+	mPar, _ := feedAll(t, pat, st, evs, core.Options{DisablePruning: true, ParallelTraces: 3})
+	a, b := mSeq.Stats(), mPar.Stats()
+	if a.CompleteMatches != b.CompleteMatches || a.Reported != b.Reported {
+		t.Fatalf("parallel stats differ: %+v vs %+v", a, b)
+	}
+	if b.DomainsComputed == 0 || b.Triggers != a.Triggers {
+		t.Fatalf("parallel stats not merged: %+v", b)
+	}
+}
+
+// TestParallelIncompatibleModesFallBack: modes that depend on global
+// enumeration order run sequentially and still work.
+func TestParallelIncompatibleModesFallBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(444))
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+		Traces: 4, Events: 60, SendProb: 0.3, RecvProb: 0.3,
+		Types: []string{"a", "b"},
+	})
+	_, repr := feedAll(t, pat, st, evs, core.Options{
+		DisablePruning: true, ParallelTraces: 4, RepresentativeOnly: true,
+	})
+	bound := pat.K() * st.NumTraces()
+	if len(repr) > bound {
+		t.Fatalf("representative bound violated under fallback: %d > %d", len(repr), bound)
+	}
+}

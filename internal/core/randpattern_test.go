@@ -1,0 +1,205 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ocep/internal/baseline"
+	"ocep/internal/core"
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+	"ocep/internal/pattern"
+)
+
+// randomPatternSource generates a random compilable pattern over the
+// type pool: k leaves bound to event variables, random attribute
+// wildcards/variables, random pairwise constraints oriented low-to-high
+// index (so precedence closure stays acyclic), occasionally a lim->
+// edge, and occasionally an extra linked send/receive pair constrained
+// against the first leaf.
+func randomPatternSource(rng *rand.Rand, types []string) string {
+	k := 2 + rng.Intn(3)
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		typ := types[rng.Intn(len(types))]
+		proc := "*"
+		if rng.Float64() < 0.3 {
+			proc = fmt.Sprintf("$P%d", rng.Intn(2))
+		}
+		text := "*"
+		if rng.Float64() < 0.3 {
+			text = fmt.Sprintf("$T%d", rng.Intn(2))
+		}
+		fmt.Fprintf(&b, "C%d := [%s, %s, %s];\n", i, proc, typ, text)
+		fmt.Fprintf(&b, "C%d $e%d;\n", i, i)
+	}
+	var conj []string
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			switch rng.Intn(8) {
+			case 0, 1:
+				conj = append(conj, fmt.Sprintf("($e%d -> $e%d)", i, j))
+			case 2, 3:
+				conj = append(conj, fmt.Sprintf("($e%d || $e%d)", i, j))
+			case 4:
+				conj = append(conj, fmt.Sprintf("($e%d lim-> $e%d)", i, j))
+			}
+			// Other rolls leave the pair unconstrained.
+		}
+	}
+	if rng.Float64() < 0.4 {
+		// A linked pair: the eventtest generator pairs sends with
+		// receives of the same type, so wildcard-typed link classes
+		// find partners.
+		fmt.Fprintf(&b, "LS := [*, *, *];\nLR := [*, *, *];\nLS $ls;\nLR $lr;\n")
+		conj = append(conj, "($ls ~ $lr)")
+		if rng.Float64() < 0.5 {
+			conj = append(conj, "($e0 -> $lr)")
+		}
+	}
+	if len(conj) == 0 {
+		conj = append(conj, fmt.Sprintf("($e0 -> $e%d)", k-1))
+	}
+	fmt.Fprintf(&b, "pattern := %s;\n", strings.Join(conj, " && "))
+	return b.String()
+}
+
+// TestRandomPatternsAgainstOracle fuzzes the matcher over generated
+// patterns AND generated workloads, checking the three core guarantees
+// against the brute-force oracle: soundness of every reported match,
+// first-match completeness per event, and exact coverage under
+// GuaranteeCoverage.
+func TestRandomPatternsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	types := []string{"a", "b", "c"}
+	rounds := 60
+	if testing.Short() {
+		rounds = 15
+	}
+	for round := 0; round < rounds; round++ {
+		src := randomPatternSource(rng, types)
+		f, err := pattern.Parse(src)
+		if err != nil {
+			t.Fatalf("generated pattern does not parse: %v\n%s", err, src)
+		}
+		pat, err := pattern.Compile(f)
+		if err != nil {
+			// Contradictory random constraint sets are legal to reject.
+			continue
+		}
+		st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces:   2 + rng.Intn(4),
+			Events:   30 + rng.Intn(30),
+			SendProb: 0.3,
+			RecvProb: 0.3,
+			Types:    types,
+		})
+		oracleMatches := baseline.AllMatches(pat, st)
+		oracleSet := make(map[string]bool, len(oracleMatches))
+		for _, m := range oracleMatches {
+			oracleSet[matchKey(m)] = true
+		}
+		pos := make(map[event.ID]int, len(evs))
+		for i, e := range evs {
+			pos[e.ID] = i
+		}
+		endsAt := make([]bool, len(evs))
+		for _, m := range oracleMatches {
+			last := -1
+			for _, e := range m.Events {
+				if p := pos[e.ID]; p > last {
+					last = p
+				}
+			}
+			endsAt[last] = true
+		}
+
+		m := core.NewMatcher(pat, core.Options{
+			DisablePruning:    true,
+			GuaranteeCoverage: true,
+		})
+		for i := 0; i < st.NumTraces(); i++ {
+			m.RegisterTrace(st.TraceName(event.TraceID(i)))
+		}
+		var reported []core.Match
+		for i, e := range evs {
+			copied := *e
+			got, err := m.Feed(&copied)
+			if err != nil {
+				t.Fatalf("round %d: feed: %v", round, err)
+			}
+			if endsAt[i] && len(got) == 0 {
+				t.Fatalf("round %d: match ends at %s but nothing reported\npattern:\n%s", round, e.ID, src)
+			}
+			if !endsAt[i] && len(got) > 0 {
+				t.Fatalf("round %d: spurious report at %s\npattern:\n%s", round, e.ID, src)
+			}
+			reported = append(reported, got...)
+		}
+		for _, mm := range reported {
+			if !oracleSet[matchKey(mm)] {
+				t.Fatalf("round %d: invalid match %s\npattern:\n%s", round, matchKey(mm), src)
+			}
+			if err := core.VerifyMatch(pat, mm, st.TraceName); err != nil {
+				t.Fatalf("round %d: verification failed: %v", round, err)
+			}
+		}
+		wantCov := baseline.Coverage(oracleMatches)
+		gotCov := baseline.Coverage(reported)
+		for pair := range wantCov {
+			if !gotCov[pair] {
+				t.Fatalf("round %d: pair %v uncovered\npattern:\n%s", round, pair, src)
+			}
+		}
+		for pair := range gotCov {
+			if !wantCov[pair] {
+				t.Fatalf("round %d: phantom pair %v\npattern:\n%s", round, pair, src)
+			}
+		}
+	}
+}
+
+// TestRandomPatternsParallelAgree fuzzes parallel against sequential
+// search over generated patterns.
+func TestRandomPatternsParallelAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(314159))
+	types := []string{"a", "b", "c"}
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	for round := 0; round < rounds; round++ {
+		src := randomPatternSource(rng, types)
+		f, err := pattern.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat, err := pattern.Compile(f)
+		if err != nil {
+			continue
+		}
+		st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces: 4, Events: 60, SendProb: 0.3, RecvProb: 0.3, Types: types,
+		})
+		_, seq := feedAll(t, pat, st, evs, core.Options{DisablePruning: true})
+		_, par := feedAll(t, pat, st, evs, core.Options{DisablePruning: true, ParallelTraces: 3})
+		sk := map[string]int{}
+		for _, m := range seq {
+			sk[matchKey(m)]++
+		}
+		pk := map[string]int{}
+		for _, m := range par {
+			pk[matchKey(m)]++
+		}
+		if len(sk) != len(pk) {
+			t.Fatalf("round %d: distinct match sets differ (%d vs %d)\npattern:\n%s", round, len(sk), len(pk), src)
+		}
+		for k, v := range sk {
+			if pk[k] != v {
+				t.Fatalf("round %d: multiplicity differs for %s\npattern:\n%s", round, k, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocep/internal/core"
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+)
+
+// TestVerifyMatchAcceptsReported: everything the matcher reports passes
+// independent verification.
+func TestVerifyMatchAcceptsReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for _, src := range randomPatterns {
+		pat := compile(t, src)
+		st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces: 4, Events: 80, SendProb: 0.3, RecvProb: 0.3,
+			Types: []string{"a", "b", "c"},
+		})
+		_, matches := feedAll(t, pat, st, evs, core.Options{DisablePruning: true})
+		for _, m := range matches {
+			if err := core.VerifyMatch(pat, m, st.TraceName); err != nil {
+				t.Fatalf("reported match fails verification: %v", err)
+			}
+		}
+	}
+}
+
+func TestVerifyMatchRejectsBadMatches(t *testing.T) {
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	st, evs := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s"},
+		{Trace: 1, Kind: event.KindReceive, Type: "b", From: "s"},
+		{Trace: 0, Kind: event.KindInternal, Type: "b"}, // b after a on same trace? no: index 2, a at 1 -> ordered
+	})
+	a, b := evs[0], evs[1]
+	good := core.Match{Events: []*event.Event{a, b}}
+	if err := core.VerifyMatch(pat, good, st.TraceName); err != nil {
+		t.Fatalf("good match rejected: %v", err)
+	}
+	// Reversed order violates the constraint.
+	bad := core.Match{Events: []*event.Event{b, a}}
+	if err := core.VerifyMatch(pat, bad, st.TraceName); err == nil {
+		t.Fatalf("reversed match accepted")
+	}
+	// Same event twice.
+	dup := core.Match{Events: []*event.Event{a, a}}
+	if err := core.VerifyMatch(pat, dup, st.TraceName); err == nil {
+		t.Fatalf("duplicate event accepted")
+	}
+	// Wrong arity.
+	short := core.Match{Events: []*event.Event{a}}
+	if err := core.VerifyMatch(pat, short, st.TraceName); err == nil {
+		t.Fatalf("short match accepted")
+	}
+	// Wrong class.
+	wrong := core.Match{Events: []*event.Event{evs[2], b}}
+	if err := core.VerifyMatch(pat, wrong, st.TraceName); err == nil {
+		t.Fatalf("wrong-class match accepted")
+	}
+}
+
+// TestRepresentativeOnlyBound: with RepresentativeOnly, the total number
+// of reported matches over a run is at most k*n.
+func TestRepresentativeOnlyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for _, src := range randomPatterns {
+		pat := compile(t, src)
+		for round := 0; round < 4; round++ {
+			st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+				Traces: 3 + rng.Intn(3), Events: 120,
+				SendProb: 0.3, RecvProb: 0.3,
+				Types: []string{"a", "b", "c"},
+			})
+			_, matches := feedAll(t, pat, st, evs, core.Options{
+				RepresentativeOnly: true,
+				DisablePruning:     true,
+			})
+			bound := pat.K() * st.NumTraces()
+			if len(matches) > bound {
+				t.Fatalf("representative reporting exceeded k*n: %d > %d", len(matches), bound)
+			}
+		}
+	}
+}
+
+// TestReportAllExhaustive: ReportAll enumerates every match that ends at
+// each trigger (cross-checked against the oracle's end-at sets).
+func TestReportAllExhaustive(t *testing.T) {
+	pat := compile(t, `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`)
+	// Three a's then one b: all three matches must be reported at b.
+	st, evs := eventtest.Build(2, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s1"},
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s2"},
+		{Trace: 0, Kind: event.KindSend, Type: "a", Label: "s3"},
+		{Trace: 1, Kind: event.KindReceive, Type: "x", From: "s1"},
+		{Trace: 1, Kind: event.KindReceive, Type: "x", From: "s2"},
+		{Trace: 1, Kind: event.KindReceive, Type: "x", From: "s3"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+	})
+	_, matches := feedAll(t, pat, st, evs, core.Options{ReportAll: true, DisablePruning: true})
+	if len(matches) != 3 {
+		t.Fatalf("exhaustive mode reported %d matches, want 3", len(matches))
+	}
+	// Default (per-trigger trace-advance) reports the latest per trace.
+	_, def := feedAll(t, pat, st, evs, core.Options{DisablePruning: true})
+	if len(def) != 1 {
+		t.Fatalf("default mode reported %d matches, want 1 (latest a)", len(def))
+	}
+	if def[0].Events[0].ID.Index != 3 {
+		t.Fatalf("default mode must pick the latest a, got %s", def[0].Events[0].ID)
+	}
+}

@@ -1,0 +1,109 @@
+package event_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+)
+
+// bruteGP returns the index of the last event on trace t that happens
+// before e, scanning linearly.
+func bruteGP(st *event.Store, e *event.Event, t event.TraceID) int {
+	best := 0
+	for _, x := range st.Events(t) {
+		if x.Before(e) {
+			best = x.ID.Index
+		}
+	}
+	return best
+}
+
+// bruteLS returns the index of the first event on trace t that e happens
+// before, scanning linearly.
+func bruteLS(st *event.Store, e *event.Event, t event.TraceID) int {
+	for _, x := range st.Events(t) {
+		if e.Before(x) {
+			return x.ID.Index
+		}
+	}
+	return 0
+}
+
+func TestGPLSAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for round := 0; round < 10; round++ {
+		st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces:   2 + rng.Intn(5),
+			Events:   150,
+			SendProb: 0.3,
+			RecvProb: 0.3,
+		})
+		for _, e := range evs {
+			for tr := 0; tr < st.NumTraces(); tr++ {
+				tid := event.TraceID(tr)
+				if got, want := st.GP(e, tid), bruteGP(st, e, tid); got != want {
+					t.Fatalf("round %d: GP(%s, t%d) = %d, want %d", round, e.ID, tr, got, want)
+				}
+				if got, want := st.LS(e, tid), bruteLS(st, e, tid); got != want {
+					t.Fatalf("round %d: LS(%s, t%d) = %d, want %d", round, e.ID, tr, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGPLSSameTrace checks the within-trace fast paths.
+func TestGPLSSameTrace(t *testing.T) {
+	st, evs := eventtest.Build(1, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},
+	})
+	mid := evs[1]
+	if got := st.GP(mid, 0); got != 1 {
+		t.Fatalf("GP same trace = %d want 1", got)
+	}
+	if got := st.LS(mid, 0); got != 3 {
+		t.Fatalf("LS same trace = %d want 3", got)
+	}
+	last := evs[2]
+	if got := st.LS(last, 0); got != 0 {
+		t.Fatalf("LS of last event = %d want 0 (none stored yet)", got)
+	}
+	first := evs[0]
+	if got := st.GP(first, 0); got != 0 {
+		t.Fatalf("GP of first event = %d want 0", got)
+	}
+}
+
+// TestGPLSInterval checks the Fig 4 interval semantics on a hand-built
+// diagram matching Figure 3 of the paper: three traces where trace 0
+// sends to trace 1.
+func TestGPLSInterval(t *testing.T) {
+	// p0: a1 (send) a2 a3 ; p1: b1 (recv of a1) b2 ; p2: c1
+	st, evs := eventtest.Build(3, []eventtest.Op{
+		{Trace: 0, Kind: event.KindSend, Type: "A", Label: "s"},
+		{Trace: 1, Kind: event.KindReceive, Type: "B", From: "s"},
+		{Trace: 0, Kind: event.KindInternal, Type: "A"},
+		{Trace: 1, Kind: event.KindInternal, Type: "B"},
+		{Trace: 2, Kind: event.KindInternal, Type: "C"},
+	})
+	send, recv := evs[0], evs[1]
+	// GP(recv, trace 0) is the send.
+	if got := st.GP(recv, 0); got != send.ID.Index {
+		t.Fatalf("GP(recv, p0) = %d want %d", got, send.ID.Index)
+	}
+	// LS(send, trace 1) is the receive.
+	if got := st.LS(send, 1); got != recv.ID.Index {
+		t.Fatalf("LS(send, p1) = %d want %d", got, recv.ID.Index)
+	}
+	// Trace 2 never communicates: GP/LS against it are empty.
+	if got := st.GP(recv, 2); got != 0 {
+		t.Fatalf("GP(recv, p2) = %d want 0", got)
+	}
+	if got := st.LS(send, 2); got != 0 {
+		t.Fatalf("LS(send, p2) = %d want 0", got)
+	}
+}

@@ -1,0 +1,165 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Store holds the events of a computation grouped by trace, in trace
+// order. It answers the greatest-predecessor and least-successor queries
+// (Section IV-C) that drive the matcher's domain restriction.
+//
+// Store is not safe for concurrent use; the monitor appends events from
+// the single linearized delivery stream.
+type Store struct {
+	traces [][]*Event // traces[t][i-1] is event t#i
+	names  []string   // optional human-readable trace names
+	byName map[string]TraceID
+	// comm[t] counts the communication events (non-internal kinds)
+	// appended to trace t so far. The duplicate-pruning rule of the
+	// matcher history (Section V-D) compares these counters to decide
+	// whether two same-class events are causally interchangeable.
+	comm []int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byName: make(map[string]TraceID)}
+}
+
+// RegisterTrace assigns the next TraceID to a trace with the given name
+// and returns it. Registering the same name twice returns the existing ID.
+func (s *Store) RegisterTrace(name string) TraceID {
+	if id, ok := s.byName[name]; ok {
+		return id
+	}
+	id := TraceID(len(s.traces))
+	s.traces = append(s.traces, nil)
+	s.names = append(s.names, name)
+	s.comm = append(s.comm, 0)
+	s.byName[name] = id
+	return id
+}
+
+// TraceName returns the registered name of t, or "t<N>" if it was never
+// named.
+func (s *Store) TraceName(t TraceID) string {
+	if int(t) < len(s.names) && s.names[t] != "" {
+		return s.names[t]
+	}
+	return fmt.Sprintf("t%d", int(t))
+}
+
+// TraceByName returns the ID registered for name.
+func (s *Store) TraceByName(name string) (TraceID, bool) {
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// NumTraces returns the number of traces seen so far.
+func (s *Store) NumTraces() int { return len(s.traces) }
+
+// Len returns the number of events stored on trace t.
+func (s *Store) Len(t TraceID) int {
+	if int(t) >= len(s.traces) {
+		return 0
+	}
+	return len(s.traces[t])
+}
+
+// TotalEvents returns the number of events stored across all traces.
+func (s *Store) TotalEvents() int {
+	n := 0
+	for _, tr := range s.traces {
+		n += len(tr)
+	}
+	return n
+}
+
+// Append adds e to its trace. The event's Index must be exactly one past
+// the current trace length (events arrive in trace order from the
+// linearized stream); Append returns an error otherwise.
+func (s *Store) Append(e *Event) error {
+	t := int(e.ID.Trace)
+	if t < 0 {
+		return fmt.Errorf("event %s: negative trace", e.ID)
+	}
+	for t >= len(s.traces) {
+		s.traces = append(s.traces, nil)
+		s.names = append(s.names, "")
+		s.comm = append(s.comm, 0)
+	}
+	if want := len(s.traces[t]) + 1; e.ID.Index != want {
+		return fmt.Errorf("event %s arrived out of trace order: want index %d", e.ID, want)
+	}
+	s.traces[t] = append(s.traces[t], e)
+	if e.Kind.IsComm() {
+		s.comm[t]++
+	}
+	return nil
+}
+
+// CommCount returns the number of communication events appended to trace
+// t so far.
+func (s *Store) CommCount(t TraceID) int {
+	if int(t) >= len(s.comm) {
+		return 0
+	}
+	return s.comm[t]
+}
+
+// Get returns the event with the given ID, or nil if it is out of range.
+func (s *Store) Get(id ID) *Event {
+	t := int(id.Trace)
+	if t < 0 || t >= len(s.traces) || id.Index < 1 || id.Index > len(s.traces[t]) {
+		return nil
+	}
+	return s.traces[t][id.Index-1]
+}
+
+// Events returns the stored events of trace t in trace order. The returned
+// slice is the store's own backing array; callers must not modify it.
+func (s *Store) Events(t TraceID) []*Event {
+	if int(t) >= len(s.traces) {
+		return nil
+	}
+	return s.traces[t]
+}
+
+// GP returns the index on trace t of the greatest predecessor of e: the
+// most recent event on t that happens before e. It returns 0 when no
+// event on t precedes e. For an event of trace t itself, the greatest
+// predecessor is simply its within-trace predecessor. O(1).
+func (s *Store) GP(e *Event, t TraceID) int {
+	if e.ID.Trace == t {
+		return e.ID.Index - 1
+	}
+	// Entry t of e's clock counts exactly the events of trace t that
+	// happen before e.
+	return e.VC.Get(int(t))
+}
+
+// LS returns the index on trace t of the least successor of e: the
+// earliest event on t that e happens before. It returns 0 when no stored
+// event on t succeeds e (the successor may still arrive later). For an
+// event of trace t itself it is the within-trace successor if stored.
+// O(log |t|): entry trace(e) of the clocks along trace t is monotone
+// non-decreasing, so the first successor is found by binary search.
+func (s *Store) LS(e *Event, t TraceID) int {
+	if e.ID.Trace == t {
+		if e.ID.Index+1 <= s.Len(t) {
+			return e.ID.Index + 1
+		}
+		return 0
+	}
+	tr := s.Events(t)
+	et := int(e.ID.Trace)
+	need := e.VC.Get(et)
+	i := sort.Search(len(tr), func(i int) bool {
+		return tr[i].VC.Get(et) >= need
+	})
+	if i == len(tr) {
+		return 0
+	}
+	return tr[i].ID.Index
+}

@@ -1,0 +1,188 @@
+// Package lattice implements classical global-predicate detection over
+// the lattice of consistent global states (Cooper/Marzullo-style
+// possibly-phi detection) — the approach the paper's introduction
+// contrasts OCEP against: building the state lattice is the standard way
+// to check a global property, and exploring it is NP-complete in
+// general. The evaluation harness uses it to demonstrate the state
+// explosion that causal-event-pattern matching avoids.
+package lattice
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ocep/internal/event"
+)
+
+// Cut is a global state: Cut[t] events of trace t have been consumed. A
+// cut is consistent when every consumed receive's send is also consumed.
+type Cut []int
+
+// String renders the cut compactly ("<2,0,1>").
+func (c Cut) String() string {
+	parts := make([]string, len(c))
+	for i, x := range c {
+		parts[i] = strconv.Itoa(x)
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+
+func (c Cut) key() string { return c.String() }
+
+// Consistent reports whether the cut is a consistent global state of the
+// store: for every trace t with Cut[t] > 0, the vector clock of the last
+// consumed event on t must be dominated by the cut.
+func (c Cut) Consistent(st *event.Store) bool {
+	for t := range c {
+		if c[t] == 0 {
+			continue
+		}
+		e := st.Get(event.ID{Trace: event.TraceID(t), Index: c[t]})
+		if e == nil {
+			return false
+		}
+		for u := range c {
+			if u == t {
+				continue
+			}
+			if e.VC.Get(u) > c[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Predicate evaluates a global property on a consistent cut.
+type Predicate func(st *event.Store, cut Cut) bool
+
+// Result summarizes one lattice exploration.
+type Result struct {
+	// Found is true when some consistent cut satisfied the predicate.
+	Found bool
+	// Witness is the first satisfying cut (nil if none).
+	Witness Cut
+	// CutsExplored counts the consistent cuts visited.
+	CutsExplored int
+	// Truncated is true when the exploration hit MaxCuts before
+	// exhausting the lattice.
+	Truncated bool
+}
+
+// ErrNoEvents reports an empty store.
+var ErrNoEvents = fmt.Errorf("lattice: store holds no events")
+
+// Possibly explores the lattice of consistent cuts of the finished store
+// breadth-first and reports whether the predicate holds on some cut
+// (the classical possibly(phi)). maxCuts bounds the exploration
+// (0 = unbounded); the lattice can be exponential in the trace count,
+// which is the point of the comparison.
+func Possibly(st *event.Store, pred Predicate, maxCuts int) (Result, error) {
+	n := st.NumTraces()
+	if n == 0 || st.TotalEvents() == 0 {
+		return Result{}, ErrNoEvents
+	}
+	start := make(Cut, n)
+	visited := map[string]bool{start.key(): true}
+	frontier := []Cut{start}
+	res := Result{}
+	for len(frontier) > 0 {
+		var next []Cut
+		for _, cut := range frontier {
+			res.CutsExplored++
+			if pred(st, cut) {
+				res.Found = true
+				res.Witness = cut
+				return res, nil
+			}
+			if maxCuts > 0 && res.CutsExplored >= maxCuts {
+				res.Truncated = true
+				return res, nil
+			}
+			for t := 0; t < n; t++ {
+				if cut[t] >= st.Len(event.TraceID(t)) {
+					continue
+				}
+				succ := make(Cut, n)
+				copy(succ, cut)
+				succ[t]++
+				if visited[succ.key()] {
+					continue
+				}
+				// Only the advanced trace needs rechecking.
+				if !advanceConsistent(st, succ, t) {
+					continue
+				}
+				visited[succ.key()] = true
+				next = append(next, succ)
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// advanceConsistent checks consistency of a cut obtained by advancing
+// trace t by one event (the other traces were already consistent).
+func advanceConsistent(st *event.Store, cut Cut, t int) bool {
+	e := st.Get(event.ID{Trace: event.TraceID(t), Index: cut[t]})
+	if e == nil {
+		return false
+	}
+	for u := range cut {
+		if u == t {
+			continue
+		}
+		if e.VC.Get(u) > cut[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountCuts explores the whole lattice (up to maxCuts) without a
+// predicate and returns the number of consistent cuts: the state-space
+// size a global-predicate detector must consider.
+func CountCuts(st *event.Store, maxCuts int) (int, bool, error) {
+	res, err := Possibly(st, func(*event.Store, Cut) bool { return false }, maxCuts)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.CutsExplored, res.Truncated, nil
+}
+
+// InsideCritical builds a predicate for the atomicity case study: at
+// least two traces are between a "method_enter" and "method_exit" event
+// in the given cut. It precomputes, per trace position, whether the
+// trace is inside the critical section, so evaluation per cut is O(n).
+func InsideCritical(st *event.Store, enterType, exitType string) Predicate {
+	n := st.NumTraces()
+	inside := make([][]bool, n)
+	for t := 0; t < n; t++ {
+		events := st.Events(event.TraceID(t))
+		inside[t] = make([]bool, len(events)+1)
+		in := false
+		for i, e := range events {
+			switch e.Type {
+			case enterType:
+				in = true
+			case exitType:
+				in = false
+			}
+			inside[t][i+1] = in
+		}
+	}
+	return func(_ *event.Store, cut Cut) bool {
+		count := 0
+		for t := range cut {
+			if inside[t][cut[t]] {
+				count++
+				if count >= 2 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,326 @@
+// Package mpi is a small message-passing runtime in the style of MPI,
+// built on goroutines and channels, with POET instrumentation hooks. It
+// stands in for the MPI environment of the paper's evaluation (Section
+// V-B): ranks are goroutines, point-to-point sends have eager-buffer
+// semantics (a send blocks only when the receiver's buffer is full, so a
+// send-receive cycle "rarely" manifests as an actual deadlock, exactly
+// the behaviour Section V-C1 describes), and receives may name a source
+// rank or accept any source.
+//
+// Every communication action is reported to a POET sink as a raw event;
+// the collector reconstructs causality, so the application itself never
+// handles vector clocks (Section V-C2).
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ocep/internal/event"
+	"ocep/internal/poet"
+)
+
+// Sink consumes raw instrumented events. *poet.Collector and
+// *poet.Reporter both satisfy it (a Reporter needs external
+// serialization; the Collector is internally locked).
+type Sink interface {
+	Report(poet.RawEvent) error
+}
+
+// AnySource makes Recv accept a message from any rank (the
+// MPI_ANY_SOURCE wild-card).
+const AnySource = -1
+
+// Default event types reported by the runtime.
+const (
+	// TypeSend is an eagerly buffered send.
+	TypeSend = "mpi_send"
+	// TypeSendBlock is a send that found the destination buffer full
+	// and blocked (the unsafe state of the deadlock case study).
+	TypeSendBlock = "mpi_send_block"
+	// TypeRecv is a receive.
+	TypeRecv = "mpi_recv"
+)
+
+// Config configures a world.
+type Config struct {
+	// Ranks is the number of processes.
+	Ranks int
+	// EagerLimit is the per-rank inbox capacity: sends beyond it block
+	// until the receiver drains (rendezvous). Zero means 64.
+	EagerLimit int
+	// Sink receives the instrumented events. Nil disables
+	// instrumentation (useful for runtime-only tests).
+	Sink Sink
+	// TracePrefix names rank traces "<prefix><rank>"; default "p".
+	TracePrefix string
+}
+
+// Message is a received message.
+type Message struct {
+	Src     int
+	Tag     string
+	Payload any
+	msgID   uint64
+}
+
+type envelope struct {
+	Message
+}
+
+// msgIDs issues process-wide unique message identifiers, so several
+// worlds (and the ucpp runtime) can report into one collector without
+// identifier collisions.
+var msgIDs atomic.Uint64
+
+// NextMsgID returns a fresh process-wide unique message identifier.
+// Exposed for other runtimes and hand-rolled instrumentation that share
+// a collector with mpi worlds.
+func NextMsgID() uint64 { return msgIDs.Add(1) }
+
+// World is one simulated MPI computation.
+type World struct {
+	cfg   Config
+	inbox []chan envelope
+	errMu sync.Mutex
+	errs  []error
+	ranks []*Rank
+}
+
+// NewWorld builds a world. Use Run for the common spawn-and-wait shape.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("mpi: world needs at least one rank, got %d", cfg.Ranks)
+	}
+	if cfg.EagerLimit == 0 {
+		cfg.EagerLimit = 64
+	}
+	if cfg.TracePrefix == "" {
+		cfg.TracePrefix = "p"
+	}
+	w := &World{cfg: cfg}
+	w.inbox = make([]chan envelope, cfg.Ranks)
+	w.ranks = make([]*Rank, cfg.Ranks)
+	for i := range w.inbox {
+		w.inbox[i] = make(chan envelope, cfg.EagerLimit)
+		w.ranks[i] = &Rank{world: w, id: i}
+	}
+	return w, nil
+}
+
+// Run executes body once per rank concurrently and waits for all of them.
+// It returns the instrumentation errors collected during the run, if any.
+func Run(cfg Config, body func(*Rank)) error {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for _, r := range w.ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			body(r)
+		}(r)
+	}
+	wg.Wait()
+	return w.Err()
+}
+
+// Rank returns rank i's handle (for custom spawning arrangements).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Err returns the instrumentation errors collected so far, joined.
+func (w *World) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return errors.Join(w.errs...)
+}
+
+func (w *World) fail(err error) {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	w.errs = append(w.errs, err)
+}
+
+// TraceName returns the trace name of a rank.
+func (w *World) TraceName(rank int) string {
+	return fmt.Sprintf("%s%d", w.cfg.TracePrefix, rank)
+}
+
+// Rank is the per-process handle: its methods are only safe from the
+// goroutine running that rank's body.
+type Rank struct {
+	world *World
+	id    int
+	seq   int
+	// pending holds messages pulled from the inbox while looking for a
+	// specific source or tag.
+	pending []envelope
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Seq returns the number of events this rank has reported so far (the
+// sequence number of its most recent event).
+func (r *Rank) Seq() int { return r.seq }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.cfg.Ranks }
+
+// TraceName returns this rank's trace name.
+func (r *Rank) TraceName() string { return r.world.TraceName(r.id) }
+
+func (r *Rank) report(kind event.Kind, typ, text string, msgID uint64) {
+	sink := r.world.cfg.Sink
+	if sink == nil {
+		return
+	}
+	r.seq++
+	err := sink.Report(poet.RawEvent{
+		Trace: r.TraceName(),
+		Seq:   r.seq,
+		Kind:  kind,
+		Type:  typ,
+		Text:  text,
+		MsgID: msgID,
+	})
+	if err != nil {
+		r.world.fail(fmt.Errorf("mpi: rank %d instrumentation: %w", r.id, err))
+	}
+}
+
+// Internal reports an internal (non-communication) event with the given
+// pattern-matchable type and text.
+func (r *Rank) Internal(typ, text string) {
+	r.report(event.KindInternal, typ, text, 0)
+}
+
+// Send sends a tagged payload to dst with eager-buffer semantics,
+// reporting a TypeSend event (TypeSendBlock if the buffer was full at
+// call time). The event text is the destination's trace name.
+func (r *Rank) Send(dst int, tag string, payload any) {
+	r.SendT(dst, "", tag, payload)
+}
+
+// SendT is Send with an explicit event type ("" for the default).
+func (r *Rank) SendT(dst int, typ, tag string, payload any) {
+	if dst < 0 || dst >= r.Size() || dst == r.id {
+		r.world.fail(fmt.Errorf("mpi: rank %d: invalid send destination %d", r.id, dst))
+		return
+	}
+	id := NextMsgID()
+	env := envelope{Message{Src: r.id, Tag: tag, Payload: payload, msgID: id}}
+	ch := r.world.inbox[dst]
+	if typ == "" {
+		typ = TypeSend
+		if len(ch) == cap(ch) {
+			typ = TypeSendBlock
+		}
+	}
+	// The send event is reported before the blocking enqueue: it marks
+	// the call, as MPI tracing does; the collector holds the matching
+	// receive until this report arrives anyway.
+	r.report(event.KindSend, typ, r.world.TraceName(dst), id)
+	ch <- env
+}
+
+// Recv receives the next message from src (or AnySource), reporting a
+// TypeRecv event whose text is the sender's trace name. Tagged variants:
+// RecvTag.
+func (r *Rank) Recv(src int) Message {
+	return r.recv(src, "", "")
+}
+
+// RecvTag receives the next message from src (or AnySource) carrying the
+// given tag.
+func (r *Rank) RecvTag(src int, tag string) Message {
+	return r.recv(src, tag, "")
+}
+
+// RecvT is Recv with an explicit event type for the receive event.
+func (r *Rank) RecvT(src int, typ string) Message {
+	return r.recv(src, "", typ)
+}
+
+func matches(env envelope, src int, tag string) bool {
+	if src != AnySource && env.Src != src {
+		return false
+	}
+	return tag == "" || env.Tag == tag
+}
+
+// Barrier tag used by the collective implementation.
+const barrierTag = "__mpi_barrier"
+
+// Barrier synchronizes all ranks: no rank returns until every rank has
+// entered. It is implemented as a gather to rank 0 followed by a
+// broadcast, so the instrumentation records real messages and the
+// barrier is visible as causality (every pre-barrier event happens
+// before every post-barrier event of every rank).
+func (r *Rank) Barrier() {
+	if r.Size() == 1 {
+		return
+	}
+	if r.id == 0 {
+		for i := 1; i < r.Size(); i++ {
+			r.RecvTag(i, barrierTag)
+		}
+		for i := 1; i < r.Size(); i++ {
+			r.Send(i, barrierTag, nil)
+		}
+		return
+	}
+	r.Send(0, barrierTag, nil)
+	r.RecvTag(0, barrierTag)
+}
+
+// Bcast broadcasts a payload from the root rank to every other rank and
+// returns the payload on all ranks (the root's argument is returned
+// unchanged on the root).
+func (r *Rank) Bcast(root int, payload any) any {
+	if r.Size() == 1 {
+		return payload
+	}
+	if r.id == root {
+		for i := 0; i < r.Size(); i++ {
+			if i == root {
+				continue
+			}
+			r.Send(i, "__mpi_bcast", payload)
+		}
+		return payload
+	}
+	m := r.RecvTag(root, "__mpi_bcast")
+	return m.Payload
+}
+
+func (r *Rank) recv(src int, tag, typ string) Message {
+	var env envelope
+	found := false
+	for i, p := range r.pending {
+		if matches(p, src, tag) {
+			env = p
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			found = true
+			break
+		}
+	}
+	for !found {
+		next := <-r.world.inbox[r.id]
+		if matches(next, src, tag) {
+			env = next
+			found = true
+		} else {
+			r.pending = append(r.pending, next)
+		}
+	}
+	if typ == "" {
+		typ = TypeRecv
+	}
+	r.report(event.KindReceive, typ, r.world.TraceName(env.Src), env.msgID)
+	return env.Message
+}

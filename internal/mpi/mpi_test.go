@@ -1,0 +1,286 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/poet"
+)
+
+func TestPingPong(t *testing.T) {
+	c := poet.NewCollector()
+	err := Run(Config{Ranks: 2, Sink: c}, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, "ping", 42)
+			m := r.Recv(1)
+			if m.Payload.(int) != 43 {
+				t.Errorf("pong payload = %v", m.Payload)
+			}
+		case 1:
+			m := r.Recv(0)
+			r.Send(0, "pong", m.Payload.(int)+1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Delivered(); got != 4 {
+		t.Fatalf("delivered = %d want 4", got)
+	}
+	if !c.Drained() {
+		t.Fatalf("collector not drained")
+	}
+	// Causality: p0's send happens before p1's receive, which happens
+	// before p1's send, which happens before p0's receive.
+	st := c.Store()
+	p0, _ := st.TraceByName("p0")
+	p1, _ := st.TraceByName("p1")
+	s0 := st.Get(event.ID{Trace: p0, Index: 1})
+	r1 := st.Get(event.ID{Trace: p1, Index: 1})
+	s1 := st.Get(event.ID{Trace: p1, Index: 2})
+	r0 := st.Get(event.ID{Trace: p0, Index: 2})
+	if !s0.Before(r1) || !r1.Before(s1) || !s1.Before(r0) {
+		t.Fatalf("causal chain broken")
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	c := poet.NewCollector()
+	const ranks = 5
+	err := Run(Config{Ranks: ranks, Sink: c}, func(r *Rank) {
+		if r.ID() == 0 {
+			seen := map[int]bool{}
+			for i := 1; i < ranks; i++ {
+				m := r.Recv(AnySource)
+				seen[m.Src] = true
+			}
+			if len(seen) != ranks-1 {
+				t.Errorf("saw %d distinct sources, want %d", len(seen), ranks-1)
+			}
+		} else {
+			r.Send(0, "hello", r.ID())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Delivered(); got != 2*(ranks-1) {
+		t.Fatalf("delivered = %d want %d", got, 2*(ranks-1))
+	}
+}
+
+func TestSelectiveReceiveReordersPending(t *testing.T) {
+	err := Run(Config{Ranks: 3}, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			// Wait for rank 2's message first even though rank 1's may
+			// arrive earlier.
+			m2 := r.Recv(2)
+			m1 := r.Recv(1)
+			if m2.Src != 2 || m1.Src != 1 {
+				t.Errorf("selective receive wrong: %d, %d", m2.Src, m1.Src)
+			}
+		default:
+			r.Send(0, "x", nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagFiltering(t *testing.T) {
+	err := Run(Config{Ranks: 2}, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, "a", "first")
+			r.Send(1, "b", "second")
+		case 1:
+			mb := r.RecvTag(0, "b")
+			ma := r.RecvTag(0, "a")
+			if mb.Payload.(string) != "second" || ma.Payload.(string) != "first" {
+				t.Errorf("tag filtering wrong: %v %v", mb.Payload, ma.Payload)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendBlockEventType(t *testing.T) {
+	c := poet.NewCollector()
+	w, err := NewWorld(Config{Ranks: 2, EagerLimit: 1, Sink: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		r := w.Rank(0)
+		r.Send(1, "x", 1) // buffered eagerly
+		r.Send(1, "x", 2) // buffer full: reported as blocked
+	}()
+	go func() {
+		defer wg.Done()
+		r := w.Rank(1)
+		r.Recv(0)
+		r.Recv(0)
+	}()
+	wg.Wait()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Store()
+	p0, _ := st.TraceByName("p0")
+	types := []string{}
+	for _, e := range st.Events(p0) {
+		types = append(types, e.Type)
+	}
+	if types[0] != TypeSend {
+		t.Errorf("first send type = %q", types[0])
+	}
+	// The second send may or may not observe a full buffer depending on
+	// scheduling; both types are legal, but the text must always be the
+	// destination.
+	for _, e := range st.Events(p0) {
+		if e.Text != "p1" {
+			t.Errorf("send text = %q want p1", e.Text)
+		}
+	}
+}
+
+func TestInvalidDestination(t *testing.T) {
+	err := Run(Config{Ranks: 2}, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(5, "x", nil)
+		}
+	})
+	if err == nil {
+		t.Fatalf("invalid destination must surface in Err")
+	}
+}
+
+func TestInternalEvents(t *testing.T) {
+	c := poet.NewCollector()
+	err := Run(Config{Ranks: 1, Sink: c}, func(r *Rank) {
+		r.Internal("phase", "init")
+		r.Internal("phase", "done")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Store()
+	p0, _ := st.TraceByName("p0")
+	evs := st.Events(p0)
+	if len(evs) != 2 || evs[0].Text != "init" || evs[1].Text != "done" {
+		t.Fatalf("internal events wrong: %v", evs)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(Config{Ranks: 0}); err == nil {
+		t.Fatalf("zero ranks must fail")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	c := poet.NewCollector()
+	const ranks = 6
+	err := Run(Config{Ranks: ranks, Sink: c}, func(r *Rank) {
+		r.Internal("pre", "")
+		r.Barrier()
+		r.Internal("post", "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Drained() {
+		t.Fatalf("collector not drained")
+	}
+	// Causality: every pre event happens before every post event.
+	st := c.Store()
+	var pres, posts []*event.Event
+	for tr := 0; tr < st.NumTraces(); tr++ {
+		for _, e := range st.Events(event.TraceID(tr)) {
+			switch e.Type {
+			case "pre":
+				pres = append(pres, e)
+			case "post":
+				posts = append(posts, e)
+			}
+		}
+	}
+	if len(pres) != ranks || len(posts) != ranks {
+		t.Fatalf("pre/post counts wrong: %d/%d", len(pres), len(posts))
+	}
+	for _, p := range pres {
+		for _, q := range posts {
+			if !p.Before(q) {
+				t.Fatalf("barrier broken: %s not before %s", p.ID, q.ID)
+			}
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const ranks = 5
+	var mu sync.Mutex
+	got := map[int]any{}
+	err := Run(Config{Ranks: ranks}, func(r *Rank) {
+		payload := any(nil)
+		if r.ID() == 2 {
+			payload = "the-value"
+		}
+		v := r.Bcast(2, payload)
+		mu.Lock()
+		got[r.ID()] = v
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, v := range got {
+		if v != "the-value" {
+			t.Fatalf("rank %d received %v", rank, v)
+		}
+	}
+}
+
+func TestBarrierSingleRank(t *testing.T) {
+	if err := Run(Config{Ranks: 1}, func(r *Rank) {
+		r.Barrier()
+		if v := r.Bcast(0, 42); v != 42 {
+			t.Errorf("single-rank bcast = %v", v)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	c := poet.NewCollector()
+	const ranks = 16
+	err := Run(Config{Ranks: ranks, Sink: c}, func(r *Rank) {
+		// Ring: send right, receive left, a few rounds.
+		right := (r.ID() + 1) % ranks
+		left := (r.ID() - 1 + ranks) % ranks
+		for round := 0; round < 20; round++ {
+			r.Send(right, "tok", fmt.Sprintf("%d/%d", r.ID(), round))
+			r.Recv(left)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Delivered(), ranks*20*2; got != want {
+		t.Fatalf("delivered = %d want %d", got, want)
+	}
+	if !c.Drained() {
+		t.Fatalf("undelivered events remain")
+	}
+}

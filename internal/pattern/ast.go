@@ -1,0 +1,200 @@
+// Package pattern implements the OCEP pattern language: event-class
+// definitions, variable declarations, and causal pattern expressions
+// (Section III of the paper). It provides a lexer, a recursive-descent
+// parser, semantic validation, and compilation of the parsed pattern into
+// the pattern-tree / binary-constraint form the matcher consumes
+// (Section IV-A).
+//
+// A pattern definition looks like:
+//
+//	Synch    := [$1, Synch_Leader, $2];
+//	Snapshot := [$2, Take_Snapshot, ''];
+//	Update   := [$2, Make_Update, ''];
+//	Forward  := [$2, Take_Snapshot, $1];
+//	Snapshot $Diff;
+//	Update   $Write;
+//	pattern  := (Synch -> $Diff) && ($Diff -> $Write) && ($Write -> Forward);
+//
+// Class attributes are [process, type, text]; each may be an exact string,
+// a wildcard (empty string or *), or a variable ($name) that must bind to
+// the same value at every occurrence. Event variables ($Diff above) pin
+// multiple occurrences in the pattern to the same matched event.
+package pattern
+
+import "fmt"
+
+// AttrKind classifies one attribute slot of a class definition.
+type AttrKind int
+
+// Attribute kinds. Values start at 1 so the zero value is invalid.
+const (
+	// AttrExact matches only the given literal value.
+	AttrExact AttrKind = iota + 1
+	// AttrWildcard matches any value.
+	AttrWildcard
+	// AttrVar binds the value to a named variable; every occurrence of
+	// the variable must agree.
+	AttrVar
+)
+
+// AttrSpec is one attribute slot of a class definition.
+type AttrSpec struct {
+	Kind  AttrKind
+	Value string // literal for AttrExact, variable name for AttrVar
+}
+
+func (a AttrSpec) String() string {
+	switch a.Kind {
+	case AttrExact:
+		return fmt.Sprintf("%q", a.Value)
+	case AttrWildcard:
+		return "*"
+	case AttrVar:
+		return "$" + a.Value
+	default:
+		return "?"
+	}
+}
+
+// Class is an event-class definition: class-id := [process, type, text].
+type Class struct {
+	Name string
+	Proc AttrSpec
+	Type AttrSpec
+	Text AttrSpec
+}
+
+func (c *Class) String() string {
+	return fmt.Sprintf("%s := [%s, %s, %s]", c.Name, c.Proc, c.Type, c.Text)
+}
+
+// Op is a causality operator of the pattern language (Figure 1 of the
+// paper) or the conjunction connector.
+type Op int
+
+// Operators. Values start at 1 so the zero value is invalid.
+const (
+	// OpBefore is weak precedence "->": some constituent of the left
+	// operand happens before some constituent of the right, and the
+	// operands are not entangled (equation 2).
+	OpBefore Op = iota + 1
+	// OpStrongBefore is strong precedence "=>": every constituent of
+	// the left operand happens before every constituent of the right.
+	OpStrongBefore
+	// OpConcurrent is concurrency "||": every pair of constituents is
+	// causally unrelated (equation 3).
+	OpConcurrent
+	// OpLink is the partner operator "~": the operands are the two
+	// halves of one point-to-point communication.
+	OpLink
+	// OpLim is limited precedence "lim->": a happens before b with no
+	// other event of a's class causally between them.
+	OpLim
+	// OpEntangled is entanglement "<->": the operands cross or overlap
+	// (equation 1).
+	OpEntangled
+	// OpAnd is the conjunction connector "&&" joining sub-patterns.
+	OpAnd
+)
+
+// String returns the concrete syntax of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpBefore:
+		return "->"
+	case OpStrongBefore:
+		return "=>"
+	case OpConcurrent:
+		return "||"
+	case OpLink:
+		return "~"
+	case OpLim:
+		return "lim->"
+	case OpEntangled:
+		return "<->"
+	case OpAnd:
+		return "&&"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Expr is a node of the parsed pattern expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ClassRef is an occurrence of an event class in the pattern. Each
+// occurrence denotes a distinct event.
+type ClassRef struct {
+	Name string
+	Pos  Pos
+}
+
+// VarRef is an occurrence of an event variable ($X) in the pattern. All
+// occurrences of the same variable denote the same event.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// Binary is an operator application.
+type Binary struct {
+	Op   Op
+	L, R Expr
+	Pos  Pos
+}
+
+func (*ClassRef) exprNode() {}
+func (*VarRef) exprNode()   {}
+func (*Binary) exprNode()   {}
+
+func (e *ClassRef) String() string { return e.Name }
+func (e *VarRef) String() string   { return "$" + e.Name }
+func (e *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// VarDecl declares an event variable of a class: "Snapshot $Diff;".
+type VarDecl struct {
+	ClassName string
+	VarName   string
+	Pos       Pos
+}
+
+// File is a fully parsed pattern definition.
+type File struct {
+	Classes  []*Class
+	VarDecls []VarDecl
+	Pattern  Expr
+}
+
+// ClassByName returns the class definition with the given name.
+func (f *File) ClassByName(name string) (*Class, bool) {
+	for _, c := range f.Classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a pattern-language error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

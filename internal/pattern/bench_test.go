@@ -1,0 +1,49 @@
+package pattern
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(zookeeperPattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	f, err := Parse(zookeeperPattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormat(b *testing.B) {
+	f, err := Parse(zookeeperPattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Format(f)
+	}
+}
+
+func BenchmarkEnvBindRewind(b *testing.B) {
+	env := NewEnv()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mark := env.Mark()
+		env.bind("a", "value-1")
+		env.bind("b", "value-2")
+		env.Rewind(mark)
+	}
+}

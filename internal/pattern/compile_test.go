@@ -1,0 +1,290 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCompile(t *testing.T, src string) *Compiled {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := Compile(f)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func TestCompileSimpleBefore(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		B := [*, b, *];
+		pattern := A -> B;
+	`)
+	if c.K() != 2 {
+		t.Fatalf("K = %d want 2", c.K())
+	}
+	if c.Rel[0][1] != RelBefore || c.Rel[1][0] != RelAfter {
+		t.Fatalf("rel = %v / %v", c.Rel[0][1], c.Rel[1][0])
+	}
+	// Only B can terminate a match: A must precede B.
+	if c.Terminating[0] || !c.Terminating[1] {
+		t.Fatalf("terminating = %v", c.Terminating)
+	}
+	if got := c.TerminatingLeaves(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("TerminatingLeaves = %v", got)
+	}
+	if order := c.Orders[1]; len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Orders[0] != nil {
+		t.Fatalf("non-terminating leaf must have no order")
+	}
+}
+
+func TestCompileConcurrentBothTerminate(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		B := [*, b, *];
+		pattern := A || B;
+	`)
+	if !c.Terminating[0] || !c.Terminating[1] {
+		t.Fatalf("both operands of || must terminate: %v", c.Terminating)
+	}
+	if c.Rel[0][1] != RelConcurrent || c.Rel[1][0] != RelConcurrent {
+		t.Fatalf("rel = %v", c.Rel[0][1])
+	}
+}
+
+func TestCompileVariableSharesLeaf(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		B := [*, b, *];
+		C := [*, c, *];
+		A $x;
+		pattern := ($x -> B) && ($x -> C);
+	`)
+	// $x appears twice but is one leaf: total 3 leaves.
+	if c.K() != 3 {
+		t.Fatalf("K = %d want 3 (variable occurrences share a leaf)", c.K())
+	}
+	var x *Leaf
+	for _, l := range c.Leaves {
+		if l.Var == "x" {
+			x = l
+		}
+	}
+	if x == nil || x.Class.Name != "A" {
+		t.Fatalf("variable leaf missing or wrong class: %+v", x)
+	}
+}
+
+func TestCompileClassOccurrencesAreDistinct(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		pattern := A -> A;
+	`)
+	if c.K() != 2 {
+		t.Fatalf("two occurrences of a class must be two leaves, K = %d", c.K())
+	}
+}
+
+func TestCompileTransitiveClosure(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		B := [*, b, *];
+		C := [*, c, *];
+		A $a; B $b; C $c;
+		pattern := ($a -> $b) && ($b -> $c);
+	`)
+	// Closure adds A -> C.
+	if c.Rel[0][2] != RelBefore {
+		t.Fatalf("transitive closure missing: rel(A,C) = %v", c.Rel[0][2])
+	}
+	// Only C terminates.
+	if got := c.TerminatingLeaves(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("TerminatingLeaves = %v", got)
+	}
+}
+
+func TestCompileStrongPrecedenceDecomposes(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		B := [*, b, *];
+		C := [*, c, *];
+		D := [*, d, *];
+		pattern := (A -> B) => (C -> D);
+	`)
+	// Strong precedence: every left leaf before every right leaf.
+	for _, a := range []int{0, 1} {
+		for _, b := range []int{2, 3} {
+			if c.Rel[a][b] != RelBefore {
+				t.Fatalf("rel(%d,%d) = %v want before", a, b, c.Rel[a][b])
+			}
+		}
+	}
+	if len(c.Disjuncts) != 0 {
+		t.Fatalf("strong precedence must not produce disjuncts")
+	}
+}
+
+func TestCompileWeakPrecedenceDisjunct(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		B := [*, b, *];
+		C := [*, c, *];
+		D := [*, d, *];
+		pattern := (A || B) -> (C || D);
+	`)
+	if len(c.Disjuncts) != 1 {
+		t.Fatalf("disjuncts = %d want 1", len(c.Disjuncts))
+	}
+	d := c.Disjuncts[0]
+	if d.Op != OpBefore || len(d.A) != 2 || len(d.B) != 2 {
+		t.Fatalf("disjunct = %+v", d)
+	}
+}
+
+func TestCompileConcurrencyDecomposes(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		B := [*, b, *];
+		C := [*, c, *];
+		pattern := (A -> B) || C;
+	`)
+	if c.Rel[0][2] != RelConcurrent || c.Rel[1][2] != RelConcurrent {
+		t.Fatalf("|| must decompose pairwise: %v %v", c.Rel[0][2], c.Rel[1][2])
+	}
+}
+
+func TestCompileLink(t *testing.T) {
+	c := mustCompile(t, `
+		S := [*, send, *];
+		R := [*, recv, *];
+		pattern := S ~ R;
+	`)
+	if c.Rel[0][1] != RelLink || c.Rel[1][0] != RelLink {
+		t.Fatalf("rel = %v", c.Rel[0][1])
+	}
+}
+
+func TestCompileLim(t *testing.T) {
+	c := mustCompile(t, `
+		A := [*, a, *];
+		B := [*, b, *];
+		pattern := A lim-> B;
+	`)
+	if c.Rel[0][1] != RelLim || c.Rel[1][0] != RelLimAfter {
+		t.Fatalf("rel = %v / %v", c.Rel[0][1], c.Rel[1][0])
+	}
+	if c.Terminating[0] || !c.Terminating[1] {
+		t.Fatalf("terminating = %v", c.Terminating)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			"two-cycle",
+			`A := [*,a,*]; B := [*,b,*]; A $a; B $b;
+			 pattern := ($a -> $b) && ($b -> $a);`,
+			"contradictory",
+		},
+		{
+			"three-cycle",
+			`A := [*,a,*]; B := [*,b,*]; C := [*,c,*]; A $a; B $b; C $c;
+			 pattern := ($a -> $b) && ($b -> $c) && ($c -> $a);`,
+			"before itself",
+		},
+		{
+			"ordered and concurrent",
+			`A := [*,a,*]; B := [*,b,*]; A $a; B $b;
+			 pattern := ($a -> $b) && ($a || $b);`,
+			"contradictory",
+		},
+		{
+			"transitively contradictory",
+			`A := [*,a,*]; B := [*,b,*]; C := [*,c,*]; A $a; B $b; C $c;
+			 pattern := ($a -> $b) && ($b -> $c) && ($a || $c);`,
+			"ordered and concurrent",
+		},
+		{
+			"self operator",
+			`A := [*,a,*]; A $x; pattern := $x -> $x;`,
+			"same event occurrence",
+		},
+		{
+			"lim compound",
+			`A := [*,a,*]; B := [*,b,*]; C := [*,c,*]; pattern := (A && B) lim-> C;`,
+			"lim-> requires primitive",
+		},
+		{
+			"link compound",
+			`A := [*,a,*]; B := [*,b,*]; C := [*,c,*]; pattern := (A && B) ~ C;`,
+			"link) requires primitive",
+		},
+		{
+			"entangle primitive",
+			`A := [*,a,*]; B := [*,b,*]; pattern := A <-> B;`,
+			"requires compound operands",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = Compile(f)
+			if err == nil {
+				t.Fatalf("Compile succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileZookeeperPattern(t *testing.T) {
+	c := mustCompile(t, zookeeperPattern)
+	// Leaves: Synch, $Diff, $Write, Forward.
+	if c.K() != 4 {
+		t.Fatalf("K = %d want 4", c.K())
+	}
+	// Chain: Synch -> Diff -> Write -> Forward; only Forward terminates.
+	if got := c.TerminatingLeaves(); len(got) != 1 {
+		t.Fatalf("TerminatingLeaves = %v want exactly one", got)
+	}
+	term := c.TerminatingLeaves()[0]
+	if c.Leaves[term].Class.Name != "Forward" {
+		t.Fatalf("terminating leaf = %s want Forward", c.Leaves[term])
+	}
+}
+
+func TestOrderPrefersLinkedLeaves(t *testing.T) {
+	c := mustCompile(t, `
+		S1 := [*, send, *];
+		R1 := [*, recv, *];
+		A  := [*, a, *];
+		S1 $s; R1 $r; A $a;
+		pattern := ($s ~ $r) && ($a -> $r) && ($a -> $s);
+	`)
+	term := c.TerminatingLeaves()
+	if len(term) == 0 {
+		t.Fatalf("no terminating leaves")
+	}
+	for _, ti := range term {
+		order := c.Orders[ti]
+		// The linked partner of the trigger leaf should be placed
+		// immediately after it (score boosted by k).
+		if c.Rel[order[0]][order[1]] != RelLink {
+			t.Fatalf("second leaf in order for trigger %d should be the link partner: order=%v", ti, order)
+		}
+	}
+}

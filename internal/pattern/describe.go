@@ -1,0 +1,71 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a compiled pattern in a human-readable form: classes,
+// leaves with their evaluation role, the pairwise constraint matrix, the
+// compound disjuncts, and the terminating leaves. It backs the patternc
+// tool.
+func Describe(c *Compiled) string {
+	var b strings.Builder
+	b.WriteString("classes:\n")
+	for _, cls := range c.Source.Classes {
+		fmt.Fprintf(&b, "  %s\n", cls)
+	}
+	if len(c.Source.VarDecls) > 0 {
+		b.WriteString("event variables:\n")
+		for _, d := range c.Source.VarDecls {
+			fmt.Fprintf(&b, "  $%s : %s\n", d.VarName, d.ClassName)
+		}
+	}
+	fmt.Fprintf(&b, "pattern: %s\n", c.Source.Pattern)
+	fmt.Fprintf(&b, "leaves (k=%d):\n", c.K())
+	for i, l := range c.Leaves {
+		term := ""
+		if c.Terminating[i] {
+			term = "  [terminating]"
+		}
+		fmt.Fprintf(&b, "  %d: %s%s\n", i, l, term)
+	}
+	b.WriteString("constraints:\n")
+	for i := 0; i < c.K(); i++ {
+		for j := i + 1; j < c.K(); j++ {
+			if r := c.Rel[i][j]; r != RelNone {
+				fmt.Fprintf(&b, "  %s %s %s\n", c.Leaves[i], relSyntax(r), c.Leaves[j])
+			}
+		}
+	}
+	for _, d := range c.Disjuncts {
+		fmt.Fprintf(&b, "  compound: leaves%v %s leaves%v\n", d.A, d.Op, d.B)
+	}
+	b.WriteString("evaluation orders:\n")
+	for i, ord := range c.Orders {
+		if ord == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  trigger %s: %v\n", c.Leaves[i], ord)
+	}
+	return b.String()
+}
+
+func relSyntax(r Rel) string {
+	switch r {
+	case RelBefore:
+		return "->"
+	case RelAfter:
+		return "<-"
+	case RelConcurrent:
+		return "||"
+	case RelLink:
+		return "~"
+	case RelLim:
+		return "lim->"
+	case RelLimAfter:
+		return "<-lim"
+	default:
+		return r.String()
+	}
+}

@@ -1,0 +1,101 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed pattern file back to canonical source:
+// class definitions first, then event-variable declarations, then the
+// pattern, with one statement per line and fully parenthesized
+// expressions. Formatting then reparsing yields a structurally identical
+// file (round-trip property, tested).
+func Format(f *File) string {
+	var b strings.Builder
+	for _, c := range f.Classes {
+		fmt.Fprintf(&b, "%s := [%s, %s, %s];\n",
+			c.Name, formatAttr(c.Proc), formatAttr(c.Type), formatAttr(c.Text))
+	}
+	for _, d := range f.VarDecls {
+		fmt.Fprintf(&b, "%s $%s;\n", d.ClassName, d.VarName)
+	}
+	fmt.Fprintf(&b, "pattern := %s;\n", formatExpr(f.Pattern))
+	return b.String()
+}
+
+// formatAttr renders one attribute slot in parseable syntax.
+func formatAttr(a AttrSpec) string {
+	switch a.Kind {
+	case AttrExact:
+		return quoteAttr(a.Value)
+	case AttrVar:
+		return "$" + a.Value
+	default:
+		return "*"
+	}
+}
+
+// quoteAttr quotes a literal attribute value, escaping embedded quotes.
+func quoteAttr(v string) string {
+	var b strings.Builder
+	b.WriteByte('\'')
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\'' || v[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(v[i])
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+// formatExpr renders an expression fully parenthesized.
+func formatExpr(e Expr) string {
+	switch n := e.(type) {
+	case *ClassRef:
+		return n.Name
+	case *VarRef:
+		return "$" + n.Name
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", formatExpr(n.L), n.Op, formatExpr(n.R))
+	default:
+		return "?"
+	}
+}
+
+// Equal reports whether two parsed files are structurally identical
+// (same classes, declarations and expression shape).
+func Equal(a, b *File) bool {
+	if len(a.Classes) != len(b.Classes) || len(a.VarDecls) != len(b.VarDecls) {
+		return false
+	}
+	for i, c := range a.Classes {
+		d := b.Classes[i]
+		if c.Name != d.Name || c.Proc != d.Proc || c.Type != d.Type || c.Text != d.Text {
+			return false
+		}
+	}
+	for i, v := range a.VarDecls {
+		w := b.VarDecls[i]
+		if v.ClassName != w.ClassName || v.VarName != w.VarName {
+			return false
+		}
+	}
+	return exprEqual(a.Pattern, b.Pattern)
+}
+
+func exprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *ClassRef:
+		y, ok := b.(*ClassRef)
+		return ok && x.Name == y.Name
+	case *VarRef:
+		y, ok := b.(*VarRef)
+		return ok && x.Name == y.Name
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	default:
+		return false
+	}
+}

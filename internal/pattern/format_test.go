@@ -1,0 +1,93 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+var formatSources = []string{
+	`A := [*, a, *]; pattern := A;`,
+	`A := [*, a, *]; B := [*, b, *]; pattern := A -> B && A || B;`,
+	zookeeperPattern,
+	`S := [*, send, *]; R := [*, recv, *]; S $s; R $r;
+	 pattern := ($s ~ $r) && ($s lim-> $r);`,
+	`A := ['has space', "d'quote", 42]; pattern := A => A;`,
+	`A := [*, a, *]; B := [*, b, *]; C := [*, c, *]; D := [*, d, *];
+	 pattern := (A || B) -> (C || D);`,
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, src := range formatSources {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse original: %v\n%s", err, src)
+		}
+		formatted := Format(f1)
+		f2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("parse formatted: %v\n%s", err, formatted)
+		}
+		if !Equal(f1, f2) {
+			t.Fatalf("round trip changed structure:\noriginal: %s\nformatted: %s", src, formatted)
+		}
+		// Formatting is idempotent.
+		if again := Format(f2); again != formatted {
+			t.Fatalf("format not idempotent:\n%s\nvs\n%s", formatted, again)
+		}
+	}
+}
+
+func TestFormatQuoting(t *testing.T) {
+	f, err := Parse(`A := ['it''s', 'a\'b', *]; pattern := A;`)
+	if err != nil {
+		// '' inside quotes ends the string; use escaped form only.
+		f, err = Parse(`A := ['a\'b', 'c', *]; pattern := A;`)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := Format(f)
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("formatted quoting does not reparse: %v\n%s", err, out)
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	base := `A := [*, a, *]; B := [*, b, *]; pattern := A -> B;`
+	f1, err := Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []string{
+		`A := [*, a, *]; B := [*, b, *]; pattern := B -> A;`,
+		`A := [*, a, *]; B := [*, b, *]; pattern := A || B;`,
+		`A := [*, x, *]; B := [*, b, *]; pattern := A -> B;`,
+		`A := [*, a, *]; B := [*, b, *]; A $v; pattern := $v -> B;`,
+		`A := [*, a, *]; pattern := A;`,
+	}
+	for _, v := range variants {
+		f2, err := Parse(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Equal(f1, f2) {
+			t.Errorf("Equal failed to distinguish:\n%s\nvs\n%s", base, v)
+		}
+	}
+	if !Equal(f1, f1) {
+		t.Errorf("Equal must be reflexive")
+	}
+}
+
+func TestFormatContainsAllParts(t *testing.T) {
+	f, err := Parse(zookeeperPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	for _, want := range []string{"Synch :=", "$Diff;", "pattern :=", "$1", "'Synch_Leader'"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}

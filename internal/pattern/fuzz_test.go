@@ -1,0 +1,93 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input: they must
+// never panic, and anything that parses must also survive validation and
+// compilation or produce a clean error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`pattern := A;`,
+		`A := [*, a, *]; pattern := A -> B;`,
+		`A := [*, a, *]; B := [*, b, *]; pattern := (A || B) && (A ~ B);`,
+		`Synch := [$1, Synch_Leader, $2]; pattern := Synch;`,
+		`A := ['x y', "z", 42]; pattern := A lim-> A;`,
+		`A := [*, a, *]; A $x; pattern := $x <-> $x;`,
+		`# comment
+		 A := [*, a, *]; // other comment
+		 pattern := A => A;`,
+		`A := [`,
+		`:= ;;; -> || <->`,
+		`pattern := pattern;`,
+		`A := [*, a, *]; pattern := ((((A))));`,
+		"A := [\x00, a, *]; pattern := A;",
+		`Ω := [*, α, *]; pattern := Ω;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			if msg := err.Error(); msg == "" {
+				t.Fatalf("empty error message for %q", src)
+			}
+			return
+		}
+		compiled, err := Compile(file)
+		if err != nil {
+			return
+		}
+		// Compiled patterns have internally consistent structure.
+		k := compiled.K()
+		if k == 0 {
+			t.Fatalf("compiled pattern with zero leaves for %q", src)
+		}
+		if len(compiled.Rel) != k || len(compiled.Terminating) != k || len(compiled.Orders) != k {
+			t.Fatalf("inconsistent compiled sizes for %q", src)
+		}
+		anyTerm := false
+		for i := 0; i < k; i++ {
+			if len(compiled.Rel[i]) != k {
+				t.Fatalf("rel matrix not square for %q", src)
+			}
+			if compiled.Rel[i][i] != RelNone {
+				t.Fatalf("self relation set for %q", src)
+			}
+			if compiled.Terminating[i] {
+				anyTerm = true
+				order := compiled.Orders[i]
+				if len(order) != k || order[0] != i {
+					t.Fatalf("bad order for %q: %v", src, order)
+				}
+				seen := make([]bool, k)
+				for _, l := range order {
+					if l < 0 || l >= k || seen[l] {
+						t.Fatalf("order not a permutation for %q: %v", src, order)
+					}
+					seen[l] = true
+				}
+			}
+		}
+		if !anyTerm {
+			t.Fatalf("no terminating leaf for %q (precedence closure must leave maximal elements)", src)
+		}
+		// The description renderer must handle anything that compiles.
+		if desc := Describe(compiled); !strings.Contains(desc, "pattern:") {
+			t.Fatalf("describe output malformed for %q", src)
+		}
+		// Round trip: format -> parse -> structurally identical.
+		formatted := Format(file)
+		file2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted source does not reparse for %q:\n%s\n%v", src, formatted, err)
+		}
+		if !Equal(file, file2) {
+			t.Fatalf("round trip changed structure for %q:\n%s", src, formatted)
+		}
+	})
+}

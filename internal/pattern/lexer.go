@@ -1,0 +1,279 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokVar    // $name
+	tokString // 'literal' or "literal"
+	tokStar   // *
+	tokAssign // :=
+	tokLBrack // [
+	tokRBrack // ]
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokSemi   // ;
+	tokArrow  // ->
+	tokStrong // =>
+	tokPar    // ||
+	tokLink   // ~
+	tokLim    // lim->
+	tokEnt    // <->
+	tokAnd    // && or "and"
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokString:
+		return "string"
+	case tokStar:
+		return "'*'"
+	case tokAssign:
+		return "':='"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokArrow:
+		return "'->'"
+	case tokStrong:
+		return "'=>'"
+	case tokPar:
+		return "'||'"
+	case tokLink:
+		return "'~'"
+	case tokLim:
+		return "'lim->'"
+	case tokEnt:
+		return "'<->'"
+	case tokAnd:
+		return "'&&'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+}
+
+// lexer turns pattern source into tokens. It supports '#' and '//' line
+// comments.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '$':
+		l.advance()
+		var b strings.Builder
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		if b.Len() == 0 {
+			return token{}, errf(pos, "lone '$': expected variable name")
+		}
+		return token{kind: tokVar, text: b.String(), pos: pos}, nil
+	case c == '\'' || c == '"':
+		quote := l.advance()
+		var b strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return token{}, errf(pos, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == quote {
+				break
+			}
+			if ch == '\\' && l.off < len(l.src) {
+				ch = l.advance()
+			}
+			b.WriteByte(ch)
+		}
+		return token{kind: tokString, text: b.String(), pos: pos}, nil
+	case isIdentStart(c):
+		var b strings.Builder
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		word := b.String()
+		switch word {
+		case "and":
+			return token{kind: tokAnd, text: word, pos: pos}, nil
+		case "lim":
+			// Expect "lim->".
+			if strings.HasPrefix(l.src[l.off:], "->") {
+				l.advance()
+				l.advance()
+				return token{kind: tokLim, text: "lim->", pos: pos}, nil
+			}
+			return token{}, errf(pos, "expected '->' after 'lim'")
+		}
+		return token{kind: tokIdent, text: word, pos: pos}, nil
+	case unicode.IsDigit(rune(c)):
+		// Bare numbers appear as attribute literals (e.g. rank numbers).
+		var b strings.Builder
+		for l.off < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokString, text: b.String(), pos: pos}, nil
+	}
+	l.advance()
+	two := func(k tokenKind, text string, want byte) (token, error) {
+		if l.peek() != want {
+			return token{}, errf(pos, "unexpected %q: did you mean %q?", string(c), text)
+		}
+		l.advance()
+		return token{kind: k, text: text, pos: pos}, nil
+	}
+	switch c {
+	case '*':
+		return token{kind: tokStar, text: "*", pos: pos}, nil
+	case '[':
+		return token{kind: tokLBrack, text: "[", pos: pos}, nil
+	case ']':
+		return token{kind: tokRBrack, text: "]", pos: pos}, nil
+	case '(':
+		return token{kind: tokLParen, text: "(", pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, text: ",", pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, text: ";", pos: pos}, nil
+	case '~':
+		return token{kind: tokLink, text: "~", pos: pos}, nil
+	case ':':
+		return two(tokAssign, ":=", '=')
+	case '&':
+		return two(tokAnd, "&&", '&')
+	case '|':
+		return two(tokPar, "||", '|')
+	case '=':
+		return two(tokStrong, "=>", '>')
+	case '-':
+		return two(tokArrow, "->", '>')
+	case '<':
+		// "<->"
+		if l.peek() == '-' && l.peek2() == '>' {
+			l.advance()
+			l.advance()
+			return token{kind: tokEnt, text: "<->", pos: pos}, nil
+		}
+		return token{}, errf(pos, "unexpected '<': did you mean '<->'?")
+	}
+	return token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole input (testing helper; the parser pulls
+// tokens one at a time).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll(`A := [$1, Send, '']; pattern := A -> B && C || D;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{
+		tokIdent, tokAssign, tokLBrack, tokVar, tokComma, tokIdent, tokComma,
+		tokString, tokRBrack, tokSemi,
+		tokIdent, tokAssign, tokIdent, tokArrow, tokIdent, tokAnd, tokIdent,
+		tokPar, tokIdent, tokSemi, tokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lexAll(`A => B <-> C ~ D lim-> E and F`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{
+		tokIdent, tokStrong, tokIdent, tokEnt, tokIdent, tokLink, tokIdent,
+		tokLim, tokIdent, tokAnd, tokIdent, tokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexAll("# comment line\nA // trailing\nB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].text != "A" || toks[1].text != "B" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := lexAll(`'hello world' "double" 'esc\'aped' ''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{"hello world", "double", "esc'aped", ""}
+	for i, w := range wants {
+		if toks[i].kind != tokString || toks[i].text != w {
+			t.Fatalf("string %d = %v %q, want %q", i, toks[i].kind, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexNumbersAsLiterals(t *testing.T) {
+	toks, err := lexAll(`42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokString || toks[0].text != "42" {
+		t.Fatalf("numeric literal lexed as %v %q", toks[0].kind, toks[0].text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"$", "lone '$'"},
+		{"'abc", "unterminated string"},
+		{"lim x", "expected '->' after 'lim'"},
+		{"a : b", "unexpected"},
+		{"a & b", "unexpected"},
+		{"a | b", "unexpected"},
+		{"a - b", "unexpected"},
+		{"a < b", "unexpected '<'"},
+		{"a = b", "unexpected"},
+		{"a @ b", "unexpected character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			_, err := lexAll(tc.src)
+			if err == nil {
+				t.Fatalf("lexAll(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("A\n  B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos.Line != 1 || toks[0].pos.Col != 1 {
+		t.Fatalf("A at %v", toks[0].pos)
+	}
+	if toks[1].pos.Line != 2 || toks[1].pos.Col != 3 {
+		t.Fatalf("B at %v", toks[1].pos)
+	}
+}

@@ -1,0 +1,104 @@
+package pattern
+
+import (
+	"ocep/internal/event"
+)
+
+// Env holds the attribute-variable bindings accumulated while building a
+// partial match, with an undo trail so the backtracking matcher can
+// rewind. The zero value is not usable; call NewEnv.
+type Env struct {
+	vals  map[string]string
+	trail []string
+}
+
+// NewEnv returns an empty binding environment.
+func NewEnv() *Env {
+	return &Env{vals: make(map[string]string)}
+}
+
+// Lookup returns the value bound to the variable.
+func (e *Env) Lookup(name string) (string, bool) {
+	v, ok := e.vals[name]
+	return v, ok
+}
+
+// Mark returns an undo mark; Rewind(mark) removes every binding added
+// since.
+func (e *Env) Mark() int { return len(e.trail) }
+
+// Rewind removes all bindings added after the mark.
+func (e *Env) Rewind(mark int) {
+	for len(e.trail) > mark {
+		name := e.trail[len(e.trail)-1]
+		e.trail = e.trail[:len(e.trail)-1]
+		delete(e.vals, name)
+	}
+}
+
+// bind adds a binding and records it on the trail.
+func (e *Env) bind(name, value string) {
+	e.vals[name] = value
+	e.trail = append(e.trail, name)
+}
+
+// Len returns the number of live bindings.
+func (e *Env) Len() int { return len(e.vals) }
+
+// Snapshot returns a copy of the current bindings (for reporting), or
+// nil when there are none.
+func (e *Env) Snapshot() map[string]string {
+	if len(e.vals) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(e.vals))
+	for k, v := range e.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// matchAttr matches one attribute slot against a concrete value under the
+// environment, binding variables as needed. It reports success.
+func matchAttr(spec AttrSpec, value string, env *Env) bool {
+	switch spec.Kind {
+	case AttrExact:
+		return spec.Value == value
+	case AttrWildcard:
+		return true
+	case AttrVar:
+		if bound, ok := env.Lookup(spec.Value); ok {
+			return bound == value
+		}
+		env.bind(spec.Value, value)
+		return true
+	default:
+		return false
+	}
+}
+
+// MatchEvent reports whether ev matches the class under env, binding any
+// unbound attribute variables. traceName is the registered name of the
+// event's trace (the process attribute matches names, not numeric IDs).
+// On failure the environment is left exactly as it was.
+func (c *Class) MatchEvent(ev *event.Event, traceName string, env *Env) bool {
+	mark := env.Mark()
+	if matchAttr(c.Proc, traceName, env) &&
+		matchAttr(c.Type, ev.Type, env) &&
+		matchAttr(c.Text, ev.Text, env) {
+		return true
+	}
+	env.Rewind(mark)
+	return false
+}
+
+// MatchesIgnoringVars reports whether ev could match the class under some
+// environment: exact attributes must match, variables and wildcards
+// accept anything. The matcher uses it to decide which leaf histories an
+// arriving event joins.
+func (c *Class) MatchesIgnoringVars(ev *event.Event, traceName string) bool {
+	check := func(spec AttrSpec, value string) bool {
+		return spec.Kind != AttrExact || spec.Value == value
+	}
+	return check(c.Proc, traceName) && check(c.Type, ev.Type) && check(c.Text, ev.Text)
+}

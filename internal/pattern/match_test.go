@@ -1,0 +1,162 @@
+package pattern
+
+import (
+	"testing"
+
+	"ocep/internal/event"
+)
+
+func TestEnvBindRewind(t *testing.T) {
+	env := NewEnv()
+	m0 := env.Mark()
+	env.bind("a", "1")
+	env.bind("b", "2")
+	if v, ok := env.Lookup("a"); !ok || v != "1" {
+		t.Fatalf("lookup a = %q,%v", v, ok)
+	}
+	if env.Len() != 2 {
+		t.Fatalf("len = %d", env.Len())
+	}
+	m1 := env.Mark()
+	env.bind("c", "3")
+	env.Rewind(m1)
+	if _, ok := env.Lookup("c"); ok {
+		t.Fatalf("c must be unbound after rewind")
+	}
+	if _, ok := env.Lookup("b"); !ok {
+		t.Fatalf("b must survive rewind to later mark")
+	}
+	env.Rewind(m0)
+	if env.Len() != 0 {
+		t.Fatalf("len after full rewind = %d", env.Len())
+	}
+	snap := env.Snapshot()
+	if len(snap) != 0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestMatchEventExactAndWildcard(t *testing.T) {
+	cls := &Class{
+		Name: "Snap",
+		Proc: AttrSpec{Kind: AttrExact, Value: "leader"},
+		Type: AttrSpec{Kind: AttrExact, Value: "Take_Snapshot"},
+		Text: AttrSpec{Kind: AttrWildcard},
+	}
+	ev := &event.Event{Type: "Take_Snapshot", Text: "whatever"}
+	env := NewEnv()
+	if !cls.MatchEvent(ev, "leader", env) {
+		t.Fatalf("expected match")
+	}
+	if cls.MatchEvent(ev, "follower", env) {
+		t.Fatalf("wrong process must not match")
+	}
+	ev2 := &event.Event{Type: "Make_Update"}
+	if cls.MatchEvent(ev2, "leader", env) {
+		t.Fatalf("wrong type must not match")
+	}
+}
+
+func TestMatchEventVariableBinding(t *testing.T) {
+	// Synch := [$1, Synch_Leader, $2]
+	cls := &Class{
+		Name: "Synch",
+		Proc: AttrSpec{Kind: AttrVar, Value: "1"},
+		Type: AttrSpec{Kind: AttrExact, Value: "Synch_Leader"},
+		Text: AttrSpec{Kind: AttrVar, Value: "2"},
+	}
+	env := NewEnv()
+	ev := &event.Event{Type: "Synch_Leader", Text: "leader-0"}
+	if !cls.MatchEvent(ev, "follower-3", env) {
+		t.Fatalf("expected match with fresh bindings")
+	}
+	if v, _ := env.Lookup("1"); v != "follower-3" {
+		t.Fatalf("$1 = %q", v)
+	}
+	if v, _ := env.Lookup("2"); v != "leader-0" {
+		t.Fatalf("$2 = %q", v)
+	}
+	// Same class on a different process must now fail ($1 bound).
+	ev2 := &event.Event{Type: "Synch_Leader", Text: "leader-0"}
+	if cls.MatchEvent(ev2, "follower-4", env) {
+		t.Fatalf("bound variable must force equality")
+	}
+	// And a failed match must not leave partial bindings behind.
+	if env.Len() != 2 {
+		t.Fatalf("failed match leaked bindings: %d", env.Len())
+	}
+}
+
+func TestMatchEventRewindOnPartialFailure(t *testing.T) {
+	// Class binds $x on proc, then fails on type: $x must be unbound.
+	cls := &Class{
+		Name: "C",
+		Proc: AttrSpec{Kind: AttrVar, Value: "x"},
+		Type: AttrSpec{Kind: AttrExact, Value: "wanted"},
+		Text: AttrSpec{Kind: AttrWildcard},
+	}
+	env := NewEnv()
+	ev := &event.Event{Type: "other"}
+	if cls.MatchEvent(ev, "p0", env) {
+		t.Fatalf("must not match")
+	}
+	if _, ok := env.Lookup("x"); ok {
+		t.Fatalf("partial binding leaked")
+	}
+}
+
+func TestMatchesIgnoringVars(t *testing.T) {
+	cls := &Class{
+		Name: "C",
+		Proc: AttrSpec{Kind: AttrVar, Value: "x"},
+		Type: AttrSpec{Kind: AttrExact, Value: "snap"},
+		Text: AttrSpec{Kind: AttrWildcard},
+	}
+	ok := &event.Event{Type: "snap", Text: "anything"}
+	bad := &event.Event{Type: "update"}
+	if !cls.MatchesIgnoringVars(ok, "any-proc") {
+		t.Fatalf("variable and wildcard slots must accept anything")
+	}
+	if cls.MatchesIgnoringVars(bad, "any-proc") {
+		t.Fatalf("exact type must still filter")
+	}
+}
+
+func TestAttrSpecString(t *testing.T) {
+	tests := []struct {
+		spec AttrSpec
+		want string
+	}{
+		{AttrSpec{Kind: AttrExact, Value: "v"}, `"v"`},
+		{AttrSpec{Kind: AttrWildcard}, "*"},
+		{AttrSpec{Kind: AttrVar, Value: "x"}, "$x"},
+		{AttrSpec{}, "?"},
+	}
+	for _, tc := range tests {
+		if got := tc.spec.String(); got != tc.want {
+			t.Errorf("String() = %q want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOpAndRelStrings(t *testing.T) {
+	ops := map[Op]string{
+		OpBefore: "->", OpStrongBefore: "=>", OpConcurrent: "||",
+		OpLink: "~", OpLim: "lim->", OpEntangled: "<->", OpAnd: "&&",
+	}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("Op %d = %q want %q", int(op), got, want)
+		}
+	}
+	rels := map[Rel]string{
+		RelNone: "none", RelBefore: "before", RelAfter: "after",
+		RelConcurrent: "concurrent", RelLink: "link",
+		RelLim: "lim-before", RelLimAfter: "lim-after",
+	}
+	for r, want := range rels {
+		if got := r.String(); got != want {
+			t.Errorf("Rel %d = %q want %q", int(r), got, want)
+		}
+	}
+}

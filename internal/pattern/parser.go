@@ -1,0 +1,289 @@
+package pattern
+
+import "fmt"
+
+// Parse parses a complete pattern definition: class definitions, optional
+// event-variable declarations, and exactly one "pattern := expr;".
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.kind != tokEOF {
+		if err := p.parseTopLevel(f); err != nil {
+			return nil, err
+		}
+	}
+	if f.Pattern == nil {
+		return nil, fmt.Errorf("pattern definition missing: expected \"pattern := <expr>;\"")
+	}
+	if err := validate(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, errf(p.tok.pos, "expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// parseTopLevel parses one statement: a class definition, a variable
+// declaration, or the pattern definition.
+func (p *parser) parseTopLevel(f *File) error {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tokAssign:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if name.text == "pattern" {
+			expr, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if f.Pattern != nil {
+				return errf(name.pos, "duplicate pattern definition")
+			}
+			f.Pattern = expr
+		} else {
+			cls, err := p.parseClassBody(name)
+			if err != nil {
+				return err
+			}
+			f.Classes = append(f.Classes, cls)
+		}
+	case tokVar:
+		f.VarDecls = append(f.VarDecls, VarDecl{
+			ClassName: name.text,
+			VarName:   p.tok.text,
+			Pos:       name.pos,
+		})
+		if err := p.advance(); err != nil {
+			return err
+		}
+	default:
+		return errf(p.tok.pos, "expected ':=' or variable after %q, found %s", name.text, p.tok.kind)
+	}
+	_, err = p.expect(tokSemi)
+	return err
+}
+
+// parseClassBody parses "[attr, attr, attr]" after "Name :=".
+func (p *parser) parseClassBody(name token) (*Class, error) {
+	if _, err := p.expect(tokLBrack); err != nil {
+		return nil, err
+	}
+	attrs := make([]AttrSpec, 0, 3)
+	for i := 0; i < 3; i++ {
+		a, err := p.parseAttr()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+		if i < 2 {
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokRBrack); err != nil {
+		return nil, err
+	}
+	return &Class{Name: name.text, Proc: attrs[0], Type: attrs[1], Text: attrs[2]}, nil
+}
+
+// parseAttr parses one attribute slot: string literal, bare identifier
+// (treated as an exact literal), variable, or wildcard (* or empty
+// string).
+func (p *parser) parseAttr() (AttrSpec, error) {
+	switch p.tok.kind {
+	case tokString:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return AttrSpec{}, err
+		}
+		if v == "" {
+			return AttrSpec{Kind: AttrWildcard}, nil
+		}
+		return AttrSpec{Kind: AttrExact, Value: v}, nil
+	case tokIdent:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return AttrSpec{}, err
+		}
+		return AttrSpec{Kind: AttrExact, Value: v}, nil
+	case tokVar:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return AttrSpec{}, err
+		}
+		return AttrSpec{Kind: AttrVar, Value: v}, nil
+	case tokStar:
+		if err := p.advance(); err != nil {
+			return AttrSpec{}, err
+		}
+		return AttrSpec{Kind: AttrWildcard}, nil
+	default:
+		return AttrSpec{}, errf(p.tok.pos, "expected attribute, found %s %q", p.tok.kind, p.tok.text)
+	}
+}
+
+// parseExpr parses a conjunction: term ('&&' term)*.
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseCausal()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokAnd {
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCausal()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpAnd, L: left, R: right, Pos: pos}
+	}
+	return left, nil
+}
+
+// parseCausal parses operand (causal-op operand)*, left associative.
+func (p *parser) parseCausal() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch p.tok.kind {
+		case tokArrow:
+			op = OpBefore
+		case tokStrong:
+			op = OpStrongBefore
+		case tokPar:
+			op = OpConcurrent
+		case tokLink:
+			op = OpLink
+		case tokLim:
+			op = OpLim
+		case tokEnt:
+			op = OpEntangled
+		default:
+			return left, nil
+		}
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right, Pos: pos}
+	}
+}
+
+// parseOperand parses a class reference, a variable reference, or a
+// parenthesized expression.
+func (p *parser) parseOperand() (Expr, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		e := &ClassRef{Name: p.tok.text, Pos: p.tok.pos}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokVar:
+		e := &VarRef{Name: p.tok.text, Pos: p.tok.pos}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errf(p.tok.pos, "expected event class, variable or '(', found %s %q", p.tok.kind, p.tok.text)
+	}
+}
+
+// validate performs the semantic checks that do not require compilation:
+// classes exist, names are unique, variables are declared exactly once
+// and used consistently.
+func validate(f *File) error {
+	classes := make(map[string]*Class, len(f.Classes))
+	for _, c := range f.Classes {
+		if c.Name == "pattern" {
+			return fmt.Errorf("class %q: name is reserved", c.Name)
+		}
+		if _, dup := classes[c.Name]; dup {
+			return fmt.Errorf("class %q defined twice", c.Name)
+		}
+		classes[c.Name] = c
+	}
+	vars := make(map[string]string, len(f.VarDecls)) // var -> class
+	for _, d := range f.VarDecls {
+		if _, ok := classes[d.ClassName]; !ok {
+			return errf(d.Pos, "variable $%s declared with unknown class %q", d.VarName, d.ClassName)
+		}
+		if _, dup := vars[d.VarName]; dup {
+			return errf(d.Pos, "variable $%s declared twice", d.VarName)
+		}
+		vars[d.VarName] = d.ClassName
+	}
+	var walk func(e Expr) error
+	walk = func(e Expr) error {
+		switch n := e.(type) {
+		case *ClassRef:
+			if _, ok := classes[n.Name]; !ok {
+				return errf(n.Pos, "reference to undefined class %q", n.Name)
+			}
+		case *VarRef:
+			if _, ok := vars[n.Name]; !ok {
+				return errf(n.Pos, "reference to undeclared variable $%s", n.Name)
+			}
+		case *Binary:
+			if err := walk(n.L); err != nil {
+				return err
+			}
+			return walk(n.R)
+		}
+		return nil
+	}
+	return walk(f.Pattern)
+}

@@ -1,0 +1,153 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// zookeeperPattern is the motivating example from Section III-D.
+const zookeeperPattern = `
+	Synch    := [$1, Synch_Leader, $2];
+	Snapshot := [$2, Take_Snapshot, ''];
+	Update   := [$2, Make_Update, ''];
+	Forward  := [$2, Take_Snapshot, $1];
+	Snapshot $Diff;
+	Update   $Write;
+	pattern  := (Synch -> $Diff) && ($Diff -> $Write) && ($Write -> Forward);
+`
+
+func TestParseZookeeperExample(t *testing.T) {
+	f, err := Parse(zookeeperPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Classes) != 4 {
+		t.Fatalf("classes = %d want 4", len(f.Classes))
+	}
+	if len(f.VarDecls) != 2 {
+		t.Fatalf("var decls = %d want 2", len(f.VarDecls))
+	}
+	synch, ok := f.ClassByName("Synch")
+	if !ok {
+		t.Fatalf("class Synch missing")
+	}
+	if synch.Proc.Kind != AttrVar || synch.Proc.Value != "1" {
+		t.Fatalf("Synch proc attr = %+v", synch.Proc)
+	}
+	if synch.Type.Kind != AttrExact || synch.Type.Value != "Synch_Leader" {
+		t.Fatalf("Synch type attr = %+v", synch.Type)
+	}
+	snap, _ := f.ClassByName("Snapshot")
+	if snap.Text.Kind != AttrWildcard {
+		t.Fatalf("empty string must be a wildcard, got %+v", snap.Text)
+	}
+	want := "(((Synch -> $Diff) && ($Diff -> $Write)) && ($Write -> Forward))"
+	if got := f.Pattern.String(); got != want {
+		t.Fatalf("pattern = %s want %s", got, want)
+	}
+}
+
+func TestParseOperatorsAndPrecedence(t *testing.T) {
+	f, err := Parse(`
+		A := [*, a, *];
+		B := [*, b, *];
+		pattern := A -> B || A;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Causal operators are left associative and bind tighter than &&.
+	if got, want := f.Pattern.String(), "((A -> B) || A)"; got != want {
+		t.Fatalf("pattern = %s want %s", got, want)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	f, err := Parse(`
+		A := [*, a, *];
+		B := [*, b, *];
+		pattern := A -> (B || A);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Pattern.String(), "(A -> (B || A))"; got != want {
+		t.Fatalf("pattern = %s want %s", got, want)
+	}
+}
+
+func TestParseWildcardForms(t *testing.T) {
+	f, err := Parse(`
+		A := [*, '', x];
+		pattern := A;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Classes[0]
+	if a.Proc.Kind != AttrWildcard || a.Type.Kind != AttrWildcard {
+		t.Fatalf("both * and '' must be wildcards: %+v", a)
+	}
+	if a.Text.Kind != AttrExact || a.Text.Value != "x" {
+		t.Fatalf("bare identifier must be an exact literal: %+v", a.Text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing pattern", `A := [*, a, *];`, "pattern definition missing"},
+		{"undefined class", `pattern := Zed;`, "undefined class"},
+		{"undeclared var", `A := [*,a,*]; pattern := $X;`, "undeclared variable"},
+		{"dup class", `A := [*,a,*]; A := [*,b,*]; pattern := A;`, "defined twice"},
+		{"dup pattern", `A := [*,a,*]; pattern := A; pattern := A;`, "duplicate pattern"},
+		{"dup var", `A := [*,a,*]; A $x; A $x; pattern := $x;`, "declared twice"},
+		{"var unknown class", `Q $x; pattern := $x;`, "unknown class"},
+		{"reserved class name", `pattern := [*,a,*]; pattern := A;`, "expected event class"},
+		{"missing semi", `A := [*,a,*] pattern := A;`, "expected ';'"},
+		{"bad attr count", `A := [*, a]; pattern := A;`, "expected ','"},
+		{"bad operand", `A := [*,a,*]; pattern := A -> ;`, "expected event class"},
+		{"unclosed paren", `A := [*,a,*]; pattern := (A;`, "expected ')'"},
+		{"junk after name", `A [*,a,*]; pattern := A;`, "expected ':='"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	f, err := Parse(`
+		A := [*, a, *];
+		B := [*, b, *];
+		pattern := (A ~ B) && (A lim-> B) && (A => B) && ((A -> B) <-> (A -> B));
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Pattern.String()
+	for _, op := range []string{"~", "lim->", "=>", "<->"} {
+		if !strings.Contains(s, op) {
+			t.Errorf("parsed pattern %q missing operator %q", s, op)
+		}
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	_, err := Parse(`pattern := Zed;`)
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	if perr.Pos.Line != 1 {
+		t.Fatalf("error position = %v", perr.Pos)
+	}
+}

@@ -1,0 +1,114 @@
+package poet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+
+	"ocep/internal/event"
+)
+
+// Reporter is a target-side connection to a POET server: instrumented
+// processes create one per trace (or share one) and stream raw events.
+// Not safe for concurrent use; give each reporting goroutine its own
+// Reporter or serialize externally.
+type Reporter struct {
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// DialReporter connects to a POET server as a target.
+func DialReporter(addr string) (*Reporter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("poet reporter: dial: %w", err)
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(hello{Magic: wireMagic, Role: roleTarget}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("poet reporter: hello: %w", err)
+	}
+	return &Reporter{conn: conn, enc: enc}, nil
+}
+
+// Report sends one raw event.
+func (r *Reporter) Report(raw RawEvent) error {
+	if err := r.enc.Encode(&raw); err != nil {
+		return fmt.Errorf("poet reporter: send: %w", err)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (r *Reporter) Close() error { return r.conn.Close() }
+
+// MonitorClient receives the linearized event stream from a POET server,
+// tracking trace announcements so pattern process attributes can be
+// matched against trace names.
+type MonitorClient struct {
+	conn  net.Conn
+	dec   *gob.Decoder
+	names map[event.TraceID]string
+}
+
+// DialMonitor connects to a POET server as a monitor client.
+func DialMonitor(addr string) (*MonitorClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("poet monitor: dial: %w", err)
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(hello{Magic: wireMagic, Role: roleMonitor}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("poet monitor: hello: %w", err)
+	}
+	return &MonitorClient{
+		conn:  conn,
+		dec:   gob.NewDecoder(conn),
+		names: make(map[event.TraceID]string),
+	}, nil
+}
+
+// Next returns the next delivered event. It returns io.EOF when the
+// server closes the stream.
+func (m *MonitorClient) Next() (*event.Event, error) {
+	for {
+		var msg wireMsg
+		if err := m.dec.Decode(&msg); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+				errors.Is(err, syscall.ECONNRESET) {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("poet monitor: receive: %w", err)
+		}
+		switch {
+		case msg.Trace != nil:
+			m.names[event.TraceID(msg.Trace.ID)] = msg.Trace.Name
+		case msg.Event != nil:
+			return fromWire(msg.Event), nil
+		default:
+			return nil, fmt.Errorf("poet monitor: empty wire message")
+		}
+	}
+}
+
+// TraceName returns the announced name of a trace.
+func (m *MonitorClient) TraceName(t event.TraceID) (string, bool) {
+	name, ok := m.names[t]
+	return name, ok
+}
+
+// Traces returns all announced trace IDs in no particular order.
+func (m *MonitorClient) Traces() []event.TraceID {
+	out := make([]event.TraceID, 0, len(m.names))
+	for t := range m.names {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Close closes the connection.
+func (m *MonitorClient) Close() error { return m.conn.Close() }

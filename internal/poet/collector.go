@@ -1,0 +1,340 @@
+// Package poet reimplements, in Go, the slice of the Partial-Order Event
+// Tracer (POET) that OCEP builds on (Section V-A of the paper): a
+// target-system-independent collector that ingests raw instrumented
+// events from the traces of a distributed application, reconstructs the
+// causal partial order, assigns vector timestamps (in the collector, not
+// in the application), and streams the events to monitor clients in a
+// linearization of the partial order. It also provides POET's dump and
+// reload features and a TCP server/client pair.
+package poet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ocep/internal/event"
+	"ocep/internal/vclock"
+)
+
+// RawEvent is one instrumented action reported by a target process
+// before causality reconstruction.
+type RawEvent struct {
+	// Trace is the reporting trace's name (process, thread, or passive
+	// entity such as a semaphore).
+	Trace string
+	// Seq is the 1-based position of the event within its trace.
+	Seq int
+	// Kind is the communication role.
+	Kind event.Kind
+	// Type and Text are the pattern-matchable attributes.
+	Type, Text string
+	// MsgID pairs a send-like event (KindSend, KindSyncRelease) with
+	// its receive-like partner (KindReceive, KindSyncAcquire). Zero for
+	// internal events.
+	MsgID uint64
+}
+
+func isSendLike(k event.Kind) bool {
+	return k == event.KindSend || k == event.KindSyncRelease
+}
+
+func isRecvLike(k event.Kind) bool {
+	return k == event.KindReceive || k == event.KindSyncAcquire
+}
+
+// Handler consumes delivered events. Handlers are invoked in delivery
+// order while the collector's lock is held: they must be fast and must
+// not call back into the Collector.
+type Handler func(*event.Event)
+
+// ErrStaleEvent reports a raw event at or before an already-delivered or
+// already-buffered position of its trace.
+var ErrStaleEvent = errors.New("poet: stale or duplicate raw event")
+
+// Collector ingests raw events, reconstructs causality, and delivers
+// stamped events in a linearization of the partial order. It is safe for
+// concurrent use by multiple reporting goroutines.
+type Collector struct {
+	mu    sync.Mutex
+	store *event.Store
+	// clocks[t] is the running vector clock of trace t.
+	clocks []vclock.VC
+	// nextSeq[t] is the next sequence number trace t will deliver.
+	nextSeq []int
+	// pending[t] buffers raw events that arrived ahead of their trace's
+	// delivery point, keyed by Seq.
+	pending []map[int]RawEvent
+	// sends maps a delivered send-like event's MsgID to its ID.
+	sends map[uint64]event.ID
+	// recvWait maps a MsgID to traces whose delivery head waits for it.
+	recvWait map[uint64][]event.TraceID
+	// sendersSeen guards against duplicate MsgIDs on the send side.
+	sendersSeen map[uint64]bool
+	handlers    map[int]Handler
+	nextHandler int
+	delivered   int
+	// order is the delivery order of all events: the linearization of
+	// the partial order that clients observe.
+	order []*event.Event
+	// log accumulates delivered raw events for Dump when retention is
+	// enabled.
+	log       []RawEvent
+	retainLog bool
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		store:       event.NewStore(),
+		sends:       make(map[uint64]event.ID),
+		recvWait:    make(map[uint64][]event.TraceID),
+		sendersSeen: make(map[uint64]bool),
+		handlers:    make(map[int]Handler),
+	}
+}
+
+// RetainLog makes the collector keep the delivered raw events so Dump can
+// write them out. Off by default: a million-event run should not retain
+// twice.
+func (c *Collector) RetainLog() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retainLog = true
+}
+
+// Store exposes the collector's event store. The store grows concurrently
+// with delivery; readers must coordinate with the collector's clients
+// (the usual arrangement is to read it only from handler context or
+// after Drained).
+func (c *Collector) Store() *event.Store { return c.store }
+
+// Subscription identifies a registered handler so it can be cancelled.
+type Subscription struct {
+	c  *Collector
+	id int
+}
+
+// Cancel removes the handler. Safe to call more than once.
+func (s *Subscription) Cancel() {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	delete(s.c.handlers, s.id)
+}
+
+// Subscribe registers a delivery handler. Events delivered before the
+// subscription are not replayed; subscribe before reporting begins or
+// use SubscribeReplay.
+func (c *Collector) Subscribe(h Handler) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subscribeLocked(h)
+}
+
+func (c *Collector) subscribeLocked(h Handler) *Subscription {
+	id := c.nextHandler
+	c.nextHandler++
+	c.handlers[id] = h
+	return &Subscription{c: c, id: id}
+}
+
+// SubscribeReplay atomically replays every already-delivered event to h
+// (in delivery order) and then registers h for future deliveries, so the
+// handler observes one complete linearization no matter when it joins.
+func (c *Collector) SubscribeReplay(h Handler) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.order {
+		h(e)
+	}
+	return c.subscribeLocked(h)
+}
+
+// Ordered returns the delivered events in delivery order. The slice is
+// the collector's own log: callers must not modify it, and should read
+// it only once reporting has quiesced.
+func (c *Collector) Ordered() []*event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order
+}
+
+// RegisterTrace pre-registers a trace name and returns its ID, so that
+// trace numbering (and so vector-clock positions) is deterministic
+// regardless of event arrival interleaving.
+func (c *Collector) RegisterTrace(name string) event.TraceID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ensureTrace(name)
+}
+
+func (c *Collector) ensureTrace(name string) event.TraceID {
+	id := c.store.RegisterTrace(name)
+	for int(id) >= len(c.clocks) {
+		c.clocks = append(c.clocks, nil)
+		c.nextSeq = append(c.nextSeq, 1)
+		c.pending = append(c.pending, nil)
+	}
+	if c.pending[id] == nil {
+		c.pending[id] = make(map[int]RawEvent)
+	}
+	return id
+}
+
+// Delivered returns the number of events delivered so far.
+func (c *Collector) Delivered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered
+}
+
+// Pending returns the number of buffered, not-yet-deliverable raw events.
+func (c *Collector) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, p := range c.pending {
+		n += len(p)
+	}
+	return n
+}
+
+// Drained reports whether every reported event has been delivered.
+func (c *Collector) Drained() bool { return c.Pending() == 0 }
+
+// TraceStat summarizes one trace's collection state.
+type TraceStat struct {
+	// Name is the registered trace name.
+	Name string
+	// Delivered is the number of delivered events.
+	Delivered int
+	// Comm is the number of delivered communication events.
+	Comm int
+	// Buffered is the number of raw events waiting for delivery.
+	Buffered int
+}
+
+// TraceStats returns per-trace collection statistics in trace order.
+func (c *Collector) TraceStats() []TraceStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TraceStat, c.store.NumTraces())
+	for t := range out {
+		tid := event.TraceID(t)
+		out[t] = TraceStat{
+			Name:      c.store.TraceName(tid),
+			Delivered: c.store.Len(tid),
+			Comm:      c.store.CommCount(tid),
+		}
+		if t < len(c.pending) {
+			out[t].Buffered = len(c.pending[t])
+		}
+	}
+	return out
+}
+
+// Report ingests one raw event. Events of one trace may arrive ahead of
+// the trace's delivery point (they are buffered), but never at or before
+// it. Delivery cascades: everything the new event unblocks is delivered
+// before Report returns.
+func (c *Collector) Report(raw RawEvent) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if raw.Seq < 1 {
+		return fmt.Errorf("poet: event on %q has sequence %d: %w", raw.Trace, raw.Seq, ErrStaleEvent)
+	}
+	if isRecvLike(raw.Kind) && raw.MsgID == 0 {
+		return fmt.Errorf("poet: receive on %q/%d has no message id", raw.Trace, raw.Seq)
+	}
+	t := c.ensureTrace(raw.Trace)
+	if raw.Seq < c.nextSeq[t] {
+		return fmt.Errorf("poet: event %q/%d already delivered: %w", raw.Trace, raw.Seq, ErrStaleEvent)
+	}
+	if _, dup := c.pending[t][raw.Seq]; dup {
+		return fmt.Errorf("poet: event %q/%d already buffered: %w", raw.Trace, raw.Seq, ErrStaleEvent)
+	}
+	if isSendLike(raw.Kind) && raw.MsgID != 0 {
+		if c.sendersSeen[raw.MsgID] {
+			return fmt.Errorf("poet: duplicate message id %d from %q/%d", raw.MsgID, raw.Trace, raw.Seq)
+		}
+		c.sendersSeen[raw.MsgID] = true
+	}
+	c.pending[t][raw.Seq] = raw
+	c.drain(t)
+	return nil
+}
+
+// drain delivers everything deliverable starting from trace t.
+func (c *Collector) drain(t event.TraceID) {
+	work := []event.TraceID{t}
+	for len(work) > 0 {
+		tr := work[len(work)-1]
+		work = work[:len(work)-1]
+		for {
+			raw, ok := c.pending[tr][c.nextSeq[tr]]
+			if !ok {
+				break
+			}
+			if isRecvLike(raw.Kind) {
+				if _, sent := c.sends[raw.MsgID]; !sent {
+					if ws := c.recvWait[raw.MsgID]; len(ws) == 0 || ws[len(ws)-1] != tr {
+						c.recvWait[raw.MsgID] = append(ws, tr)
+					}
+					break
+				}
+			}
+			delete(c.pending[tr], raw.Seq)
+			c.deliver(tr, raw)
+			if isSendLike(raw.Kind) && raw.MsgID != 0 {
+				if waiters := c.recvWait[raw.MsgID]; len(waiters) > 0 {
+					work = append(work, waiters...)
+					delete(c.recvWait, raw.MsgID)
+				}
+			}
+		}
+	}
+}
+
+// deliver stamps and publishes one raw event whose causal predecessors
+// are all delivered.
+func (c *Collector) deliver(t event.TraceID, raw RawEvent) {
+	clock := c.clocks[t]
+	var partner event.ID
+	if isRecvLike(raw.Kind) {
+		sendID := c.sends[raw.MsgID]
+		sendEv := c.store.Get(sendID)
+		clock = clock.Merge(sendEv.VC)
+		partner = sendID
+	}
+	clock = clock.Tick(int(t))
+	c.clocks[t] = clock
+	e := &event.Event{
+		ID:      event.ID{Trace: t, Index: c.nextSeq[t]},
+		Kind:    raw.Kind,
+		Type:    raw.Type,
+		Text:    raw.Text,
+		VC:      clock.Clone(),
+		Partner: partner,
+	}
+	if !partner.IsZero() {
+		if sendEv := c.store.Get(partner); sendEv != nil {
+			sendEv.Partner = e.ID
+		}
+	}
+	if err := c.store.Append(e); err != nil {
+		// Unreachable: nextSeq mirrors the store length by construction.
+		panic(fmt.Sprintf("poet: internal delivery error: %v", err))
+	}
+	c.nextSeq[t]++
+	if isSendLike(raw.Kind) && raw.MsgID != 0 {
+		c.sends[raw.MsgID] = e.ID
+	}
+	c.delivered++
+	c.order = append(c.order, e)
+	if c.retainLog {
+		c.log = append(c.log, raw)
+	}
+	for _, h := range c.handlers {
+		h(e)
+	}
+}

@@ -1,0 +1,141 @@
+package poet
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ocep/internal/event"
+)
+
+// dumpHeader identifies the on-disk trace-file format.
+type dumpHeader struct {
+	Magic   string
+	Version int
+	// Traces lists the trace names in registration order, so reload
+	// reproduces the same trace numbering (and so the same vector-clock
+	// layout) regardless of event interleaving.
+	Traces []string
+	Events int
+}
+
+const (
+	dumpMagic   = "OCEP-POET-DUMP"
+	dumpVersion = 1
+)
+
+// Dump writes the delivered raw-event log to w in delivery order
+// (a valid linearization, so reload never buffers). The collector must
+// have been created with RetainLog before events were reported.
+func (c *Collector) Dump(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.retainLog {
+		return fmt.Errorf("poet: dump requires RetainLog before collection")
+	}
+	names := make([]string, c.store.NumTraces())
+	for i := range names {
+		names[i] = c.store.TraceName(event.TraceID(i))
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(dumpHeader{
+		Magic:   dumpMagic,
+		Version: dumpVersion,
+		Traces:  names,
+		Events:  len(c.log),
+	}); err != nil {
+		return fmt.Errorf("poet: encoding dump header: %w", err)
+	}
+	for i := range c.log {
+		if err := enc.Encode(&c.log[i]); err != nil {
+			return fmt.Errorf("poet: encoding dump event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DumpFile dumps to a file path. A ".gz" suffix selects gzip
+// compression (a million-event dump compresses well; the raw events are
+// highly repetitive).
+func (c *Collector) DumpFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("poet: creating dump file: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("poet: closing dump file: %w", cerr)
+		}
+	}()
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := c.Dump(zw); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("poet: finishing compressed dump: %w", err)
+		}
+		return nil
+	}
+	return c.Dump(f)
+}
+
+// Reload replays a dumped trace file into the collector via the same
+// Report interface used for live collection (POET's reload feature). It
+// returns the number of events replayed.
+func (c *Collector) Reload(r io.Reader) (int, error) {
+	dec := gob.NewDecoder(r)
+	var hdr dumpHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return 0, fmt.Errorf("poet: decoding dump header: %w", err)
+	}
+	if hdr.Magic != dumpMagic {
+		return 0, fmt.Errorf("poet: not a POET dump file (magic %q)", hdr.Magic)
+	}
+	if hdr.Version != dumpVersion {
+		return 0, fmt.Errorf("poet: unsupported dump version %d", hdr.Version)
+	}
+	for _, name := range hdr.Traces {
+		c.RegisterTrace(name)
+	}
+	for i := 0; i < hdr.Events; i++ {
+		var raw RawEvent
+		if err := dec.Decode(&raw); err != nil {
+			return i, fmt.Errorf("poet: decoding dump event %d: %w", i, err)
+		}
+		if err := c.Report(raw); err != nil {
+			return i, fmt.Errorf("poet: replaying dump event %d: %w", i, err)
+		}
+	}
+	return hdr.Events, nil
+}
+
+// ReloadFile reloads from a file path, transparently decompressing
+// ".gz" dumps.
+func (c *Collector) ReloadFile(path string) (n int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("poet: opening dump file: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("poet: closing dump file: %w", cerr)
+		}
+	}()
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return 0, fmt.Errorf("poet: opening compressed dump: %w", err)
+		}
+		defer func() {
+			if cerr := zr.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("poet: closing compressed dump: %w", cerr)
+			}
+		}()
+		return c.Reload(zr)
+	}
+	return c.Reload(f)
+}

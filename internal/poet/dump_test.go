@@ -1,0 +1,157 @@
+package poet
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ocep/internal/event"
+)
+
+func TestDumpReloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewCollector()
+	c.RetainLog()
+	raws := randomRawComputation(rng, 3, 200)
+	for _, r := range raws {
+		if err := c.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCollector()
+	n, err := c2.Reload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raws) {
+		t.Fatalf("reloaded %d events want %d", n, len(raws))
+	}
+	// The reloaded computation must be identical: same traces, same
+	// events, same vector clocks.
+	st1, st2 := c.Store(), c2.Store()
+	if st1.NumTraces() != st2.NumTraces() {
+		t.Fatalf("trace counts differ: %d vs %d", st1.NumTraces(), st2.NumTraces())
+	}
+	for tr := 0; tr < st1.NumTraces(); tr++ {
+		tid := event.TraceID(tr)
+		if st1.TraceName(tid) != st2.TraceName(tid) {
+			t.Fatalf("trace %d name differs", tr)
+		}
+		if st1.Len(tid) != st2.Len(tid) {
+			t.Fatalf("trace %d length differs", tr)
+		}
+		for i, e1 := range st1.Events(tid) {
+			e2 := st2.Events(tid)[i]
+			if e1.ID != e2.ID || e1.Kind != e2.Kind || e1.Type != e2.Type ||
+				e1.Text != e2.Text || !e1.VC.Equal(e2.VC) || e1.Partner != e2.Partner {
+				t.Fatalf("event differs after reload:\n  %s\n  %s", e1, e2)
+			}
+		}
+	}
+}
+
+func TestDumpRequiresRetention(t *testing.T) {
+	c := NewCollector()
+	var buf bytes.Buffer
+	if err := c.Dump(&buf); err == nil || !strings.Contains(err.Error(), "RetainLog") {
+		t.Fatalf("dump without retention must fail, got %v", err)
+	}
+}
+
+func TestDumpFileReloadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.poet")
+	c := NewCollector()
+	c.RetainLog()
+	if err := c.Report(RawEvent{Trace: "p0", Seq: 1, Kind: event.KindInternal, Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCollector()
+	n, err := c2.ReloadFile(path)
+	if err != nil || n != 1 {
+		t.Fatalf("reload = %d, %v", n, err)
+	}
+	if _, err := c2.ReloadFile(filepath.Join(dir, "missing.poet")); err == nil {
+		t.Fatalf("reloading a missing file must fail")
+	}
+}
+
+func TestDumpFileGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "trace.poet")
+	gz := filepath.Join(dir, "trace.poet.gz")
+
+	rng := rand.New(rand.NewSource(9))
+	c := NewCollector()
+	c.RetainLog()
+	raws := randomRawComputation(rng, 3, 500)
+	for _, r := range raws {
+		if err := c.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.DumpFile(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DumpFile(gz); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := os.Stat(plain)
+	gs, _ := os.Stat(gz)
+	if gs.Size() >= ps.Size() {
+		t.Fatalf("compressed dump (%d) not smaller than plain (%d)", gs.Size(), ps.Size())
+	}
+	c2 := NewCollector()
+	n, err := c2.ReloadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raws) {
+		t.Fatalf("reloaded %d of %d from gzip", n, len(raws))
+	}
+	if c2.Delivered() != c.Delivered() {
+		t.Fatalf("delivered counts differ after gzip round trip")
+	}
+	// A plain file with a .gz name is rejected cleanly.
+	bad := filepath.Join(dir, "bad.gz")
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.ReloadFile(bad); err == nil {
+		t.Fatalf("non-gzip .gz file must fail")
+	}
+}
+
+func TestReloadRejectsGarbage(t *testing.T) {
+	c := NewCollector()
+	if _, err := c.Reload(bytes.NewBufferString("not a dump")); err == nil {
+		t.Fatalf("garbage must be rejected")
+	}
+	// Wrong magic.
+	var buf bytes.Buffer
+	good := NewCollector()
+	good.RetainLog()
+	if err := good.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic bytes.
+	data := buf.Bytes()
+	idx := bytes.Index(data, []byte(dumpMagic))
+	if idx >= 0 {
+		data[idx] = 'X'
+	}
+	if _, err := c.Reload(bytes.NewReader(data)); err == nil {
+		t.Fatalf("corrupted magic must be rejected")
+	}
+}

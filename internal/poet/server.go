@@ -1,0 +1,220 @@
+package poet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ocep/internal/event"
+)
+
+// Server exposes a Collector over TCP: target processes connect to
+// report raw events, monitor clients connect to receive the linearized
+// stream (the POET server role of Section V-A).
+type Server struct {
+	collector *Collector
+	listener  net.Listener
+	logf      func(format string, args ...any)
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	serveWG sync.WaitGroup
+}
+
+// monitorQueueSize bounds the per-monitor outgoing buffer. A monitor that
+// falls this far behind the delivery stream is disconnected rather than
+// allowed to stall the collector.
+const monitorQueueSize = 1 << 16
+
+// NewServer wraps a collector. Pass a logf (e.g. log.Printf) for
+// connection diagnostics, or nil for silence.
+func NewServer(c *Collector, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{collector: c, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr ("host:port"; use ":0" for
+// an ephemeral port) and returns the bound address. Serving happens on
+// background goroutines until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("poet server: listen: %w", err)
+	}
+	s.listener = ln
+	s.serveWG.Add(1)
+	go func() {
+		defer s.serveWG.Done()
+		s.acceptLoop()
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			if err := s.handle(conn); err != nil && !errors.Is(err, net.ErrClosed) {
+				s.logf("poet server: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+	_ = conn.Close()
+}
+
+// Close stops the listener and tears down every live connection,
+// waiting for the handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.listener != nil && !already {
+		err = s.listener.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.serveWG.Wait()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	dec := gob.NewDecoder(conn)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if h.Magic != wireMagic {
+		return fmt.Errorf("bad magic %q", h.Magic)
+	}
+	switch h.Role {
+	case roleTarget:
+		return s.handleTarget(dec)
+	case roleMonitor:
+		return s.handleMonitor(conn)
+	case roleQuery:
+		return s.handleQuery(conn, dec)
+	default:
+		return fmt.Errorf("unknown role %q", h.Role)
+	}
+}
+
+// handleTarget ingests raw events until the connection closes.
+func (s *Server) handleTarget(dec *gob.Decoder) error {
+	for {
+		var raw RawEvent
+		if err := dec.Decode(&raw); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("decoding raw event: %w", err)
+		}
+		if err := s.collector.Report(raw); err != nil {
+			return fmt.Errorf("reporting: %w", err)
+		}
+	}
+}
+
+// handleMonitor streams the linearization to one client: replay of all
+// delivered events, then live deliveries, with trace announcements
+// interleaved before first use. A monitor that falls monitorQueueSize
+// messages behind is disconnected so it cannot stall the collector.
+func (s *Server) handleMonitor(conn net.Conn) error {
+	queue := make(chan wireMsg, monitorQueueSize)
+	overflowed := false
+	announced := make(map[int]bool)
+	// push runs in handler context (under the collector lock): it is
+	// single-threaded and may read the store.
+	push := func(e *event.Event) {
+		if overflowed {
+			return
+		}
+		t := int(e.ID.Trace)
+		if !announced[t] {
+			name := s.collector.store.TraceName(e.ID.Trace)
+			select {
+			case queue <- wireMsg{Trace: &wireTrace{ID: t, Name: name}}:
+				announced[t] = true
+			default:
+				overflowed = true
+				close(queue)
+				return
+			}
+		}
+		select {
+		case queue <- wireMsg{Event: toWire(e)}:
+		default:
+			overflowed = true
+			close(queue)
+		}
+	}
+	// The replay and the subscription are atomic with respect to
+	// deliveries, so the queue sees one gap-free linearization.
+	sub := s.collector.SubscribeReplay(push)
+	defer sub.Cancel()
+
+	// Monitors never send after the hello; a background read doubles as
+	// a close detector.
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		_, _ = conn.Read(buf)
+		close(done)
+	}()
+
+	enc := gob.NewEncoder(conn)
+	for {
+		select {
+		case msg, ok := <-queue:
+			if !ok {
+				return fmt.Errorf("monitor %s overflowed its %d-message queue; disconnected",
+					conn.RemoteAddr(), monitorQueueSize)
+			}
+			if err := enc.Encode(&msg); err != nil {
+				return fmt.Errorf("encoding to monitor: %w", err)
+			}
+		case <-done:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package poet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ocep/internal/event"
+)
+
+func startServer(t *testing.T) (*Collector, *Server, string) {
+	t.Helper()
+	c := NewCollector()
+	s := NewServer(c, t.Logf)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return c, s, addr
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	c, _, addr := startServer(t)
+
+	// Monitor connects first and sees everything live.
+	mon, err := DialMonitor(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	rep, err := DialReporter(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	raws := []RawEvent{
+		{Trace: "p0", Seq: 1, Kind: event.KindSend, Type: "send", Text: "to-p1", MsgID: 1},
+		{Trace: "p1", Seq: 1, Kind: event.KindReceive, Type: "recv", Text: "from-p0", MsgID: 1},
+		{Trace: "p0", Seq: 2, Kind: event.KindInternal, Type: "work"},
+	}
+	for _, r := range raws {
+		if err := rep.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []*event.Event
+	for len(got) < len(raws) {
+		e, err := mon.Next()
+		if err != nil {
+			t.Fatalf("monitor next: %v", err)
+		}
+		got = append(got, e)
+	}
+	if got[0].Kind != event.KindSend || got[1].Kind != event.KindReceive {
+		t.Fatalf("unexpected order: %v %v", got[0].Kind, got[1].Kind)
+	}
+	if name, ok := mon.TraceName(got[0].ID.Trace); !ok || name != "p0" {
+		t.Fatalf("trace name = %q, %v", name, ok)
+	}
+	if len(mon.Traces()) != 2 {
+		t.Fatalf("announced traces = %d want 2", len(mon.Traces()))
+	}
+	if got[1].Partner != got[0].ID {
+		t.Fatalf("partner not preserved over the wire")
+	}
+	if !got[0].Before(got[1]) {
+		t.Fatalf("causality not preserved over the wire")
+	}
+	// The server-side collector agrees.
+	waitFor(t, func() bool { return c.Delivered() == len(raws) })
+}
+
+func TestServerLateMonitorReplay(t *testing.T) {
+	c, _, addr := startServer(t)
+
+	rep, err := DialReporter(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	for s := 1; s <= 10; s++ {
+		if err := rep.Report(RawEvent{Trace: "p0", Seq: s, Kind: event.KindInternal, Type: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return c.Delivered() == 10 })
+
+	// A monitor that connects now still receives all ten events.
+	mon, err := DialMonitor(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	for i := 1; i <= 10; i++ {
+		e, err := mon.Next()
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		if e.ID.Index != i {
+			t.Fatalf("replayed event %d has index %d", i, e.ID.Index)
+		}
+	}
+}
+
+func TestServerMultipleTargetsAndMonitors(t *testing.T) {
+	c, _, addr := startServer(t)
+	const traces = 4
+	const perTrace = 100
+
+	mon1, err := DialMonitor(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon1.Close()
+	mon2, err := DialMonitor(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon2.Close()
+
+	errs := make(chan error, traces)
+	for tr := 0; tr < traces; tr++ {
+		go func(tr int) {
+			rep, err := DialReporter(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rep.Close()
+			for s := 1; s <= perTrace; s++ {
+				if err := rep.Report(RawEvent{
+					Trace: fmt.Sprintf("p%d", tr), Seq: s,
+					Kind: event.KindInternal, Type: "x",
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(tr)
+	}
+	for i := 0; i < traces; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return c.Delivered() == traces*perTrace })
+	for _, mon := range []*MonitorClient{mon1, mon2} {
+		for i := 0; i < traces*perTrace; i++ {
+			if _, err := mon.Next(); err != nil {
+				t.Fatalf("monitor next %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestServerRejectsBadHello(t *testing.T) {
+	_, _, addr := startServer(t)
+	// A reporter with the wrong magic is dropped by the server; the
+	// next Report or the one after fails once the connection closes.
+	conn, err := DialReporter(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Direct bad-magic connection.
+	bad, err := dialRaw(addr, hello{Magic: "WRONG", Role: roleTarget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	// The server closes it; reading yields EOF eventually.
+	buf := make([]byte, 1)
+	if err := bad.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Read(buf); err == nil {
+		t.Fatalf("expected close or deadline on bad-magic connection")
+	}
+}
+
+func TestMonitorNextEOFOnServerClose(t *testing.T) {
+	_, srv, addr := startServer(t)
+	mon, err := DialMonitor(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after server close, got %v", err)
+	}
+}
+
+// TestServerDropsFaultyTarget: a target reporting a stale event is
+// disconnected; the collector and other targets keep working.
+func TestServerDropsFaultyTarget(t *testing.T) {
+	c, _, addr := startServer(t)
+
+	bad, err := DialReporter(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if err := bad.Report(RawEvent{Trace: "p0", Seq: 1, Kind: event.KindInternal, Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.Delivered() == 1 })
+	// Duplicate sequence: the server closes the connection.
+	_ = bad.Report(RawEvent{Trace: "p0", Seq: 1, Kind: event.KindInternal, Type: "x"})
+	waitFor(t, func() bool {
+		// Subsequent writes eventually fail once the close propagates.
+		return bad.Report(RawEvent{Trace: "p0", Seq: 2, Kind: event.KindInternal, Type: "x"}) != nil
+	})
+
+	// A healthy target still works.
+	good, err := DialReporter(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.Report(RawEvent{Trace: "p1", Seq: 1, Kind: event.KindInternal, Type: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.Delivered() >= 2 })
+}
+
+// TestServerGarbageAfterHello: undecodable bytes after a valid target
+// hello close that connection without harming the server.
+func TestServerGarbageAfterHello(t *testing.T) {
+	c, _, addr := startServer(t)
+	conn, err := dialRaw(addr, hello{Magic: wireMagic, Role: roleTarget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("\x01\x02garbage that is not gob")); err != nil {
+		t.Fatal(err)
+	}
+	// The server should close; a later good connection still works.
+	good, err := DialReporter(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.Report(RawEvent{Trace: "p0", Seq: 1, Kind: event.KindInternal, Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.Delivered() == 1 })
+}
+
+// dialRaw opens a connection and sends an arbitrary hello.
+func dialRaw(addr string, h hello) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := gob.NewEncoder(conn).Encode(h); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not met within deadline")
+}

@@ -1,0 +1,69 @@
+package poet
+
+import (
+	"ocep/internal/event"
+	"ocep/internal/vclock"
+)
+
+// Wire protocol: every connection opens with a hello naming its role;
+// target connections then stream RawEvent values, monitor connections
+// receive a stream of wireMsg values. Everything is gob-encoded directly
+// on the connection.
+
+// Connection roles.
+const (
+	roleTarget  = "target"
+	roleMonitor = "monitor"
+)
+
+type hello struct {
+	Magic string
+	Role  string
+}
+
+const wireMagic = "OCEP-POET-1"
+
+// wireMsg is one server-to-monitor message: exactly one field is set.
+type wireMsg struct {
+	Trace *wireTrace
+	Event *wireEvent
+}
+
+// wireTrace announces a trace's ID and name before its first event.
+type wireTrace struct {
+	ID   int
+	Name string
+}
+
+// wireEvent is a delivered event in transit.
+type wireEvent struct {
+	Trace, Index               int
+	Kind                       event.Kind
+	Type, Text                 string
+	VC                         vclock.VC
+	PartnerTrace, PartnerIndex int
+}
+
+func toWire(e *event.Event) *wireEvent {
+	return &wireEvent{
+		Trace:        int(e.ID.Trace),
+		Index:        e.ID.Index,
+		Kind:         e.Kind,
+		Type:         e.Type,
+		Text:         e.Text,
+		VC:           e.VC,
+		PartnerTrace: int(e.Partner.Trace),
+		PartnerIndex: e.Partner.Index,
+	}
+}
+
+func fromWire(w *wireEvent) *event.Event {
+	return &event.Event{
+		ID:      event.ID{Trace: event.TraceID(w.Trace), Index: w.Index},
+		Kind:    w.Kind,
+		Type:    w.Type,
+		Text:    w.Text,
+		VC:      vclock.VC(w.VC),
+		Partner: event.ID{Trace: event.TraceID(w.PartnerTrace), Index: w.PartnerIndex},
+	}
+}

@@ -1,0 +1,153 @@
+package slice
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+)
+
+func TestOfLeastConsistentCut(t *testing.T) {
+	// p0: a1, s(send), a3 ; p1: b1, r(recv), b3 ; p2: untouched noise.
+	st, evs := eventtest.Build(3, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+		{Trace: 0, Kind: event.KindSend, Type: "s", Label: "m"},
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+		{Trace: 1, Kind: event.KindReceive, Type: "r", From: "m"},
+		{Trace: 1, Kind: event.KindInternal, Type: "b"},
+		{Trace: 2, Kind: event.KindInternal, Type: "z"},
+	})
+	recv := evs[4]
+	cut, err := Of(st, []*event.Event{recv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receive's causal past: both p0 events up to the send, p1 up
+	// to the receive, nothing of p2.
+	if cut[0] != 2 || cut[1] != 2 || cut[2] != 0 {
+		t.Fatalf("cut = %v want [2 2 0]", cut)
+	}
+	if cut.Size() != 4 {
+		t.Fatalf("size = %d want 4", cut.Size())
+	}
+	if !cut.Contains(recv.ID) {
+		t.Fatalf("slice must contain its defining event")
+	}
+	if cut.Contains(event.ID{Trace: 0, Index: 3}) || cut.Contains(event.ID{Trace: 2, Index: 1}) {
+		t.Fatalf("slice contains events outside the causal past")
+	}
+}
+
+func TestOfErrors(t *testing.T) {
+	st, evs := eventtest.Build(1, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "a"},
+	})
+	if _, err := Of(st, nil); err == nil {
+		t.Fatalf("empty input must fail")
+	}
+	if _, err := Of(st, []*event.Event{nil}); err == nil {
+		t.Fatalf("nil event must fail")
+	}
+	ghost := &event.Event{ID: event.ID{Trace: 5, Index: 9}}
+	if _, err := Of(st, []*event.Event{ghost}); err == nil {
+		t.Fatalf("unknown event must fail")
+	}
+	_ = evs
+}
+
+// TestSliceIsConsistentAndMinimal: on random computations, the slice of
+// any event set (a) contains the set, (b) is causally closed (every
+// event's causal past is inside), and (c) is minimal (removing the last
+// event of any nonempty trace prefix breaks closure or coverage).
+func TestSliceIsConsistentAndMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 20; round++ {
+		st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces: 3 + rng.Intn(3), Events: 60,
+			SendProb: 0.3, RecvProb: 0.3,
+		})
+		// Pick 1-3 random events.
+		var picked []*event.Event
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			picked = append(picked, evs[rng.Intn(len(evs))])
+		}
+		cut, err := Of(st, picked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range picked {
+			if !cut.Contains(p.ID) {
+				t.Fatalf("round %d: slice misses picked event %s", round, p.ID)
+			}
+		}
+		// Closure: every event in the slice has its whole causal past
+		// in the slice.
+		for _, e := range cut.Events(evs) {
+			for t2 := 0; t2 < st.NumTraces(); t2++ {
+				if e.VC.Get(t2) > cut[t2] {
+					t.Fatalf("round %d: slice not causally closed at %s / trace %d", round, e.ID, t2)
+				}
+			}
+		}
+		// Minimality: each trace's prefix length equals the max
+		// timestamp entry over picked events.
+		for t2 := range cut {
+			want := 0
+			for _, p := range picked {
+				if v := p.VC.Get(t2); v > want {
+					want = v
+				}
+			}
+			if cut[t2] != want {
+				t.Fatalf("round %d: trace %d prefix %d want %d", round, t2, cut[t2], want)
+			}
+		}
+	}
+}
+
+// TestReplayRoundTrip: a slice replays into a self-contained collector
+// whose events match the originals (IDs, kinds, clocks restricted to the
+// slice).
+func TestReplayRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+		Traces: 4, Events: 80, SendProb: 0.3, RecvProb: 0.3,
+	})
+	target := evs[len(evs)-1]
+	cut, err := Of(st, []*event.Event{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cut.Replay(st, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := c.Store()
+	if st2.TotalEvents() != cut.Size() {
+		t.Fatalf("replayed %d events, slice has %d", st2.TotalEvents(), cut.Size())
+	}
+	for t2 := 0; t2 < st.NumTraces(); t2++ {
+		tid := event.TraceID(t2)
+		if st.TraceName(tid) != st2.TraceName(tid) {
+			t.Fatalf("trace name mismatch on %d", t2)
+		}
+		for i, e2 := range st2.Events(tid) {
+			e1 := st.Events(tid)[i]
+			if e1.Kind != e2.Kind || e1.Type != e2.Type || e1.Text != e2.Text {
+				t.Fatalf("event %s differs after replay", e1.ID)
+			}
+			// Vector clocks agree on slice traces (the slice is the
+			// causal past, so clocks are unchanged).
+			if !e1.VC.Equal(e2.VC) {
+				t.Fatalf("clock of %s differs: %s vs %s", e1.ID, e1.VC, e2.VC)
+			}
+		}
+	}
+	// The slice dump round-trips through the file format too.
+	dir := t.TempDir()
+	if err := c.DumpFile(dir + "/slice.poet.gz"); err != nil {
+		t.Fatal(err)
+	}
+}

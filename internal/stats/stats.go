@@ -1,0 +1,195 @@
+// Package stats computes the summary statistics the paper's evaluation
+// reports: boxplot quartiles with 1.5*IQR whiskers (Figures 6-9) and the
+// quartile table of Figure 10, plus fixed-width text rendering for the
+// benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Box summarizes a sample the way the paper's boxplots do: quartiles,
+// whiskers at 1.5*IQR beyond the quartiles (clamped to the data), and
+// outlier count.
+type Box struct {
+	N        int
+	Min, Max float64
+	Q1       float64
+	Median   float64
+	Q3       float64
+	// LowWhisker and TopWhisker are the most extreme samples within
+	// 1.5*IQR of the quartiles.
+	LowWhisker, TopWhisker float64
+	// Outliers counts samples beyond the whiskers.
+	Outliers int
+	Mean     float64
+}
+
+// NewBox summarizes the sample. It returns a zero Box for empty input.
+func NewBox(sample []float64) Box {
+	if len(sample) == 0 {
+		return Box{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	b := Box{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+	}
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	b.Mean = sum / float64(len(s))
+	iqr := b.Q3 - b.Q1
+	lo := b.Q1 - 1.5*iqr
+	hi := b.Q3 + 1.5*iqr
+	b.LowWhisker, b.TopWhisker = b.Q1, b.Q3
+	for _, x := range s {
+		if x >= lo && x < b.LowWhisker {
+			b.LowWhisker = x
+		}
+		if x <= hi && x > b.TopWhisker {
+			b.TopWhisker = x
+		}
+		if x < lo || x > hi {
+			b.Outliers++
+		}
+	}
+	return b
+}
+
+// Quantile returns the q-quantile (0..1) of an ascending-sorted sample,
+// with linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Durations converts a sample of durations to microseconds, the unit of
+// Figures 6-10.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d.Nanoseconds()) / 1e3
+	}
+	return out
+}
+
+// Render draws a horizontal ASCII boxplot of the sample scaled to the
+// given width, for the harness's figure output.
+func (b Box) Render(width int, scaleMax float64) string {
+	if b.N == 0 {
+		return "(no samples)"
+	}
+	if scaleMax <= 0 {
+		scaleMax = b.TopWhisker
+	}
+	if scaleMax <= 0 {
+		scaleMax = 1
+	}
+	pos := func(v float64) int {
+		p := int(v / scaleMax * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	for i := pos(b.LowWhisker); i <= pos(b.TopWhisker); i++ {
+		row[i] = '-'
+	}
+	for i := pos(b.Q1); i <= pos(b.Q3); i++ {
+		row[i] = '='
+	}
+	row[pos(b.LowWhisker)] = '|'
+	row[pos(b.TopWhisker)] = '|'
+	row[pos(b.Median)] = 'M'
+	return string(row)
+}
+
+// Table renders rows of labelled values as a fixed-width text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

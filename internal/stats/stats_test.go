@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewBoxBasics(t *testing.T) {
+	b := NewBox([]float64{1, 2, 3, 4, 5})
+	if b.N != 5 || b.Min != 1 || b.Max != 5 {
+		t.Fatalf("basic fields wrong: %+v", b)
+	}
+	if b.Median != 3 {
+		t.Fatalf("median = %v want 3", b.Median)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v, %v want 2, 4", b.Q1, b.Q3)
+	}
+	if b.Mean != 3 {
+		t.Fatalf("mean = %v want 3", b.Mean)
+	}
+	if b.Outliers != 0 {
+		t.Fatalf("outliers = %d want 0", b.Outliers)
+	}
+}
+
+func TestNewBoxEmpty(t *testing.T) {
+	b := NewBox(nil)
+	if b.N != 0 {
+		t.Fatalf("empty sample must give zero box")
+	}
+	if got := b.Render(10, 0); got != "(no samples)" {
+		t.Fatalf("render of empty box = %q", got)
+	}
+}
+
+func TestNewBoxOutliers(t *testing.T) {
+	// 99 ones and one huge value: the huge value is an outlier and the
+	// top whisker stays at 1.
+	sample := make([]float64, 99)
+	for i := range sample {
+		sample[i] = 1
+	}
+	sample = append(sample, 1000)
+	b := NewBox(sample)
+	if b.Outliers != 1 {
+		t.Fatalf("outliers = %d want 1", b.Outliers)
+	}
+	if b.TopWhisker != 1 {
+		t.Fatalf("top whisker = %v want 1", b.TopWhisker)
+	}
+	if b.Max != 1000 {
+		t.Fatalf("max = %v want 1000", b.Max)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{1, 40},
+		{0.5, 25},
+		{0.25, 17.5},
+	}
+	for _, tc := range tests {
+		if got := Quantile(s, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Errorf("quantile of empty must be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("quantile of singleton = %v", got)
+	}
+}
+
+// TestBoxProperties checks ordering invariants on random samples.
+func TestBoxProperties(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, x := range raw {
+			sample[i] = float64(x)
+		}
+		b := NewBox(sample)
+		ordered := b.Min <= b.LowWhisker && b.LowWhisker <= b.Q1 &&
+			b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.Q3 <= b.TopWhisker && b.TopWhisker <= b.Max
+		sort.Float64s(sample)
+		return ordered && b.N == len(sample) && b.Min == sample[0] && b.Max == sample[len(sample)-1]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := []time.Duration{time.Microsecond, time.Millisecond}
+	got := Durations(ds)
+	if got[0] != 1 || got[1] != 1000 {
+		t.Fatalf("durations = %v", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	b := NewBox([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	s := b.Render(40, 10)
+	if len(s) != 40 {
+		t.Fatalf("render width = %d want 40", len(s))
+	}
+	if !strings.Contains(s, "M") || !strings.Contains(s, "=") {
+		t.Fatalf("render missing median or box: %q", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Case", "Med", "Max")
+	tb.AddRow("deadlock", 1805.0, 14931)
+	tb.AddRow("races", 69.0, 10830)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Case") || !strings.Contains(lines[2], "1805.0") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	// Columns align: header and rows share prefix widths.
+	if len(lines[1]) < len("Case") {
+		t.Fatalf("separator too short")
+	}
+}

@@ -1,0 +1,255 @@
+// Package ucpp is a small concurrent-threads runtime in the style of the
+// uC++ environment used by the paper's evaluation (Sections V-B and
+// V-C3): named threads (tasks) plus counting semaphores, instrumented for
+// POET. Following the uC++ POET plugin, every semaphore is a separate
+// trace: a V is a release message from the thread to the semaphore trace,
+// and a P completes by receiving a grant message from the semaphore
+// trace, so mutual exclusion shows up as causal ordering through the
+// semaphore's trace and an atomicity violation is expressible as a causal
+// pattern.
+package ucpp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ocep/internal/event"
+	"ocep/internal/mpi"
+	"ocep/internal/poet"
+)
+
+// Sink consumes raw instrumented events (satisfied by *poet.Collector).
+type Sink interface {
+	Report(poet.RawEvent) error
+}
+
+// Event types reported by the runtime.
+const (
+	// TypeP is the completed acquisition of a semaphore (the thread's
+	// receive of the grant).
+	TypeP = "sem_p"
+	// TypeV is the release of a semaphore.
+	TypeV = "sem_v"
+	// TypeGrantIn is the semaphore trace's receipt of a release.
+	TypeGrantIn = "sem_credit"
+	// TypeGrantOut is the semaphore trace's grant to an acquirer.
+	TypeGrantOut = "sem_grant"
+)
+
+// Program is one simulated uC++ program: a set of threads and semaphores
+// sharing one instrumentation sink.
+type Program struct {
+	sink Sink
+
+	mu      sync.Mutex
+	errs    []error
+	nextSem int
+}
+
+// NewProgram builds a program reporting to sink (nil disables
+// instrumentation).
+func NewProgram(sink Sink) *Program {
+	return &Program{sink: sink}
+}
+
+// Err returns the instrumentation errors collected so far, joined.
+func (p *Program) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return errors.Join(p.errs...)
+}
+
+func (p *Program) fail(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.errs = append(p.errs, err)
+}
+
+func (p *Program) report(raw poet.RawEvent) {
+	if p.sink == nil {
+		return
+	}
+	if err := p.sink.Report(raw); err != nil {
+		p.fail(fmt.Errorf("ucpp: instrumentation: %w", err))
+	}
+}
+
+// Thread is a named sequential task. Its methods are only safe from the
+// goroutine running the thread's body.
+type Thread struct {
+	prog *Program
+	name string
+	seq  int
+}
+
+// Go spawns body as a thread with the given trace name and returns a
+// join function.
+func (p *Program) Go(name string, body func(*Thread)) (join func()) {
+	t := &Thread{prog: p, name: name}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body(t)
+	}()
+	return func() { <-done }
+}
+
+// Run spawns n threads named "<prefix><i>" and waits for all of them.
+func (p *Program) Run(n int, prefix string, body func(*Thread)) error {
+	joins := make([]func(), n)
+	for i := 0; i < n; i++ {
+		joins[i] = p.Go(fmt.Sprintf("%s%d", prefix, i), body)
+	}
+	for _, j := range joins {
+		j()
+	}
+	return p.Err()
+}
+
+// Name returns the thread's trace name.
+func (t *Thread) Name() string { return t.name }
+
+// Seq returns the number of events this thread has reported so far (the
+// sequence number of its most recent event).
+func (t *Thread) Seq() int { return t.seq }
+
+func (t *Thread) report(kind event.Kind, typ, text string, msgID uint64) {
+	t.seq++
+	t.prog.report(poet.RawEvent{
+		Trace: t.name,
+		Seq:   t.seq,
+		Kind:  kind,
+		Type:  typ,
+		Text:  text,
+		MsgID: msgID,
+	})
+}
+
+// Internal reports an internal event on the thread's trace.
+func (t *Thread) Internal(typ, text string) {
+	t.report(event.KindInternal, typ, text, 0)
+}
+
+// Semaphore is a counting semaphore whose operations flow through its
+// own trace.
+type Semaphore struct {
+	prog *Program
+	name string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	credits int
+	seq     int // semaphore-trace sequence; guarded by mu
+}
+
+// NewSemaphore creates a counting semaphore with the given initial
+// credits. name becomes the semaphore's trace name ("" auto-names it
+// "sem<N>").
+func (p *Program) NewSemaphore(name string, credits int) *Semaphore {
+	p.mu.Lock()
+	if name == "" {
+		name = fmt.Sprintf("sem%d", p.nextSem)
+	}
+	p.nextSem++
+	p.mu.Unlock()
+	s := &Semaphore{prog: p, name: name, credits: credits}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Name returns the semaphore's trace name.
+func (s *Semaphore) Name() string { return s.name }
+
+// V releases one credit: the thread sends a release to the semaphore
+// trace, which records its receipt.
+func (s *Semaphore) V(t *Thread) {
+	id := mpi.NextMsgID()
+	t.report(event.KindSyncRelease, TypeV, s.name, id)
+	s.mu.Lock()
+	s.seq++
+	s.prog.report(poet.RawEvent{
+		Trace: s.name, Seq: s.seq,
+		Kind: event.KindSyncAcquire, Type: TypeGrantIn, Text: t.name, MsgID: id,
+	})
+	s.credits++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// P acquires one credit, blocking until available: the semaphore trace
+// emits a grant which the thread receives, so the previous V (and
+// everything before it) happens before the P's completion.
+func (s *Semaphore) P(t *Thread) {
+	s.mu.Lock()
+	for s.credits == 0 {
+		s.cond.Wait()
+	}
+	s.credits--
+	id := mpi.NextMsgID()
+	s.seq++
+	s.prog.report(poet.RawEvent{
+		Trace: s.name, Seq: s.seq,
+		Kind: event.KindSyncRelease, Type: TypeGrantOut, Text: t.name, MsgID: id,
+	})
+	s.mu.Unlock()
+	t.report(event.KindSyncAcquire, TypeP, s.name, id)
+}
+
+// Mutex is a binary semaphore with owner checking, exposed — like every
+// synchronization primitive of the uC++ plugin — as its own trace.
+type Mutex struct {
+	sem *Semaphore
+
+	mu    sync.Mutex
+	owner *Thread
+}
+
+// NewMutex creates a mutex. name becomes its trace name ("" auto-names).
+func (p *Program) NewMutex(name string) *Mutex {
+	return &Mutex{sem: p.NewSemaphore(name, 1)}
+}
+
+// Name returns the mutex's trace name.
+func (m *Mutex) Name() string { return m.sem.Name() }
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock(t *Thread) {
+	m.sem.P(t)
+	m.mu.Lock()
+	m.owner = t
+	m.mu.Unlock()
+}
+
+// Unlock releases the mutex. Unlocking a mutex the thread does not hold
+// records an instrumentation error on the program and does nothing.
+func (m *Mutex) Unlock(t *Thread) {
+	m.mu.Lock()
+	if m.owner != t {
+		m.mu.Unlock()
+		m.sem.prog.fail(fmt.Errorf("ucpp: thread %q unlocked mutex %q it does not hold", t.name, m.Name()))
+		return
+	}
+	m.owner = nil
+	m.mu.Unlock()
+	m.sem.V(t)
+}
+
+// TryP is P without blocking; it reports whether a credit was acquired.
+func (s *Semaphore) TryP(t *Thread) bool {
+	s.mu.Lock()
+	if s.credits == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.credits--
+	id := mpi.NextMsgID()
+	s.seq++
+	s.prog.report(poet.RawEvent{
+		Trace: s.name, Seq: s.seq,
+		Kind: event.KindSyncRelease, Type: TypeGrantOut, Text: t.name, MsgID: id,
+	})
+	s.mu.Unlock()
+	t.report(event.KindSyncAcquire, TypeP, s.name, id)
+	return true
+}

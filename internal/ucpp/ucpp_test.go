@@ -1,0 +1,243 @@
+package ucpp
+
+import (
+	"sync"
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/poet"
+)
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	c := poet.NewCollector()
+	p := NewProgram(c)
+	sem := p.NewSemaphore("sem", 1)
+	var inside, maxInside int
+	var mu sync.Mutex
+	err := p.Run(8, "thread-", func(th *Thread) {
+		for i := 0; i < 50; i++ {
+			sem.P(th)
+			mu.Lock()
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			mu.Unlock()
+			th.Internal("method_enter", "m")
+			th.Internal("method_exit", "m")
+			mu.Lock()
+			inside--
+			mu.Unlock()
+			sem.V(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d threads inside", maxInside)
+	}
+	if !c.Drained() {
+		t.Fatalf("collector not drained: %d pending", c.Pending())
+	}
+	// The semaphore is its own trace.
+	if _, ok := c.Store().TraceByName("sem"); !ok {
+		t.Fatalf("semaphore trace missing")
+	}
+}
+
+func TestSemaphoreCausality(t *testing.T) {
+	// Thread A enters and exits the critical section before thread B:
+	// A's exit-side V must happen before B's P completion.
+	c := poet.NewCollector()
+	p := NewProgram(c)
+	sem := p.NewSemaphore("s", 1)
+
+	gate := make(chan struct{})
+	joinA := p.Go("A", func(th *Thread) {
+		sem.P(th)
+		th.Internal("enter", "m")
+		th.Internal("exit", "m")
+		sem.V(th)
+		close(gate)
+	})
+	joinB := p.Go("B", func(th *Thread) {
+		<-gate // guarantee B acquires after A released
+		sem.P(th)
+		th.Internal("enter", "m")
+		th.Internal("exit", "m")
+		sem.V(th)
+	})
+	joinA()
+	joinB()
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Store()
+	ta, _ := st.TraceByName("A")
+	tb, _ := st.TraceByName("B")
+	var aEnter, bEnter *event.Event
+	for _, e := range st.Events(ta) {
+		if e.Type == "enter" {
+			aEnter = e
+		}
+	}
+	for _, e := range st.Events(tb) {
+		if e.Type == "enter" {
+			bEnter = e
+		}
+	}
+	if aEnter == nil || bEnter == nil {
+		t.Fatalf("enter events missing")
+	}
+	if !aEnter.Before(bEnter) {
+		t.Fatalf("serialized critical sections must be causally ordered through the semaphore trace")
+	}
+	if aEnter.Concurrent(bEnter) {
+		t.Fatalf("enters must not be concurrent")
+	}
+}
+
+func TestBuggySkipMakesEntersConcurrent(t *testing.T) {
+	// If a thread skips P (the 1%% bug of Section V-C3), its enter is
+	// concurrent with another thread's protected enter.
+	c := poet.NewCollector()
+	p := NewProgram(c)
+	sem := p.NewSemaphore("s", 1)
+
+	joinA := p.Go("A", func(th *Thread) {
+		sem.P(th)
+		th.Internal("enter", "m")
+		th.Internal("exit", "m")
+		sem.V(th)
+	})
+	joinB := p.Go("B", func(th *Thread) {
+		// Bug: no P/V at all.
+		th.Internal("enter", "m")
+		th.Internal("exit", "m")
+	})
+	joinA()
+	joinB()
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Store()
+	ta, _ := st.TraceByName("A")
+	tb, _ := st.TraceByName("B")
+	var aEnter, bEnter *event.Event
+	for _, e := range st.Events(ta) {
+		if e.Type == "enter" {
+			aEnter = e
+		}
+	}
+	for _, e := range st.Events(tb) {
+		if e.Type == "enter" {
+			bEnter = e
+		}
+	}
+	if !aEnter.Concurrent(bEnter) {
+		t.Fatalf("unprotected enter must be concurrent with the protected one")
+	}
+}
+
+func TestTryP(t *testing.T) {
+	p := NewProgram(nil)
+	sem := p.NewSemaphore("", 1)
+	join := p.Go("T", func(th *Thread) {
+		if !sem.TryP(th) {
+			t.Errorf("first TryP must succeed")
+		}
+		if sem.TryP(th) {
+			t.Errorf("second TryP must fail")
+		}
+		sem.V(th)
+		if !sem.TryP(th) {
+			t.Errorf("TryP after V must succeed")
+		}
+	})
+	join()
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingSemaphore(t *testing.T) {
+	c := poet.NewCollector()
+	p := NewProgram(c)
+	sem := p.NewSemaphore("pool", 3)
+	var mu sync.Mutex
+	inside, maxInside := 0, 0
+	err := p.Run(10, "w", func(th *Thread) {
+		for i := 0; i < 20; i++ {
+			sem.P(th)
+			mu.Lock()
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			mu.Unlock()
+			mu.Lock()
+			inside--
+			mu.Unlock()
+			sem.V(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInside > 3 {
+		t.Fatalf("counting semaphore admitted %d > 3", maxInside)
+	}
+}
+
+func TestMutex(t *testing.T) {
+	c := poet.NewCollector()
+	p := NewProgram(c)
+	m := p.NewMutex("lock")
+	var inside, maxInside int
+	var mu sync.Mutex
+	err := p.Run(6, "t", func(th *Thread) {
+		for i := 0; i < 40; i++ {
+			m.Lock(th)
+			mu.Lock()
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			inside--
+			mu.Unlock()
+			m.Unlock(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutex admitted %d threads", maxInside)
+	}
+	if _, ok := c.Store().TraceByName("lock"); !ok {
+		t.Fatalf("mutex trace missing")
+	}
+}
+
+func TestMutexWrongOwner(t *testing.T) {
+	p := NewProgram(nil)
+	m := p.NewMutex("")
+	joinA := p.Go("A", func(th *Thread) { m.Lock(th) })
+	joinA()
+	joinB := p.Go("B", func(th *Thread) { m.Unlock(th) })
+	joinB()
+	if err := p.Err(); err == nil {
+		t.Fatalf("unlocking a foreign mutex must record an error")
+	}
+}
+
+func TestAutoNaming(t *testing.T) {
+	p := NewProgram(nil)
+	a := p.NewSemaphore("", 1)
+	b := p.NewSemaphore("", 1)
+	if a.Name() == b.Name() {
+		t.Fatalf("auto-named semaphores collide: %q", a.Name())
+	}
+}

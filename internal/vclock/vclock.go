@@ -1,0 +1,199 @@
+// Package vclock implements Fidge/Mattern vector timestamps for the OCEP
+// framework.
+//
+// A vector clock is a vector of event counters, one entry per trace.
+// Entry t of an event's timestamp records how many events of trace t
+// causally precede (or equal, for the event's own trace) the event.
+// With this convention the happens-before relation between two events can
+// be decided with at most two integer comparisons, as the paper requires
+// (Section III-A).
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector timestamp. Index i holds the number of events of trace i
+// known to have happened before or at the stamped event. The zero value
+// (nil) is a valid timestamp that precedes nothing and is concurrent with
+// everything, which is convenient for uninitialized placeholders; real
+// events always carry a clock sized to the trace count.
+type VC []int32
+
+// New returns a zeroed clock for n traces.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	if v == nil {
+		return nil
+	}
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Get returns entry t, treating missing entries as zero so that clocks of
+// different lengths (e.g. before and after a trace joined) compare sanely.
+func (v VC) Get(t int) int {
+	if t < 0 || t >= len(v) {
+		return 0
+	}
+	return int(v[t])
+}
+
+// Tick increments entry t in place, growing the clock if necessary, and
+// returns the updated clock.
+func (v VC) Tick(t int) VC {
+	v = v.grow(t + 1)
+	v[t]++
+	return v
+}
+
+// Merge sets v to the component-wise maximum of v and other, growing v if
+// necessary, and returns the updated clock. It is the receive-side clock
+// update of the Fidge/Mattern algorithm (before the local tick).
+func (v VC) Merge(other VC) VC {
+	v = v.grow(len(other))
+	for i, x := range other {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+	return v
+}
+
+func (v VC) grow(n int) VC {
+	if len(v) >= n {
+		return v
+	}
+	g := make(VC, n)
+	copy(g, v)
+	return g
+}
+
+// Equal reports whether the two clocks are component-wise equal, treating
+// missing entries as zero.
+func (v VC) Equal(other VC) bool {
+	n := len(v)
+	if len(other) > n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(i) != other.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// LessEqual reports whether v <= other component-wise (the classical
+// "causally precedes or equals" test for full vectors). It is O(n) and is
+// used by tests and by code paths that do not know the events' traces;
+// event-to-event causality should use Before, which is O(1).
+func (v VC) LessEqual(other VC) bool {
+	n := len(v)
+	if len(other) > n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(i) > other.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock as "[1 0 3]".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Before reports whether the event stamped va on trace ta happens before
+// the event stamped vb on trace tb. Events are identified by (trace,
+// index) where index is 1-based position within the trace; with the
+// convention that va[ta] == index(a), a -> b holds iff
+//
+//	va[ta] <= vb[ta]   (and a != b),
+//
+// which costs at most two integer comparisons (one for the same-event
+// check on the same trace).
+func Before(va VC, ta int, vb VC, tb int) bool {
+	if ta == tb {
+		return va.Get(ta) < vb.Get(tb)
+	}
+	return va.Get(ta) <= vb.Get(ta)
+}
+
+// Concurrent reports whether the two stamped events are concurrent:
+// neither happens before the other and they are not the same event.
+func Concurrent(va VC, ta int, vb VC, tb int) bool {
+	if ta == tb && va.Get(ta) == vb.Get(tb) {
+		return false // same event
+	}
+	return !Before(va, ta, vb, tb) && !Before(vb, tb, va, ta)
+}
+
+// Relation is the outcome of comparing two stamped events.
+type Relation int
+
+// Possible relations between two events. Values start at 1 so the zero
+// value is detectably invalid.
+const (
+	// RelBefore means the first event happens before the second.
+	RelBefore Relation = iota + 1
+	// RelAfter means the second event happens before the first.
+	RelAfter
+	// RelEqual means both stamps denote the same event.
+	RelEqual
+	// RelConcurrent means the events are causally unrelated.
+	RelConcurrent
+)
+
+// String returns a short human-readable name for the relation.
+func (r Relation) String() string {
+	switch r {
+	case RelBefore:
+		return "before"
+	case RelAfter:
+		return "after"
+	case RelEqual:
+		return "equal"
+	case RelConcurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Compare classifies the relation between the event stamped va on trace ta
+// and the event stamped vb on trace tb.
+func Compare(va VC, ta int, vb VC, tb int) Relation {
+	if ta == tb {
+		switch {
+		case va.Get(ta) < vb.Get(tb):
+			return RelBefore
+		case va.Get(ta) > vb.Get(tb):
+			return RelAfter
+		default:
+			return RelEqual
+		}
+	}
+	if va.Get(ta) <= vb.Get(ta) {
+		return RelBefore
+	}
+	if vb.Get(tb) <= va.Get(tb) {
+		return RelAfter
+	}
+	return RelConcurrent
+}

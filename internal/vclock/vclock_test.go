@@ -1,0 +1,303 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickMergeBasics(t *testing.T) {
+	v := New(3)
+	v = v.Tick(0)
+	if got, want := v.String(), "[1 0 0]"; got != want {
+		t.Fatalf("after tick: got %s want %s", got, want)
+	}
+	w := New(3).Tick(1).Tick(1)
+	v = v.Merge(w)
+	if got, want := v.String(), "[1 2 0]"; got != want {
+		t.Fatalf("after merge: got %s want %s", got, want)
+	}
+}
+
+func TestTickGrows(t *testing.T) {
+	var v VC
+	v = v.Tick(4)
+	if len(v) != 5 || v[4] != 1 {
+		t.Fatalf("tick did not grow: %v", v)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := New(2).Tick(0)
+	c := v.Clone()
+	c = c.Tick(1)
+	if v.Get(1) != 0 {
+		t.Fatalf("clone aliased original: %v", v)
+	}
+	if (VC)(nil).Clone() != nil {
+		t.Fatalf("nil clone should stay nil")
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	v := New(2)
+	if v.Get(-1) != 0 || v.Get(7) != 0 {
+		t.Fatalf("out-of-range Get must be zero")
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	a := VC{1, 0}
+	b := VC{1, 0, 0, 0}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatalf("clocks padded with zeros must compare equal")
+	}
+	c := VC{1, 0, 1}
+	if a.Equal(c) {
+		t.Fatalf("distinct clocks compared equal")
+	}
+}
+
+func TestLessEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VC
+		want bool
+	}{
+		{"equal", VC{1, 2}, VC{1, 2}, true},
+		{"less", VC{1, 1}, VC{1, 2}, true},
+		{"greater", VC{2, 2}, VC{1, 2}, false},
+		{"incomparable", VC{2, 0}, VC{0, 2}, false},
+		{"shorter", VC{1}, VC{1, 5}, true},
+		{"longer zero tail", VC{1, 0}, VC{1}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.LessEqual(tc.b); got != tc.want {
+				t.Fatalf("LessEqual(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// stampedEvent is an event produced by the reference simulation in
+// newHistory, carrying its ground-truth causal ancestry for oracle checks.
+type stampedEvent struct {
+	trace, index int // 1-based index within trace
+	vc           VC
+	ancestors    map[[2]int]bool // set of (trace,index) that happen before
+}
+
+// newHistory simulates nTraces communicating processes for steps steps and
+// returns events with both vector clocks and ground-truth ancestor sets.
+func newHistory(rng *rand.Rand, nTraces, steps int) []stampedEvent {
+	clocks := make([]VC, nTraces)
+	anc := make([]map[[2]int]bool, nTraces) // ancestors known to each trace
+	counts := make([]int, nTraces)
+	for i := range clocks {
+		clocks[i] = New(nTraces)
+		anc[i] = map[[2]int]bool{}
+	}
+	var events []stampedEvent
+	var lastSend *stampedEvent
+	for s := 0; s < steps; s++ {
+		tr := rng.Intn(nTraces)
+		kind := rng.Intn(3) // 0: internal, 1: send, 2: receive of lastSend
+		if kind == 2 && (lastSend == nil || lastSend.trace == tr) {
+			kind = 0
+		}
+		if kind == 2 {
+			clocks[tr] = clocks[tr].Merge(lastSend.vc)
+			for k := range lastSend.ancestors {
+				anc[tr][k] = true
+			}
+			anc[tr][[2]int{lastSend.trace, lastSend.index}] = true
+		}
+		clocks[tr] = clocks[tr].Tick(tr)
+		counts[tr]++
+		ev := stampedEvent{
+			trace:     tr,
+			index:     counts[tr],
+			vc:        clocks[tr].Clone(),
+			ancestors: make(map[[2]int]bool, len(anc[tr])),
+		}
+		for k := range anc[tr] {
+			ev.ancestors[k] = true
+		}
+		anc[tr][[2]int{tr, ev.index}] = true
+		events = append(events, ev)
+		if kind == 1 {
+			evCopy := ev
+			lastSend = &evCopy
+		}
+	}
+	return events
+}
+
+// TestBeforeMatchesGroundTruth checks the O(1) Before test against the
+// simulation's ground-truth ancestor sets.
+func TestBeforeMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		events := newHistory(rng, 2+rng.Intn(5), 60)
+		for i, a := range events {
+			for j, b := range events {
+				if i == j {
+					continue
+				}
+				want := b.ancestors[[2]int{a.trace, a.index}]
+				got := Before(a.vc, a.trace, b.vc, b.trace)
+				if got != want {
+					t.Fatalf("round %d: Before(%v@%d, %v@%d) = %v, want %v",
+						round, a.vc, a.trace, b.vc, b.trace, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialOrderLaws checks irreflexivity, antisymmetry and transitivity
+// of Before, and symmetry of Concurrent, over simulated histories.
+func TestPartialOrderLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := newHistory(rng, 4, 80)
+	for _, a := range events {
+		if Before(a.vc, a.trace, a.vc, a.trace) {
+			t.Fatalf("Before must be irreflexive: %v", a)
+		}
+		if Concurrent(a.vc, a.trace, a.vc, a.trace) {
+			t.Fatalf("an event is not concurrent with itself: %v", a)
+		}
+	}
+	for _, a := range events {
+		for _, b := range events {
+			ab := Before(a.vc, a.trace, b.vc, b.trace)
+			ba := Before(b.vc, b.trace, a.vc, a.trace)
+			if ab && ba {
+				t.Fatalf("antisymmetry violated: %v <-> %v", a, b)
+			}
+			if got, want := Concurrent(a.vc, a.trace, b.vc, b.trace),
+				Concurrent(b.vc, b.trace, a.vc, a.trace); got != want {
+				t.Fatalf("concurrency must be symmetric")
+			}
+			for _, c := range events {
+				if ab && Before(b.vc, b.trace, c.vc, c.trace) {
+					if !Before(a.vc, a.trace, c.vc, c.trace) {
+						t.Fatalf("transitivity violated: %v -> %v -> %v", a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompareConsistent checks Compare agrees with Before/Concurrent.
+func TestCompareConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	events := newHistory(rng, 3, 60)
+	for _, a := range events {
+		for _, b := range events {
+			r := Compare(a.vc, a.trace, b.vc, b.trace)
+			switch {
+			case a.trace == b.trace && a.index == b.index:
+				if r != RelEqual {
+					t.Fatalf("want equal, got %v", r)
+				}
+			case Before(a.vc, a.trace, b.vc, b.trace):
+				if r != RelBefore {
+					t.Fatalf("want before, got %v", r)
+				}
+			case Before(b.vc, b.trace, a.vc, a.trace):
+				if r != RelAfter {
+					t.Fatalf("want after, got %v", r)
+				}
+			default:
+				if r != RelConcurrent {
+					t.Fatalf("want concurrent, got %v", r)
+				}
+			}
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	tests := []struct {
+		r    Relation
+		want string
+	}{
+		{RelBefore, "before"},
+		{RelAfter, "after"},
+		{RelEqual, "equal"},
+		{RelConcurrent, "concurrent"},
+		{Relation(0), "Relation(0)"},
+	}
+	for _, tc := range tests {
+		if got := tc.r.String(); got != tc.want {
+			t.Errorf("Relation(%d).String() = %q, want %q", int(tc.r), got, tc.want)
+		}
+	}
+}
+
+// TestMergeProperties uses testing/quick to check algebraic laws of Merge:
+// commutativity, idempotence, and that the merge dominates both inputs.
+func TestMergeProperties(t *testing.T) {
+	norm := func(xs []uint8) VC {
+		v := New(len(xs))
+		for i, x := range xs {
+			v[i] = int32(x)
+		}
+		return v
+	}
+	commutative := func(xs, ys []uint8) bool {
+		a, b := norm(xs), norm(ys)
+		return a.Clone().Merge(b).Equal(b.Clone().Merge(a))
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Errorf("merge not commutative: %v", err)
+	}
+	idempotent := func(xs []uint8) bool {
+		a := norm(xs)
+		return a.Clone().Merge(a).Equal(a)
+	}
+	if err := quick.Check(idempotent, nil); err != nil {
+		t.Errorf("merge not idempotent: %v", err)
+	}
+	dominates := func(xs, ys []uint8) bool {
+		a, b := norm(xs), norm(ys)
+		m := a.Clone().Merge(b)
+		return a.LessEqual(m) && b.LessEqual(m)
+	}
+	if err := quick.Check(dominates, nil); err != nil {
+		t.Errorf("merge does not dominate inputs: %v", err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got, want := (VC{1, 2, 3}).String(), "[1 2 3]"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	if got, want := (VC{}).String(), "[]"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func BenchmarkBefore(b *testing.B) {
+	va := VC{5, 3, 8, 1, 9, 2, 7, 4}
+	vb := VC{6, 3, 9, 1, 9, 2, 8, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Before(va, 2, vb, 5)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	va := New(64)
+	vb := New(64)
+	for i := range vb {
+		vb[i] = int32(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		va.Merge(vb)
+	}
+}

@@ -1,0 +1,91 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/event/eventtest"
+)
+
+func fixture(t *testing.T) (*event.Store, []*event.Event) {
+	t.Helper()
+	return eventtest.Build(3, []eventtest.Op{
+		{Trace: 0, Kind: event.KindInternal, Type: "x"},
+		{Trace: 0, Kind: event.KindSend, Type: "s", Label: "m"},
+		{Trace: 1, Kind: event.KindReceive, Type: "r", From: "m"},
+		{Trace: 2, Kind: event.KindInternal, Type: "y"},
+	})
+}
+
+func TestRenderBasics(t *testing.T) {
+	st, evs := fixture(t)
+	out, err := Render(st, evs, Options{Arrows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 3 trace rows + messages header + 1 arrow.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "p0 |.S") {
+		t.Errorf("p0 row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "R") {
+		t.Errorf("p1 row missing receive: %q", lines[2])
+	}
+	if !strings.Contains(out, "t0#2@p0 -> t1#1@p1") {
+		t.Errorf("arrow missing:\n%s", out)
+	}
+}
+
+func TestRenderMarks(t *testing.T) {
+	st, evs := fixture(t)
+	marks := MarksOf([][]*event.Event{{evs[1], evs[2]}})
+	out, err := Render(st, evs, Options{Marks: marks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the header (its legend mentions '#').
+	body := out[strings.IndexByte(out, '\n')+1:]
+	if strings.Count(body, "#") != 2 {
+		t.Fatalf("want two marked events:\n%s", out)
+	}
+}
+
+func TestRenderWindow(t *testing.T) {
+	st, evs := fixture(t)
+	out, err := Render(st, evs, Options{From: 1, To: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window excludes trace p2's event entirely: only two rows.
+	if strings.Contains(out, "p2") {
+		t.Fatalf("trace outside window rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "events 1..3 of 4") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	st, evs := fixture(t)
+	if _, err := Render(st, evs, Options{From: 3, To: 2}); err == nil {
+		t.Fatalf("inverted window must fail")
+	}
+	if _, err := Render(st, evs, Options{MaxWidth: 2}); err == nil {
+		t.Fatalf("window wider than MaxWidth must fail")
+	}
+}
+
+func TestRenderEmptyWindow(t *testing.T) {
+	st, evs := fixture(t)
+	out, err := Render(st, evs, Options{From: 2, To: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "events 2..2") {
+		t.Fatalf("empty window header wrong:\n%s", out)
+	}
+}

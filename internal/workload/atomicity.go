@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"ocep/internal/ucpp"
+)
+
+// AtomicityConfig parameterizes the atomicity-violation case of Section
+// V-C3: Threads repeatedly execute a method protected by a semaphore,
+// but with probability BugProb an execution skips the acquisition
+// entirely, so its method events are causally unordered with respect to
+// a concurrent protected execution.
+type AtomicityConfig struct {
+	// Threads is the number of worker threads.
+	Threads int
+	// Iterations is the number of method executions per thread.
+	Iterations int
+	// BugProb is the per-execution probability of skipping the
+	// semaphore.
+	BugProb float64
+	// Seed makes the skip schedule deterministic.
+	Seed int64
+	// Sink receives the instrumented events.
+	Sink ucpp.Sink
+}
+
+// AtomicityPattern returns the pattern: two method entries of the same
+// method on different threads that are causally concurrent — impossible
+// when every execution holds the semaphore.
+func AtomicityPattern() string {
+	return `
+		E1 := [$1, method_enter, $m];
+		E2 := [$2, method_enter, $m];
+		pattern := E1 || E2;
+	`
+}
+
+// GenAtomicity runs the case study. Each skipped acquisition is a marker
+// (its method-enter event).
+func GenAtomicity(cfg AtomicityConfig) (Result, error) {
+	if cfg.Threads < 2 {
+		return Result{}, fmt.Errorf("workload: atomicity needs at least 2 threads, got %d", cfg.Threads)
+	}
+	// Pre-decide skips per (thread, iteration).
+	r := rng(cfg.Seed)
+	skip := make([][]bool, cfg.Threads)
+	for i := range skip {
+		skip[i] = make([]bool, cfg.Iterations)
+		for j := range skip[i] {
+			skip[i][j] = r.Float64() < cfg.BugProb
+		}
+	}
+	prog := ucpp.NewProgram(cfg.Sink)
+	sem := prog.NewSemaphore("method-sem", 1)
+	var mu sync.Mutex
+	var res Result
+	var idx int
+	var idxMu sync.Mutex
+	nextIdx := func() int {
+		idxMu.Lock()
+		defer idxMu.Unlock()
+		i := idx
+		idx++
+		return i
+	}
+	// Threads proceed in lockstep rounds through an uninstrumented
+	// barrier. The barrier stands in for real time-shared execution: it
+	// guarantees temporal overlap between iterations without creating
+	// any POET-visible causality, so an unprotected execution really is
+	// causally concurrent with its round's protected ones.
+	barrier := newBarrier(cfg.Threads)
+	err := prog.Run(cfg.Threads, "thread-", func(th *ucpp.Thread) {
+		me := nextIdx()
+		for it := 0; it < cfg.Iterations; it++ {
+			barrier.await()
+			// Local work outside the critical section: concurrent
+			// across threads (and what makes the global-state lattice
+			// of this workload non-trivial).
+			th.Internal("local_compute", "")
+			buggy := skip[me][it]
+			if !buggy {
+				sem.P(th)
+			}
+			th.Internal("method_enter", "critical")
+			if buggy {
+				mu.Lock()
+				res.Markers = append(res.Markers, Marker{
+					Trace: th.Name(),
+					Seq:   th.Seq(),
+					Note:  fmt.Sprintf("unprotected entry iter=%d", it),
+				})
+				mu.Unlock()
+			}
+			th.Internal("method_work", "critical")
+			th.Internal("method_exit", "critical")
+			if !buggy {
+				sem.V(th)
+			}
+		}
+		mu.Lock()
+		res.Events += th.Seq()
+		mu.Unlock()
+	})
+	return res, err
+}
+
+// barrier is a reusable synchronization barrier invisible to the
+// instrumentation.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	round   int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all parties have called await for the current round.
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	round := b.round
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.round++
+		b.cond.Broadcast()
+		return
+	}
+	for round == b.round {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ocep/internal/mpi"
+)
+
+// DeadlockConfig parameterizes the parallel random walk of Section V-C1.
+// Ranks are partitioned into groups of CycleLen; each round the group
+// exchanges boundary-crossing walkers around its ring. The safe protocol
+// staggers the communication (member 0 sends first, everyone else
+// receives first); with probability BugProb a round uses the buggy
+// protocol in which every member sends first, leaving a send-receive
+// cycle — the unsafe state the causal pattern detects.
+type DeadlockConfig struct {
+	// Ranks is the number of processes (traces). Must be a multiple of
+	// CycleLen.
+	Ranks int
+	// CycleLen is the deadlock cycle length (group size), >= 2.
+	CycleLen int
+	// Rounds is the number of exchange rounds per group.
+	Rounds int
+	// BugProb is the per-round probability of the buggy protocol.
+	BugProb float64
+	// Seed makes the run deterministic.
+	Seed int64
+	// Sink receives the instrumented events.
+	Sink mpi.Sink
+	// TracePrefix names the rank traces (default "p"); set it when
+	// several workloads share one collector.
+	TracePrefix string
+}
+
+// DeadlockPattern returns the pattern source detecting a send cycle of
+// the given length: sends p0->p1->...->p0, pairwise concurrent.
+func DeadlockPattern(cycleLen int) string {
+	var b strings.Builder
+	for i := 0; i < cycleLen; i++ {
+		fmt.Fprintf(&b, "S%d := [$p%d, %s, $p%d];\n", i, i, mpi.TypeSend, (i+1)%cycleLen)
+	}
+	// Event variables pin every occurrence of a class to one event.
+	for i := 0; i < cycleLen; i++ {
+		fmt.Fprintf(&b, "S%d $s%d;\n", i, i)
+	}
+	b.WriteString("pattern := ")
+	first := true
+	for i := 0; i < cycleLen; i++ {
+		for j := i + 1; j < cycleLen; j++ {
+			if !first {
+				b.WriteString(" && ")
+			}
+			first = false
+			fmt.Fprintf(&b, "($s%d || $s%d)", i, j)
+		}
+	}
+	b.WriteString(";\n")
+	return b.String()
+}
+
+// GenDeadlock runs the random-walk simulation and returns the seeded
+// buggy rounds as markers (one per buggy round: the cycle-closing send
+// of the group's last member).
+func GenDeadlock(cfg DeadlockConfig) (Result, error) {
+	if cfg.CycleLen < 2 {
+		return Result{}, fmt.Errorf("workload: deadlock cycle length %d < 2", cfg.CycleLen)
+	}
+	if cfg.Ranks%cfg.CycleLen != 0 {
+		return Result{}, fmt.Errorf("workload: ranks %d not a multiple of cycle length %d", cfg.Ranks, cfg.CycleLen)
+	}
+	// Pre-decide the buggy rounds per group so every member agrees.
+	groups := cfg.Ranks / cfg.CycleLen
+	r := rng(cfg.Seed)
+	buggy := make([][]bool, groups)
+	for g := range buggy {
+		buggy[g] = make([]bool, cfg.Rounds)
+		for round := range buggy[g] {
+			buggy[g][round] = r.Float64() < cfg.BugProb
+		}
+	}
+
+	var mu sync.Mutex
+	var res Result
+	err := mpi.Run(mpi.Config{
+		Ranks: cfg.Ranks, Sink: cfg.Sink,
+		EagerLimit: 4 * cfg.CycleLen, TracePrefix: cfg.TracePrefix,
+	}, func(rk *mpi.Rank) {
+		g := rk.ID() / cfg.CycleLen
+		k := rk.ID() % cfg.CycleLen
+		base := g * cfg.CycleLen
+		next := base + (k+1)%cfg.CycleLen
+		prev := base + (k-1+cfg.CycleLen)%cfg.CycleLen
+		walkers := 8 + rk.ID()%4
+		for round := 0; round < cfg.Rounds; round++ {
+			// Local walker movement.
+			rk.Internal("walk_step", fmt.Sprintf("round=%d walkers=%d", round, walkers))
+			crossing := walkers / 4
+			sendFirst := k == 0 || buggy[g][round]
+			if sendFirst {
+				rk.Send(next, "walkers", crossing)
+				if buggy[g][round] && k == cfg.CycleLen-1 {
+					// The cycle-closing send of a buggy round.
+					mu.Lock()
+					res.Markers = append(res.Markers, Marker{
+						Trace: rk.TraceName(),
+						Seq:   rk.Seq(),
+						Note:  fmt.Sprintf("deadlock cycle group=%d round=%d", g, round),
+					})
+					mu.Unlock()
+				}
+				m := rk.Recv(prev)
+				walkers += m.Payload.(int) - crossing
+			} else {
+				m := rk.Recv(prev)
+				rk.Send(next, "walkers", crossing)
+				walkers += m.Payload.(int) - crossing
+			}
+		}
+		mu.Lock()
+		res.Events += rk.Seq()
+		mu.Unlock()
+	})
+	return res, err
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"ocep/internal/mpi"
+)
+
+// MsgRaceConfig parameterizes the message-race benchmark of Section
+// V-C2: every rank but rank 0 sends Waves messages to rank 0, which
+// accepts them with a blocking any-source receive. Concurrent incoming
+// messages race; the causal pattern pairs each send with its receive via
+// the link operator and requires the two sends to be concurrent.
+type MsgRaceConfig struct {
+	// Ranks is the number of processes; ranks 1..Ranks-1 are senders.
+	Ranks int
+	// Waves is the number of send rounds per sender.
+	Waves int
+	// Serialize makes senders take turns (each wave acknowledged before
+	// the next sender proceeds), eliminating races: used to measure the
+	// no-violation baseline and to check for false positives.
+	Serialize bool
+	// Sink receives the instrumented events.
+	Sink mpi.Sink
+	// TracePrefix names the rank traces (default "p"); set it when
+	// several workloads share one collector.
+	TracePrefix string
+}
+
+// MsgRacePattern returns the pattern of Section V-C2: two point-to-point
+// communications into the same process whose sends are concurrent.
+func MsgRacePattern() string {
+	return fmt.Sprintf(`
+		S1 := [*, %[1]s, $d];
+		R1 := [$d, %[2]s, *];
+		S2 := [*, %[1]s, $d];
+		R2 := [$d, %[2]s, *];
+		S1 $s1; R1 $r1; S2 $s2; R2 $r2;
+		pattern := ($s1 ~ $r1) && ($s2 ~ $r2) && ($s1 || $s2);
+	`, mpi.TypeSend, mpi.TypeRecv)
+}
+
+// GenMsgRace runs the benchmark. Each sender's first send of every
+// unserialized wave is a marker: it races with every other sender's send
+// of that wave.
+func GenMsgRace(cfg MsgRaceConfig) (Result, error) {
+	if cfg.Ranks < 3 {
+		return Result{}, fmt.Errorf("workload: message race needs at least 3 ranks, got %d", cfg.Ranks)
+	}
+	var mu sync.Mutex
+	var res Result
+	err := mpi.Run(mpi.Config{
+		Ranks: cfg.Ranks, Sink: cfg.Sink,
+		EagerLimit: cfg.Ranks * 2, TracePrefix: cfg.TracePrefix,
+	}, func(rk *mpi.Rank) {
+		defer func() {
+			mu.Lock()
+			res.Events += rk.Seq()
+			mu.Unlock()
+		}()
+		if rk.ID() == 0 {
+			for wave := 0; wave < cfg.Waves; wave++ {
+				for i := 1; i < rk.Size(); i++ {
+					if cfg.Serialize {
+						// Invite exactly one sender, then await it.
+						rk.Send(i, "token", wave)
+						rk.Recv(i)
+					} else {
+						rk.Recv(mpi.AnySource)
+					}
+				}
+			}
+			return
+		}
+		for wave := 0; wave < cfg.Waves; wave++ {
+			if cfg.Serialize {
+				rk.RecvTag(0, "token")
+			}
+			rk.Send(0, "data", fmt.Sprintf("wave-%d", wave))
+			if !cfg.Serialize {
+				mu.Lock()
+				res.Markers = append(res.Markers, Marker{
+					Trace: rk.TraceName(),
+					Seq:   rk.Seq(),
+					Note:  fmt.Sprintf("racing send wave=%d", wave),
+				})
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

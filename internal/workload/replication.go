@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"ocep/internal/mpi"
+)
+
+// ReplicationConfig parameterizes the ordering-bug case of Sections
+// III-D and V-C4, shaped after ZooKeeper bug #962: a leader serves
+// synchronization requests from restarting followers. For each request
+// it takes a snapshot and forwards it to the follower; with probability
+// BugProb it makes an update between the two, forwarding a stale
+// snapshot. Regular service updates fill the rest of the run.
+type ReplicationConfig struct {
+	// Followers is the number of follower processes; the world has
+	// Followers+1 ranks with rank 0 as the leader.
+	Followers int
+	// UpdatesPerSession is the regular service traffic (leader update
+	// events plus follower request/response exchanges) generated
+	// between synch sessions.
+	UpdatesPerSession int
+	// BugProb is the probability that a synch session is buggy.
+	BugProb float64
+	// Seed makes the run deterministic.
+	Seed int64
+	// Sink receives the instrumented events.
+	Sink mpi.Sink
+}
+
+// Event types of the replicated service, matching Section III-D.
+const (
+	typeSynch    = "Synch_Leader"
+	typeSnapshot = "Take_Snapshot"
+	typeUpdate   = "Make_Update"
+)
+
+// OrderingPattern returns the pattern of Section III-D verbatim: a
+// snapshot taken on a synch request that is followed by an update before
+// being forwarded to the follower.
+func OrderingPattern() string {
+	return `
+		Synch    := [$1, Synch_Leader, $2];
+		Snapshot := [$2, Take_Snapshot, ''];
+		Update   := [$2, Make_Update, ''];
+		Forward  := [$2, Take_Snapshot, $1];
+		Snapshot $Diff;
+		Update   $Write;
+		pattern  := (Synch -> $Diff) && ($Diff -> $Write) && ($Write -> Forward);
+	`
+}
+
+// GenReplication runs the case study. Each follower synchronizes once
+// (it "restarts"); sessions are served by the leader in request order.
+// Buggy sessions are markers (the stale forward event on the leader).
+func GenReplication(cfg ReplicationConfig) (Result, error) {
+	if cfg.Followers < 1 {
+		return Result{}, fmt.Errorf("workload: replication needs at least 1 follower")
+	}
+	r := rng(cfg.Seed)
+	buggy := make([]bool, cfg.Followers+1)
+	for f := 1; f <= cfg.Followers; f++ {
+		buggy[f] = r.Float64() < cfg.BugProb
+	}
+	var mu sync.Mutex
+	var res Result
+	err := mpi.Run(mpi.Config{
+		Ranks: cfg.Followers + 1, Sink: cfg.Sink,
+		EagerLimit: 2 * (cfg.Followers + 1), TracePrefix: "node",
+	}, func(rk *mpi.Rank) {
+		defer func() {
+			mu.Lock()
+			res.Events += rk.Seq()
+			mu.Unlock()
+		}()
+		if rk.ID() == 0 {
+			leader(rk, cfg, buggy, func(m Marker) {
+				mu.Lock()
+				res.Markers = append(res.Markers, m)
+				mu.Unlock()
+			})
+			return
+		}
+		follower(rk, cfg)
+	})
+	return res, err
+}
+
+// leader serves one synch session per follower, interleaved with regular
+// update traffic.
+func leader(rk *mpi.Rank, cfg ReplicationConfig, buggy []bool, emit func(Marker)) {
+	served := 0
+	for served < cfg.Followers {
+		// Regular service updates between sessions.
+		for u := 0; u < cfg.UpdatesPerSession; u++ {
+			rk.Internal(typeUpdate, "")
+		}
+		m := rk.RecvT(mpi.AnySource, "synch_request")
+		f := m.Src
+		rk.Internal(typeSnapshot, "")
+		if buggy[f] {
+			// The bug: an update slips in between snapshot and forward.
+			rk.Internal(typeUpdate, "")
+		}
+		rk.SendT(f, typeSnapshot, "snapshot", fmt.Sprintf("state-for-%d", f))
+		if buggy[f] {
+			emit(Marker{
+				Trace: rk.TraceName(),
+				Seq:   rk.Seq(),
+				Note:  fmt.Sprintf("stale snapshot forwarded to follower %d", f),
+			})
+		}
+		served++
+	}
+}
+
+// follower restarts once: it requests a synch and consumes the snapshot.
+func follower(rk *mpi.Rank, cfg ReplicationConfig) {
+	rk.Internal("restart", "")
+	rk.SendT(0, typeSynch, "synch", nil)
+	rk.RecvTag(0, "snapshot")
+	// Normal operation after synchronizing.
+	for u := 0; u < cfg.UpdatesPerSession; u++ {
+		rk.Internal("apply", "")
+	}
+}

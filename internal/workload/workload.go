@@ -1,0 +1,51 @@
+// Package workload implements the four case-study applications of the
+// paper's evaluation (Section V-C) as instrumented simulations, together
+// with the causal patterns that detect their seeded bugs:
+//
+//   - Deadlock: a parallel random walk whose walker exchange leaves a
+//     send-receive cycle (V-C1).
+//   - Message race: all ranks send to one receiver using the
+//     MPI_ANY_SOURCE wild-card (V-C2).
+//   - Atomicity violation: a semaphore-protected method where the
+//     semaphore is occasionally not acquired (V-C3).
+//   - Ordering bug: a leader/follower replicated service where a leader
+//     may update state between taking and forwarding a snapshot, the
+//     ZooKeeper bug #962 shape (V-C4, pattern of Section III-D).
+//
+// Every generator reports raw events to a POET sink and returns markers
+// identifying the seeded violations, the ground truth for the
+// completeness experiment of Section V-D.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Marker identifies a seeded violation by one of the events that any
+// correct detector's match must contain.
+type Marker struct {
+	// Trace is the trace name of the marker event.
+	Trace string
+	// Seq is the event's 1-based position within the trace.
+	Seq int
+	// Note describes the violation for diagnostics.
+	Note string
+}
+
+func (m Marker) String() string {
+	return fmt.Sprintf("%s/%d (%s)", m.Trace, m.Seq, m.Note)
+}
+
+// Result summarizes one generated workload.
+type Result struct {
+	// Events is the number of raw events reported.
+	Events int
+	// Markers identify the seeded violations.
+	Markers []Marker
+}
+
+// rng returns a deterministic source for a seed.
+func rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

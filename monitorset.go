@@ -1,0 +1,120 @@
+package ocep
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MonitorSet manages several named pattern monitors over one collector —
+// the deployment shape of a POET server watching a whole application
+// suite for different safety conditions at once.
+type MonitorSet struct {
+	mu       sync.Mutex
+	monitors map[string]*Monitor
+	onMatch  func(pattern string, m Match)
+	attached *Collector
+}
+
+// NewMonitorSet returns an empty set. fn, when non-nil, receives every
+// match reported by any member, tagged with the member's name (in
+// addition to any per-monitor handlers). Like collector handlers, fn
+// runs on the delivery path: it must be fast and must not call back into
+// the set or the collector.
+func NewMonitorSet(fn func(pattern string, m Match)) *MonitorSet {
+	return &MonitorSet{
+		monitors: make(map[string]*Monitor),
+		onMatch:  fn,
+	}
+}
+
+// Add compiles a pattern and registers it under the given name. If the
+// set is already attached to a collector, the new monitor attaches
+// immediately (replaying the delivered history).
+func (s *MonitorSet) Add(name, source string, options ...Option) error {
+	if s.onMatch != nil {
+		fn := s.onMatch
+		options = append(options, WithMatchHandler(func(m Match) {
+			fn(name, m)
+		}))
+	}
+	mon, err := NewMonitor(source, options...)
+	if err != nil {
+		return fmt.Errorf("ocep: monitor %q: %w", name, err)
+	}
+	s.mu.Lock()
+	if _, dup := s.monitors[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("ocep: monitor %q already registered", name)
+	}
+	s.monitors[name] = mon
+	c := s.attached
+	s.mu.Unlock()
+	// Attach outside the set lock: the collector lock is taken during
+	// attachment while match callbacks run under the collector lock, so
+	// holding the set lock here would order locks both ways.
+	if c != nil {
+		mon.Attach(c)
+	}
+	return nil
+}
+
+// Attach subscribes every registered monitor to the collector (replaying
+// already-delivered history), and auto-attaches monitors added later.
+func (s *MonitorSet) Attach(c *Collector) {
+	s.mu.Lock()
+	s.attached = c
+	members := make([]*Monitor, 0, len(s.monitors))
+	for _, mon := range s.monitors {
+		members = append(members, mon)
+	}
+	s.mu.Unlock()
+	for _, mon := range members {
+		mon.Attach(c)
+	}
+}
+
+// Names returns the registered pattern names, sorted.
+func (s *MonitorSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.monitors))
+	for n := range s.monitors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Monitor returns the named member.
+func (s *MonitorSet) Monitor(name string) (*Monitor, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.monitors[name]
+	return m, ok
+}
+
+// Stats returns every member's counters keyed by name.
+func (s *MonitorSet) Stats() map[string]MatcherStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]MatcherStats, len(s.monitors))
+	for n, m := range s.monitors {
+		out[n] = m.Stats()
+	}
+	return out
+}
+
+// Err joins the members' subscription errors.
+func (s *MonitorSet) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	for n, m := range s.monitors {
+		if err := m.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", n, err))
+		}
+	}
+	return errors.Join(errs...)
+}

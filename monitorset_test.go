@@ -1,0 +1,100 @@
+package ocep_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ocep"
+)
+
+func TestMonitorSetBasics(t *testing.T) {
+	var mu sync.Mutex
+	byPattern := map[string]int{}
+	set := ocep.NewMonitorSet(func(pattern string, m ocep.Match) {
+		mu.Lock()
+		byPattern[pattern]++
+		mu.Unlock()
+	})
+	if err := set.Add("stale-read", `
+		W := [primary, write, $k];
+		R := [replica, read,  $k];
+		pattern := W || R;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Add("ping", `P := [*, ping, *]; pattern := P;`); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Add("ping", `P := [*, ping, *]; pattern := P;`); err == nil {
+		t.Fatalf("duplicate name must fail")
+	}
+	if err := set.Add("bad", `garbage`); err == nil {
+		t.Fatalf("uncompilable member must fail")
+	}
+	if got := set.Names(); len(got) != 2 || got[0] != "ping" || got[1] != "stale-read" {
+		t.Fatalf("names = %v", got)
+	}
+
+	collector := ocep.NewCollector()
+	// One event before attaching: replay must deliver it to members.
+	if err := collector.Report(ocep.RawEvent{Trace: "primary", Seq: 1, Kind: ocep.KindInternal, Type: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	set.Attach(collector)
+	raws := []ocep.RawEvent{
+		{Trace: "primary", Seq: 2, Kind: ocep.KindInternal, Type: "write", Text: "k1"},
+		{Trace: "replica", Seq: 1, Kind: ocep.KindInternal, Type: "read", Text: "k1"},
+	}
+	for _, r := range raws {
+		if err := collector.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.Err(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if byPattern["ping"] != 1 {
+		t.Fatalf("ping matches = %d want 1", byPattern["ping"])
+	}
+	if byPattern["stale-read"] != 1 {
+		t.Fatalf("stale-read matches = %d want 1", byPattern["stale-read"])
+	}
+	stats := set.Stats()
+	if len(stats) != 2 || stats["ping"].Reported != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if _, ok := set.Monitor("ping"); !ok {
+		t.Fatalf("member lookup failed")
+	}
+	if _, ok := set.Monitor("nope"); ok {
+		t.Fatalf("unknown member resolved")
+	}
+}
+
+// TestMonitorSetLateAdd: a member added after Attach is auto-attached
+// and replays history.
+func TestMonitorSetLateAdd(t *testing.T) {
+	set := ocep.NewMonitorSet(nil)
+	collector := ocep.NewCollector()
+	set.Attach(collector)
+	if err := collector.Report(ocep.RawEvent{Trace: "p", Seq: 1, Kind: ocep.KindInternal, Type: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Add("late", `B := [*, boom, *]; pattern := B;`); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Stats()["late"].Reported; got != 1 {
+		t.Fatalf("late member missed replayed history: reported = %d", got)
+	}
+}
+
+func TestMonitorSetErrorNames(t *testing.T) {
+	set := ocep.NewMonitorSet(nil)
+	err := set.Add("broken", `pattern := Zed;`)
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("error must name the member: %v", err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package ocep is an online causal-event-pattern-matching framework for
+// distributed applications, a Go implementation of the system described
+// in "Towards an Efficient Online Causal-Event-Pattern-Matching
+// Framework" (Pramanik, Taylor, Wong — ICDCS 2013).
+//
+// Instrumented traces (processes, threads, semaphores) report raw events
+// to a POET-style collector, which reconstructs the causal partial order,
+// assigns vector timestamps, and streams events to monitors in a
+// linearization of that order. A Monitor matches a causal event pattern —
+// classes of events composed with happens-before (->), concurrency (||),
+// communication link (~), limited precedence (lim->) and entanglement
+// (<->) operators, with variable binding — and reports, online and with
+// bounded stored state, a representative subset of the matches: for every
+// (event class, trace) pair occurring in some complete match, at least
+// one reported match contains that pair.
+//
+// # Quick start
+//
+//	collector := ocep.NewCollector()
+//	mon, err := ocep.NewMonitor(`
+//	    A := [*, request, *];
+//	    B := [*, response, *];
+//	    pattern := A -> B;
+//	`, ocep.WithMatchHandler(func(m ocep.Match) {
+//	    fmt.Println("matched:", m.Events)
+//	}))
+//	// handle err
+//	mon.Attach(collector)
+//	// ... report events to the collector from instrumented code ...
+//
+// The cmd/ directory provides a standalone collector daemon (poetd), an
+// online monitor (ocepmon), a pattern checker (patternc), and the full
+// evaluation harness reproducing the paper's figures (ocepbench).
+package ocep
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ocep/internal/core"
+	"ocep/internal/event"
+	"ocep/internal/pattern"
+	"ocep/internal/poet"
+)
+
+// Re-exported event model types. They alias the internal implementation
+// so values flow between the public API and the toolkit packages.
+type (
+	// Event is a primitive event: a stamped state transition on a trace.
+	Event = event.Event
+	// EventID identifies an event by trace and position.
+	EventID = event.ID
+	// TraceID numbers a trace.
+	TraceID = event.TraceID
+	// Kind classifies an event's communication role.
+	Kind = event.Kind
+	// RawEvent is an unstamped instrumented event as reported by targets.
+	RawEvent = poet.RawEvent
+	// Collector ingests raw events and delivers stamped events in a
+	// linearization of the causal partial order.
+	Collector = poet.Collector
+	// Server exposes a Collector over TCP.
+	Server = poet.Server
+	// Match is one reported pattern match.
+	Match = core.Match
+	// MatcherStats are cumulative matcher counters.
+	MatcherStats = core.Stats
+)
+
+// Event kinds.
+const (
+	KindInternal    = event.KindInternal
+	KindSend        = event.KindSend
+	KindReceive     = event.KindReceive
+	KindSyncAcquire = event.KindSyncAcquire
+	KindSyncRelease = event.KindSyncRelease
+)
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return poet.NewCollector() }
+
+// NewServer wraps a collector for TCP serving; see Server.Listen.
+func NewServer(c *Collector, logf func(string, ...any)) *Server {
+	return poet.NewServer(c, logf)
+}
+
+// DialReporter connects to a POET server as an instrumented target.
+func DialReporter(addr string) (*poet.Reporter, error) { return poet.DialReporter(addr) }
+
+// DialMonitor connects to a POET server as a monitor client.
+func DialMonitor(addr string) (*poet.MonitorClient, error) { return poet.DialMonitor(addr) }
+
+// Option configures a Monitor.
+type Option func(*config)
+
+type config struct {
+	opts    core.Options
+	onMatch func(Match)
+	measure bool
+}
+
+// WithMatchHandler invokes fn for every reported match.
+func WithMatchHandler(fn func(Match)) Option {
+	return func(c *config) { c.onMatch = fn }
+}
+
+// WithReportAll switches to exhaustive per-trigger enumeration and
+// reports every complete match (testing/small runs; the volume can be
+// combinatorial).
+func WithReportAll() Option {
+	return func(c *config) { c.opts.ReportAll = true }
+}
+
+// WithRepresentativeOnly reports only matches that cover a new
+// (event class, trace) pair, bounding total reports by k*n.
+func WithRepresentativeOnly() Option {
+	return func(c *config) { c.opts.RepresentativeOnly = true }
+}
+
+// WithGuaranteedCoverage adds pinned searches so the k*n representative
+// subset guarantee is exact (see DESIGN.md).
+func WithGuaranteedCoverage() Option {
+	return func(c *config) { c.opts.GuaranteeCoverage = true }
+}
+
+// WithoutDuplicatePruning disables the O(1) history-pruning rule.
+func WithoutDuplicatePruning() Option {
+	return func(c *config) { c.opts.DisablePruning = true }
+}
+
+// WithoutBackjumping falls back to chronological backtracking.
+func WithoutBackjumping() Option {
+	return func(c *config) { c.opts.DisableBackjumping = true }
+}
+
+// WithoutCausalDomains disables the causality-interval domain pruning
+// (ablation; results are unchanged, work grows).
+func WithoutCausalDomains() Option {
+	return func(c *config) { c.opts.DisableCausalDomains = true }
+}
+
+// WithStaticOrder uses the compile-time evaluation order (the paper's
+// behaviour) instead of dynamic most-constrained-first ordering.
+func WithStaticOrder() Option {
+	return func(c *config) { c.opts.StaticOrder = true }
+}
+
+// WithParallelTraces explores the top backtracking level's traces with n
+// concurrent workers (the parallelism suggested in the paper's Section
+// VI). The reported match set is unchanged; report order may differ.
+func WithParallelTraces(n int) Option {
+	return func(c *config) { c.opts.ParallelTraces = n }
+}
+
+// WithTiming records the wall-clock matching time of every fed event;
+// retrieve with Timings.
+func WithTiming() Option {
+	return func(c *config) { c.measure = true }
+}
+
+// WithMaxTriggerMatches bounds the complete matches explored per
+// terminating event (safety valve; 0 = unlimited).
+func WithMaxTriggerMatches(n int) Option {
+	return func(c *config) { c.opts.MaxTriggerMatches = n }
+}
+
+// Monitor matches one causal event pattern over a delivered event
+// stream. Create with NewMonitor, then either Attach it to an in-process
+// Collector, Run it against a TCP monitor client, or Feed it events
+// directly. A Monitor is not safe for concurrent use; Attach serializes
+// it behind the collector's delivery lock.
+type Monitor struct {
+	pat     *pattern.Compiled
+	cfg     config
+	mu      sync.Mutex
+	matcher *core.Matcher
+	timings []time.Duration
+	err     error
+}
+
+// NewMonitor parses and compiles the pattern source and builds a monitor.
+func NewMonitor(source string, options ...Option) (*Monitor, error) {
+	f, err := pattern.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("ocep: parsing pattern: %w", err)
+	}
+	pat, err := pattern.Compile(f)
+	if err != nil {
+		return nil, fmt.Errorf("ocep: compiling pattern: %w", err)
+	}
+	m := &Monitor{pat: pat}
+	for _, o := range options {
+		o(&m.cfg)
+	}
+	m.matcher = core.NewMatcher(pat, m.cfg.opts)
+	return m, nil
+}
+
+// PatternLength returns the number of primitive events in the pattern
+// (the k of the k*n subset bound).
+func (m *Monitor) PatternLength() int { return m.pat.K() }
+
+// RegisterTrace pre-registers a trace name (class process attributes
+// match trace names). Only needed when feeding events directly.
+func (m *Monitor) RegisterTrace(name string) TraceID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.matcher.RegisterTrace(name)
+}
+
+// Feed consumes the next event of a linearized delivery stream and
+// returns the newly reported matches.
+func (m *Monitor) Feed(e *Event) ([]Match, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.feedLocked(e)
+}
+
+func (m *Monitor) feedLocked(e *Event) ([]Match, error) {
+	var start time.Time
+	if m.cfg.measure {
+		start = time.Now()
+	}
+	matches, err := m.matcher.Feed(e)
+	if m.cfg.measure {
+		m.timings = append(m.timings, time.Since(start))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.onMatch != nil {
+		for _, match := range matches {
+			m.cfg.onMatch(match)
+		}
+	}
+	return matches, nil
+}
+
+// Attach subscribes the monitor to an in-process collector: every event
+// the collector delivers (past and future) is fed to the matcher, on the
+// collector's delivery path. The monitor shares the collector's store,
+// avoiding a second copy of every vector timestamp. Check Err after the
+// run.
+func (m *Monitor) Attach(c *Collector) {
+	m.mu.Lock()
+	m.matcher = core.NewMatcherOn(m.pat, c.Store(), m.cfg.opts)
+	m.mu.Unlock()
+	c.SubscribeReplay(func(e *Event) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if _, err := m.feedLocked(e); err != nil && m.err == nil {
+			m.err = err
+		}
+	})
+}
+
+// Run drains a TCP monitor client until the stream ends, feeding every
+// event. It returns the first feed or transport error, or nil on a clean
+// end of stream.
+func (m *Monitor) Run(client *poet.MonitorClient) error {
+	for {
+		e, err := client.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		m.mu.Lock()
+		if name, ok := client.TraceName(e.ID.Trace); ok {
+			m.matcher.RegisterTrace(name)
+		}
+		_, err = m.feedLocked(e)
+		m.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Err returns the first error recorded by an Attach subscription.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Stats returns the matcher's cumulative counters.
+func (m *Monitor) Stats() MatcherStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.matcher.Stats()
+}
+
+// CoveredPair is one (event class, trace) pair of the representative
+// subset.
+type CoveredPair = core.CoveredPair
+
+// Coverage returns the representative subset's footprint: the (pattern
+// leaf, trace) pairs witnessed by reported matches so far.
+func (m *Monitor) Coverage() []CoveredPair {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.matcher.Coverage()
+}
+
+// Explain renders a human-readable account of why a reported match
+// holds: leaf bindings, pairwise constraints with vector-timestamp
+// evidence, and compound-constraint witnesses. It takes no lock (the
+// pattern is immutable and the store append-only) so it is safe to call
+// from a WithMatchHandler callback; do not call it concurrently with
+// Attach.
+func (m *Monitor) Explain(match Match) string {
+	return core.ExplainMatch(m.pat, match, m.matcher.Store().TraceName)
+}
+
+// Timings returns the recorded per-event matching times (WithTiming).
+func (m *Monitor) Timings() []time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]time.Duration, len(m.timings))
+	copy(out, m.timings)
+	return out
+}
+
+// CheckPattern parses and compiles a pattern source, returning a
+// human-readable summary of the compiled form (classes, leaves,
+// constraints, terminating events) — the functionality of cmd/patternc.
+func CheckPattern(source string) (string, error) {
+	f, err := pattern.Parse(source)
+	if err != nil {
+		return "", err
+	}
+	pat, err := pattern.Compile(f)
+	if err != nil {
+		return "", err
+	}
+	return pattern.Describe(pat), nil
+}

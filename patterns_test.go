@@ -1,0 +1,36 @@
+package ocep_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ocep"
+)
+
+// TestShippedPatternsCompile keeps every pattern file under
+// examples/patterns parseable and compilable.
+func TestShippedPatternsCompile(t *testing.T) {
+	files, err := filepath.Glob("examples/patterns/*.pat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no shipped pattern files found")
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			desc, err := ocep.CheckPattern(string(src))
+			if err != nil {
+				t.Fatalf("does not compile: %v", err)
+			}
+			if desc == "" {
+				t.Fatalf("empty description")
+			}
+		})
+	}
+}
