@@ -13,6 +13,8 @@
 //	ocepbench -ablation                 # matcher-variant ablations
 //	ocepbench -window                   # sliding-window omission study
 //	ocepbench -scaling                  # trace-isolation scaling study
+//	ocepbench -delivery                 # sync vs async monitor fan-out
+//	ocepbench -monitors 8               # fan-out width for -delivery
 //	ocepbench -events 1000000           # events per data point
 //
 // Absolute numbers depend on the host; the shapes (which case is
@@ -45,6 +47,8 @@ func run() error {
 		window       = flag.Bool("window", false, "sliding-window omission study")
 		scaling      = flag.Bool("scaling", false, "trace-isolation scaling study")
 		latticeCmp   = flag.Bool("lattice", false, "global-state-lattice vs OCEP motivation study")
+		delivery     = flag.Bool("delivery", false, "sync vs async monitor fan-out throughput")
+		monitors     = flag.Int("monitors", 8, "concurrent monitors for -delivery")
 		events       = flag.Int("events", 100_000, "target events per data point (paper: >1e6)")
 		seed         = flag.Int64("seed", 1, "workload seed")
 		cycleLen     = flag.Int("cycle", 3, "deadlock cycle length")
@@ -102,6 +106,9 @@ func run() error {
 		if err := bench.LatticeComparison(out, cfg); err != nil {
 			return err
 		}
+		if err := bench.Delivery(out, cfg, *monitors); err != nil {
+			return err
+		}
 	}
 	if *completeness && !*all {
 		any = true
@@ -139,6 +146,12 @@ func run() error {
 	if *latticeCmp && !*all {
 		any = true
 		if err := bench.LatticeComparison(out, cfg); err != nil {
+			return err
+		}
+	}
+	if *delivery && !*all {
+		any = true
+		if err := bench.Delivery(out, cfg, *monitors); err != nil {
 			return err
 		}
 	}

@@ -4,11 +4,18 @@
 //
 // Usage:
 //
-//	poetd [-listen addr] [-reload trace.poet] [-dump trace.poet] [-quiet]
+//	poetd [-listen addr] [-reload trace.poet] [-dump trace.poet]
+//	      [-monitor-queue n] [-monitor-policy drop|block] [-quiet]
 //
 // With -dump, the delivered raw-event log is written to the given file
 // on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
 // dump and reload features.
+//
+// Each monitor connection drains its own bounded delivery queue
+// (-monitor-queue events deep). With -monitor-policy drop (the default)
+// a monitor that overflows its queue is disconnected so it cannot stall
+// the collector; with block, ingestion throttles to the slowest monitor
+// and no monitor is ever disconnected for lagging.
 package main
 
 import (
@@ -32,10 +39,12 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7524", "address to listen on")
-		reload = flag.String("reload", "", "trace file to replay into the collector at startup")
-		dump   = flag.String("dump", "", "write the delivered raw-event log to this file on shutdown")
-		quiet  = flag.Bool("quiet", false, "suppress per-connection diagnostics")
+		listen    = flag.String("listen", "127.0.0.1:7524", "address to listen on")
+		reload    = flag.String("reload", "", "trace file to replay into the collector at startup")
+		dump      = flag.String("dump", "", "write the delivered raw-event log to this file on shutdown")
+		monQueue  = flag.Int("monitor-queue", 0, "per-monitor delivery queue depth (0 = default 65536)")
+		monPolicy = flag.String("monitor-policy", "drop", "full-queue policy: drop (disconnect laggards) or block (throttle ingestion)")
+		quiet     = flag.Bool("quiet", false, "suppress per-connection diagnostics")
 	)
 	flag.Parse()
 
@@ -56,6 +65,14 @@ func run() error {
 		logf = func(string, ...any) {}
 	}
 	server := poet.NewServer(collector, logf)
+	switch *monPolicy {
+	case "drop":
+		server.SetMonitorQueue(*monQueue, poet.BackpressureDrop)
+	case "block":
+		server.SetMonitorQueue(*monQueue, poet.BackpressureBlock)
+	default:
+		return fmt.Errorf("unknown -monitor-policy %q (want drop or block)", *monPolicy)
+	}
 	addr, err := server.Listen(*listen)
 	if err != nil {
 		return err

@@ -1,0 +1,384 @@
+package ocep_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"ocep"
+	"ocep/internal/baseline"
+	"ocep/internal/core"
+	"ocep/internal/event"
+	"ocep/internal/pattern"
+	"ocep/internal/poet"
+	"ocep/internal/workload"
+)
+
+// recordingSink captures raw events in arrival order while forwarding
+// them to a validating throwaway collector, so the exact same stream can
+// be replayed serially into several delivery configurations. The workload
+// generators run concurrent goroutines, so two generator invocations
+// produce different arrival orders; recording once removes that
+// nondeterminism from the differential.
+type recordingSink struct {
+	mu  sync.Mutex
+	c   *poet.Collector
+	raw []poet.RawEvent
+}
+
+func (r *recordingSink) Report(ev poet.RawEvent) error {
+	r.mu.Lock()
+	r.raw = append(r.raw, ev)
+	r.mu.Unlock()
+	return r.c.Report(ev)
+}
+
+// deliveryCase is one workload for the sync-vs-async differential. The
+// sizes stay small because the test cross-checks against the exhaustive
+// baseline oracle.
+type deliveryCase struct {
+	name     string
+	pattern  string
+	generate func(sink *recordingSink) error
+}
+
+func deliveryCases() []deliveryCase {
+	return []deliveryCase{
+		{
+			name:    "deadlock",
+			pattern: workload.DeadlockPattern(2),
+			generate: func(sink *recordingSink) error {
+				_, err := workload.GenDeadlock(workload.DeadlockConfig{
+					Ranks: 4, CycleLen: 2, Rounds: 40, BugProb: 0.2, Seed: 7, Sink: sink,
+				})
+				return err
+			},
+		},
+		{
+			name:    "msgrace",
+			pattern: workload.MsgRacePattern(),
+			generate: func(sink *recordingSink) error {
+				_, err := workload.GenMsgRace(workload.MsgRaceConfig{
+					Ranks: 4, Waves: 4, Sink: sink,
+				})
+				return err
+			},
+		},
+		{
+			name:    "atomicity",
+			pattern: workload.AtomicityPattern(),
+			generate: func(sink *recordingSink) error {
+				_, err := workload.GenAtomicity(workload.AtomicityConfig{
+					Threads: 3, Iterations: 10, BugProb: 0.25, Seed: 7, Sink: sink,
+				})
+				return err
+			},
+		},
+		{
+			name:    "ordering",
+			pattern: workload.OrderingPattern(),
+			generate: func(sink *recordingSink) error {
+				_, err := workload.GenReplication(workload.ReplicationConfig{
+					Followers: 3, UpdatesPerSession: 2, BugProb: 0.5, Seed: 7, Sink: sink,
+				})
+				return err
+			},
+		},
+	}
+}
+
+func recordWorkload(t *testing.T, c deliveryCase) []poet.RawEvent {
+	t.Helper()
+	sink := &recordingSink{c: poet.NewCollector()}
+	if err := c.generate(sink); err != nil {
+		t.Fatalf("generating %s workload: %v", c.name, err)
+	}
+	if !sink.c.Drained() {
+		t.Fatalf("%s workload left %d events pending", c.name, sink.c.Pending())
+	}
+	return sink.raw
+}
+
+// matchKey canonicalizes a match for set comparison.
+func matchKey(m ocep.Match) string {
+	parts := make([]string, len(m.Events))
+	for leaf, e := range m.Events {
+		parts[leaf] = fmt.Sprintf("%d:%d#%d", leaf, e.ID.Trace, e.ID.Index)
+	}
+	return strings.Join(parts, " ")
+}
+
+// deliveryRun is one serial replay of a recorded stream through a single
+// monitor in the given delivery mode.
+type deliveryRun struct {
+	matches  []ocep.Match
+	coverage []ocep.CoveredPair
+	stats    ocep.MatcherStats
+	store    *event.Store // the collector's store (for the oracle)
+}
+
+func (r deliveryRun) keys() []string {
+	out := make([]string, len(r.matches))
+	for i, m := range r.matches {
+		out[i] = matchKey(m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runDeliveryMode(t *testing.T, raws []poet.RawEvent, patternSrc string, async bool) deliveryRun {
+	t.Helper()
+	var mu sync.Mutex
+	var run deliveryRun
+	opts := []ocep.Option{
+		ocep.WithGuaranteedCoverage(),
+		ocep.WithMatchHandler(func(m ocep.Match) {
+			mu.Lock()
+			run.matches = append(run.matches, m)
+			mu.Unlock()
+		}),
+	}
+	if async {
+		opts = append(opts, ocep.WithAsyncDelivery(), ocep.WithQueueDepth(32), ocep.WithMaxBatch(8))
+	}
+	mon, err := ocep.NewMonitor(patternSrc, opts...)
+	if err != nil {
+		t.Fatalf("compiling pattern: %v", err)
+	}
+	c := ocep.NewCollector()
+	mon.Attach(c)
+	for _, raw := range raws {
+		if err := c.Report(raw); err != nil {
+			t.Fatalf("replaying: %v", err)
+		}
+	}
+	c.Flush()
+	if err := mon.Err(); err != nil {
+		t.Fatalf("monitor error: %v", err)
+	}
+	run.coverage = mon.Coverage()
+	run.stats = mon.Stats()
+	run.store = c.Store()
+	mon.Detach()
+	c.Close()
+	if len(run.matches) != run.stats.Reported {
+		t.Fatalf("handler saw %d matches, stats report %d", len(run.matches), run.stats.Reported)
+	}
+	return run
+}
+
+func coverageSet(pairs []ocep.CoveredPair) map[[2]int]bool {
+	cov := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		cov[[2]int{p.Leaf, int(p.Trace)}] = true
+	}
+	return cov
+}
+
+func coverageEqual(a, b map[[2]int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeliveryDifferential replays identical recorded workloads through a
+// synchronous and an asynchronous monitor and requires byte-identical
+// representative-match sets, identical coverage footprints, coverage
+// equal to the exhaustive oracle's, and per-match soundness.
+func TestDeliveryDifferential(t *testing.T) {
+	for _, tc := range deliveryCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			raws := recordWorkload(t, tc)
+			if len(raws) == 0 {
+				t.Fatal("workload produced no events")
+			}
+			syncRun := runDeliveryMode(t, raws, tc.pattern, false)
+			asyncRun := runDeliveryMode(t, raws, tc.pattern, true)
+
+			syncKeys, asyncKeys := syncRun.keys(), asyncRun.keys()
+			if len(syncKeys) != len(asyncKeys) {
+				t.Fatalf("sync reported %d matches, async %d", len(syncKeys), len(asyncKeys))
+			}
+			for i := range syncKeys {
+				if syncKeys[i] != asyncKeys[i] {
+					t.Fatalf("match sets diverge at %d:\n  sync  %s\n  async %s",
+						i, syncKeys[i], asyncKeys[i])
+				}
+			}
+
+			covSync := coverageSet(syncRun.coverage)
+			covAsync := coverageSet(asyncRun.coverage)
+			if !coverageEqual(covSync, covAsync) {
+				t.Fatalf("coverage diverges: sync %d pairs, async %d pairs", len(covSync), len(covAsync))
+			}
+
+			f, err := pattern.Parse(tc.pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pat, err := pattern.Compile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := baseline.Coverage(baseline.AllMatches(pat, syncRun.store))
+			if !coverageEqual(covSync, oracle) {
+				t.Fatalf("reported coverage (%d pairs) != oracle coverage (%d pairs)",
+					len(covSync), len(oracle))
+			}
+
+			for _, m := range asyncRun.matches {
+				if err := core.VerifyMatch(pat, m, syncRun.store.TraceName); err != nil {
+					t.Fatalf("async match unsound: %v\n  %s", err, matchKey(m))
+				}
+			}
+
+			if asyncRun.stats.EventsSeen != len(raws) {
+				t.Fatalf("async monitor saw %d events, stream has %d", asyncRun.stats.EventsSeen, len(raws))
+			}
+		})
+	}
+}
+
+// TestAsyncFlushDeterminism checks the drain contract: after Flush
+// returns, the async monitor has processed every event the collector
+// delivered before the call.
+func TestAsyncFlushDeterminism(t *testing.T) {
+	mon, err := ocep.NewMonitor(requestResponse, ocep.WithAsyncDelivery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ocep.NewCollector()
+	mon.Attach(c)
+	defer c.Close()
+	for i := 1; i <= 500; i++ {
+		typ := "request"
+		if i%2 == 0 {
+			typ = "response"
+		}
+		if err := c.Report(ocep.RawEvent{Trace: "p", Seq: i, Kind: ocep.KindInternal, Type: typ, Text: "x"}); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 0 {
+			mon.Flush()
+			if seen := mon.Stats().EventsSeen; seen != c.Delivered() {
+				t.Fatalf("after flush at %d: monitor saw %d events, collector delivered %d",
+					i, seen, c.Delivered())
+			}
+		}
+	}
+	st := mon.DeliveryStats()
+	if st.Enqueued != 500 || st.Dropped != 0 {
+		t.Fatalf("delivery stats %+v: want 500 enqueued, none dropped", st)
+	}
+	mon.Detach()
+	if err := mon.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncHandlerReentrancy checks the documented contract that an
+// async onMatch handler may call the monitor's and the collector's read
+// methods without deadlocking.
+func TestAsyncHandlerReentrancy(t *testing.T) {
+	var mon *ocep.Monitor
+	var c *ocep.Collector
+	var mu sync.Mutex
+	calls := 0
+	handler := func(m ocep.Match) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		// Monitor read methods.
+		_ = mon.Stats()
+		_ = mon.Coverage()
+		_ = mon.DeliveryStats()
+		_ = mon.Explain(m)
+		// Collector read methods — only safe from the async path.
+		_ = c.Delivered()
+		_ = c.TraceStats()
+	}
+	var err error
+	mon, err = ocep.NewMonitor(requestResponse, ocep.WithAsyncDelivery(), ocep.WithMatchHandler(handler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = ocep.NewCollector()
+	mon.Attach(c)
+	defer c.Close()
+	for i := 1; i <= 40; i++ {
+		typ := "request"
+		if i%2 == 0 {
+			typ = "response"
+		}
+		if err := c.Report(ocep.RawEvent{Trace: "p", Seq: i, Kind: ocep.KindInternal, Type: typ, Text: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon.Flush()
+	mu.Lock()
+	got := calls
+	mu.Unlock()
+	if got == 0 {
+		t.Fatal("handler never ran")
+	}
+	if got != mon.Stats().Reported {
+		t.Fatalf("handler ran %d times, stats report %d", got, mon.Stats().Reported)
+	}
+	mon.Detach()
+}
+
+// TestMonitorSetAsyncReentrancy checks the MonitorSet variant: the set
+// callback may call set read methods from the async delivery goroutines.
+func TestMonitorSetAsyncReentrancy(t *testing.T) {
+	var set *ocep.MonitorSet
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	set = ocep.NewMonitorSet(func(name string, m ocep.Match) {
+		mu.Lock()
+		seen[name]++
+		mu.Unlock()
+		_ = set.Stats()
+		_ = set.DeliveryStats()
+		_ = set.Names()
+	})
+	if err := set.Add("reqresp", requestResponse, ocep.WithAsyncDelivery()); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Add("reqresp-sync", requestResponse); err != nil {
+		t.Fatal(err)
+	}
+	c := ocep.NewCollector()
+	set.Attach(c)
+	defer c.Close()
+	for i := 1; i <= 20; i++ {
+		typ := "request"
+		if i%2 == 0 {
+			typ = "response"
+		}
+		if err := c.Report(ocep.RawEvent{Trace: "p", Seq: i, Kind: ocep.KindInternal, Type: typ, Text: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set.Flush()
+	if err := set.Err(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	asyncSeen, syncSeen := seen["reqresp"], seen["reqresp-sync"]
+	mu.Unlock()
+	if asyncSeen == 0 {
+		t.Fatal("async member never reported")
+	}
+	if asyncSeen != syncSeen {
+		t.Fatalf("async member reported %d matches, sync member %d", asyncSeen, syncSeen)
+	}
+	set.Detach()
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"ocep"
+	"ocep/internal/poet"
+	"ocep/internal/workload"
+)
+
+// This file implements the delivery-pipeline experiment: the same
+// recorded raw-event stream is replayed through a collector watched by N
+// identical monitors, once with every monitor fed synchronously on the
+// delivery path (ingestion pays for all N matchers per event) and once
+// with each monitor draining its own bounded queue on its own goroutine
+// (ingestion pays one enqueue per monitor; matching proceeds in
+// parallel). On a multi-core host the async aggregate throughput scales
+// with cores; on one core it measures the pipeline's overhead.
+
+// rawRecorder captures the raw events in arrival order while forwarding
+// them to a validating collector, so the identical stream can be
+// replayed against several delivery configurations.
+type rawRecorder struct {
+	mu  sync.Mutex
+	c   *poet.Collector
+	raw []poet.RawEvent
+}
+
+func (r *rawRecorder) Report(ev poet.RawEvent) error {
+	r.mu.Lock()
+	r.raw = append(r.raw, ev)
+	r.mu.Unlock()
+	return r.c.Report(ev)
+}
+
+// DeliveryResult is one delivery mode's measurement.
+type DeliveryResult struct {
+	// Mode names the configuration ("sync" or "async").
+	Mode string
+	// Events is the number of raw events replayed.
+	Events int
+	// Elapsed is the wall-clock time to report every event and drain
+	// every monitor.
+	Elapsed time.Duration
+	// Ingest is the wall-clock time for the report loop alone — how
+	// long the event sources were held up. Sync delivery pays every
+	// matcher on this path; async delivery only enqueues.
+	Ingest time.Duration
+	// Matches is the total number of matches reported across monitors
+	// (a differential guard: it must agree between modes).
+	Matches int
+	// Batches and MaxQueued aggregate the async monitors' queue
+	// counters (zero in sync mode).
+	Batches   int
+	MaxQueued int
+}
+
+// Throughput returns aggregate delivered events per second.
+func (r DeliveryResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Elapsed.Seconds()
+}
+
+// RunDelivery replays a recorded raw stream through `monitors` identical
+// pattern monitors in the given delivery mode and measures the
+// wall-clock to a fully drained end state.
+func RunDelivery(raws []poet.RawEvent, patternSrc string, monitors int, async bool) (DeliveryResult, error) {
+	mode := "sync"
+	if async {
+		mode = "async"
+	}
+	res := DeliveryResult{Mode: mode, Events: len(raws)}
+	c := ocep.NewCollector()
+	var mons []*ocep.Monitor
+	for i := 0; i < monitors; i++ {
+		var opts []ocep.Option
+		if async {
+			opts = append(opts, ocep.WithAsyncDelivery())
+		}
+		m, err := ocep.NewMonitor(patternSrc, opts...)
+		if err != nil {
+			return res, err
+		}
+		m.Attach(c)
+		mons = append(mons, m)
+	}
+	start := time.Now()
+	for _, raw := range raws {
+		if err := c.Report(raw); err != nil {
+			return res, fmt.Errorf("bench: delivery replay: %w", err)
+		}
+	}
+	res.Ingest = time.Since(start)
+	c.Flush()
+	res.Elapsed = time.Since(start)
+	for _, m := range mons {
+		if err := m.Err(); err != nil {
+			return res, fmt.Errorf("bench: delivery monitor: %w", err)
+		}
+		res.Matches += m.Stats().Reported
+		st := m.DeliveryStats()
+		res.Batches += st.Batches
+		if st.MaxQueued > res.MaxQueued {
+			res.MaxQueued = st.MaxQueued
+		}
+		m.Detach()
+	}
+	c.Close()
+	return res, nil
+}
+
+// Delivery runs the sync-vs-async fan-out comparison with the given
+// monitor count and prints a throughput table. It is the experiment
+// behind `ocepbench -delivery`.
+func Delivery(w io.Writer, cfg FigureConfig, monitors int) error {
+	cfg = cfg.norm()
+	if monitors <= 0 {
+		monitors = 8
+	}
+	ranks := 6 - 6%cfg.CycleLen
+	if ranks < cfg.CycleLen {
+		ranks = cfg.CycleLen
+	}
+	rounds := cfg.TargetEvents / (3 * ranks)
+	if rounds < 1 {
+		rounds = 1
+	}
+	rec := &rawRecorder{c: poet.NewCollector()}
+	if _, err := workload.GenDeadlock(workload.DeadlockConfig{
+		Ranks: ranks, CycleLen: cfg.CycleLen, Rounds: rounds,
+		BugProb: 0.01, Seed: cfg.Seed, Sink: rec,
+	}); err != nil {
+		return fmt.Errorf("bench: delivery workload: %w", err)
+	}
+	if !rec.c.Drained() {
+		return fmt.Errorf("bench: delivery workload left %d events pending", rec.c.Pending())
+	}
+	pat := workload.DeadlockPattern(cfg.CycleLen)
+
+	fmt.Fprintf(w, "Delivery pipeline: %d monitors, %d events, %d CPU(s)\n",
+		monitors, len(rec.raw), runtime.NumCPU())
+	syncRes, err := RunDelivery(rec.raw, pat, monitors, false)
+	if err != nil {
+		return err
+	}
+	asyncRes, err := RunDelivery(rec.raw, pat, monitors, true)
+	if err != nil {
+		return err
+	}
+	if syncRes.Matches != asyncRes.Matches {
+		return fmt.Errorf("bench: delivery differential failed: sync reported %d matches, async %d",
+			syncRes.Matches, asyncRes.Matches)
+	}
+	for _, r := range []DeliveryResult{syncRes, asyncRes} {
+		fmt.Fprintf(w, "  %-5s  %10.0f events/s  elapsed %-12v ingest %-12v matches %-6d batches %-6d maxqueued %d\n",
+			r.Mode, r.Throughput(), r.Elapsed.Round(time.Microsecond),
+			r.Ingest.Round(time.Microsecond), r.Matches, r.Batches, r.MaxQueued)
+	}
+	fmt.Fprintf(w, "  async/sync end-to-end: %.2fx   ingest speedup: %.2fx\n\n",
+		asyncRes.Throughput()/syncRes.Throughput(),
+		syncRes.Ingest.Seconds()/asyncRes.Ingest.Seconds())
+	return nil
+}

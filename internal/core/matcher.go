@@ -224,6 +224,15 @@ func (m *Matcher) RegisterTrace(name string) event.TraceID {
 	return m.store.RegisterTrace(name)
 }
 
+// NameTrace records the name of a trace whose ID was assigned by the
+// delivering collector. Consumers of a delivered stream (batch
+// subscribers, wire clients) must use this rather than RegisterTrace:
+// registration order at the consumer can differ from the collector's ID
+// assignment, and the IDs carried by the events are the collector's.
+func (m *Matcher) NameTrace(t event.TraceID, name string) {
+	m.store.NameTrace(t, name)
+}
+
 // Feed consumes the next event of the linearized delivery stream and
 // returns the matches it completes (nil most of the time). The event's
 // Index must be the next position of its trace.
@@ -232,8 +241,20 @@ func (m *Matcher) Feed(e *event.Event) ([]Match, error) {
 		if got := m.store.Get(e.ID); got != e {
 			return nil, fmt.Errorf("feed: event %s not present in the shared store", e.ID)
 		}
-	} else if err := m.store.Append(e); err != nil {
-		return nil, fmt.Errorf("feed: %w", err)
+	} else {
+		if err := m.store.Append(e); err != nil {
+			return nil, fmt.Errorf("feed: %w", err)
+		}
+		// The collector back-patches a send's Partner when its receive is
+		// delivered. On a shared store that patch is visible directly; a
+		// matcher owning its store (fed event copies from a batch
+		// subscription or the wire) re-applies it here so the link (~)
+		// relation sees both directions.
+		if !e.Partner.IsZero() && (e.Kind == event.KindReceive || e.Kind == event.KindSyncAcquire) {
+			if send := m.store.Get(e.Partner); send != nil {
+				send.Partner = e.ID
+			}
+		}
 	}
 	m.stats.EventsSeen++
 	traceName := m.store.TraceName(e.ID.Trace)
@@ -261,6 +282,24 @@ func (m *Matcher) Feed(e *event.Event) ([]Match, error) {
 			continue
 		}
 		out = append(out, m.trigger(i, e)...)
+	}
+	return out, nil
+}
+
+// FeedBatch advances the matcher over one cut batch of the linearized
+// stream, returning the matches completed by any event of the batch in
+// delivery order. It is the delivery pipeline's entry point: a batch
+// subscription hands the matcher whole batches so per-event handoff
+// overhead is paid once per cut. On error the matches completed before
+// the failing event are returned alongside it.
+func (m *Matcher) FeedBatch(events []*event.Event) ([]Match, error) {
+	var out []Match
+	for _, e := range events {
+		matches, err := m.Feed(e)
+		out = append(out, matches...)
+		if err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

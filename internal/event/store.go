@@ -41,6 +41,24 @@ func (s *Store) RegisterTrace(name string) TraceID {
 	return id
 }
 
+// NameTrace records the name of an externally numbered trace, growing
+// the store as needed. Unlike RegisterTrace it never allocates a new ID:
+// it is for consumers of a delivered stream (batch subscribers, wire
+// clients) whose trace IDs are assigned by the collector and must be
+// mirrored exactly.
+func (s *Store) NameTrace(t TraceID, name string) {
+	for int(t) >= len(s.traces) {
+		s.traces = append(s.traces, nil)
+		s.names = append(s.names, "")
+		s.comm = append(s.comm, 0)
+	}
+	if s.names[t] == name {
+		return
+	}
+	s.names[t] = name
+	s.byName[name] = t
+}
+
 // TraceName returns the registered name of t, or "t<N>" if it was never
 // named.
 func (s *Store) TraceName(t TraceID) string {

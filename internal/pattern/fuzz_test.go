@@ -1,6 +1,8 @@
 package pattern
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -29,6 +31,22 @@ func FuzzParse(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// The shipped example patterns are realistic corpus seeds: every
+	// construct the docs exercise becomes a mutation starting point.
+	pats, err := filepath.Glob(filepath.Join("..", "..", "examples", "patterns", "*.pat"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(pats) == 0 {
+		f.Fatal("no example patterns found; corpus seeding is broken")
+	}
+	for _, p := range pats {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		file, err := Parse(src)

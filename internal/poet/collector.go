@@ -45,7 +45,9 @@ func isRecvLike(k event.Kind) bool {
 
 // Handler consumes delivered events. Handlers are invoked in delivery
 // order while the collector's lock is held: they must be fast and must
-// not call back into the Collector.
+// not call back into the Collector. Use SubscribeBatch for a handler
+// that runs off the delivery path (its own goroutine, batched, with a
+// bounded queue and a backpressure policy).
 type Handler func(*event.Event)
 
 // ErrStaleEvent reports a raw event at or before an already-delivered or
@@ -72,6 +74,9 @@ type Collector struct {
 	// sendersSeen guards against duplicate MsgIDs on the send side.
 	sendersSeen map[uint64]bool
 	handlers    map[int]Handler
+	// asyncs holds the batch subscribers' bounded delivery queues, keyed
+	// by the same id space as handlers (see delivery.go).
+	asyncs      map[int]*queue
 	nextHandler int
 	delivered   int
 	// order is the delivery order of all events: the linearization of
@@ -113,13 +118,42 @@ func (c *Collector) Store() *event.Store { return c.store }
 type Subscription struct {
 	c  *Collector
 	id int
+	// q is the bounded delivery queue of a batch subscription; nil for
+	// synchronous subscriptions.
+	q *queue
 }
 
-// Cancel removes the handler. Safe to call more than once.
+// Cancel removes the handler. For a batch subscription it also drains
+// the queue and stops the consumer goroutine before returning, so the
+// handler has observed every event accepted before the cancellation.
+// Safe to call more than once.
 func (s *Subscription) Cancel() {
 	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
 	delete(s.c.handlers, s.id)
+	delete(s.c.asyncs, s.id)
+	s.c.mu.Unlock()
+	if s.q != nil {
+		s.q.close()
+	}
+}
+
+// Flush blocks until the subscription's handler has consumed every event
+// enqueued before the call. A no-op for synchronous subscriptions (their
+// handlers run on the delivery path). Must not be called from the
+// handler itself.
+func (s *Subscription) Flush() {
+	if s.q != nil {
+		s.q.flush()
+	}
+}
+
+// Stats returns the delivery counters of a batch subscription (zero for
+// a synchronous one).
+func (s *Subscription) Stats() DeliveryStats {
+	if s.q == nil {
+		return DeliveryStats{}
+	}
+	return s.q.stats()
 }
 
 // Subscribe registers a delivery handler. Events delivered before the
@@ -237,9 +271,29 @@ func (c *Collector) TraceStats() []TraceStat {
 // the trace's delivery point (they are buffered), but never at or before
 // it. Delivery cascades: everything the new event unblocks is delivered
 // before Report returns.
+//
+// When a batch subscriber with BackpressureBlock has fallen behind its
+// queue depth, Report waits — after releasing the collector lock, so
+// concurrent readers and the subscribers themselves keep running — until
+// the laggard drains, throttling ingestion to the slowest blocking
+// subscriber.
 func (c *Collector) Report(raw RawEvent) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	err := c.reportLocked(raw)
+	var laggards []*queue
+	for _, q := range c.asyncs {
+		if q.overDepth() {
+			laggards = append(laggards, q)
+		}
+	}
+	c.mu.Unlock()
+	for _, q := range laggards {
+		q.waitSpace()
+	}
+	return err
+}
+
+func (c *Collector) reportLocked(raw RawEvent) error {
 	if raw.Seq < 1 {
 		return fmt.Errorf("poet: event on %q has sequence %d: %w", raw.Trace, raw.Seq, ErrStaleEvent)
 	}
@@ -336,5 +390,11 @@ func (c *Collector) deliver(t event.TraceID, raw RawEvent) {
 	}
 	for _, h := range c.handlers {
 		h(e)
+	}
+	if len(c.asyncs) > 0 {
+		name := c.store.TraceName(t)
+		for _, q := range c.asyncs {
+			q.push(e, name)
+		}
 	}
 }

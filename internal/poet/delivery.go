@@ -1,0 +1,375 @@
+package poet
+
+import (
+	"sync"
+
+	"ocep/internal/event"
+)
+
+// This file implements the asynchronous fan-out delivery pipeline: each
+// batch subscriber owns a bounded queue fed by the collector's delivery
+// loop and drained, in batches, by a dedicated consumer goroutine. The
+// linearization order is preserved per subscriber (the queue is FIFO and
+// has a single consumer), so every monitor still observes a causally
+// consistent stream; only the coupling between ingestion and monitor
+// evaluation is removed.
+//
+// Because consumers run outside the collector's lock, they must never
+// observe collector-side mutation of published events. Two consequences
+// shape the implementation:
+//
+//   - The queue stores a private shallow copy of every event. The vector
+//     clock is immutable after delivery and stays shared; the copy exists
+//     because the collector back-patches a send's Partner field when the
+//     matching receive is delivered, which would race with a concurrent
+//     reader of the original.
+//   - A receive-like copy carries its Partner (assigned before
+//     publication); consumers that need the send side's Partner re-apply
+//     the back-patch against their own copies (core.Matcher.Feed does
+//     this when it owns its store, as does the TCP wire client).
+
+// BackpressurePolicy selects what the collector does when a batch
+// subscriber's queue is full.
+type BackpressurePolicy int
+
+const (
+	// BackpressureBlock makes Report wait (after releasing the collector
+	// lock, so handlers and other readers keep running) until the slow
+	// subscriber drains back under its queue depth. No event is lost;
+	// ingestion is throttled to the slowest blocking subscriber.
+	BackpressureBlock BackpressurePolicy = iota
+	// BackpressureDrop discards the event for that subscriber and
+	// increments its Dropped counter. Ingestion never stalls; the
+	// subscriber's stream has gaps (its matcher misses matches involving
+	// the dropped events).
+	BackpressureDrop
+)
+
+func (p BackpressurePolicy) String() string {
+	switch p {
+	case BackpressureBlock:
+		return "block"
+	case BackpressureDrop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// Default queue sizing; see AsyncOptions.
+const (
+	DefaultQueueDepth = 1024
+	DefaultMaxBatch   = 256
+)
+
+// AsyncOptions configures one batch subscription.
+type AsyncOptions struct {
+	// QueueDepth bounds the subscriber's delivery queue (default
+	// DefaultQueueDepth). Under BackpressureBlock the bound is soft: a
+	// Report that finds the queue full still enqueues (delivery cascades
+	// are atomic) and then waits for the drain, so the instantaneous
+	// depth can exceed QueueDepth by the cascade length.
+	QueueDepth int
+	// MaxBatch caps the events handed to the handler per call (default
+	// DefaultMaxBatch). Larger batches amortize handoff overhead; smaller
+	// ones bound handler latency.
+	MaxBatch int
+	// Policy selects the full-queue behaviour.
+	Policy BackpressurePolicy
+	// OnTrace, when non-nil, is called on the consumer goroutine before
+	// the first event of each trace is handed over, with the trace's
+	// collector ID and registered name — the in-process analogue of the
+	// wire protocol's trace announcements. Replayed traces are announced
+	// too.
+	OnTrace func(t event.TraceID, name string)
+}
+
+func (o AsyncOptions) norm() AsyncOptions {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	return o
+}
+
+// BatchHandler consumes one cut batch of the delivery stream, in
+// linearization order. It runs on the subscription's own goroutine, never
+// under the collector's lock: unlike a synchronous Handler it may call
+// the collector's and its monitor's read methods freely.
+type BatchHandler func(batch []*event.Event)
+
+// DeliveryStats are one batch subscription's cumulative counters.
+type DeliveryStats struct {
+	// Enqueued counts events accepted into the queue.
+	Enqueued int
+	// Handled counts events the handler has consumed.
+	Handled int
+	// Dropped counts events discarded under BackpressureDrop.
+	Dropped int
+	// Batches counts handler invocations.
+	Batches int
+	// Queued is the current queue depth (Enqueued - Handled).
+	Queued int
+	// MaxQueued is the high-water mark of the queue depth.
+	MaxQueued int
+}
+
+// traceAnn is a pending trace announcement for one queue.
+type traceAnn struct {
+	id   event.TraceID
+	name string
+}
+
+// queue is one subscriber's bounded delivery queue: multiple producers
+// (Report calls, under the collector lock), one consumer goroutine.
+type queue struct {
+	handler  BatchHandler
+	onTrace  func(event.TraceID, string)
+	depth    int
+	maxBatch int
+	policy   BackpressurePolicy
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on enqueue, batch completion, and close
+	buf  []*event.Event
+	anns []traceAnn
+	// announced[t] marks traces whose announcement is queued or done.
+	announced []bool
+	enqueued  int
+	handled   int
+	dropped   int
+	batches   int
+	maxQueued int
+	closed    bool
+	done      chan struct{}
+}
+
+func newQueue(h BatchHandler, opts AsyncOptions) *queue {
+	opts = opts.norm()
+	q := &queue{
+		handler:  h,
+		onTrace:  opts.OnTrace,
+		depth:    opts.QueueDepth,
+		maxBatch: opts.MaxBatch,
+		policy:   opts.Policy,
+		done:     make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a private copy of e. Called with the collector lock held
+// (name lookups on the collector store are only safe there); the queue
+// has its own lock, so the critical section is short and never blocks.
+func (q *queue) push(e *event.Event, name string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	// Announce the trace even when the event itself is dropped: names are
+	// metadata, and a later surviving event of the trace must match
+	// process attributes correctly.
+	if t := int(e.ID.Trace); q.onTrace != nil {
+		for t >= len(q.announced) {
+			q.announced = append(q.announced, false)
+		}
+		if !q.announced[t] {
+			q.announced[t] = true
+			q.anns = append(q.anns, traceAnn{e.ID.Trace, name})
+		}
+	}
+	if q.policy == BackpressureDrop && len(q.buf) >= q.depth {
+		q.dropped++
+		return
+	}
+	cp := *e
+	q.buf = append(q.buf, &cp)
+	q.enqueued++
+	if len(q.buf) > q.maxQueued {
+		q.maxQueued = len(q.buf)
+	}
+	q.cond.Broadcast()
+}
+
+// overDepth reports whether a blocking producer should wait for this
+// queue. Called under q.mu's own locking.
+func (q *queue) overDepth() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.policy == BackpressureBlock && !q.closed && len(q.buf) > q.depth
+}
+
+// waitSpace blocks until the queue is back at or under its depth (or
+// closed). Must be called WITHOUT the collector lock held.
+func (q *queue) waitSpace() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.buf) > q.depth {
+		q.cond.Wait()
+	}
+}
+
+// run is the consumer loop: cut a batch, hand it over, repeat. On close
+// it drains the remaining buffer before exiting, so Close is a
+// deterministic end state: every accepted event has been handled.
+func (q *queue) run() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.buf) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.buf) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		n := len(q.buf)
+		if n > q.maxBatch {
+			n = q.maxBatch
+		}
+		batch := make([]*event.Event, n)
+		copy(batch, q.buf[:n])
+		rest := copy(q.buf, q.buf[n:])
+		for i := rest; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:rest]
+		anns := q.anns
+		q.anns = nil
+		q.mu.Unlock()
+
+		for _, a := range anns {
+			q.onTrace(a.id, a.name)
+		}
+		q.handler(batch)
+
+		q.mu.Lock()
+		q.handled += n
+		q.batches++
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// flush blocks until every event enqueued before the call has been
+// handled. Must not be called from the subscription's own handler.
+func (q *queue) flush() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	target := q.enqueued
+	for q.handled < target {
+		q.cond.Wait()
+	}
+}
+
+// close stops the queue: no further events are accepted, the consumer
+// drains what is buffered and exits. Idempotent; blocks until the
+// consumer goroutine has finished.
+func (q *queue) close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+	<-q.done
+}
+
+func (q *queue) stats() DeliveryStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return DeliveryStats{
+		Enqueued:  q.enqueued,
+		Handled:   q.handled,
+		Dropped:   q.dropped,
+		Batches:   q.batches,
+		Queued:    len(q.buf),
+		MaxQueued: q.maxQueued,
+	}
+}
+
+// SubscribeBatch registers an asynchronous batch subscriber: deliveries
+// are enqueued (as private event copies) and consumed by a dedicated
+// goroutine that invokes h with batches cut from the queue. Events
+// delivered before the subscription are not replayed; use
+// SubscribeBatchReplay for a complete linearization. Cancel the
+// subscription (or Close the collector) to stop the goroutine; both drain
+// the queue first.
+func (c *Collector) SubscribeBatch(h BatchHandler, opts AsyncOptions) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subscribeBatchLocked(h, opts, false)
+}
+
+// SubscribeBatchReplay atomically seeds the queue with every
+// already-delivered event and then registers the subscription, so the
+// consumer observes one complete, gap-free linearization no matter when
+// it joins. The replayed backlog is exempt from the queue depth (it is
+// enqueued in one atomic step); backpressure applies from the first live
+// delivery on.
+func (c *Collector) SubscribeBatchReplay(h BatchHandler, opts AsyncOptions) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subscribeBatchLocked(h, opts, true)
+}
+
+func (c *Collector) subscribeBatchLocked(h BatchHandler, opts AsyncOptions, replay bool) *Subscription {
+	q := newQueue(h, opts)
+	if replay {
+		// Seeding bypasses the drop policy: the backlog is part of the
+		// atomic replay contract.
+		saved := q.policy
+		q.policy = BackpressureBlock
+		for _, e := range c.order {
+			q.push(e, c.store.TraceName(e.ID.Trace))
+		}
+		q.policy = saved
+	}
+	id := c.nextHandler
+	c.nextHandler++
+	if c.asyncs == nil {
+		c.asyncs = make(map[int]*queue)
+	}
+	c.asyncs[id] = q
+	go q.run()
+	return &Subscription{c: c, id: id, q: q}
+}
+
+// Flush blocks until every async subscriber has handled everything
+// delivered before the call. Synchronous handlers need no flushing (they
+// run on the delivery path). Must not be called from a handler.
+func (c *Collector) Flush() {
+	for _, q := range c.asyncQueues() {
+		q.flush()
+	}
+}
+
+// Close cancels every async subscription, draining each queue and
+// stopping its consumer goroutine. Synchronous subscriptions and the
+// collector's ingestion state are untouched; reporting may continue.
+// Idempotent.
+func (c *Collector) Close() {
+	c.mu.Lock()
+	queues := make([]*queue, 0, len(c.asyncs))
+	for id, q := range c.asyncs {
+		queues = append(queues, q)
+		delete(c.asyncs, id)
+	}
+	c.mu.Unlock()
+	for _, q := range queues {
+		q.close()
+	}
+}
+
+// asyncQueues snapshots the registered queues outside the collector lock.
+func (c *Collector) asyncQueues() []*queue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*queue, 0, len(c.asyncs))
+	for _, q := range c.asyncs {
+		out = append(out, q)
+	}
+	return out
+}

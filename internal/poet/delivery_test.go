@@ -1,0 +1,396 @@
+package poet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ocep/internal/event"
+)
+
+// internalRaw builds a deliverable internal event.
+func internalRaw(trace string, seq int) RawEvent {
+	return RawEvent{Trace: trace, Seq: seq, Kind: event.KindInternal, Type: "tick", Text: "t"}
+}
+
+// batchSink accumulates everything a batch subscription hands over, with
+// its own lock so test goroutines can inspect it.
+type batchSink struct {
+	mu      sync.Mutex
+	events  []*event.Event
+	batches int
+	anns    map[event.TraceID]string
+}
+
+func newBatchSink() *batchSink {
+	return &batchSink{anns: make(map[event.TraceID]string)}
+}
+
+func (s *batchSink) handler(batch []*event.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, batch...)
+	s.batches++
+}
+
+func (s *batchSink) onTrace(t event.TraceID, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.anns[t] = name
+}
+
+func (s *batchSink) snapshot() []*event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*event.Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// contiguous verifies the sink saw, per trace, a gap-free duplicate-free
+// prefix 1..n of the trace, in increasing order, returning the per-trace
+// counts. Safe to call from any goroutine.
+func contiguous(events []*event.Event) (map[event.TraceID]int, error) {
+	next := make(map[event.TraceID]int)
+	for _, e := range events {
+		want := next[e.ID.Trace] + 1
+		if e.ID.Index != want {
+			return nil, fmt.Errorf("trace %d: got index %d, want %d (lost or duplicated delivery)",
+				e.ID.Trace, e.ID.Index, want)
+		}
+		next[e.ID.Trace] = want
+	}
+	return next, nil
+}
+
+// checkContiguous is contiguous with a fatal report, for test-goroutine use.
+func checkContiguous(t *testing.T, events []*event.Event) map[event.TraceID]int {
+	t.Helper()
+	next, err := contiguous(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next
+}
+
+func TestSubscribeBatchDeliversAll(t *testing.T) {
+	c := NewCollector()
+	sink := newBatchSink()
+	sub := c.SubscribeBatch(sink.handler, AsyncOptions{
+		QueueDepth: 8, MaxBatch: 4, OnTrace: sink.onTrace,
+	})
+	const n = 100
+	for i := 1; i <= n; i++ {
+		if err := c.Report(internalRaw("p0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub.Flush()
+	got := sink.snapshot()
+	if len(got) != n {
+		t.Fatalf("handled %d events, want %d", len(got), n)
+	}
+	checkContiguous(t, got)
+	st := sub.Stats()
+	if st.Enqueued != n || st.Handled != n || st.Dropped != 0 || st.Queued != 0 {
+		t.Fatalf("stats %+v: want %d enqueued and handled, nothing dropped or queued", st, n)
+	}
+	if st.Batches < 1 || st.Batches > n {
+		t.Fatalf("stats %+v: implausible batch count", st)
+	}
+	sink.mu.Lock()
+	name := sink.anns[got[0].ID.Trace]
+	sink.mu.Unlock()
+	if name != "p0" {
+		t.Fatalf("trace announcement: got %q, want %q", name, "p0")
+	}
+	sub.Cancel()
+}
+
+func TestSubscribeBatchReplaySeesHistory(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 10; i++ {
+		if err := c.Report(internalRaw("p0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := newBatchSink()
+	sub := c.SubscribeBatchReplay(sink.handler, AsyncOptions{OnTrace: sink.onTrace})
+	for i := 11; i <= 20; i++ {
+		if err := c.Report(internalRaw("p0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub.Flush()
+	got := sink.snapshot()
+	if len(got) != 20 {
+		t.Fatalf("handled %d events, want 20 (10 replayed + 10 live)", len(got))
+	}
+	checkContiguous(t, got)
+	sub.Cancel()
+}
+
+func TestBatchEventsAreCopies(t *testing.T) {
+	c := NewCollector()
+	sink := newBatchSink()
+	sub := c.SubscribeBatch(sink.handler, AsyncOptions{})
+	defer sub.Cancel()
+	if err := c.Report(internalRaw("p0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	sub.Flush()
+	got := sink.snapshot()
+	orig := c.Ordered()[0]
+	if got[0] == orig {
+		t.Fatal("batch subscriber received the collector's own event pointer; wants a private copy")
+	}
+	if got[0].ID != orig.ID || !got[0].VC.Equal(orig.VC) {
+		t.Fatalf("copy diverges from original: %+v vs %+v", got[0], orig)
+	}
+}
+
+// TestBatchPartnerVisibleToConsumer checks the documented contract: a
+// receive-like copy carries its Partner, so consumers can re-apply the
+// send-side back-patch on their own copies.
+func TestBatchPartnerVisibleToConsumer(t *testing.T) {
+	c := NewCollector()
+	sink := newBatchSink()
+	sub := c.SubscribeBatch(sink.handler, AsyncOptions{})
+	defer sub.Cancel()
+	if err := c.Report(RawEvent{Trace: "a", Seq: 1, Kind: event.KindSend, Type: "s", MsgID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(RawEvent{Trace: "b", Seq: 1, Kind: event.KindReceive, Type: "r", MsgID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	sub.Flush()
+	got := sink.snapshot()
+	if len(got) != 2 {
+		t.Fatalf("handled %d events, want 2", len(got))
+	}
+	recv := got[1]
+	if recv.Kind != event.KindReceive || recv.Partner != got[0].ID {
+		t.Fatalf("receive copy lost its partner: %+v", recv)
+	}
+}
+
+func TestDropPolicyCountsAndRecovers(t *testing.T) {
+	c := NewCollector()
+	gate := make(chan struct{})
+	var entered sync.Once
+	started := make(chan struct{})
+	sink := newBatchSink()
+	sub := c.SubscribeBatch(func(batch []*event.Event) {
+		entered.Do(func() { close(started) })
+		<-gate
+		sink.handler(batch)
+	}, AsyncOptions{QueueDepth: 4, MaxBatch: 1, Policy: BackpressureDrop})
+	defer sub.Cancel()
+
+	if err := c.Report(internalRaw("p0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // consumer now blocked holding the first event
+	const total = 50
+	for i := 2; i <= total; i++ {
+		if err := c.Report(internalRaw("p0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sub.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("stats %+v: expected drops with a blocked consumer and depth 4", st)
+	}
+	if st.Enqueued+st.Dropped != total {
+		t.Fatalf("stats %+v: enqueued+dropped = %d, want %d", st, st.Enqueued+st.Dropped, total)
+	}
+	close(gate)
+	sub.Flush()
+	st = sub.Stats()
+	if st.Handled != st.Enqueued || st.Queued != 0 {
+		t.Fatalf("stats %+v: queue did not drain after unblocking", st)
+	}
+	// The survivors are a subsequence in order (gaps allowed under drop).
+	last := 0
+	for _, e := range sink.snapshot() {
+		if e.ID.Index <= last {
+			t.Fatalf("out-of-order or duplicated survivor %d after %d", e.ID.Index, last)
+		}
+		last = e.ID.Index
+	}
+}
+
+func TestBlockPolicyBoundsQueue(t *testing.T) {
+	c := NewCollector()
+	const depth = 2
+	sink := newBatchSink()
+	sub := c.SubscribeBatch(func(batch []*event.Event) {
+		time.Sleep(time.Millisecond) // slow consumer
+		sink.handler(batch)
+	}, AsyncOptions{QueueDepth: depth, MaxBatch: 1, Policy: BackpressureBlock})
+	defer sub.Cancel()
+	const n = 30
+	for i := 1; i <= n; i++ {
+		if err := c.Report(internalRaw("p0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub.Flush()
+	st := sub.Stats()
+	if st.Enqueued != n || st.Handled != n || st.Dropped != 0 {
+		t.Fatalf("stats %+v: block policy must deliver everything", st)
+	}
+	// Each Report delivers one event (internal events never cascade), so
+	// the soft bound is depth+1.
+	if st.MaxQueued > depth+1 {
+		t.Fatalf("stats %+v: queue grew past the soft bound %d", st, depth+1)
+	}
+	checkContiguous(t, sink.snapshot())
+}
+
+func TestCancelDrainsQueue(t *testing.T) {
+	c := NewCollector()
+	sink := newBatchSink()
+	sub := c.SubscribeBatch(sink.handler, AsyncOptions{MaxBatch: 8})
+	const n = 200
+	for i := 1; i <= n; i++ {
+		if err := c.Report(internalRaw("p0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub.Cancel() // must drain before returning
+	if got := len(sink.snapshot()); got != n {
+		t.Fatalf("cancel returned with %d of %d events handled", got, n)
+	}
+	// Deliveries after cancel are not observed.
+	if err := c.Report(internalRaw("p0", n+1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.snapshot()); got != n {
+		t.Fatalf("cancelled subscription still receiving: %d events", got)
+	}
+	sub.Cancel() // idempotent
+}
+
+func TestCollectorFlushAndClose(t *testing.T) {
+	c := NewCollector()
+	sinks := make([]*batchSink, 3)
+	for i := range sinks {
+		sinks[i] = newBatchSink()
+		c.SubscribeBatch(sinks[i].handler, AsyncOptions{MaxBatch: 16})
+	}
+	const n = 500
+	for i := 1; i <= n; i++ {
+		if err := c.Report(internalRaw("p0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Flush()
+	for i, s := range sinks {
+		if got := len(s.snapshot()); got != n {
+			t.Fatalf("subscriber %d: flushed with %d of %d events", i, got, n)
+		}
+	}
+	c.Close()
+	c.Close() // idempotent
+}
+
+// TestAsyncStress runs N producers against a collector while batch
+// subscribers attach and detach mid-stream; run under -race. The
+// permanent replay subscriber must observe every delivery exactly once;
+// transient subscribers must observe gap-free prefixes; the Delivered
+// counters must account for every accepted event.
+func TestAsyncStress(t *testing.T) {
+	c := NewCollector()
+	const producers = 8
+	const perProducer = 400
+	for p := 0; p < producers; p++ {
+		c.RegisterTrace(fmt.Sprintf("p%d", p))
+	}
+
+	base := newBatchSink()
+	baseSub := c.SubscribeBatchReplay(base.handler, AsyncOptions{
+		QueueDepth: 64, MaxBatch: 8, Policy: BackpressureBlock, OnTrace: base.onTrace,
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var transientChecked atomic.Int64
+	wg.Add(1)
+	go func() { // attach/detach churn
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sink := newBatchSink()
+			sub := c.SubscribeBatchReplay(sink.handler, AsyncOptions{QueueDepth: 32, MaxBatch: 4})
+			time.Sleep(time.Millisecond)
+			sub.Cancel()
+			events := sink.snapshot()
+			if _, err := contiguous(events); err != nil {
+				t.Errorf("transient subscriber: %v", err)
+			}
+			st := sub.Stats()
+			if st.Handled != st.Enqueued || st.Handled != len(events) {
+				t.Errorf("transient stats %+v inconsistent with %d observed events", st, len(events))
+			}
+			transientChecked.Add(1)
+		}
+	}()
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			trace := fmt.Sprintf("p%d", p)
+			for i := 1; i <= perProducer; i++ {
+				if err := c.Report(internalRaw(trace, i)); err != nil {
+					t.Errorf("producer %s: %v", trace, err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Producers first, then stop the churn so its last iteration still
+	// runs against a live stream.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	<-time.After(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	const total = producers * perProducer
+	if got := c.Delivered(); got != total {
+		t.Fatalf("collector delivered %d, want %d", got, total)
+	}
+	baseSub.Flush()
+	events := base.snapshot()
+	if len(events) != total {
+		t.Fatalf("base subscriber saw %d events, want %d (lost or duplicated)", len(events), total)
+	}
+	next := checkContiguous(t, events)
+	for p := 0; p < producers; p++ {
+		tid, ok := c.Store().TraceByName(fmt.Sprintf("p%d", p))
+		if !ok {
+			t.Fatalf("trace p%d unregistered", p)
+		}
+		if next[tid] != perProducer {
+			t.Fatalf("trace p%d: saw %d events, want %d", p, next[tid], perProducer)
+		}
+	}
+	st := baseSub.Stats()
+	if st.Enqueued != total || st.Handled != total || st.Dropped != 0 {
+		t.Fatalf("base stats %+v: want %d enqueued and handled, 0 dropped", st, total)
+	}
+	if transientChecked.Load() == 0 {
+		t.Fatal("attach/detach churn never completed a cycle")
+	}
+	baseSub.Cancel()
+	c.Close()
+}

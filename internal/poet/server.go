@@ -19,6 +19,9 @@ type Server struct {
 	listener  net.Listener
 	logf      func(format string, args ...any)
 
+	monQueue  int
+	monPolicy BackpressurePolicy
+
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closed  bool
@@ -26,10 +29,23 @@ type Server struct {
 	serveWG sync.WaitGroup
 }
 
-// monitorQueueSize bounds the per-monitor outgoing buffer. A monitor that
-// falls this far behind the delivery stream is disconnected rather than
-// allowed to stall the collector.
+// monitorQueueSize is the default per-monitor delivery-queue depth. Under
+// the default BackpressureDrop policy a monitor that falls this far
+// behind the stream is disconnected rather than allowed to stall the
+// collector; under BackpressureBlock ingestion throttles instead.
 const monitorQueueSize = 1 << 16
+
+// SetMonitorQueue configures the per-monitor-connection delivery queue:
+// depth bounds the queue (0 keeps the default), policy selects what a
+// full queue does (BackpressureDrop, the default, disconnects the
+// lagging monitor so its stream never has silent gaps; BackpressureBlock
+// throttles ingestion until the monitor catches up). Call before Listen.
+func (s *Server) SetMonitorQueue(depth int, policy BackpressurePolicy) {
+	if depth > 0 {
+		s.monQueue = depth
+	}
+	s.monPolicy = policy
+}
 
 // NewServer wraps a collector. Pass a logf (e.g. log.Printf) for
 // connection diagnostics, or nil for silence.
@@ -37,7 +53,13 @@ func NewServer(c *Collector, logf func(format string, args ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{collector: c, logf: logf, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		collector: c,
+		logf:      logf,
+		conns:     make(map[net.Conn]struct{}),
+		monQueue:  monitorQueueSize,
+		monPolicy: BackpressureDrop,
+	}
 }
 
 // Listen starts accepting connections on addr ("host:port"; use ":0" for
@@ -155,43 +177,61 @@ func (s *Server) handleTarget(dec *gob.Decoder) error {
 	}
 }
 
-// handleMonitor streams the linearization to one client: replay of all
-// delivered events, then live deliveries, with trace announcements
-// interleaved before first use. A monitor that falls monitorQueueSize
-// messages behind is disconnected so it cannot stall the collector.
+// handleMonitor streams the linearization to one client over the
+// collector's batch delivery pipeline: an atomic replay of all delivered
+// events, then live deliveries in batches, with trace announcements
+// interleaved before first use. Under BackpressureDrop (the default) a
+// monitor that falls monQueue events behind is disconnected — a wire
+// stream must never have silent gaps; under BackpressureBlock ingestion
+// throttles to the monitor instead.
 func (s *Server) handleMonitor(conn net.Conn) error {
-	queue := make(chan wireMsg, monitorQueueSize)
-	overflowed := false
-	announced := make(map[int]bool)
-	// push runs in handler context (under the collector lock): it is
-	// single-threaded and may read the store.
-	push := func(e *event.Event) {
-		if overflowed {
-			return
+	enc := gob.NewEncoder(conn)
+	errc := make(chan error, 1)
+	fail := func(err error) {
+		select {
+		case errc <- err:
+		default:
 		}
-		t := int(e.ID.Trace)
-		if !announced[t] {
-			name := s.collector.store.TraceName(e.ID.Trace)
-			select {
-			case queue <- wireMsg{Trace: &wireTrace{ID: t, Name: name}}:
-				announced[t] = true
-			default:
-				overflowed = true
-				close(queue)
+		_ = conn.Close() // unblock pending encodes
+	}
+	// pending and stats are touched only on the subscription's consumer
+	// goroutine: announcements arrive before the batch that needs them.
+	var pending []wireTrace
+	statsCh := make(chan func() DeliveryStats, 1)
+	var stats func() DeliveryStats
+	handler := func(batch []*event.Event) {
+		if stats == nil {
+			stats = <-statsCh
+		}
+		for i := range pending {
+			if err := enc.Encode(&wireMsg{Trace: &pending[i]}); err != nil {
+				fail(fmt.Errorf("encoding to monitor: %w", err))
 				return
 			}
 		}
-		select {
-		case queue <- wireMsg{Event: toWire(e)}:
-		default:
-			overflowed = true
-			close(queue)
+		pending = nil
+		for _, e := range batch {
+			if err := enc.Encode(&wireMsg{Event: toWire(e)}); err != nil {
+				fail(fmt.Errorf("encoding to monitor: %w", err))
+				return
+			}
+		}
+		if s.monPolicy == BackpressureDrop {
+			if st := stats(); st.Dropped > 0 {
+				fail(fmt.Errorf("monitor %s overflowed its %d-event queue; disconnected",
+					conn.RemoteAddr(), s.monQueue))
+			}
 		}
 	}
-	// The replay and the subscription are atomic with respect to
-	// deliveries, so the queue sees one gap-free linearization.
-	sub := s.collector.SubscribeReplay(push)
+	sub := s.collector.SubscribeBatchReplay(handler, AsyncOptions{
+		QueueDepth: s.monQueue,
+		Policy:     s.monPolicy,
+		OnTrace: func(t event.TraceID, name string) {
+			pending = append(pending, wireTrace{ID: int(t), Name: name})
+		},
+	})
 	defer sub.Cancel()
+	statsCh <- sub.Stats
 
 	// Monitors never send after the hello; a background read doubles as
 	// a close detector.
@@ -202,18 +242,15 @@ func (s *Server) handleMonitor(conn net.Conn) error {
 		close(done)
 	}()
 
-	enc := gob.NewEncoder(conn)
-	for {
+	select {
+	case err := <-errc:
+		return err
+	case <-done:
+		// Prefer a recorded failure over the close it provoked.
 		select {
-		case msg, ok := <-queue:
-			if !ok {
-				return fmt.Errorf("monitor %s overflowed its %d-message queue; disconnected",
-					conn.RemoteAddr(), monitorQueueSize)
-			}
-			if err := enc.Encode(&msg); err != nil {
-				return fmt.Errorf("encoding to monitor: %w", err)
-			}
-		case <-done:
+		case err := <-errc:
+			return err
+		default:
 			return nil
 		}
 	}

@@ -19,9 +19,15 @@ type MonitorSet struct {
 
 // NewMonitorSet returns an empty set. fn, when non-nil, receives every
 // match reported by any member, tagged with the member's name (in
-// addition to any per-monitor handlers). Like collector handlers, fn
-// runs on the delivery path: it must be fast and must not call back into
-// the set or the collector.
+// addition to any per-monitor handlers).
+//
+// fn runs outside the reporting member's lock, so it may call the set's
+// and the members' read methods (Stats, Coverage, DeliveryStats, Err).
+// For members attached synchronously it still runs on the collector's
+// delivery path and must not call back into the Collector; for members
+// added with WithAsyncDelivery it runs on that member's delivery
+// goroutine and may use the collector freely. Flush and Detach must not
+// be called from fn (they wait for the very goroutine running it).
 func NewMonitorSet(fn func(pattern string, m Match)) *MonitorSet {
 	return &MonitorSet{
 		monitors: make(map[string]*Monitor),
@@ -104,6 +110,52 @@ func (s *MonitorSet) Stats() map[string]MatcherStats {
 		out[n] = m.Stats()
 	}
 	return out
+}
+
+// DeliveryStats returns every member's delivery-queue counters keyed by
+// name (zero values for synchronously attached members).
+func (s *MonitorSet) DeliveryStats() map[string]DeliveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]DeliveryStats, len(s.monitors))
+	for n, m := range s.monitors {
+		out[n] = m.DeliveryStats()
+	}
+	return out
+}
+
+// members snapshots the registered monitors outside operations that must
+// not hold the set lock while waiting.
+func (s *MonitorSet) members() []*Monitor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Monitor, 0, len(s.monitors))
+	for _, m := range s.monitors {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Flush blocks until every member has consumed every event delivered
+// before the call — the set-wide drain protocol. Synchronous members
+// need no draining; async members' queues are flushed. Must not be
+// called from a match callback.
+func (s *MonitorSet) Flush() {
+	for _, m := range s.members() {
+		m.Flush()
+	}
+}
+
+// Detach cancels every member's collector subscription, draining async
+// queues and stopping their delivery goroutines. The set can be attached
+// again afterwards. Safe to call more than once.
+func (s *MonitorSet) Detach() {
+	s.mu.Lock()
+	s.attached = nil
+	s.mu.Unlock()
+	for _, m := range s.members() {
+		m.Detach()
+	}
 }
 
 // Err joins the members' subscription errors.

@@ -67,6 +67,21 @@ type (
 	Match = core.Match
 	// MatcherStats are cumulative matcher counters.
 	MatcherStats = core.Stats
+	// BackpressurePolicy selects what a full asynchronous delivery queue
+	// does: block ingestion or drop for that monitor.
+	BackpressurePolicy = poet.BackpressurePolicy
+	// DeliveryStats are one async monitor's delivery-queue counters.
+	DeliveryStats = poet.DeliveryStats
+)
+
+// Backpressure policies for WithBackpressure.
+const (
+	// BackpressureBlock throttles Report to the slowest monitor; no
+	// event is lost.
+	BackpressureBlock = poet.BackpressureBlock
+	// BackpressureDrop discards events for a monitor whose queue is
+	// full, counting them in DeliveryStats.Dropped.
+	BackpressureDrop = poet.BackpressureDrop
 )
 
 // Event kinds.
@@ -96,14 +111,56 @@ func DialMonitor(addr string) (*poet.MonitorClient, error) { return poet.DialMon
 type Option func(*config)
 
 type config struct {
-	opts    core.Options
-	onMatch func(Match)
-	measure bool
+	opts       core.Options
+	onMatch    func(Match)
+	measure    bool
+	async      bool
+	queueDepth int
+	maxBatch   int
+	policy     BackpressurePolicy
 }
 
-// WithMatchHandler invokes fn for every reported match.
+// WithMatchHandler invokes fn for every reported match. The handler runs
+// outside the monitor's own lock, so it may call the monitor's read
+// methods (Stats, Coverage, Explain, Timings, Err). Under synchronous
+// Attach it still runs on the collector's delivery path and must not
+// call back into the Collector; under WithAsyncDelivery it runs on the
+// monitor's delivery goroutine and may use the collector freely.
 func WithMatchHandler(fn func(Match)) Option {
 	return func(c *config) { c.onMatch = fn }
+}
+
+// WithAsyncDelivery decouples this monitor from the collector's delivery
+// path: Attach registers a bounded queue fed in batches by the
+// collector and drained by a dedicated goroutine, so one slow pattern no
+// longer stalls ingestion or its sibling monitors. The monitor observes
+// the same linearization as a synchronous attachment (causal delivery
+// order is preserved per monitor) and matches on a private store of
+// shallow event copies (vector timestamps remain shared with the
+// collector). Use Flush to wait for the queue to drain before reading
+// end-state results, and Detach to stop the delivery goroutine.
+func WithAsyncDelivery() Option {
+	return func(c *config) { c.async = true }
+}
+
+// WithQueueDepth bounds the async delivery queue (default
+// poet.DefaultQueueDepth). Only meaningful with WithAsyncDelivery.
+func WithQueueDepth(n int) Option {
+	return func(c *config) { c.queueDepth = n }
+}
+
+// WithMaxBatch caps the events fed to the matcher per batch cut (default
+// poet.DefaultMaxBatch). Only meaningful with WithAsyncDelivery.
+func WithMaxBatch(n int) Option {
+	return func(c *config) { c.maxBatch = n }
+}
+
+// WithBackpressure selects the full-queue policy: BackpressureBlock
+// (default; ingestion throttles, nothing is lost) or BackpressureDrop
+// (ingestion never stalls; this monitor's stream gets gaps, counted in
+// DeliveryStats.Dropped). Only meaningful with WithAsyncDelivery.
+func WithBackpressure(p BackpressurePolicy) Option {
+	return func(c *config) { c.policy = p }
 }
 
 // WithReportAll switches to exhaustive per-trigger enumeration and
@@ -178,6 +235,9 @@ type Monitor struct {
 	matcher *core.Matcher
 	timings []time.Duration
 	err     error
+	// sub is the live collector subscription (sync or async); nil until
+	// Attach and after Detach.
+	sub *poet.Subscription
 }
 
 // NewMonitor parses and compiles the pattern source and builds a monitor.
@@ -214,10 +274,18 @@ func (m *Monitor) RegisterTrace(name string) TraceID {
 // returns the newly reported matches.
 func (m *Monitor) Feed(e *Event) ([]Match, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.feedLocked(e)
+	matches, err := m.feedLocked(e)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	m.emit(matches)
+	return matches, nil
 }
 
+// feedLocked advances the matcher. Match callbacks are NOT invoked here:
+// callers emit after releasing m.mu, so WithMatchHandler callbacks can
+// safely call the monitor's read methods.
 func (m *Monitor) feedLocked(e *Event) ([]Match, error) {
 	var start time.Time
 	if m.cfg.measure {
@@ -230,30 +298,134 @@ func (m *Monitor) feedLocked(e *Event) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.cfg.onMatch != nil {
-		for _, match := range matches {
-			m.cfg.onMatch(match)
-		}
-	}
 	return matches, nil
 }
 
+// emit invokes the match callback outside the monitor lock.
+func (m *Monitor) emit(matches []Match) {
+	if m.cfg.onMatch == nil {
+		return
+	}
+	for _, match := range matches {
+		m.cfg.onMatch(match)
+	}
+}
+
 // Attach subscribes the monitor to an in-process collector: every event
-// the collector delivers (past and future) is fed to the matcher, on the
-// collector's delivery path. The monitor shares the collector's store,
-// avoiding a second copy of every vector timestamp. Check Err after the
-// run.
+// the collector delivers (past and future) is fed to the matcher.
+//
+// By default the feed is synchronous, on the collector's delivery path,
+// and the monitor shares the collector's store (no second copy of any
+// vector timestamp). With WithAsyncDelivery the monitor instead drains a
+// bounded queue on its own goroutine, matching over a private store of
+// shallow event copies (timestamps still shared); see Flush, Detach and
+// DeliveryStats. Check Err after the run in both modes.
 func (m *Monitor) Attach(c *Collector) {
+	if m.cfg.async {
+		m.attachAsync(c)
+		return
+	}
 	m.mu.Lock()
 	m.matcher = core.NewMatcherOn(m.pat, c.Store(), m.cfg.opts)
 	m.mu.Unlock()
-	c.SubscribeReplay(func(e *Event) {
+	sub := c.SubscribeReplay(func(e *Event) {
 		m.mu.Lock()
-		defer m.mu.Unlock()
-		if _, err := m.feedLocked(e); err != nil && m.err == nil {
+		matches, err := m.feedLocked(e)
+		if err != nil && m.err == nil {
 			m.err = err
 		}
+		m.mu.Unlock()
+		m.emit(matches)
 	})
+	m.mu.Lock()
+	m.sub = sub
+	m.mu.Unlock()
+}
+
+// attachAsync registers the monitor's bounded delivery queue. The
+// matcher owns a private store fed with the queue's event copies; trace
+// names arrive as announcements so the store mirrors the collector's
+// trace numbering exactly.
+func (m *Monitor) attachAsync(c *Collector) {
+	m.mu.Lock()
+	m.matcher = core.NewMatcher(m.pat, m.cfg.opts)
+	m.mu.Unlock()
+	opts := poet.AsyncOptions{
+		QueueDepth: m.cfg.queueDepth,
+		MaxBatch:   m.cfg.maxBatch,
+		Policy:     m.cfg.policy,
+		OnTrace: func(t TraceID, name string) {
+			m.mu.Lock()
+			m.matcher.NameTrace(t, name)
+			m.mu.Unlock()
+		},
+	}
+	sub := c.SubscribeBatchReplay(func(batch []*Event) {
+		m.mu.Lock()
+		var matches []Match
+		var err error
+		if m.cfg.measure {
+			// WithTiming wants per-event wall-clock times: fall back to
+			// the per-event path inside the batch.
+			for _, e := range batch {
+				var ms []Match
+				if ms, err = m.feedLocked(e); err != nil {
+					break
+				}
+				matches = append(matches, ms...)
+			}
+		} else {
+			matches, err = m.matcher.FeedBatch(batch)
+		}
+		if err != nil && m.err == nil {
+			m.err = err
+		}
+		m.mu.Unlock()
+		m.emit(matches)
+	}, opts)
+	m.mu.Lock()
+	m.sub = sub
+	m.mu.Unlock()
+}
+
+// Flush blocks until the monitor has consumed every event the collector
+// delivered before the call — the drain protocol that gives tests and
+// daemons a deterministic end state. A no-op for synchronous
+// attachments (they are always drained) and unattached monitors. Must
+// not be called from a WithMatchHandler callback.
+func (m *Monitor) Flush() {
+	m.mu.Lock()
+	sub := m.sub
+	m.mu.Unlock()
+	if sub != nil {
+		sub.Flush()
+	}
+}
+
+// Detach cancels the collector subscription. For an async attachment the
+// queue is drained and the delivery goroutine stopped before Detach
+// returns. Safe to call more than once.
+func (m *Monitor) Detach() {
+	m.mu.Lock()
+	sub := m.sub
+	m.sub = nil
+	m.mu.Unlock()
+	if sub != nil {
+		sub.Cancel()
+	}
+}
+
+// DeliveryStats returns the async delivery-queue counters: events
+// enqueued, handled and dropped, batches cut, and the current and peak
+// queue depth. Zero for synchronous or unattached monitors.
+func (m *Monitor) DeliveryStats() DeliveryStats {
+	m.mu.Lock()
+	sub := m.sub
+	m.mu.Unlock()
+	if sub == nil {
+		return DeliveryStats{}
+	}
+	return sub.Stats()
 }
 
 // Run drains a TCP monitor client until the stream ends, feeding every
@@ -270,13 +442,17 @@ func (m *Monitor) Run(client *poet.MonitorClient) error {
 		}
 		m.mu.Lock()
 		if name, ok := client.TraceName(e.ID.Trace); ok {
-			m.matcher.RegisterTrace(name)
+			// NameTrace, not RegisterTrace: the event carries the
+			// collector's trace ID, which must be mirrored even when
+			// traces are first seen out of ID order.
+			m.matcher.NameTrace(e.ID.Trace, name)
 		}
-		_, err = m.feedLocked(e)
+		matches, err := m.feedLocked(e)
 		m.mu.Unlock()
 		if err != nil {
 			return err
 		}
+		m.emit(matches)
 	}
 }
 
