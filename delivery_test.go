@@ -284,6 +284,97 @@ func TestAsyncFlushDeterminism(t *testing.T) {
 	}
 }
 
+// TestAsyncDropPolicyRejected is the monitor-level drop-policy test: a
+// matcher-backed monitor cannot tolerate a gapped stream (a drop would
+// wedge its whole trace, not just lose matches), so NewMonitor must
+// reject BackpressureDrop combined with WithAsyncDelivery instead of
+// degrading into a latched feed error at runtime.
+func TestAsyncDropPolicyRejected(t *testing.T) {
+	_, err := ocep.NewMonitor(requestResponse,
+		ocep.WithAsyncDelivery(), ocep.WithBackpressure(ocep.BackpressureDrop))
+	if err == nil {
+		t.Fatal("NewMonitor accepted WithAsyncDelivery + BackpressureDrop")
+	}
+	if !strings.Contains(err.Error(), "BackpressureDrop") {
+		t.Fatalf("error does not name the rejected policy: %v", err)
+	}
+	// Without async delivery the policy is unused; construction succeeds.
+	if _, err := ocep.NewMonitor(requestResponse, ocep.WithBackpressure(ocep.BackpressureDrop)); err != nil {
+		t.Fatalf("sync monitor with drop policy set: %v", err)
+	}
+	// MonitorSet.Add surfaces the same rejection.
+	set := ocep.NewMonitorSet(nil)
+	if err := set.Add("gapped", requestResponse,
+		ocep.WithAsyncDelivery(), ocep.WithBackpressure(ocep.BackpressureDrop)); err == nil {
+		t.Fatal("MonitorSet.Add accepted WithAsyncDelivery + BackpressureDrop")
+	}
+}
+
+// TestMonitorReattach checks that Attach on an already-attached monitor
+// replaces the previous subscription cleanly: the old collector stops
+// feeding the matcher (no duplicate-feed errors, no leaked delivery
+// goroutine still enqueueing), and the monitor's state reflects only the
+// new collector's stream.
+func TestMonitorReattach(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			opts := []ocep.Option{}
+			if mode.async {
+				opts = append(opts, ocep.WithAsyncDelivery())
+			}
+			mon, err := ocep.NewMonitor(requestResponse, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report := func(c *ocep.Collector, from, n int) {
+				t.Helper()
+				for i := 0; i < n; i++ {
+					typ := "request"
+					if (from+i)%2 == 0 {
+						typ = "response"
+					}
+					if err := c.Report(ocep.RawEvent{
+						Trace: "p", Seq: from + i, Kind: ocep.KindInternal, Type: typ, Text: "x",
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			c1 := ocep.NewCollector()
+			defer c1.Close()
+			mon.Attach(c1)
+			report(c1, 1, 10)
+			mon.Flush()
+			if seen := mon.Stats().EventsSeen; seen != 10 {
+				t.Fatalf("first attachment saw %d events, want 10", seen)
+			}
+
+			c2 := ocep.NewCollector()
+			defer c2.Close()
+			mon.Attach(c2) // re-attach without an explicit Detach
+			report(c2, 1, 4)
+			// Later traffic on the old collector must not reach the monitor.
+			report(c1, 11, 6)
+			mon.Flush()
+			if err := mon.Err(); err != nil {
+				t.Fatalf("monitor error after re-attach: %v", err)
+			}
+			if seen := mon.Stats().EventsSeen; seen != 4 {
+				t.Fatalf("after re-attach monitor saw %d events, want 4 (c2's stream only)", seen)
+			}
+			if mode.async {
+				if st := mon.DeliveryStats(); st.Enqueued != 4 || st.Dropped != 0 {
+					t.Fatalf("delivery stats after re-attach %+v: want 4 enqueued, none dropped", st)
+				}
+			}
+			mon.Detach()
+		})
+	}
+}
+
 // TestAsyncHandlerReentrancy checks the documented contract that an
 // async onMatch handler may call the monitor's and the collector's read
 // methods without deadlocking.

@@ -40,8 +40,12 @@ const (
 	BackpressureBlock BackpressurePolicy = iota
 	// BackpressureDrop discards the event for that subscriber and
 	// increments its Dropped counter. Ingestion never stalls; the
-	// subscriber's stream has gaps (its matcher misses matches involving
-	// the dropped events).
+	// subscriber's stream has gaps, so this policy is only for consumers
+	// that tolerate a gapped stream. A matcher-backed monitor is not one
+	// of them — its store requires each trace's events to arrive
+	// gap-free, so ocep.NewMonitor rejects this policy, and the TCP
+	// server disconnects a monitor connection at the first drop rather
+	// than stream past the gap.
 	BackpressureDrop
 )
 

@@ -199,9 +199,29 @@ func (s *Server) handleMonitor(conn net.Conn) error {
 	var pending []wireTrace
 	statsCh := make(chan func() DeliveryStats, 1)
 	var stats func() DeliveryStats
+	// dropCheck disconnects the client at the first dropped event. It
+	// runs both before and after encoding each batch: the pre-check keeps
+	// the emitted prefix gap-free (a drop that happened while the
+	// previous batch was encoding must not be followed by post-gap
+	// events), the post-check catches a drop during this batch's encode
+	// without waiting for another batch to be cut.
+	dropCheck := func() bool {
+		if s.monPolicy != BackpressureDrop {
+			return true
+		}
+		if st := stats(); st.Dropped > 0 {
+			fail(fmt.Errorf("monitor %s overflowed its %d-event queue; disconnected",
+				conn.RemoteAddr(), s.monQueue))
+			return false
+		}
+		return true
+	}
 	handler := func(batch []*event.Event) {
 		if stats == nil {
 			stats = <-statsCh
+		}
+		if !dropCheck() {
+			return
 		}
 		for i := range pending {
 			if err := enc.Encode(&wireMsg{Trace: &pending[i]}); err != nil {
@@ -216,12 +236,7 @@ func (s *Server) handleMonitor(conn net.Conn) error {
 				return
 			}
 		}
-		if s.monPolicy == BackpressureDrop {
-			if st := stats(); st.Dropped > 0 {
-				fail(fmt.Errorf("monitor %s overflowed its %d-event queue; disconnected",
-					conn.RemoteAddr(), s.monQueue))
-			}
-		}
+		dropCheck()
 	}
 	sub := s.collector.SubscribeBatchReplay(handler, AsyncOptions{
 		QueueDepth: s.monQueue,

@@ -113,6 +113,66 @@ func TestServerLateMonitorReplay(t *testing.T) {
 	}
 }
 
+// TestServerLaggardDisconnectGapFree overflows a slow monitor's delivery
+// queue under the drop policy and checks both halves of the wire
+// contract: the laggard is disconnected, and everything it received
+// before the disconnect is a contiguous, gap-free prefix of the stream —
+// the server must never emit an event from beyond a drop.
+func TestServerLaggardDisconnectGapFree(t *testing.T) {
+	c := NewCollector()
+	s := NewServer(c, t.Logf)
+	s.SetMonitorQueue(8, BackpressureDrop)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+
+	mon, err := DialMonitor(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	rep, err := DialReporter(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	// The monitor does not read during the burst: encodes back up into
+	// the socket buffers, the 8-slot queue overflows, and the server must
+	// cut the stream at the gap instead of skipping over it.
+	const total = 50000
+	for i := 1; i <= total; i++ {
+		if err := rep.Report(RawEvent{Trace: "p0", Seq: i, Kind: event.KindInternal, Type: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return c.Delivered() == total })
+
+	last := 0
+	for {
+		e, err := mon.Next()
+		if err != nil {
+			break // the disconnect: EOF or connection reset
+		}
+		if e.ID.Index != last+1 {
+			t.Fatalf("wire stream has a gap: index %d follows %d", e.ID.Index, last)
+		}
+		last = e.ID.Index
+	}
+	// last == 0 is possible: the disconnect may reset the connection
+	// before the client drains its receive buffer. The invariant is that
+	// whatever prefix did arrive has no gaps, checked in the loop above.
+	if last == total {
+		t.Fatal("monitor received the whole stream; the queue never overflowed (burst too small for the socket buffers)")
+	}
+}
+
 func TestServerMultipleTargetsAndMonitors(t *testing.T) {
 	c, _, addr := startServer(t)
 	const traces = 4

@@ -155,10 +155,17 @@ func WithMaxBatch(n int) Option {
 	return func(c *config) { c.maxBatch = n }
 }
 
-// WithBackpressure selects the full-queue policy: BackpressureBlock
-// (default; ingestion throttles, nothing is lost) or BackpressureDrop
-// (ingestion never stalls; this monitor's stream gets gaps, counted in
-// DeliveryStats.Dropped). Only meaningful with WithAsyncDelivery.
+// WithBackpressure selects the full-queue policy. Only BackpressureBlock
+// (the default: ingestion throttles to the slowest monitor, nothing is
+// lost) is valid for a Monitor: NewMonitor rejects BackpressureDrop
+// combined with WithAsyncDelivery, because the matcher's store requires
+// every trace's events to arrive gap-free — a dropped event would not
+// merely cost some matches, it would wedge its whole trace (each later
+// event rejected as out of trace order). Dropping remains available
+// where a gapped stream is handled: raw batch subscribers
+// (Collector.SubscribeBatch) count gaps in DeliveryStats.Dropped, and
+// the TCP server disconnects an overflowing monitor connection rather
+// than stream past a gap. Only meaningful with WithAsyncDelivery.
 func WithBackpressure(p BackpressurePolicy) Option {
 	return func(c *config) { c.policy = p }
 }
@@ -254,6 +261,9 @@ func NewMonitor(source string, options ...Option) (*Monitor, error) {
 	for _, o := range options {
 		o(&m.cfg)
 	}
+	if m.cfg.async && m.cfg.policy == BackpressureDrop {
+		return nil, fmt.Errorf("ocep: WithBackpressure(BackpressureDrop) is incompatible with WithAsyncDelivery: the matcher needs a gap-free per-trace stream, and a dropped event would wedge every later event of its trace; use BackpressureBlock, or Collector.SubscribeBatch for a raw subscriber that tolerates gaps")
+	}
 	m.matcher = core.NewMatcher(pat, m.cfg.opts)
 	return m, nil
 }
@@ -320,7 +330,16 @@ func (m *Monitor) emit(matches []Match) {
 // bounded queue on its own goroutine, matching over a private store of
 // shallow event copies (timestamps still shared); see Flush, Detach and
 // DeliveryStats. Check Err after the run in both modes.
+//
+// Attaching an already-attached monitor detaches it first: the previous
+// subscription is cancelled (an async queue is drained and its delivery
+// goroutine stopped), and the matcher and any recorded Err are reset
+// before the new replay begins.
 func (m *Monitor) Attach(c *Collector) {
+	m.Detach()
+	m.mu.Lock()
+	m.err = nil
+	m.mu.Unlock()
 	if m.cfg.async {
 		m.attachAsync(c)
 		return
