@@ -16,10 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"sync"
 
 	"ocep"
-	"ocep/internal/poet"
 	"ocep/internal/workload"
 )
 
@@ -29,19 +27,6 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
-}
-
-// lockedReporter serializes concurrent workload goroutines onto one TCP
-// reporter connection.
-type lockedReporter struct {
-	mu  sync.Mutex
-	rep *poet.Reporter
-}
-
-func (s *lockedReporter) Report(raw poet.RawEvent) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rep.Report(raw)
 }
 
 func run() error {
@@ -74,7 +59,10 @@ func run() error {
 		return err
 	}
 	defer rep.Close()
-	sink := &lockedReporter{rep: rep}
+	// The reporter is internally locked and buffers events until the
+	// server acknowledges them, so the workload's concurrent ranks can
+	// report straight into it.
+	sink := rep
 
 	var res workload.Result
 	switch *caseName {
@@ -113,6 +101,11 @@ func run() error {
 	}
 	if err != nil {
 		return err
+	}
+	// Wait for the server to acknowledge everything: Report is buffered,
+	// and a fast exit must not outrun the acked stream.
+	if err := rep.Flush(); err != nil {
+		return fmt.Errorf("flushing reported events: %w", err)
 	}
 	log.Printf("done: %d events reported, %d violations seeded", res.Events, len(res.Markers))
 	for _, m := range res.Markers {

@@ -6,7 +6,15 @@
 // Usage:
 //
 //	ocepmon -pattern file.pat [-addr host:port] [-all] [-guarantee]
-//	        [-stats] [-builtin name]
+//	        [-stats] [-builtin name] [-reconnect d]
+//
+// The connection to poetd is fault-tolerant: if it dies mid-stream the
+// client reconnects with exponential backoff and resumes from the exact
+// event it had reached, so no match is lost or double-reported across
+// the outage. -reconnect bounds the cumulative backoff spent per outage
+// (default 30s; 0 disables reconnection and the first interruption ends
+// the run with an error). A clean poetd shutdown ends the stream
+// normally.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"ocep"
 	"ocep/internal/workload"
@@ -46,6 +55,7 @@ func run() error {
 		guarantee  = flag.Bool("guarantee", false, "run pinned searches so the k*n subset guarantee is exact")
 		printStats = flag.Bool("stats", false, "print matcher statistics when the stream ends")
 		explain    = flag.Bool("explain", false, "print the causal evidence for each match")
+		reconnect  = flag.Duration("reconnect", 30*time.Second, "cumulative backoff budget for resuming a dead connection (0 disables reconnection)")
 	)
 	flag.Parse()
 
@@ -76,7 +86,9 @@ func run() error {
 		return fmt.Errorf("a pattern is required: -pattern file.pat or -builtin name")
 	}
 
-	client, err := ocep.DialMonitor(*addr)
+	client, err := ocep.DialMonitor(*addr,
+		ocep.WithMonitorReconnect(*reconnect),
+		ocep.WithMonitorLog(log.Printf))
 	if err != nil {
 		return err
 	}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	poetd [-listen addr] [-reload trace.poet] [-dump trace.poet]
-//	      [-monitor-queue n] [-monitor-policy drop|block] [-quiet]
+//	      [-monitor-queue n] [-monitor-policy drop|block]
+//	      [-ack-interval d] [-heartbeat d] [-quiet]
 //
 // With -dump, the delivered raw-event log is written to the given file
 // on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
@@ -16,6 +17,15 @@
 // a monitor that overflows its queue is disconnected so it cannot stall
 // the collector; with block, ingestion throttles to the slowest monitor
 // and no monitor is ever disconnected for lagging.
+//
+// The wire layer is fault-tolerant (v2 protocol): target connections
+// are acknowledged every -ack-interval so reporters can prune their
+// retransmit buffers, idle monitor streams carry a keep-alive frame
+// every -heartbeat, and a target silent for 8x the heartbeat interval
+// (minimum 2s) is declared dead and its connection reclaimed.
+// Reconnecting peers resume their sessions: reporters replay only what
+// was never acknowledged, monitors continue from the exact event index
+// they had reached.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ocep/internal/poet"
 )
@@ -44,6 +55,8 @@ func run() error {
 		dump      = flag.String("dump", "", "write the delivered raw-event log to this file on shutdown")
 		monQueue  = flag.Int("monitor-queue", 0, "per-monitor delivery queue depth (0 = default 65536)")
 		monPolicy = flag.String("monitor-policy", "drop", "full-queue policy: drop (disconnect laggards) or block (throttle ingestion)")
+		ackEvery  = flag.Duration("ack-interval", poet.DefaultAckInterval, "cadence of ingestion acknowledgements to targets")
+		heartbeat = flag.Duration("heartbeat", poet.DefaultHeartbeat, "idle keep-alive cadence on monitor streams; targets silent for 8x this (min 2s) are declared dead")
 		quiet     = flag.Bool("quiet", false, "suppress per-connection diagnostics")
 	)
 	flag.Parse()
@@ -73,6 +86,14 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -monitor-policy %q (want drop or block)", *monPolicy)
 	}
+	// Dead-peer detection tracks the heartbeat cadence: a peer is given
+	// eight missed heartbeats (but never less than 2s) before its
+	// connection is reclaimed.
+	peerTimeout := 8 * *heartbeat
+	if peerTimeout < 2*time.Second {
+		peerTimeout = 2 * time.Second
+	}
+	server.SetWireTiming(*ackEvery, *heartbeat, peerTimeout)
 	addr, err := server.Listen(*listen)
 	if err != nil {
 		return err
@@ -84,6 +105,10 @@ func run() error {
 	<-sig
 	log.Printf("shutting down: %d events delivered, %d pending",
 		collector.Delivered(), collector.Pending())
+	if ws := server.WireStats(); ws.StaleEvents > 0 || ws.TargetResumes > 0 || ws.MonitorResumes > 0 {
+		log.Printf("wire: %d stale retransmits absorbed, %d target resumes, %d monitor resumes",
+			ws.StaleEvents, ws.TargetResumes, ws.MonitorResumes)
+	}
 	for _, ts := range collector.TraceStats() {
 		log.Printf("  trace %-20s delivered=%d comm=%d buffered=%d",
 			ts.Name, ts.Delivered, ts.Comm, ts.Buffered)

@@ -1,0 +1,239 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back until the
+// peer closes. Returns its address and a stop function.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func startProxy(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := Listen(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func roundTrip(t *testing.T, conn net.Conn, msg []byte) []byte {
+	t.Helper()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+func TestProxyForwards(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the proxy")
+	if got := roundTrip(t, conn, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q want %q", got, msg)
+	}
+	if st := p.Stats(); st.Conns != 1 || st.Bytes < int64(2*len(msg)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyChunkedWritesPreserveBytes(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	// 3-byte chunks with a gap: a 4 KiB message crosses the proxy in
+	// ~1400 fragments, each its own TCP write.
+	p.SetChunk(3, 100*time.Microsecond)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := bytes.Repeat([]byte("abcdefgh"), 512)
+	if got := roundTrip(t, conn, msg); !bytes.Equal(got, msg) {
+		t.Fatal("chunked forwarding corrupted the stream")
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	p.SetLatency(50 * time.Millisecond)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	roundTrip(t, conn, []byte("ping"))
+	// Two forwarding hops (there and back), 50ms each.
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= ~100ms of injected latency", elapsed)
+	}
+}
+
+func TestProxyCutAllResets(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	roundTrip(t, conn, []byte("warmup"))
+
+	if n := p.CutAll(); n != 1 {
+		t.Fatalf("CutAll cut %d connections, want 1", n)
+	}
+	// The client observes a hard error (RST or close), not a timeout.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("read after CutAll succeeded, want error")
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		t.Fatalf("read after CutAll timed out; the reset never reached the client")
+	}
+
+	// The proxy still accepts fresh connections after the cut.
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if got := roundTrip(t, conn2, []byte("after")); string(got) != "after" {
+		t.Fatal("proxy dead after CutAll")
+	}
+}
+
+func TestProxyKillAfterBytes(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	p.SetKillAfter(1000)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Stream until the budget trips. The write side may outlive the
+	// budget briefly (buffers), so drive reads and expect failure well
+	// before 10x the budget.
+	var total int
+	buf := make([]byte, 256)
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	for total < 10000 {
+		if _, err := conn.Write(buf); err != nil {
+			break
+		}
+		n, err := conn.Read(buf)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total >= 10000 {
+		t.Fatalf("forwarded %d bytes; kill budget of 1000 never tripped", total)
+	}
+	if st := p.Stats(); st.Resets == 0 {
+		t.Fatalf("stats = %+v, want a recorded reset", st)
+	}
+}
+
+func TestProxyBlackholeStallsThenResumes(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	roundTrip(t, conn, []byte("warmup"))
+
+	p.SetBlackhole(true)
+	if _, err := conn.Write([]byte("stalled")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 7)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded during blackhole")
+	}
+
+	p.SetBlackhole(false)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read after blackhole lifted: %v", err)
+	}
+	if string(buf) != "stalled" {
+		t.Fatalf("post-blackhole read = %q", buf)
+	}
+}
+
+func TestProxyConcurrentConnections(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	p.SetChunk(7, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			msg := []byte(strings.Repeat(string(rune('a'+i)), 400))
+			if _, err := conn.Write(msg); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			got := make([]byte, len(msg))
+			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			if _, err := io.ReadFull(conn, got); err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				t.Errorf("conn %d: stream corrupted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -23,8 +23,8 @@ import (
 )
 
 // Sink consumes raw instrumented events. *poet.Collector and
-// *poet.Reporter both satisfy it (a Reporter needs external
-// serialization; the Collector is internally locked).
+// *poet.Reporter both satisfy it; both are internally locked and safe
+// for concurrent reporting from many ranks.
 type Sink interface {
 	Report(poet.RawEvent) error
 }

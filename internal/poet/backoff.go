@@ -1,0 +1,44 @@
+package poet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff produces exponentially growing, jittered reconnection delays:
+// attempt n sleeps uniformly in [d/2, 3d/2) for d = min(base<<n, max),
+// so a fleet of reporters severed by the same fault does not retry in
+// lockstep.
+type backoff struct {
+	base, max time.Duration
+	attempt   int
+}
+
+func newBackoff(base, max time.Duration) *backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max}
+}
+
+// next returns the delay before the next attempt and advances the
+// schedule.
+func (b *backoff) next() time.Duration {
+	d := b.base
+	for i := 0; i < b.attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.attempt++
+	// Uniform jitter in [d/2, 3d/2). rand's global source is
+	// concurrency-safe.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// reset restarts the schedule after a successful connection.
+func (b *backoff) reset() { b.attempt = 0 }

@@ -6,93 +6,785 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"syscall"
+	"os"
+	"sync"
+	"time"
 
 	"ocep/internal/event"
 )
 
+// ErrStreamInterrupted reports that a wire connection died without the
+// protocol's explicit end-of-stream frame: the peer crashed, the network
+// reset, or a heartbeat timeout fired. It is distinct from io.EOF so a
+// monitor can never mistake a partial stream for a completed run. The
+// reconnect logic consumes it internally; it surfaces only when
+// reconnection is disabled or its backoff budget is exhausted.
+var ErrStreamInterrupted = errors.New("poet: event stream interrupted")
+
+// ErrClientClosed reports an operation on a locally closed client.
+var ErrClientClosed = errors.New("poet: client closed")
+
+// Shared wire-client defaults.
+const (
+	defaultDialTimeout     = 3 * time.Second
+	defaultWriteTimeout    = 10 * time.Second
+	defaultReconnectBudget = 30 * time.Second
+	defaultBackoffBase     = 50 * time.Millisecond
+	defaultBackoffMax      = 2 * time.Second
+	defaultHeartbeat       = time.Second
+	defaultPeerTimeout     = 10 * time.Second
+	defaultReporterBuffer  = 8192
+)
+
+// isTimeout reports whether err is a read/write deadline expiry.
+func isTimeout(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// ---------------------------------------------------------------------
+// Reporter
+
+// ReporterOption configures DialReporter.
+type ReporterOption func(*repCfg)
+
+type repCfg struct {
+	buffer          int
+	reconnectBudget time.Duration
+	backoffBase     time.Duration
+	backoffMax      time.Duration
+	heartbeat       time.Duration
+	peerTimeout     time.Duration
+	dialTimeout     time.Duration
+	writeTimeout    time.Duration
+	logf            func(string, ...any)
+}
+
+func defaultRepCfg() repCfg {
+	return repCfg{
+		buffer:          defaultReporterBuffer,
+		reconnectBudget: defaultReconnectBudget,
+		backoffBase:     defaultBackoffBase,
+		backoffMax:      defaultBackoffMax,
+		heartbeat:       defaultHeartbeat,
+		peerTimeout:     defaultPeerTimeout,
+		dialTimeout:     defaultDialTimeout,
+		writeTimeout:    defaultWriteTimeout,
+		logf:            func(string, ...any) {},
+	}
+}
+
+// WithReporterReconnect bounds the cumulative backoff spent redialing
+// per outage. 0 disables reconnection: the first transport failure
+// permanently fails the reporter.
+func WithReporterReconnect(budget time.Duration) ReporterOption {
+	return func(c *repCfg) { c.reconnectBudget = budget }
+}
+
+// WithReporterBuffer bounds the unacked-event buffer. Report blocks when
+// it is full until the server acks (or the reporter fails).
+func WithReporterBuffer(n int) ReporterOption {
+	return func(c *repCfg) {
+		if n > 0 {
+			c.buffer = n
+		}
+	}
+}
+
+// WithReporterHeartbeat sets the idle heartbeat interval (keep-alives
+// sent when no event is in flight) and scales the dead-peer timeout to
+// 5x the interval.
+func WithReporterHeartbeat(d time.Duration) ReporterOption {
+	return func(c *repCfg) {
+		if d > 0 {
+			c.heartbeat = d
+			c.peerTimeout = 5 * d
+		}
+	}
+}
+
+// WithReporterPeerTimeout overrides how long the reporter waits for a
+// server ack or heartbeat before declaring the connection dead.
+func WithReporterPeerTimeout(d time.Duration) ReporterOption {
+	return func(c *repCfg) {
+		if d > 0 {
+			c.peerTimeout = d
+		}
+	}
+}
+
+// WithReporterBackoff overrides the reconnect backoff schedule.
+func WithReporterBackoff(base, max time.Duration) ReporterOption {
+	return func(c *repCfg) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithReporterLog routes reporter diagnostics (reconnects, retransmits)
+// to logf.
+func WithReporterLog(logf func(string, ...any)) ReporterOption {
+	return func(c *repCfg) {
+		if logf != nil {
+			c.logf = logf
+		}
+	}
+}
+
+// ReporterStats are a reporter's cumulative wire counters.
+type ReporterStats struct {
+	// Reported counts events accepted into the unacked buffer.
+	Reported int
+	// Acked counts events acknowledged (and pruned) by the server.
+	Acked int
+	// Retransmits counts events re-sent after a reconnect.
+	Retransmits int
+	// Reconnects counts successful re-establishments after a failure.
+	Reconnects int
+}
+
 // Reporter is a target-side connection to a POET server: instrumented
 // processes create one per trace (or share one) and stream raw events.
-// Not safe for concurrent use; give each reporting goroutine its own
-// Reporter or serialize externally.
+//
+// The reporter is fault-tolerant: Report appends to a bounded
+// unacked-event buffer and returns, a background sender streams the
+// buffer to the server, and the server's periodic acks prune it. When
+// the connection dies (error, reset, or no ack/heartbeat within the
+// peer timeout) the sender redials with exponential backoff and jitter,
+// prunes everything the server already ingested (learned from the
+// handshake ack), and retransmits the rest — the server treats stale
+// retransmissions as idempotent no-ops, so no event is ever lost or
+// double-ingested across reconnects.
+//
+// Safe for concurrent use: Report only appends under an internal lock.
 type Reporter struct {
-	conn net.Conn
-	enc  *gob.Encoder
+	addr string
+	cfg  repCfg
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// unacked holds reported events not yet acked, in report order.
+	// unacked[:sent] have been transmitted on the current connection.
+	unacked []RawEvent
+	sent    int
+	// acks is the latest per-trace contiguous ack from the server.
+	acks   map[string]int
+	closed bool
+	// failed is the permanent failure, if any; Report and Flush return it.
+	failed error
+	stats  ReporterStats
+
+	// wake signals the sender (new events, new acks, close).
+	wake chan struct{}
+	// done closes when the sender goroutine exits.
+	done chan struct{}
+
+	// initial connection, handed to the sender.
+	conn   net.Conn
+	enc    *gob.Encoder
+	broken chan struct{}
 }
 
-// DialReporter connects to a POET server as a target.
-func DialReporter(addr string) (*Reporter, error) {
-	conn, err := net.Dial("tcp", addr)
+// DialReporter connects to a POET server as a target. The initial dial
+// and handshake are synchronous (an unreachable server fails fast);
+// subsequent failures are handled by the background reconnect logic.
+func DialReporter(addr string, opts ...ReporterOption) (*Reporter, error) {
+	cfg := defaultRepCfg()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Reporter{
+		addr: addr,
+		cfg:  cfg,
+		acks: make(map[string]int),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	conn, enc, broken, err := r.handshake()
 	if err != nil {
-		return nil, fmt.Errorf("poet reporter: dial: %w", err)
+		return nil, fmt.Errorf("poet reporter: %w", err)
 	}
-	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(hello{Magic: wireMagic, Role: roleTarget}); err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("poet reporter: hello: %w", err)
-	}
-	return &Reporter{conn: conn, enc: enc}, nil
+	r.conn, r.enc, r.broken = conn, enc, broken
+	go r.sender()
+	return r, nil
 }
 
-// Report sends one raw event.
+// handshake dials, sends the hello (naming the traces with unacked
+// events), reads the helloAck, and spawns the ack reader. Called from
+// DialReporter and, on the sender goroutine, from reconnect.
+func (r *Reporter) handshake() (net.Conn, *gob.Encoder, chan struct{}, error) {
+	conn, err := net.DialTimeout("tcp", r.addr, r.cfg.dialTimeout)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dial: %w", err)
+	}
+	r.mu.Lock()
+	names := make([]string, 0, 4)
+	seen := make(map[string]bool)
+	for _, ev := range r.unacked {
+		if !seen[ev.Trace] {
+			seen[ev.Trace] = true
+			names = append(names, ev.Trace)
+		}
+	}
+	r.mu.Unlock()
+	enc := gob.NewEncoder(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(r.cfg.writeTimeout))
+	if err := enc.Encode(hello{Magic: wireMagic, Role: roleTarget, Traces: names}); err != nil {
+		_ = conn.Close()
+		return nil, nil, nil, fmt.Errorf("hello: %w", err)
+	}
+	dec := gob.NewDecoder(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(r.cfg.peerTimeout))
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil {
+		_ = conn.Close()
+		return nil, nil, nil, fmt.Errorf("hello ack: %w", err)
+	}
+	if !ack.OK {
+		_ = conn.Close()
+		return nil, nil, nil, fmt.Errorf("server rejected hello: %s", ack.Error)
+	}
+	r.mu.Lock()
+	for _, ta := range ack.Acks {
+		if ta.Seq > r.acks[ta.Trace] {
+			r.acks[ta.Trace] = ta.Seq
+		}
+	}
+	// Everything on the new connection is unsent; the sender prunes
+	// acked entries and retransmits the remainder.
+	r.sent = 0
+	r.mu.Unlock()
+	broken := make(chan struct{})
+	go r.reader(conn, dec, broken)
+	return conn, enc, broken, nil
+}
+
+// reader consumes server acks on one connection, pruning is left to the
+// sender (the only goroutine that mutates the buffer indices). Exits
+// when the connection dies; the peer timeout makes a silent server
+// indistinguishable from a dead one, on purpose.
+func (r *Reporter) reader(conn net.Conn, dec *gob.Decoder, broken chan struct{}) {
+	defer close(broken)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(r.cfg.peerTimeout))
+		var ack serverAck
+		if err := dec.Decode(&ack); err != nil {
+			if isTimeout(err) {
+				r.cfg.logf("poet reporter: no ack or heartbeat from %s in %v; reconnecting", r.addr, r.cfg.peerTimeout)
+			}
+			_ = conn.Close()
+			r.signal()
+			return
+		}
+		if ack.Err != "" {
+			// Hard rejection: the server refused an event as malformed and
+			// is closing. Retransmitting it forever would be a livelock;
+			// surface the error instead.
+			r.fail(fmt.Errorf("poet reporter: server rejected event: %s", ack.Err))
+			_ = conn.Close()
+			return
+		}
+		r.mu.Lock()
+		for _, ta := range ack.Acks {
+			if ta.Seq > r.acks[ta.Trace] {
+				r.acks[ta.Trace] = ta.Seq
+			}
+		}
+		r.mu.Unlock()
+		r.signal()
+	}
+}
+
+func (r *Reporter) signal() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Reporter) fail(err error) {
+	r.mu.Lock()
+	if r.failed == nil {
+		r.failed = err
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.signal()
+}
+
+// prune drops acked entries from the buffer. Sender-only (it adjusts
+// sent).
+func (r *Reporter) prune() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.acks) == 0 || len(r.unacked) == 0 {
+		return
+	}
+	kept := 0
+	newSent := 0
+	for i := range r.unacked {
+		if r.unacked[i].Seq <= r.acks[r.unacked[i].Trace] {
+			r.stats.Acked++
+			continue
+		}
+		if i < r.sent {
+			newSent++
+		}
+		r.unacked[kept] = r.unacked[i]
+		kept++
+	}
+	if kept != len(r.unacked) {
+		r.unacked = r.unacked[:kept]
+		r.sent = newSent
+		r.cond.Broadcast()
+	}
+}
+
+// sender owns the connection: it streams unsent events, heartbeats when
+// idle, and reconnects (pruning and retransmitting) when the connection
+// dies.
+func (r *Reporter) sender() {
+	defer close(r.done)
+	conn, enc, broken := r.conn, r.enc, r.broken
+	disconnect := func() {
+		if conn != nil {
+			_ = conn.Close()
+			conn, enc, broken = nil, nil, nil
+		}
+	}
+	defer disconnect()
+	hb := time.NewTimer(r.cfg.heartbeat)
+	defer hb.Stop()
+	for {
+		r.prune()
+		r.mu.Lock()
+		failed := r.failed
+		closed := r.closed
+		pending := r.sent < len(r.unacked)
+		r.mu.Unlock()
+		if failed != nil {
+			return
+		}
+		if closed && (!pending || conn == nil) {
+			// Drained (or unsendable): exit. Close does not redial.
+			return
+		}
+		if conn == nil {
+			c, e, b, err := r.reconnect()
+			if err != nil {
+				if !errors.Is(err, ErrClientClosed) {
+					r.fail(fmt.Errorf("poet reporter: %w (cause: %v)", ErrStreamInterrupted, err))
+				}
+				return
+			}
+			conn, enc, broken = c, e, b
+			resetTimer(hb, r.cfg.heartbeat)
+			continue // re-prune with the handshake acks before sending
+		}
+		if pending {
+			if !r.sendPending(conn, enc) {
+				disconnect()
+				continue
+			}
+			resetTimer(hb, r.cfg.heartbeat)
+			continue
+		}
+		select {
+		case <-r.wake:
+		case <-broken:
+			disconnect()
+		case <-hb.C:
+			_ = conn.SetWriteDeadline(time.Now().Add(r.cfg.writeTimeout))
+			if err := enc.Encode(&targetMsg{Heartbeat: true}); err != nil {
+				r.cfg.logf("poet reporter: heartbeat to %s failed: %v", r.addr, err)
+				disconnect()
+			}
+			hb.Reset(r.cfg.heartbeat)
+		}
+	}
+}
+
+// sendPending transmits every currently unsent event. Returns false on a
+// transport error (the caller reconnects).
+func (r *Reporter) sendPending(conn net.Conn, enc *gob.Encoder) bool {
+	for {
+		r.mu.Lock()
+		if r.sent >= len(r.unacked) {
+			r.mu.Unlock()
+			return true
+		}
+		ev := r.unacked[r.sent]
+		r.mu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(r.cfg.writeTimeout))
+		if err := enc.Encode(&targetMsg{Event: &ev}); err != nil {
+			r.cfg.logf("poet reporter: send to %s failed: %v", r.addr, err)
+			return false
+		}
+		r.mu.Lock()
+		r.sent++
+		r.mu.Unlock()
+	}
+}
+
+// reconnect redials with backoff until the budget is exhausted. Runs on
+// the sender goroutine.
+func (r *Reporter) reconnect() (net.Conn, *gob.Encoder, chan struct{}, error) {
+	if r.cfg.reconnectBudget <= 0 {
+		return nil, nil, nil, errors.New("reconnection disabled")
+	}
+	bo := newBackoff(r.cfg.backoffBase, r.cfg.backoffMax)
+	var slept time.Duration
+	var lastErr error
+	for {
+		r.mu.Lock()
+		closed, failed := r.closed, r.failed
+		r.mu.Unlock()
+		if closed || failed != nil {
+			return nil, nil, nil, ErrClientClosed
+		}
+		conn, enc, broken, err := r.handshake()
+		if err == nil {
+			r.mu.Lock()
+			r.stats.Reconnects++
+			retrans := 0
+			for i := range r.unacked {
+				if r.unacked[i].Seq > r.acks[r.unacked[i].Trace] {
+					retrans++
+				}
+			}
+			r.stats.Retransmits += retrans
+			r.mu.Unlock()
+			r.cfg.logf("poet reporter: reconnected to %s (retransmitting %d unacked events)", r.addr, retrans)
+			return conn, enc, broken, nil
+		}
+		lastErr = err
+		d := bo.next()
+		if slept+d > r.cfg.reconnectBudget {
+			return nil, nil, nil, fmt.Errorf("reconnect budget %v exhausted: %w", r.cfg.reconnectBudget, lastErr)
+		}
+		slept += d
+		time.Sleep(d)
+	}
+}
+
+// resetTimer safely rearms a timer whose channel may hold a stale tick.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// Report buffers one raw event for transmission. It blocks only when the
+// unacked buffer is full, and returns an error only when the reporter
+// has permanently failed (reconnection disabled or exhausted, or the
+// server rejected an event as malformed) or been closed.
 func (r *Reporter) Report(raw RawEvent) error {
-	if err := r.enc.Encode(&raw); err != nil {
-		return fmt.Errorf("poet reporter: send: %w", err)
+	r.mu.Lock()
+	for r.failed == nil && !r.closed && len(r.unacked) >= r.cfg.buffer {
+		r.cond.Wait()
+	}
+	if r.failed != nil {
+		err := r.failed
+		r.mu.Unlock()
+		return err
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("poet reporter: %w", ErrClientClosed)
+	}
+	r.unacked = append(r.unacked, raw)
+	r.stats.Reported++
+	r.mu.Unlock()
+	r.signal()
+	return nil
+}
+
+// Flush blocks until every reported event has been acknowledged by the
+// server (so the collector has ingested it), or returns the permanent
+// failure that prevents it.
+func (r *Reporter) Flush() error {
+	r.signal()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.failed == nil && !r.closed && len(r.unacked) > 0 {
+		r.cond.Wait()
+	}
+	if r.failed != nil {
+		return r.failed
+	}
+	if len(r.unacked) > 0 {
+		return fmt.Errorf("poet reporter: closed with %d unacked events", len(r.unacked))
 	}
 	return nil
 }
 
-// Close closes the connection.
-func (r *Reporter) Close() error { return r.conn.Close() }
+// Stats returns the reporter's cumulative wire counters.
+func (r *Reporter) Stats() ReporterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Err returns the reporter's permanent failure, if any.
+func (r *Reporter) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed
+}
+
+// Close sends any still-unsent events on the live connection (best
+// effort; it does not redial or wait for acks — use Flush first for a
+// delivery guarantee), then tears the connection down.
+func (r *Reporter) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return nil
+	}
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.signal()
+	<-r.done
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// MonitorClient
+
+// MonitorOption configures DialMonitor.
+type MonitorOption func(*monCfg)
+
+type monCfg struct {
+	reconnectBudget time.Duration
+	backoffBase     time.Duration
+	backoffMax      time.Duration
+	readTimeout     time.Duration
+	dialTimeout     time.Duration
+	logf            func(string, ...any)
+}
+
+func defaultMonCfg() monCfg {
+	return monCfg{
+		reconnectBudget: defaultReconnectBudget,
+		backoffBase:     defaultBackoffBase,
+		backoffMax:      defaultBackoffMax,
+		readTimeout:     defaultPeerTimeout,
+		dialTimeout:     defaultDialTimeout,
+		logf:            func(string, ...any) {},
+	}
+}
+
+// WithMonitorReconnect bounds the cumulative backoff spent redialing per
+// outage. 0 disables reconnection: Next surfaces ErrStreamInterrupted at
+// the first transport failure.
+func WithMonitorReconnect(budget time.Duration) MonitorOption {
+	return func(c *monCfg) { c.reconnectBudget = budget }
+}
+
+// WithMonitorReadTimeout sets how long Next waits for a frame (events or
+// the server's idle heartbeats) before declaring the server dead. It
+// must exceed the server's heartbeat interval.
+func WithMonitorReadTimeout(d time.Duration) MonitorOption {
+	return func(c *monCfg) {
+		if d > 0 {
+			c.readTimeout = d
+		}
+	}
+}
+
+// WithMonitorBackoff overrides the reconnect backoff schedule.
+func WithMonitorBackoff(base, max time.Duration) MonitorOption {
+	return func(c *monCfg) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithMonitorLog routes reconnect diagnostics to logf.
+func WithMonitorLog(logf func(string, ...any)) MonitorOption {
+	return func(c *monCfg) {
+		if logf != nil {
+			c.logf = logf
+		}
+	}
+}
+
+// MonitorClientStats are a monitor client's cumulative wire counters.
+type MonitorClientStats struct {
+	// Received counts events consumed (also the resume offset sent on
+	// reconnect).
+	Received int
+	// Reconnects counts successful session resumptions.
+	Reconnects int
+}
 
 // MonitorClient receives the linearized event stream from a POET server,
 // tracking trace announcements so pattern process attributes can be
 // matched against trace names.
+//
+// The client is fault-tolerant: when the connection dies mid-stream it
+// reconnects with exponential backoff and resumes from the exact event
+// index it had reached (the server replays only the suffix), so the
+// observed stream stays gap-free and duplicate-free across failures. A
+// clean end of stream (the server's End frame) surfaces as io.EOF; a
+// dead connection that cannot be resumed surfaces as
+// ErrStreamInterrupted — never as a clean EOF.
+//
+// Not safe for concurrent use, except Close, which may be called from
+// another goroutine to abort a blocked Next.
 type MonitorClient struct {
-	conn  net.Conn
-	dec   *gob.Decoder
+	addr  string
+	cfg   monCfg
 	names map[event.TraceID]string
+
+	mu     sync.Mutex // guards conn swaps and closed, for cross-goroutine Close
+	conn   net.Conn
+	closed bool
+
+	dec      *gob.Decoder
+	received int
+	ended    bool
+	stats    MonitorClientStats
 }
 
 // DialMonitor connects to a POET server as a monitor client.
-func DialMonitor(addr string) (*MonitorClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("poet monitor: dial: %w", err)
+func DialMonitor(addr string, opts ...MonitorOption) (*MonitorClient, error) {
+	cfg := defaultMonCfg()
+	for _, o := range opts {
+		o(&cfg)
 	}
-	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(hello{Magic: wireMagic, Role: roleMonitor}); err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("poet monitor: hello: %w", err)
-	}
-	return &MonitorClient{
-		conn:  conn,
-		dec:   gob.NewDecoder(conn),
+	m := &MonitorClient{
+		addr:  addr,
+		cfg:   cfg,
 		names: make(map[event.TraceID]string),
-	}, nil
+	}
+	if err := m.connect(0); err != nil {
+		return nil, fmt.Errorf("poet monitor: %w", err)
+	}
+	return m, nil
 }
 
-// Next returns the next delivered event. It returns io.EOF when the
-// server closes the stream.
+// connect dials and performs the hello/helloAck handshake, resuming from
+// the given linearization offset.
+func (m *MonitorClient) connect(resumeFrom int) error {
+	conn, err := net.DialTimeout("tcp", m.addr, m.cfg.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	enc := gob.NewEncoder(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+	if err := enc.Encode(hello{Magic: wireMagic, Role: roleMonitor, ResumeFrom: resumeFrom}); err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("hello: %w", err)
+	}
+	dec := gob.NewDecoder(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(m.cfg.readTimeout))
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("hello ack: %w", err)
+	}
+	if !ack.OK {
+		_ = conn.Close()
+		return fmt.Errorf("server rejected hello: %s", ack.Error)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		_ = conn.Close()
+		return ErrClientClosed
+	}
+	m.conn = conn
+	m.mu.Unlock()
+	m.dec = dec
+	return nil
+}
+
+// Next returns the next delivered event. It returns io.EOF only on a
+// clean end of stream: the server's End frame, or a locally Closed
+// client. A connection that dies mid-stream is transparently resumed
+// (reconnect with backoff, replay from the current offset); if resuming
+// is disabled or fails, Next returns an error wrapping
+// ErrStreamInterrupted.
 func (m *MonitorClient) Next() (*event.Event, error) {
+	if m.ended {
+		return nil, io.EOF
+	}
 	for {
+		m.mu.Lock()
+		conn, closed := m.conn, m.closed
+		m.mu.Unlock()
+		if closed {
+			return nil, io.EOF
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(m.cfg.readTimeout))
 		var msg wireMsg
 		if err := m.dec.Decode(&msg); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
-				errors.Is(err, syscall.ECONNRESET) {
+			if m.isClosed() {
 				return nil, io.EOF
 			}
-			return nil, fmt.Errorf("poet monitor: receive: %w", err)
+			if isTimeout(err) {
+				m.cfg.logf("poet monitor: no frame from %s in %v; connection presumed dead", m.addr, m.cfg.readTimeout)
+			}
+			_ = conn.Close()
+			if rerr := m.resume(err); rerr != nil {
+				return nil, rerr
+			}
+			continue
 		}
 		switch {
+		case msg.End:
+			m.ended = true
+			return nil, io.EOF
+		case msg.Heartbeat:
+			continue
 		case msg.Trace != nil:
 			m.names[event.TraceID(msg.Trace.ID)] = msg.Trace.Name
 		case msg.Event != nil:
+			m.received++
+			m.stats.Received = m.received
 			return fromWire(msg.Event), nil
 		default:
 			return nil, fmt.Errorf("poet monitor: empty wire message")
 		}
 	}
+}
+
+// resume redials with backoff and resumes the session at the current
+// offset. cause is the transport error that killed the connection.
+func (m *MonitorClient) resume(cause error) error {
+	interrupted := fmt.Errorf("poet monitor: %w after %d events (cause: %v)", ErrStreamInterrupted, m.received, cause)
+	if m.cfg.reconnectBudget <= 0 {
+		return interrupted
+	}
+	bo := newBackoff(m.cfg.backoffBase, m.cfg.backoffMax)
+	var slept time.Duration
+	for {
+		if m.isClosed() {
+			return io.EOF
+		}
+		err := m.connect(m.received)
+		if err == nil {
+			m.stats.Reconnects++
+			m.cfg.logf("poet monitor: resumed session with %s at offset %d", m.addr, m.received)
+			return nil
+		}
+		if errors.Is(err, ErrClientClosed) {
+			return io.EOF
+		}
+		d := bo.next()
+		if slept+d > m.cfg.reconnectBudget {
+			return fmt.Errorf("%w; reconnect budget %v exhausted: %v", interrupted, m.cfg.reconnectBudget, err)
+		}
+		slept += d
+		time.Sleep(d)
+	}
+}
+
+func (m *MonitorClient) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
 }
 
 // TraceName returns the announced name of a trace.
@@ -110,5 +802,17 @@ func (m *MonitorClient) Traces() []event.TraceID {
 	return out
 }
 
-// Close closes the connection.
-func (m *MonitorClient) Close() error { return m.conn.Close() }
+// Stats returns the client's cumulative wire counters.
+func (m *MonitorClient) Stats() MonitorClientStats { return m.stats }
+
+// Close closes the connection and stops any in-flight reconnection.
+func (m *MonitorClient) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	conn := m.conn
+	m.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}

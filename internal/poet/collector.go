@@ -222,6 +222,46 @@ func (c *Collector) Delivered() int {
 	return c.delivered
 }
 
+// AckFor returns the highest seq s such that events 1..s of the named
+// trace have all been ingested — delivered, or buffered awaiting causal
+// partners. 0 for an unknown trace. This is the position the wire
+// protocol acknowledges to reporters: a reporter may discard everything
+// at or below it.
+func (c *Collector) AckFor(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ackForLocked(name)
+}
+
+func (c *Collector) ackForLocked(name string) int {
+	t, ok := c.store.TraceByName(name)
+	if !ok || int(t) >= len(c.nextSeq) {
+		return 0
+	}
+	ack := c.nextSeq[t] - 1
+	for {
+		if _, buffered := c.pending[t][ack+1]; !buffered {
+			return ack
+		}
+		ack++
+	}
+}
+
+// acksFor snapshots the ack positions of the named traces in one
+// critical section.
+func (c *Collector) acksFor(names []string) []traceAck {
+	if len(names) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]traceAck, 0, len(names))
+	for _, n := range names {
+		out = append(out, traceAck{Trace: n, Seq: c.ackForLocked(n)})
+	}
+	return out
+}
+
 // Pending returns the number of buffered, not-yet-deliverable raw events.
 func (c *Collector) Pending() int {
 	c.mu.Lock()

@@ -1,6 +1,7 @@
 package poet
 
 import (
+	"fmt"
 	"sync"
 
 	"ocep/internal/event"
@@ -175,6 +176,7 @@ func (q *queue) push(e *event.Event, name string) {
 	// Announce the trace even when the event itself is dropped: names are
 	// metadata, and a later surviving event of the trace must match
 	// process attributes correctly.
+	annAdded := false
 	if t := int(e.ID.Trace); q.onTrace != nil {
 		for t >= len(q.announced) {
 			q.announced = append(q.announced, false)
@@ -182,10 +184,16 @@ func (q *queue) push(e *event.Event, name string) {
 		if !q.announced[t] {
 			q.announced[t] = true
 			q.anns = append(q.anns, traceAnn{e.ID.Trace, name})
+			annAdded = true
 		}
 	}
 	if q.policy == BackpressureDrop && len(q.buf) >= q.depth {
 		q.dropped++
+		if annAdded {
+			// The announcement must still reach the consumer even though
+			// its event was dropped.
+			q.cond.Broadcast()
+		}
 		return
 	}
 	cp := *e
@@ -216,16 +224,20 @@ func (q *queue) waitSpace() {
 }
 
 // run is the consumer loop: cut a batch, hand it over, repeat. On close
-// it drains the remaining buffer before exiting, so Close is a
-// deterministic end state: every accepted event has been handled.
+// it drains the remaining buffer — and any pending trace announcements —
+// before exiting, so Close is a deterministic end state: every accepted
+// event has been handled and every announced trace has reached OnTrace.
+// Announcements also wake the consumer on their own: a trace whose first
+// event was dropped under BackpressureDrop must not wait for an
+// unrelated later event (or the close) to be announced.
 func (q *queue) run() {
 	defer close(q.done)
 	for {
 		q.mu.Lock()
-		for len(q.buf) == 0 && !q.closed {
+		for len(q.buf) == 0 && len(q.anns) == 0 && !q.closed {
 			q.cond.Wait()
 		}
-		if len(q.buf) == 0 && q.closed {
+		if len(q.buf) == 0 && len(q.anns) == 0 && q.closed {
 			q.mu.Unlock()
 			return
 		}
@@ -247,11 +259,15 @@ func (q *queue) run() {
 		for _, a := range anns {
 			q.onTrace(a.id, a.name)
 		}
-		q.handler(batch)
+		if n > 0 {
+			q.handler(batch)
+		}
 
 		q.mu.Lock()
 		q.handled += n
-		q.batches++
+		if n > 0 {
+			q.batches++
+		}
 		q.cond.Broadcast()
 		q.mu.Unlock()
 	}
@@ -304,7 +320,7 @@ func (q *queue) stats() DeliveryStats {
 func (c *Collector) SubscribeBatch(h BatchHandler, opts AsyncOptions) *Subscription {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.subscribeBatchLocked(h, opts, false)
+	return c.subscribeBatchLocked(h, opts, -1)
 }
 
 // SubscribeBatchReplay atomically seeds the queue with every
@@ -316,17 +332,35 @@ func (c *Collector) SubscribeBatch(h BatchHandler, opts AsyncOptions) *Subscript
 func (c *Collector) SubscribeBatchReplay(h BatchHandler, opts AsyncOptions) *Subscription {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.subscribeBatchLocked(h, opts, true)
+	return c.subscribeBatchLocked(h, opts, 0)
 }
 
-func (c *Collector) subscribeBatchLocked(h BatchHandler, opts AsyncOptions, replay bool) *Subscription {
+// SubscribeBatchReplayFrom is SubscribeBatchReplay for a resuming
+// consumer: only the linearization suffix from offset on (the number of
+// events the consumer has already observed) is replayed. It fails when
+// offset exceeds the delivered count — the consumer is ahead of this
+// collector, which means it is talking to a different (e.g. restarted)
+// instance and must not be handed a stream with a silent gap.
+func (c *Collector) SubscribeBatchReplayFrom(offset int, h BatchHandler, opts AsyncOptions) (*Subscription, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if offset < 0 || offset > len(c.order) {
+		return nil, fmt.Errorf("poet: resume offset %d out of range (delivered %d)", offset, len(c.order))
+	}
+	return c.subscribeBatchLocked(h, opts, offset), nil
+}
+
+// subscribeBatchLocked registers a batch subscription, replaying the
+// linearization from replayFrom (replayFrom == delivered count means no
+// replay; use a negative value to skip replay entirely).
+func (c *Collector) subscribeBatchLocked(h BatchHandler, opts AsyncOptions, replayFrom int) *Subscription {
 	q := newQueue(h, opts)
-	if replay {
+	if replayFrom >= 0 {
 		// Seeding bypasses the drop policy: the backlog is part of the
 		// atomic replay contract.
 		saved := q.policy
 		q.policy = BackpressureBlock
-		for _, e := range c.order {
+		for _, e := range c.order[replayFrom:] {
 			q.push(e, c.store.TraceName(e.ID.Trace))
 		}
 		q.policy = saved

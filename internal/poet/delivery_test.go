@@ -394,3 +394,99 @@ func TestAsyncStress(t *testing.T) {
 	baseSub.Cancel()
 	c.Close()
 }
+
+// TestCancelDeliversPendingAnnouncements pins the drain contract for
+// trace announcements: an announcement whose carrying event was dropped
+// (BackpressureDrop, full queue) must still reach OnTrace by the time
+// Cancel returns, even when the subscription is torn down while the
+// handler is mid-flight — a pending announcement must never die with
+// the queue.
+func TestCancelDeliversPendingAnnouncements(t *testing.T) {
+	c := NewCollector()
+	block := make(chan struct{})
+	var started atomic.Int32
+	var mu sync.Mutex
+	var names []string
+	sub := c.SubscribeBatch(func(batch []*event.Event) {
+		started.Add(1)
+		<-block
+	}, AsyncOptions{
+		QueueDepth: 1, MaxBatch: 1, Policy: BackpressureDrop,
+		OnTrace: func(_ event.TraceID, name string) {
+			mu.Lock()
+			names = append(names, name)
+			mu.Unlock()
+		},
+	})
+	// First event: cut into a batch and handed to the handler, which
+	// blocks, wedging the consumer loop.
+	if err := c.Report(internalRaw("p0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return started.Load() == 1 })
+	// Fill the 1-slot queue behind the wedged handler, then report a new
+	// trace whose event is dropped on the full queue: only its
+	// announcement survives.
+	if err := c.Report(internalRaw("p0", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(internalRaw("p1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sub.Stats().Dropped >= 1 })
+
+	close(block)
+	sub.Cancel()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, n := range names {
+		if n == "p1" {
+			return
+		}
+	}
+	t.Fatalf("announcements after Cancel = %v: trace p1 (dropped event) never announced", names)
+}
+
+// TestSubscribeBatchReplayFrom checks offset resume: a subscriber at
+// offset k sees exactly the suffix k+1..n, and out-of-range offsets are
+// rejected rather than silently clamped.
+func TestSubscribeBatchReplayFrom(t *testing.T) {
+	c := NewCollector()
+	const n = 20
+	for i := 1; i <= n; i++ {
+		if err := c.Report(internalRaw("p0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := newBatchSink()
+	sub, err := c.SubscribeBatchReplayFrom(15, sink.handler, AsyncOptions{OnTrace: sink.onTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Flush()
+	got := sink.snapshot()
+	if len(got) != 5 {
+		t.Fatalf("resumed subscriber saw %d events, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.ID.Index != 16+i {
+			t.Fatalf("resumed event %d has index %d, want %d", i, e.ID.Index, 16+i)
+		}
+	}
+	// The resumed subscriber still gets live deliveries.
+	if err := c.Report(internalRaw("p0", n+1)); err != nil {
+		t.Fatal(err)
+	}
+	sub.Flush()
+	if got := sink.snapshot(); len(got) != 6 {
+		t.Fatalf("after a live event, resumed subscriber saw %d events, want 6", len(got))
+	}
+	sub.Cancel()
+
+	if _, err := c.SubscribeBatchReplayFrom(-1, sink.handler, AsyncOptions{}); err == nil {
+		t.Fatal("negative resume offset accepted")
+	}
+	if _, err := c.SubscribeBatchReplayFrom(n+2, sink.handler, AsyncOptions{}); err == nil {
+		t.Fatal("resume offset past the delivered count accepted")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ocep/internal/event"
 )
@@ -14,6 +16,14 @@ import (
 // Server exposes a Collector over TCP: target processes connect to
 // report raw events, monitor clients connect to receive the linearized
 // stream (the POET server role of Section V-A).
+//
+// The v2 wire layer is fault-tolerant: target connections are
+// periodically acknowledged (highest contiguous ingested (trace, seq)),
+// stale retransmissions after a reporter reconnect are idempotent
+// no-ops, monitor connections carry idle heartbeats and can resume a
+// session from any linearization offset, and all reads and writes run
+// under deadlines so a dead peer is detected instead of blocking a
+// handler forever.
 type Server struct {
 	collector *Collector
 	listener  net.Listener
@@ -22,10 +32,27 @@ type Server struct {
 	monQueue  int
 	monPolicy BackpressurePolicy
 
+	ackInterval  time.Duration
+	hbInterval   time.Duration
+	peerTimeout  time.Duration
+	writeTimeout time.Duration
+
+	// closing is closed at the start of Close: monitor handlers drain
+	// their queues, send the End frame, and exit before connections are
+	// torn down, so a graceful shutdown is distinguishable from a crash.
+	closing chan struct{}
+
+	stale          atomic.Int64
+	acksSent       atomic.Int64
+	heartbeats     atomic.Int64
+	targetResumes  atomic.Int64
+	monitorResumes atomic.Int64
+
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closed  bool
 	wg      sync.WaitGroup
+	monWG   sync.WaitGroup
 	serveWG sync.WaitGroup
 }
 
@@ -34,6 +61,13 @@ type Server struct {
 // behind the stream is disconnected rather than allowed to stall the
 // collector; under BackpressureBlock ingestion throttles instead.
 const monitorQueueSize = 1 << 16
+
+// Wire-timing defaults; see SetWireTiming.
+const (
+	DefaultAckInterval = 250 * time.Millisecond
+	DefaultHeartbeat   = time.Second
+	DefaultPeerTimeout = 10 * time.Second
+)
 
 // SetMonitorQueue configures the per-monitor-connection delivery queue:
 // depth bounds the queue (0 keeps the default), policy selects what a
@@ -47,6 +81,50 @@ func (s *Server) SetMonitorQueue(depth int, policy BackpressurePolicy) {
 	s.monPolicy = policy
 }
 
+// SetWireTiming tunes the fault-tolerance timers (zero keeps a
+// default): ackInterval is the cadence of target acknowledgements
+// (which double as server-to-target heartbeats), heartbeat is the idle
+// keep-alive cadence on monitor streams, and peerTimeout is how long a
+// target connection may stay silent (no event, no heartbeat) before it
+// is declared dead. Call before Listen.
+func (s *Server) SetWireTiming(ackInterval, heartbeat, peerTimeout time.Duration) {
+	if ackInterval > 0 {
+		s.ackInterval = ackInterval
+	}
+	if heartbeat > 0 {
+		s.hbInterval = heartbeat
+	}
+	if peerTimeout > 0 {
+		s.peerTimeout = peerTimeout
+	}
+}
+
+// WireStats are the server's cumulative fault-tolerance counters.
+type WireStats struct {
+	// StaleEvents counts retransmitted events ignored as idempotent
+	// no-ops (ErrStaleEvent from the collector on the wire path).
+	StaleEvents int
+	// AcksSent counts serverAck frames sent to targets.
+	AcksSent int
+	// Heartbeats counts idle keep-alive frames sent to monitors.
+	Heartbeats int
+	// TargetResumes counts target hellos that named resumed traces.
+	TargetResumes int
+	// MonitorResumes counts monitor hellos with a nonzero resume offset.
+	MonitorResumes int
+}
+
+// WireStats returns the server's cumulative wire counters.
+func (s *Server) WireStats() WireStats {
+	return WireStats{
+		StaleEvents:    int(s.stale.Load()),
+		AcksSent:       int(s.acksSent.Load()),
+		Heartbeats:     int(s.heartbeats.Load()),
+		TargetResumes:  int(s.targetResumes.Load()),
+		MonitorResumes: int(s.monitorResumes.Load()),
+	}
+}
+
 // NewServer wraps a collector. Pass a logf (e.g. log.Printf) for
 // connection diagnostics, or nil for silence.
 func NewServer(c *Collector, logf func(format string, args ...any)) *Server {
@@ -54,11 +132,16 @@ func NewServer(c *Collector, logf func(format string, args ...any)) *Server {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		collector: c,
-		logf:      logf,
-		conns:     make(map[net.Conn]struct{}),
-		monQueue:  monitorQueueSize,
-		monPolicy: BackpressureDrop,
+		collector:    c,
+		logf:         logf,
+		conns:        make(map[net.Conn]struct{}),
+		monQueue:     monitorQueueSize,
+		monPolicy:    BackpressureDrop,
+		ackInterval:  DefaultAckInterval,
+		hbInterval:   DefaultHeartbeat,
+		peerTimeout:  DefaultPeerTimeout,
+		writeTimeout: defaultWriteTimeout,
+		closing:      make(chan struct{}),
 	}
 }
 
@@ -117,21 +200,31 @@ func (s *Server) untrack(conn net.Conn) {
 	_ = conn.Close()
 }
 
-// Close stops the listener and tears down every live connection,
-// waiting for the handlers to finish.
+// Close stops the listener and tears down every live connection, waiting
+// for the handlers to finish. Monitor connections end gracefully: their
+// queues are drained and an explicit End frame is sent, so clients see a
+// clean end of stream instead of an interruption.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if !already {
+		if s.listener != nil {
+			err = s.listener.Close()
+		}
+		close(s.closing)
+	}
+	// Let monitor handlers drain and say goodbye before the teardown;
+	// their writes run under deadlines, so this wait is bounded.
+	s.monWG.Wait()
+	s.mu.Lock()
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	var err error
-	if s.listener != nil && !already {
-		err = s.listener.Close()
-	}
 	for _, c := range conns {
 		_ = c.Close()
 	}
@@ -142,18 +235,25 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(conn net.Conn) error {
 	dec := gob.NewDecoder(conn)
+	// A connection that never completes its hello must not pin a handler
+	// goroutine forever.
+	_ = conn.SetReadDeadline(time.Now().Add(s.peerTimeout))
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		return fmt.Errorf("reading hello: %w", err)
 	}
+	_ = conn.SetReadDeadline(time.Time{})
 	if h.Magic != wireMagic {
+		if h.Magic == wireMagicV1 {
+			return fmt.Errorf("v1 peer rejected: this server speaks %s (the v2 handshake adds acks, resume, and heartbeats)", wireMagic)
+		}
 		return fmt.Errorf("bad magic %q", h.Magic)
 	}
 	switch h.Role {
 	case roleTarget:
-		return s.handleTarget(dec)
+		return s.handleTarget(conn, dec, h)
 	case roleMonitor:
-		return s.handleMonitor(conn)
+		return s.handleMonitor(conn, h)
 	case roleQuery:
 		return s.handleQuery(conn, dec)
 	default:
@@ -161,31 +261,161 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 }
 
-// handleTarget ingests raw events until the connection closes.
-func (s *Server) handleTarget(dec *gob.Decoder) error {
+// handleTarget ingests raw events until the connection closes or the
+// peer times out. A background pump acknowledges the highest contiguous
+// ingested (trace, seq) on every ack interval — the acks double as
+// server-to-target heartbeats. Stale retransmissions (the product of a
+// reporter replaying its unacked buffer after a reconnect) are ignored
+// as idempotent no-ops; genuinely malformed events still hard-fail the
+// connection, with the reason reported to the peer so it stops
+// retransmitting the poison event.
+func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	writeAck := func(ack *serverAck) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		return enc.Encode(ack)
+	}
+
+	// The handshake ack tells a resuming reporter what it may prune
+	// before retransmitting.
+	encMu.Lock()
+	_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	err := enc.Encode(&helloAck{OK: true, Acks: s.collector.acksFor(h.Traces)})
+	encMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("hello ack: %w", err)
+	}
+	if len(h.Traces) > 0 {
+		s.targetResumes.Add(1)
+	}
+
+	// Traces this connection has reported, for the ack pump.
+	var seenMu sync.Mutex
+	seen := make(map[string]bool, len(h.Traces))
+	for _, n := range h.Traces {
+		seen[n] = true
+	}
+	names := func() []string {
+		seenMu.Lock()
+		defer seenMu.Unlock()
+		out := make([]string, 0, len(seen))
+		for n := range seen {
+			out = append(out, n)
+		}
+		return out
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(s.ackInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if err := writeAck(&serverAck{Acks: s.collector.acksFor(names())}); err != nil {
+					_ = conn.Close() // unblock the decode loop
+					return
+				}
+				s.acksSent.Add(1)
+			}
+		}
+	}()
+
 	for {
-		var raw RawEvent
-		if err := dec.Decode(&raw); err != nil {
+		_ = conn.SetReadDeadline(time.Now().Add(s.peerTimeout))
+		var msg targetMsg
+		if err := dec.Decode(&msg); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			if isTimeout(err) {
+				return fmt.Errorf("target silent for %v (no event or heartbeat); presumed dead", s.peerTimeout)
+			}
 			return fmt.Errorf("decoding raw event: %w", err)
 		}
+		if msg.Heartbeat {
+			continue
+		}
+		if msg.Event == nil {
+			return fmt.Errorf("empty target message")
+		}
+		raw := *msg.Event
+		seenMu.Lock()
+		seen[raw.Trace] = true
+		seenMu.Unlock()
 		if err := s.collector.Report(raw); err != nil {
+			if errors.Is(err, ErrStaleEvent) {
+				// A retransmit of something already ingested: the normal
+				// aftermath of a reporter reconnect, not a fault. Dropping
+				// it is exactly once delivery.
+				s.stale.Add(1)
+				s.logf("poet server: %s: ignoring stale retransmit %s/%d", conn.RemoteAddr(), raw.Trace, raw.Seq)
+				continue
+			}
+			// Malformed beyond repair: tell the peer why before hanging up,
+			// so it fails its Report instead of retransmitting forever.
+			_ = writeAck(&serverAck{Err: err.Error()})
 			return fmt.Errorf("reporting: %w", err)
 		}
 	}
 }
 
 // handleMonitor streams the linearization to one client over the
-// collector's batch delivery pipeline: an atomic replay of all delivered
-// events, then live deliveries in batches, with trace announcements
-// interleaved before first use. Under BackpressureDrop (the default) a
-// monitor that falls monQueue events behind is disconnected — a wire
-// stream must never have silent gaps; under BackpressureBlock ingestion
-// throttles to the monitor instead.
-func (s *Server) handleMonitor(conn net.Conn) error {
+// collector's batch delivery pipeline: an atomic replay of everything
+// past the client's resume offset, then live deliveries in batches, with
+// trace announcements interleaved before first use and idle heartbeats
+// so the client can tell a quiet stream from a dead server. Under
+// BackpressureDrop (the default) a monitor that falls monQueue events
+// behind is disconnected — a wire stream must never have silent gaps
+// (a reconnecting client heals the gap by resuming, which replays from
+// its own offset); under BackpressureBlock ingestion throttles to the
+// monitor instead. On server Close the queue is drained and an End
+// frame marks the clean end of stream.
+func (s *Server) handleMonitor(conn net.Conn, h hello) error {
+	s.monWG.Add(1)
+	defer s.monWG.Done()
+
 	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	var lastWrite atomic.Int64
+	writeMsg := func(msg *wireMsg) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		err := enc.Encode(msg)
+		lastWrite.Store(time.Now().UnixNano())
+		return err
+	}
+	sendHello := func(ack helloAck) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		err := enc.Encode(&ack)
+		lastWrite.Store(time.Now().UnixNano())
+		return err
+	}
+
+	// Validate the resume offset before subscribing. Delivered only
+	// grows, so an offset valid here stays valid for the subscription.
+	if h.ResumeFrom < 0 || h.ResumeFrom > s.collector.Delivered() {
+		msg := fmt.Sprintf("cannot resume from offset %d (delivered %d): this collector did not produce that stream",
+			h.ResumeFrom, s.collector.Delivered())
+		_ = sendHello(helloAck{Error: msg})
+		return fmt.Errorf("monitor %s: %s", conn.RemoteAddr(), msg)
+	}
+	if err := sendHello(helloAck{OK: true}); err != nil {
+		return fmt.Errorf("hello ack: %w", err)
+	}
+	if h.ResumeFrom > 0 {
+		s.monitorResumes.Add(1)
+	}
+
 	errc := make(chan error, 1)
 	fail := func(err error) {
 		select {
@@ -224,29 +454,56 @@ func (s *Server) handleMonitor(conn net.Conn) error {
 			return
 		}
 		for i := range pending {
-			if err := enc.Encode(&wireMsg{Trace: &pending[i]}); err != nil {
+			if err := writeMsg(&wireMsg{Trace: &pending[i]}); err != nil {
 				fail(fmt.Errorf("encoding to monitor: %w", err))
 				return
 			}
 		}
 		pending = nil
 		for _, e := range batch {
-			if err := enc.Encode(&wireMsg{Event: toWire(e)}); err != nil {
+			if err := writeMsg(&wireMsg{Event: toWire(e)}); err != nil {
 				fail(fmt.Errorf("encoding to monitor: %w", err))
 				return
 			}
 		}
 		dropCheck()
 	}
-	sub := s.collector.SubscribeBatchReplay(handler, AsyncOptions{
+	sub, err := s.collector.SubscribeBatchReplayFrom(h.ResumeFrom, handler, AsyncOptions{
 		QueueDepth: s.monQueue,
 		Policy:     s.monPolicy,
 		OnTrace: func(t event.TraceID, name string) {
 			pending = append(pending, wireTrace{ID: int(t), Name: name})
 		},
 	})
+	if err != nil {
+		return err // unreachable: the offset was validated above
+	}
 	defer sub.Cancel()
 	statsCh <- sub.Stats
+
+	// Idle heartbeats: a quiet collector must still be distinguishable
+	// from a dead server on the client side.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(s.hbInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if time.Since(time.Unix(0, lastWrite.Load())) < s.hbInterval {
+					continue
+				}
+				if err := writeMsg(&wireMsg{Heartbeat: true}); err != nil {
+					fail(fmt.Errorf("heartbeat to monitor: %w", err))
+					return
+				}
+				s.heartbeats.Add(1)
+			}
+		}
+	}()
 
 	// Monitors never send after the hello; a background read doubles as
 	// a close detector.
@@ -268,5 +525,18 @@ func (s *Server) handleMonitor(conn net.Conn) error {
 		default:
 			return nil
 		}
+	case <-s.closing:
+		// Graceful shutdown: drain the queue (Cancel flushes the handler)
+		// and mark the clean end of stream.
+		sub.Cancel()
+		select {
+		case err := <-errc:
+			return err
+		default:
+		}
+		if err := writeMsg(&wireMsg{End: true}); err != nil {
+			return fmt.Errorf("end frame: %w", err)
+		}
+		return nil
 	}
 }

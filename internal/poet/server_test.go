@@ -2,9 +2,11 @@ package poet
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -132,7 +134,9 @@ func TestServerLaggardDisconnectGapFree(t *testing.T) {
 		}
 	})
 
-	mon, err := DialMonitor(addr)
+	// Reconnect disabled: a reconnecting client would transparently heal
+	// the cut by resuming, which is exactly what this test must not allow.
+	mon, err := DialMonitor(addr, WithMonitorReconnect(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +162,16 @@ func TestServerLaggardDisconnectGapFree(t *testing.T) {
 	for {
 		e, err := mon.Next()
 		if err != nil {
-			break // the disconnect: EOF or connection reset
+			// The mid-stream cut must be reported as an interruption, never
+			// as a clean end of stream: io.EOF is reserved for the server's
+			// explicit End frame.
+			if err == io.EOF {
+				t.Fatalf("mid-stream disconnect surfaced as clean io.EOF")
+			}
+			if !errors.Is(err, ErrStreamInterrupted) {
+				t.Fatalf("disconnect error = %v, want ErrStreamInterrupted", err)
+			}
+			break
 		}
 		if e.ID.Index != last+1 {
 			t.Fatalf("wire stream has a gap: index %d follows %d", e.ID.Index, last)
@@ -265,9 +278,47 @@ func TestMonitorNextEOFOnServerClose(t *testing.T) {
 	}
 }
 
-// TestServerDropsFaultyTarget: a target reporting a stale event is
-// disconnected; the collector and other targets keep working.
-func TestServerDropsFaultyTarget(t *testing.T) {
+// TestServerToleratesStaleDuplicates: a retransmitted (already
+// ingested) event is the normal aftermath of a reporter reconnect, so
+// the server must treat it as an idempotent no-op — log, count, carry
+// on — rather than sever the connection.
+func TestServerToleratesStaleDuplicates(t *testing.T) {
+	c, srv, addr := startServer(t)
+
+	// A raw target connection, so we can inject the duplicate without the
+	// Reporter's own dedup machinery getting in the way.
+	conn, err := dialRaw(addr, hello{Magic: wireMagic, Role: roleTarget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var ack helloAck
+	if err := gob.NewDecoder(conn).Decode(&ack); err != nil || !ack.OK {
+		t.Fatalf("hello ack = %+v, %v", ack, err)
+	}
+	enc := gob.NewEncoder(conn)
+	send := func(r RawEvent) {
+		t.Helper()
+		if err := enc.Encode(&targetMsg{Event: &r}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	send(RawEvent{Trace: "p0", Seq: 1, Kind: event.KindInternal, Type: "x"})
+	waitFor(t, func() bool { return c.Delivered() == 1 })
+
+	// The stale duplicate is ignored and the connection survives: the
+	// next fresh event on the same connection is still ingested.
+	send(RawEvent{Trace: "p0", Seq: 1, Kind: event.KindInternal, Type: "x"})
+	send(RawEvent{Trace: "p0", Seq: 2, Kind: event.KindInternal, Type: "x"})
+	waitFor(t, func() bool { return c.Delivered() == 2 })
+	waitFor(t, func() bool { return srv.WireStats().StaleEvents == 1 })
+}
+
+// TestServerRejectsMalformedEvent: a genuinely malformed event (here a
+// receive without a message id) still hard-fails the connection, and
+// the reason reaches the reporter so it stops retransmitting the poison
+// event. Other targets keep working.
+func TestServerRejectsMalformedEvent(t *testing.T) {
 	c, _, addr := startServer(t)
 
 	bad, err := DialReporter(addr)
@@ -279,12 +330,19 @@ func TestServerDropsFaultyTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, func() bool { return c.Delivered() == 1 })
-	// Duplicate sequence: the server closes the connection.
-	_ = bad.Report(RawEvent{Trace: "p0", Seq: 1, Kind: event.KindInternal, Type: "x"})
-	waitFor(t, func() bool {
-		// Subsequent writes eventually fail once the close propagates.
-		return bad.Report(RawEvent{Trace: "p0", Seq: 2, Kind: event.KindInternal, Type: "x"}) != nil
-	})
+
+	// Receive with MsgID 0 is malformed beyond repair: the server rejects
+	// it with a reason instead of letting the reporter retransmit it on
+	// every reconnect forever.
+	_ = bad.Report(RawEvent{Trace: "p0", Seq: 2, Kind: event.KindReceive, Type: "recv"})
+	waitFor(t, func() bool { return bad.Err() != nil })
+	if err := bad.Err(); !strings.Contains(err.Error(), "no message id") {
+		t.Fatalf("reporter error = %v, want the server's rejection reason", err)
+	}
+	// The failure is permanent: further reports are refused locally.
+	if err := bad.Report(RawEvent{Trace: "p0", Seq: 3, Kind: event.KindInternal, Type: "x"}); err == nil {
+		t.Fatal("Report succeeded after a permanent wire failure")
+	}
 
 	// A healthy target still works.
 	good, err := DialReporter(addr)

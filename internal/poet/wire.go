@@ -5,10 +5,31 @@ import (
 	"ocep/internal/vclock"
 )
 
-// Wire protocol: every connection opens with a hello naming its role;
-// target connections then stream RawEvent values, monitor connections
-// receive a stream of wireMsg values. Everything is gob-encoded directly
-// on the connection.
+// Wire protocol v2 ("OCEP-POET-2"): every connection opens with a hello
+// naming its role; the server answers target and monitor hellos with a
+// helloAck (query connections keep their request/response framing).
+// After the handshake:
+//
+//   - target connections stream targetMsg frames (events or idle
+//     heartbeats) and receive periodic serverAck frames carrying the
+//     highest contiguous (trace, seq) the collector has ingested — the
+//     acks double as server-side heartbeats;
+//   - monitor connections receive wireMsg frames: trace announcements,
+//     events, idle heartbeats, and an explicit End frame on graceful
+//     shutdown, so an abrupt peer death is distinguishable from a clean
+//     end of stream.
+//
+// Reconnecting peers resume: a target hello names the traces it is
+// retransmitting (the helloAck returns the server's ack for each, so
+// already-ingested events are pruned before replay), and a monitor hello
+// carries ResumeFrom, the number of linearized events already received,
+// so the server replays only the suffix. Everything is gob-encoded
+// directly on the connection.
+//
+// Compatibility: the magic bump from OCEP-POET-1 is deliberate — v1
+// peers did not read a helloAck and had no ack/heartbeat/resume frames,
+// so the server rejects them at the handshake instead of desynchronizing
+// mid-stream.
 
 // Connection roles.
 const (
@@ -19,14 +40,63 @@ const (
 type hello struct {
 	Magic string
 	Role  string
+	// ResumeFrom (monitor role) is the number of linearized events the
+	// client has already received; the server replays from that offset.
+	ResumeFrom int
+	// Traces (target role) names the traces the reporter has unacked
+	// events for; the helloAck returns the server's ack for each.
+	Traces []string
 }
 
-const wireMagic = "OCEP-POET-1"
+const wireMagic = "OCEP-POET-2"
+
+// wireMagicV1 is recognized only to produce a targeted rejection.
+const wireMagicV1 = "OCEP-POET-1"
+
+// helloAck is the server's handshake response to target and monitor
+// hellos.
+type helloAck struct {
+	OK    bool
+	Error string
+	// Acks (target role) is the server's contiguous ingest position for
+	// each trace named in the hello.
+	Acks []traceAck
+}
+
+// traceAck is the highest seq s such that events 1..s of the trace have
+// all been ingested (delivered or buffered awaiting causal partners).
+type traceAck struct {
+	Trace string
+	Seq   int
+}
+
+// targetMsg is one target-to-server frame: an event, or a bare idle
+// heartbeat.
+type targetMsg struct {
+	Event     *RawEvent
+	Heartbeat bool
+}
+
+// serverAck is one server-to-target frame. A frame with unchanged Acks
+// doubles as a heartbeat. A non-empty Err reports a hard event rejection
+// (the event is malformed, not merely stale); the server closes the
+// connection after sending it, and the reporter surfaces the error
+// instead of retransmitting the poison event forever.
+type serverAck struct {
+	Acks []traceAck
+	Err  string
+}
 
 // wireMsg is one server-to-monitor message: exactly one field is set.
 type wireMsg struct {
 	Trace *wireTrace
 	Event *wireEvent
+	// Heartbeat marks an idle keep-alive frame.
+	Heartbeat bool
+	// End marks a graceful end of stream (server shutdown). Absent an
+	// End frame, a broken connection is an interruption, never a clean
+	// EOF.
+	End bool
 }
 
 // wireTrace announces a trace's ID and name before its first event.

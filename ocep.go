@@ -72,7 +72,28 @@ type (
 	BackpressurePolicy = poet.BackpressurePolicy
 	// DeliveryStats are one async monitor's delivery-queue counters.
 	DeliveryStats = poet.DeliveryStats
+	// Reporter streams raw events to a POET server with acknowledged,
+	// exactly-once ingestion and automatic reconnection.
+	Reporter = poet.Reporter
+	// MonitorClient receives the linearized stream from a POET server,
+	// resuming its session across connection failures.
+	MonitorClient = poet.MonitorClient
+	// ReporterOption configures DialReporter.
+	ReporterOption = poet.ReporterOption
+	// MonitorOption configures DialMonitor.
+	MonitorOption = poet.MonitorOption
+	// ReporterStats are a reporter's cumulative wire counters.
+	ReporterStats = poet.ReporterStats
+	// MonitorClientStats are a monitor client's cumulative wire counters.
+	MonitorClientStats = poet.MonitorClientStats
+	// WireStats are a server's cumulative fault-tolerance counters.
+	WireStats = poet.WireStats
 )
+
+// ErrStreamInterrupted is wrapped by MonitorClient.Next when the event
+// stream dies mid-flight and cannot be resumed; a clean end of stream
+// is always io.EOF instead.
+var ErrStreamInterrupted = poet.ErrStreamInterrupted
 
 // Backpressure policies for WithBackpressure.
 const (
@@ -102,10 +123,54 @@ func NewServer(c *Collector, logf func(string, ...any)) *Server {
 }
 
 // DialReporter connects to a POET server as an instrumented target.
-func DialReporter(addr string) (*poet.Reporter, error) { return poet.DialReporter(addr) }
+// Reports are buffered locally until the server acknowledges ingestion;
+// a dead connection is redialed with exponential backoff and the
+// unacknowledged suffix retransmitted, which the server absorbs
+// idempotently — exactly-once ingestion across failures. See
+// WithReporterReconnect, WithReporterBuffer, WithReporterHeartbeat.
+func DialReporter(addr string, opts ...ReporterOption) (*Reporter, error) {
+	return poet.DialReporter(addr, opts...)
+}
 
-// DialMonitor connects to a POET server as a monitor client.
-func DialMonitor(addr string) (*poet.MonitorClient, error) { return poet.DialMonitor(addr) }
+// DialMonitor connects to a POET server as a monitor client. When the
+// connection dies mid-stream the client reconnects with backoff and
+// resumes from the exact event index it had reached, keeping the
+// observed stream gap- and duplicate-free; see WithMonitorReconnect.
+func DialMonitor(addr string, opts ...MonitorOption) (*MonitorClient, error) {
+	return poet.DialMonitor(addr, opts...)
+}
+
+// Reporter options, re-exported for callers of DialReporter.
+var (
+	// WithReporterReconnect bounds the cumulative backoff spent redialing
+	// per outage (0 disables reconnection).
+	WithReporterReconnect = poet.WithReporterReconnect
+	// WithReporterBuffer bounds the unacknowledged-event buffer; Report
+	// blocks when it is full.
+	WithReporterBuffer = poet.WithReporterBuffer
+	// WithReporterHeartbeat sets the idle keep-alive cadence.
+	WithReporterHeartbeat = poet.WithReporterHeartbeat
+	// WithReporterBackoff overrides the reconnect backoff schedule.
+	WithReporterBackoff = poet.WithReporterBackoff
+	// WithReporterLog routes reconnect diagnostics to a log function.
+	WithReporterLog = poet.WithReporterLog
+)
+
+// Monitor-client options, re-exported for callers of DialMonitor.
+var (
+	// WithMonitorReconnect bounds the cumulative backoff spent redialing
+	// per outage (0 disables reconnection: Next surfaces
+	// ErrStreamInterrupted at the first transport failure).
+	WithMonitorReconnect = poet.WithMonitorReconnect
+	// WithMonitorReadTimeout sets how long Next waits for a frame before
+	// declaring the server dead; it must exceed the server's heartbeat
+	// interval.
+	WithMonitorReadTimeout = poet.WithMonitorReadTimeout
+	// WithMonitorBackoff overrides the reconnect backoff schedule.
+	WithMonitorBackoff = poet.WithMonitorBackoff
+	// WithMonitorLog routes reconnect diagnostics to a log function.
+	WithMonitorLog = poet.WithMonitorLog
+)
 
 // Option configures a Monitor.
 type Option func(*config)
