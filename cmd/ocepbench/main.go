@@ -14,6 +14,7 @@
 //	ocepbench -window                   # sliding-window omission study
 //	ocepbench -scaling                  # trace-isolation scaling study
 //	ocepbench -delivery                 # sync vs async monitor fan-out
+//	ocepbench -durability               # fsync-policy cost + recovery time
 //	ocepbench -monitors 8               # fan-out width for -delivery
 //	ocepbench -events 1000000           # events per data point
 //
@@ -48,6 +49,7 @@ func run() error {
 		scaling      = flag.Bool("scaling", false, "trace-isolation scaling study")
 		latticeCmp   = flag.Bool("lattice", false, "global-state-lattice vs OCEP motivation study")
 		delivery     = flag.Bool("delivery", false, "sync vs async monitor fan-out throughput")
+		durability   = flag.Bool("durability", false, "WAL fsync-policy ingestion cost and crash/snapshot recovery time")
 		monitors     = flag.Int("monitors", 8, "concurrent monitors for -delivery")
 		events       = flag.Int("events", 100_000, "target events per data point (paper: >1e6)")
 		seed         = flag.Int64("seed", 1, "workload seed")
@@ -109,6 +111,9 @@ func run() error {
 		if err := bench.Delivery(out, cfg, *monitors); err != nil {
 			return err
 		}
+		if err := bench.Durability(out, cfg); err != nil {
+			return err
+		}
 	}
 	if *completeness && !*all {
 		any = true
@@ -152,6 +157,12 @@ func run() error {
 	if *delivery && !*all {
 		any = true
 		if err := bench.Delivery(out, cfg, *monitors); err != nil {
+			return err
+		}
+	}
+	if *durability && !*all {
+		any = true
+		if err := bench.Durability(out, cfg); err != nil {
 			return err
 		}
 	}

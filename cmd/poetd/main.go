@@ -4,13 +4,29 @@
 //
 // Usage:
 //
-//	poetd [-listen addr] [-reload trace.poet] [-dump trace.poet]
+//	poetd [-listen addr] [-reload trace.poet|datadir] [-dump trace.poet]
+//	      [-data-dir dir] [-fsync always|interval|none]
+//	      [-fsync-interval d] [-snapshot-every n]
 //	      [-monitor-queue n] [-monitor-policy drop|block]
 //	      [-ack-interval d] [-heartbeat d] [-quiet]
 //
 // With -dump, the delivered raw-event log is written to the given file
 // on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
-// dump and reload features.
+// dump and reload features. -reload also accepts a -data-dir directory,
+// replaying its recovered state (snapshot plus write-ahead log) into a
+// fresh collector.
+//
+// With -data-dir, the collector is crash-durable: every ingested event
+// is write-ahead-logged to the directory (fsync policy selected by
+// -fsync), a snapshot is written every -snapshot-every events (and on
+// clean shutdown) after which the redundant log prefix is truncated,
+// and a restart against the same directory recovers the collector —
+// event store, vector clocks, ack watermarks, and monitor stream
+// offsets — to the exact state peers expect, truncating the log at the
+// first torn or corrupt record rather than refusing to start. Under
+// -fsync always an acknowledged event is never lost, so reconnecting
+// reporters and resuming monitors compose transparently with crash
+// recovery.
 //
 // Each monitor connection drains its own bounded delivery queue
 // (-monitor-queue events deep). With -monitor-policy drop (the default)
@@ -58,12 +74,45 @@ func run() error {
 		ackEvery  = flag.Duration("ack-interval", poet.DefaultAckInterval, "cadence of ingestion acknowledgements to targets")
 		heartbeat = flag.Duration("heartbeat", poet.DefaultHeartbeat, "idle keep-alive cadence on monitor streams; targets silent for 8x this (min 2s) are declared dead")
 		quiet     = flag.Bool("quiet", false, "suppress per-connection diagnostics")
+
+		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and snapshots; enables crash-durable operation and recovery on restart")
+		fsyncMode = flag.String("fsync", "always", "WAL durability: always (fsync before acking), interval (periodic fsync), none (OS page cache only)")
+		fsyncInt  = flag.Duration("fsync-interval", 100*time.Millisecond, "flush/fsync cadence for -fsync interval and none")
+		snapEvery = flag.Int("snapshot-every", 0, "snapshot + WAL truncation every n ingested events (0 = default 8192, negative = only on shutdown)")
 	)
 	flag.Parse()
 
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
 	collector := poet.NewCollector()
 	if *dump != "" {
+		// Enable retention before any event can arrive, so the shutdown
+		// dump is complete. Dump refuses a late-enabled retention window
+		// rather than silently writing a partial file.
 		collector.RetainLog()
+	}
+	var durable *poet.Durability
+	if *dataDir != "" {
+		policy, err := poet.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			return fmt.Errorf("-fsync: %w", err)
+		}
+		durable, err = poet.OpenDurable(collector, poet.DurableOptions{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncInt,
+			SnapshotEvery: *snapEvery,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data directory: %w", err)
+		}
+		rec := durable.Recovery()
+		log.Printf("data dir %s: fsync=%s, recovered %d delivered + %d pending events in %v (%d WAL records discarded as corrupt)",
+			*dataDir, policy, rec.Delivered, rec.Pending, rec.Elapsed.Round(time.Millisecond), rec.DiscardedRecords)
 	}
 	if *reload != "" {
 		n, err := collector.ReloadFile(*reload)
@@ -71,11 +120,6 @@ func run() error {
 			return fmt.Errorf("reload: %w", err)
 		}
 		log.Printf("reloaded %d events from %s", n, *reload)
-	}
-
-	logf := log.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
 	}
 	server := poet.NewServer(collector, logf)
 	switch *monPolicy {
@@ -115,6 +159,14 @@ func run() error {
 	}
 	if err := server.Close(); err != nil {
 		log.Printf("close: %v", err)
+	}
+	if durable != nil {
+		// Clean shutdown: final snapshot, WAL truncated, so the next start
+		// recovers from the snapshot alone.
+		if err := durable.Close(); err != nil {
+			return fmt.Errorf("closing data directory: %w", err)
+		}
+		log.Printf("data dir %s: final snapshot written, WAL truncated", *dataDir)
 	}
 	if *dump != "" {
 		if err := collector.DumpFile(*dump); err != nil {

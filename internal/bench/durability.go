@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ocep/internal/poet"
+	"ocep/internal/workload"
+)
+
+// This file implements the durability experiment behind `ocepbench
+// -durability`: the same recorded raw-event stream is ingested by a
+// memory-only collector and by durable collectors under each fsync
+// policy, measuring what crash-safety costs on the ingestion path; the
+// resulting data directories are then re-opened to measure recovery
+// time from a pure WAL replay and from a snapshot.
+
+// DurabilityResult is one configuration's measurement.
+type DurabilityResult struct {
+	// Mode names the configuration ("memory", "fsync=always", ...).
+	Mode string
+	// Events is the number of raw events ingested.
+	Events int
+	// Ingest is the wall-clock time of the report loop.
+	Ingest time.Duration
+	// Recover is the wall-clock time to re-open the data directory and
+	// rebuild the collector (zero for the memory baseline).
+	Recover time.Duration
+	// RecoverSnapshot is the recovery time after a clean shutdown (the
+	// state loads from the snapshot instead of replaying the WAL).
+	RecoverSnapshot time.Duration
+	// WALBytes is the on-disk size of the data directory before the
+	// final snapshot.
+	WALBytes int64
+}
+
+// Throughput returns ingested events per second.
+func (r DurabilityResult) Throughput() float64 {
+	if r.Ingest <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Ingest.Seconds()
+}
+
+func dirSize(dir string) int64 {
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// runDurability ingests the recorded stream under one fsync policy and
+// measures ingestion plus the two recovery paths.
+func runDurability(raws []poet.RawEvent, policy poet.SyncPolicy) (DurabilityResult, error) {
+	res := DurabilityResult{Mode: "fsync=" + policy.String(), Events: len(raws)}
+	dir, err := os.MkdirTemp("", "ocep-durability-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Snapshots disabled during ingestion so the crash-recovery
+	// measurement below replays the full WAL — the worst case.
+	opts := poet.DurableOptions{Dir: dir, Fsync: policy, SnapshotEvery: -1}
+	c := poet.NewCollector()
+	d, err := poet.OpenDurable(c, opts)
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	for _, raw := range raws {
+		if err := c.Report(raw); err != nil {
+			return res, fmt.Errorf("bench: durable ingest (%s): %w", res.Mode, err)
+		}
+	}
+	res.Ingest = time.Since(start)
+	// Barrier so the directory copy below sees every record even under
+	// the weaker policies (their unflushed tail is exactly what a real
+	// crash would lose; here we measure recovery time, not loss).
+	if err := d.Sync(); err != nil {
+		return res, err
+	}
+	res.WALBytes = dirSize(dir)
+
+	// Crash recovery: abandon d without Close (the log file stays valid;
+	// only the final snapshot is missing) and rebuild from the WAL alone.
+	// Copy the directory first so d's open segment is undisturbed.
+	crashDir := filepath.Join(dir, "crashcopy")
+	if err := os.MkdirAll(crashDir, 0o755); err != nil {
+		return res, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return res, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return res, err
+		}
+		if err := os.WriteFile(filepath.Join(crashDir, e.Name()), data, 0o644); err != nil {
+			return res, err
+		}
+	}
+	c2 := poet.NewCollector()
+	start = time.Now()
+	d2, err := poet.OpenDurable(c2, poet.DurableOptions{Dir: crashDir, Fsync: poet.SyncNone, SnapshotEvery: -1})
+	if err != nil {
+		return res, fmt.Errorf("bench: crash recovery (%s): %w", res.Mode, err)
+	}
+	res.Recover = time.Since(start)
+	if c2.Delivered() != c.Delivered() {
+		return res, fmt.Errorf("bench: crash recovery (%s) rebuilt %d events, want %d", res.Mode, c2.Delivered(), c.Delivered())
+	}
+	if err := d2.Close(); err != nil {
+		return res, err
+	}
+
+	// Clean-shutdown recovery: Close writes the final snapshot, so the
+	// next open is a snapshot load with an empty WAL.
+	if err := d.Close(); err != nil {
+		return res, err
+	}
+	c3 := poet.NewCollector()
+	start = time.Now()
+	d3, err := poet.OpenDurable(c3, poet.DurableOptions{Dir: dir, Fsync: poet.SyncNone, SnapshotEvery: -1})
+	if err != nil {
+		return res, fmt.Errorf("bench: snapshot recovery (%s): %w", res.Mode, err)
+	}
+	res.RecoverSnapshot = time.Since(start)
+	if c3.Delivered() != c.Delivered() {
+		return res, fmt.Errorf("bench: snapshot recovery (%s) rebuilt %d events, want %d", res.Mode, c3.Delivered(), c.Delivered())
+	}
+	return res, d3.Close()
+}
+
+// Durability runs the fsync-policy cost and recovery-time experiment.
+func Durability(w io.Writer, cfg FigureConfig) error {
+	cfg = cfg.norm()
+	ranks := 6 - 6%cfg.CycleLen
+	if ranks < cfg.CycleLen {
+		ranks = cfg.CycleLen
+	}
+	rounds := cfg.TargetEvents / (3 * ranks)
+	if rounds < 1 {
+		rounds = 1
+	}
+	rec := &rawRecorder{c: poet.NewCollector()}
+	if _, err := workload.GenDeadlock(workload.DeadlockConfig{
+		Ranks: ranks, CycleLen: cfg.CycleLen, Rounds: rounds,
+		BugProb: 0.01, Seed: cfg.Seed, Sink: rec,
+	}); err != nil {
+		return fmt.Errorf("bench: durability workload: %w", err)
+	}
+
+	// Memory-only baseline.
+	base := DurabilityResult{Mode: "memory", Events: len(rec.raw)}
+	c := poet.NewCollector()
+	start := time.Now()
+	for _, raw := range rec.raw {
+		if err := c.Report(raw); err != nil {
+			return fmt.Errorf("bench: baseline ingest: %w", err)
+		}
+	}
+	base.Ingest = time.Since(start)
+
+	results := []DurabilityResult{base}
+	for _, policy := range []poet.SyncPolicy{poet.SyncNone, poet.SyncInterval, poet.SyncAlways} {
+		r, err := runDurability(rec.raw, policy)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+
+	fmt.Fprintf(w, "Durability: %d events\n", len(rec.raw))
+	for _, r := range results {
+		line := fmt.Sprintf("  %-14s  %10.0f events/s  ingest %-12v", r.Mode, r.Throughput(), r.Ingest.Round(time.Microsecond))
+		if r.Mode != "memory" {
+			line += fmt.Sprintf("  wal %8d B  recover(wal) %-10v recover(snap) %v",
+				r.WALBytes, r.Recover.Round(time.Microsecond), r.RecoverSnapshot.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w, line)
+		if r.Mode != "memory" && base.Ingest > 0 {
+			fmt.Fprintf(w, "  %-14s  %.2fx the memory-only ingest cost\n", "", r.Ingest.Seconds()/base.Ingest.Seconds())
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

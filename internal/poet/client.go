@@ -24,6 +24,14 @@ var ErrStreamInterrupted = errors.New("poet: event stream interrupted")
 // ErrClientClosed reports an operation on a locally closed client.
 var ErrClientClosed = errors.New("poet: client closed")
 
+// ErrSessionRejected reports a hello the server refused (for a monitor,
+// typically a ResumeFrom offset beyond the server's stream — the state
+// the client remembers no longer exists, e.g. after a recovery from a
+// weaker-than-always fsync policy). Redialing cannot fix it, so the
+// reconnect loops treat it as terminal instead of burning their backoff
+// budget against a permanent refusal.
+var ErrSessionRejected = errors.New("poet: session rejected by server")
+
 // Shared wire-client defaults.
 const (
 	defaultDialTimeout     = 3 * time.Second
@@ -239,7 +247,7 @@ func (r *Reporter) handshake() (net.Conn, *gob.Encoder, chan struct{}, error) {
 	}
 	if !ack.OK {
 		_ = conn.Close()
-		return nil, nil, nil, fmt.Errorf("server rejected hello: %s", ack.Error)
+		return nil, nil, nil, fmt.Errorf("%w: %s", ErrSessionRejected, ack.Error)
 	}
 	r.mu.Lock()
 	for _, ta := range ack.Acks {
@@ -453,6 +461,9 @@ func (r *Reporter) reconnect() (net.Conn, *gob.Encoder, chan struct{}, error) {
 			r.mu.Unlock()
 			r.cfg.logf("poet reporter: reconnected to %s (retransmitting %d unacked events)", r.addr, retrans)
 			return conn, enc, broken, nil
+		}
+		if errors.Is(err, ErrSessionRejected) {
+			return nil, nil, nil, err
 		}
 		lastErr = err
 		d := bo.next()
@@ -686,7 +697,7 @@ func (m *MonitorClient) connect(resumeFrom int) error {
 	}
 	if !ack.OK {
 		_ = conn.Close()
-		return fmt.Errorf("server rejected hello: %s", ack.Error)
+		return fmt.Errorf("%w: %s", ErrSessionRejected, ack.Error)
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -771,6 +782,9 @@ func (m *MonitorClient) resume(cause error) error {
 		}
 		if errors.Is(err, ErrClientClosed) {
 			return io.EOF
+		}
+		if errors.Is(err, ErrSessionRejected) {
+			return fmt.Errorf("%w: %w", interrupted, err)
 		}
 		d := bo.next()
 		if slept+d > m.cfg.reconnectBudget {

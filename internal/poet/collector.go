@@ -86,6 +86,14 @@ type Collector struct {
 	// enabled.
 	log       []RawEvent
 	retainLog bool
+	// retainedFrom is the delivered count when retention was enabled: a
+	// nonzero value means the log is a suffix and a dump of it would be
+	// silently incomplete, so Dump refuses.
+	retainedFrom int
+	// durable, when non-nil, write-ahead-logs every ingested event (see
+	// durable.go). Appends happen under mu so WAL order equals ingestion
+	// order; the durability barrier (fsync) runs after mu is released.
+	durable *Durability
 }
 
 // NewCollector returns an empty collector.
@@ -105,7 +113,17 @@ func NewCollector() *Collector {
 func (c *Collector) RetainLog() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.retainLog = true
+	if !c.retainLog {
+		c.retainLog = true
+		c.retainedFrom = c.delivered
+	}
+}
+
+// Durable returns the attached durability subsystem, or nil.
+func (c *Collector) Durable() *Durability {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.durable
 }
 
 // Store exposes the collector's event store. The store grows concurrently
@@ -198,8 +216,22 @@ func (c *Collector) Ordered() []*event.Event {
 // regardless of event arrival interleaving.
 func (c *Collector) RegisterTrace(name string) event.TraceID {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ensureTrace(name)
+	_, known := c.store.TraceByName(name)
+	id := c.ensureTrace(name)
+	d := c.durable
+	var seq int64 = -1
+	if !known && d != nil {
+		// Explicit registrations must be replayed in order relative to
+		// events, or trace numbering (and so vector-clock layout) would
+		// differ after recovery. Event-driven registrations are implied
+		// by the event records themselves.
+		seq = d.appendTraceLocked(name)
+	}
+	c.mu.Unlock()
+	if seq >= 0 {
+		_ = d.commit(seq)
+	}
+	return id
 }
 
 func (c *Collector) ensureTrace(name string) event.TraceID {
@@ -248,16 +280,33 @@ func (c *Collector) ackForLocked(name string) int {
 }
 
 // acksFor snapshots the ack positions of the named traces in one
-// critical section.
+// critical section. When the collector is durable, the snapshot is
+// taken together with the WAL position it depends on, and the ack is
+// released only once that position is durable under the configured
+// policy — under `-fsync always` a reporter therefore never prunes an
+// event a crash could lose.
 func (c *Collector) acksFor(names []string) []traceAck {
 	if len(names) == 0 {
 		return nil
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]traceAck, 0, len(names))
 	for _, n := range names {
 		out = append(out, traceAck{Trace: n, Seq: c.ackForLocked(n)})
+	}
+	d := c.durable
+	var walSeq int64
+	if d != nil {
+		walSeq = d.appendedLocked()
+	}
+	c.mu.Unlock()
+	if d != nil {
+		if err := d.waitDurable(walSeq); err != nil {
+			// The WAL is broken: acking would promise durability the disk
+			// cannot deliver. Withhold the acks; reporters retain and
+			// retransmit, and ingestion surfaces the error loudly.
+			return nil
+		}
 	}
 	return out
 }
@@ -320,6 +369,15 @@ func (c *Collector) TraceStats() []TraceStat {
 func (c *Collector) Report(raw RawEvent) error {
 	c.mu.Lock()
 	err := c.reportLocked(raw)
+	d := c.durable
+	var walSeq int64 = -1
+	var walErr error
+	if err == nil && d != nil {
+		// Append under the collector lock: WAL order must equal ingestion
+		// order so recovery rebuilds the identical linearization. The
+		// write is buffered; the fsync barrier runs after unlock.
+		walSeq, walErr = d.appendEventLocked(raw)
+	}
 	var laggards []*queue
 	for _, q := range c.asyncs {
 		if q.overDepth() {
@@ -327,6 +385,16 @@ func (c *Collector) Report(raw RawEvent) error {
 		}
 	}
 	c.mu.Unlock()
+	if walErr == nil && walSeq >= 0 {
+		walErr = d.commit(walSeq)
+	}
+	if walErr != nil {
+		// The event is ingested in memory but its durability is not
+		// guaranteed; fail the Report so the reporter (and operator) see
+		// the broken disk instead of silently losing the tail on the
+		// next crash. Acks are withheld too (see acksFor).
+		return fmt.Errorf("poet: write-ahead log: %w", walErr)
+	}
 	for _, q := range laggards {
 		q.waitSpace()
 	}

@@ -3,15 +3,18 @@ package poet
 import (
 	"compress/gzip"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"ocep/internal/event"
 )
 
-// dumpHeader identifies the on-disk trace-file format.
+// dumpHeader identifies the on-disk trace-file format, shared by POET
+// dumps and the durability subsystem's snapshots.
 type dumpHeader struct {
 	Magic   string
 	Version int
@@ -19,42 +22,102 @@ type dumpHeader struct {
 	// reproduces the same trace numbering (and so the same vector-clock
 	// layout) regardless of event interleaving.
 	Traces []string
+	// Events is the number of delivered raw events that follow, in
+	// delivery order (a valid linearization: reload never buffers them).
 	Events int
+	// Pending (version >= 2) is the number of ingested-but-undelivered
+	// raw events that follow the delivered section — events buffered
+	// awaiting causal partners at dump time. They are part of the
+	// acknowledged state: a reporter may have pruned them, so a dump
+	// that dropped them would lose data. Version 1 files have none.
+	Pending int
 }
 
 const (
 	dumpMagic   = "OCEP-POET-DUMP"
-	dumpVersion = 1
+	dumpVersion = 2
 )
 
-// Dump writes the delivered raw-event log to w in delivery order
-// (a valid linearization, so reload never buffers). The collector must
-// have been created with RetainLog before events were reported.
-func (c *Collector) Dump(w io.Writer) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// snapshotState is one consistent cut of the collector's replayable
+// state, captured under the collector lock and encodable outside it
+// (the captured slices are immutable prefixes).
+type snapshotState struct {
+	traces  []string
+	events  []RawEvent // delivered, in delivery order
+	pending []RawEvent // buffered, sorted by (trace name, seq)
+}
+
+// snapshotStateLocked captures the current replayable state. The
+// collector must retain its log (and have retained it from the first
+// delivery, or the cut would be silently incomplete).
+func (c *Collector) snapshotStateLocked() (snapshotState, error) {
 	if !c.retainLog {
-		return fmt.Errorf("poet: dump requires RetainLog before collection")
+		return snapshotState{}, fmt.Errorf("poet: dump requires RetainLog before collection")
 	}
-	names := make([]string, c.store.NumTraces())
-	for i := range names {
-		names[i] = c.store.TraceName(event.TraceID(i))
+	if c.retainedFrom > 0 {
+		return snapshotState{}, fmt.Errorf(
+			"poet: retention was enabled after %d events were already delivered; a dump would silently miss them (call RetainLog before reporting begins)",
+			c.retainedFrom)
 	}
+	st := snapshotState{
+		traces: make([]string, c.store.NumTraces()),
+		events: c.log[:len(c.log):len(c.log)],
+	}
+	for i := range st.traces {
+		st.traces[i] = c.store.TraceName(event.TraceID(i))
+	}
+	for _, m := range c.pending {
+		for _, raw := range m {
+			st.pending = append(st.pending, raw)
+		}
+	}
+	sort.Slice(st.pending, func(i, j int) bool {
+		if st.pending[i].Trace != st.pending[j].Trace {
+			return st.pending[i].Trace < st.pending[j].Trace
+		}
+		return st.pending[i].Seq < st.pending[j].Seq
+	})
+	return st, nil
+}
+
+// encodeSnapshot writes one state cut in the dump format.
+func encodeSnapshot(w io.Writer, st snapshotState) error {
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(dumpHeader{
 		Magic:   dumpMagic,
 		Version: dumpVersion,
-		Traces:  names,
-		Events:  len(c.log),
+		Traces:  st.traces,
+		Events:  len(st.events),
+		Pending: len(st.pending),
 	}); err != nil {
 		return fmt.Errorf("poet: encoding dump header: %w", err)
 	}
-	for i := range c.log {
-		if err := enc.Encode(&c.log[i]); err != nil {
+	for i := range st.events {
+		if err := enc.Encode(&st.events[i]); err != nil {
 			return fmt.Errorf("poet: encoding dump event %d: %w", i, err)
 		}
 	}
+	for i := range st.pending {
+		if err := enc.Encode(&st.pending[i]); err != nil {
+			return fmt.Errorf("poet: encoding pending event %d: %w", i, err)
+		}
+	}
 	return nil
+}
+
+// Dump writes the collector's replayable state to w: the delivered
+// raw-event log in delivery order, plus any events buffered awaiting
+// causal partners. The collector must have been created with RetainLog
+// before events were reported; a retention window that misses the start
+// of the run is an error, not a silently partial dump.
+func (c *Collector) Dump(w io.Writer) error {
+	c.mu.Lock()
+	st, err := c.snapshotStateLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return encodeSnapshot(w, st)
 }
 
 // DumpFile dumps to a file path. A ".gz" suffix selects gzip
@@ -85,37 +148,61 @@ func (c *Collector) DumpFile(path string) (err error) {
 
 // Reload replays a dumped trace file into the collector via the same
 // Report interface used for live collection (POET's reload feature). It
-// returns the number of events replayed.
+// accepts both the v1 format (delivered events only) and v2 (delivered
+// plus pending sections) and returns the number of events replayed.
 func (c *Collector) Reload(r io.Reader) (int, error) {
+	n, _, err := c.reloadSnapshot(r, false)
+	return n, err
+}
+
+// reloadSnapshot decodes a dump/snapshot stream and reports every event
+// into the collector. With lenient set, a stream that ends early (a
+// snapshot torn by a crash mid-write) yields the longest valid prefix
+// and truncated=true instead of an error; a malformed header still
+// fails — there is nothing to salvage before the trace table.
+func (c *Collector) reloadSnapshot(r io.Reader, lenient bool) (n int, truncated bool, err error) {
 	dec := gob.NewDecoder(r)
 	var hdr dumpHeader
 	if err := dec.Decode(&hdr); err != nil {
-		return 0, fmt.Errorf("poet: decoding dump header: %w", err)
+		return 0, false, fmt.Errorf("poet: decoding dump header: %w", err)
 	}
 	if hdr.Magic != dumpMagic {
-		return 0, fmt.Errorf("poet: not a POET dump file (magic %q)", hdr.Magic)
+		return 0, false, fmt.Errorf("poet: not a POET dump file (magic %q)", hdr.Magic)
 	}
-	if hdr.Version != dumpVersion {
-		return 0, fmt.Errorf("poet: unsupported dump version %d", hdr.Version)
+	if hdr.Version < 1 || hdr.Version > dumpVersion {
+		return 0, false, fmt.Errorf("poet: unsupported dump version %d", hdr.Version)
 	}
 	for _, name := range hdr.Traces {
 		c.RegisterTrace(name)
 	}
-	for i := 0; i < hdr.Events; i++ {
+	total := hdr.Events + hdr.Pending
+	for i := 0; i < total; i++ {
 		var raw RawEvent
 		if err := dec.Decode(&raw); err != nil {
-			return i, fmt.Errorf("poet: decoding dump event %d: %w", i, err)
+			if lenient {
+				return n, true, nil
+			}
+			return n, false, fmt.Errorf("poet: decoding dump event %d: %w", i, err)
 		}
 		if err := c.Report(raw); err != nil {
-			return i, fmt.Errorf("poet: replaying dump event %d: %w", i, err)
+			if lenient {
+				return n, true, nil
+			}
+			return n, false, fmt.Errorf("poet: replaying dump event %d: %w", i, err)
 		}
+		n++
 	}
-	return hdr.Events, nil
+	return n, false, nil
 }
 
 // ReloadFile reloads from a file path, transparently decompressing
-// ".gz" dumps.
+// ".gz" dumps. A directory path reloads a durability data directory
+// (snapshot plus write-ahead log) instead; see ReloadDir.
 func (c *Collector) ReloadFile(path string) (n int, err error) {
+	if fi, serr := os.Stat(path); serr == nil && fi.IsDir() {
+		stats, err := ReloadDir(c, path)
+		return stats.Delivered + stats.Pending, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, fmt.Errorf("poet: opening dump file: %w", err)
@@ -138,4 +225,21 @@ func (c *Collector) ReloadFile(path string) (n int, err error) {
 		return c.Reload(zr)
 	}
 	return c.Reload(f)
+}
+
+// errNoSnapshot distinguishes "no snapshot yet" from a read failure.
+var errNoSnapshot = errors.New("poet: no snapshot")
+
+// reloadSnapshotFile lenient-reloads a snapshot file into c. Returns
+// errNoSnapshot when the file does not exist.
+func (c *Collector) reloadSnapshotFile(path string) (n int, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, errNoSnapshot
+		}
+		return 0, false, fmt.Errorf("poet: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	return c.reloadSnapshot(f, true)
 }

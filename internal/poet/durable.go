@@ -1,0 +1,494 @@
+// Durability subsystem: write-ahead logging and snapshots for the
+// collector, so a crash-killed poetd restarted against the same data
+// directory recovers to exactly the state its peers expect.
+//
+// Layout of a data directory:
+//
+//	<dir>/snapshot.poet   last complete snapshot (dump format, see dump.go)
+//	<dir>/NNNNNNNN.wal    write-ahead log segments (see internal/wal)
+//
+// Every ingested RawEvent — delivered or still buffered awaiting causal
+// partners — is appended to the WAL under the collector lock, so WAL
+// order equals ingestion order and recovery rebuilds the identical
+// linearization (the same delivery order, vector clocks, ack
+// watermarks, and monitor stream offsets). Explicitly registered trace
+// names are logged too, preserving trace numbering.
+//
+// Snapshots bound recovery time: every SnapshotEvery ingested events the
+// collector's state is written to snapshot.poet (temp file + fsync +
+// rename) and the WAL segments older than the rotation cut are removed.
+// A crash anywhere in that protocol is safe: a stale snapshot plus a
+// longer WAL replays extra records that land as idempotent stale no-ops.
+package poet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ocep/internal/event"
+	"ocep/internal/wal"
+)
+
+// SnapshotFile is the name of the snapshot inside a data directory.
+const SnapshotFile = "snapshot.poet"
+
+// Sync policies, re-exported so callers do not import internal/wal.
+type SyncPolicy = wal.SyncPolicy
+
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncNone     = wal.SyncNone
+)
+
+// ParseSyncPolicy parses "always", "interval", or "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Dir is the data directory, created if missing.
+	Dir string
+	// Fsync is the WAL fsync policy (default SyncAlways).
+	Fsync SyncPolicy
+	// FsyncInterval is the flush cadence for SyncInterval/SyncNone.
+	FsyncInterval time.Duration
+	// SnapshotEvery triggers a snapshot each time this many events have
+	// been appended since the last one. 0 means the default (8192);
+	// negative disables periodic snapshots (Close still writes one).
+	SnapshotEvery int
+	// Logf, when non-nil, receives recovery and snapshot progress lines.
+	Logf func(format string, args ...any)
+}
+
+const defaultSnapshotEvery = 8192
+
+// RecoveryStats describes what startup recovery found and rebuilt.
+type RecoveryStats struct {
+	// SnapshotEvents and SnapshotPending count events restored from the
+	// snapshot's delivered and pending sections.
+	SnapshotEvents, SnapshotPending int
+	// SnapshotTruncated reports a snapshot cut short by a crash
+	// mid-write; the valid prefix was kept and the WAL filled the rest.
+	SnapshotTruncated bool
+	// WALRecords counts WAL records replayed into the collector.
+	WALRecords int
+	// StaleRecords counts WAL records that were already covered by the
+	// snapshot (a crash between snapshot and truncation leaves them
+	// behind; they replay as idempotent no-ops).
+	StaleRecords int
+	// RejectedRecords counts well-formed WAL records the collector
+	// refused for reasons other than staleness (e.g. a duplicate message
+	// id). Nonzero values indicate a corrupt-but-CRC-valid log.
+	RejectedRecords int
+	// DiscardedRecords and DiscardedBytes count the torn/corrupt WAL
+	// suffix dropped by crash recovery (see wal.ReplayStats).
+	DiscardedRecords, DiscardedBytes int64
+	// Delivered and Pending are the collector's state after recovery.
+	Delivered, Pending int
+	// Elapsed is the wall time recovery took.
+	Elapsed time.Duration
+}
+
+// Durability write-ahead-logs a collector's ingestion and manages its
+// snapshots. Create one with OpenDurable; the zero value is not usable.
+type Durability struct {
+	c   *Collector
+	log *wal.Log
+	dir string
+
+	policy        SyncPolicy
+	snapshotEvery int
+	logf          func(format string, args ...any)
+	recovery      RecoveryStats
+
+	// snapMu serializes snapshot writes (periodic vs Close).
+	snapMu sync.Mutex
+	// snapping guards against overlapping background snapshot triggers.
+	snapping  atomic.Bool
+	sinceSnap atomic.Int64
+	snapshots atomic.Int64
+	closed    atomic.Bool
+}
+
+// OpenDurable opens (or creates) a data directory, recovers its
+// snapshot and write-ahead log into c, and attaches write-ahead logging
+// to c's ingestion path. The collector must be fresh: recovery rebuilds
+// its entire state. Retention is enabled implicitly (snapshots need the
+// delivered log).
+func OpenDurable(c *Collector, opts DurableOptions) (*Durability, error) {
+	if c.Delivered() > 0 || c.Pending() > 0 {
+		return nil, fmt.Errorf("poet: OpenDurable requires a fresh collector")
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("poet: OpenDurable requires a data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("poet: creating data directory: %w", err)
+	}
+	d := &Durability{
+		c:             c,
+		dir:           opts.Dir,
+		policy:        opts.Fsync,
+		snapshotEvery: opts.SnapshotEvery,
+		logf:          opts.Logf,
+	}
+	if d.snapshotEvery == 0 {
+		d.snapshotEvery = defaultSnapshotEvery
+	}
+	if d.logf == nil {
+		d.logf = func(string, ...any) {}
+	}
+	c.RetainLog()
+
+	start := time.Now()
+	n, truncated, err := c.reloadSnapshotFile(filepath.Join(opts.Dir, SnapshotFile))
+	switch {
+	case err == errNoSnapshot:
+	case err != nil:
+		return nil, err
+	default:
+		d.recovery.SnapshotTruncated = truncated
+		d.recovery.SnapshotEvents = c.Delivered()
+		d.recovery.SnapshotPending = n - d.recovery.SnapshotEvents
+		if truncated {
+			d.logf("poet: snapshot torn mid-write; recovered %d-event prefix", n)
+		}
+	}
+
+	// Replay the WAL through the normal ingestion path. d is not yet
+	// attached to c, so replay does not re-log.
+	log, walStats, err := wal.Open(opts.Dir, wal.Options{Policy: opts.Fsync, Interval: opts.FsyncInterval}, func(p []byte) error {
+		d.recovery.WALRecords++
+		if err := d.replayRecord(p); err != nil {
+			// A record the collector refuses is a recovery observation,
+			// not a reason to refuse to start: staleness is the expected
+			// snapshot/WAL overlap, anything else is counted loudly.
+			if errors.Is(err, ErrStaleEvent) {
+				d.recovery.StaleRecords++
+			} else {
+				d.recovery.RejectedRecords++
+				d.logf("poet: recovery rejected WAL record %d: %v", d.recovery.WALRecords, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("poet: opening write-ahead log: %w", err)
+	}
+	d.log = log
+	d.recovery.DiscardedRecords = int64(walStats.DiscardedRecords)
+	d.recovery.DiscardedBytes = walStats.DiscardedBytes
+	d.recovery.Delivered = c.Delivered()
+	d.recovery.Pending = c.Pending()
+	d.recovery.Elapsed = time.Since(start)
+	// The replayed backlog counts toward the next snapshot trigger, so a
+	// crash loop cannot grow the WAL without bound.
+	d.sinceSnap.Store(int64(d.recovery.WALRecords))
+
+	c.mu.Lock()
+	c.durable = d
+	c.mu.Unlock()
+	if d.recovery.SnapshotEvents+d.recovery.SnapshotPending+d.recovery.WALRecords > 0 {
+		d.logf("poet: recovered %d delivered + %d pending events (snapshot %d+%d, wal %d, stale %d, discarded %d) in %v",
+			d.recovery.Delivered, d.recovery.Pending,
+			d.recovery.SnapshotEvents, d.recovery.SnapshotPending,
+			d.recovery.WALRecords, d.recovery.StaleRecords,
+			d.recovery.DiscardedRecords, d.recovery.Elapsed.Round(time.Millisecond))
+	}
+	return d, nil
+}
+
+// Recovery returns what startup recovery found.
+func (d *Durability) Recovery() RecoveryStats { return d.recovery }
+
+// Snapshots returns how many snapshots have been written (including the
+// final one on Close).
+func (d *Durability) Snapshots() int64 { return d.snapshots.Load() }
+
+// Sync flushes and fsyncs the write-ahead log regardless of the
+// configured policy — an explicit durability barrier for callers on the
+// weaker policies.
+func (d *Durability) Sync() error { return d.log.Sync() }
+
+// appendEventLocked logs one ingested event. Caller holds c.mu.
+func (d *Durability) appendEventLocked(raw RawEvent) (int64, error) {
+	seq, err := d.log.Append(encodeEventRecord(raw))
+	if err != nil {
+		return -1, err
+	}
+	d.sinceSnap.Add(1)
+	return seq, nil
+}
+
+// appendTraceLocked logs one explicit trace registration. Caller holds
+// c.mu. WAL failure here is deferred to the next commit (the sticky
+// error resurfaces); returns -1 so the caller skips the commit.
+func (d *Durability) appendTraceLocked(name string) int64 {
+	seq, err := d.log.Append(encodeTraceRecord(name))
+	if err != nil {
+		return -1
+	}
+	return seq
+}
+
+// appendedLocked returns the WAL append position. Caller holds c.mu.
+func (d *Durability) appendedLocked() int64 { return d.log.Appended() }
+
+// waitDurable blocks until the given WAL position is durable under the
+// configured policy. Under SyncAlways that means fsynced; the weaker
+// policies explicitly trade this barrier away, so it is a no-op.
+func (d *Durability) waitDurable(seq int64) error {
+	if d.policy != SyncAlways || seq == 0 {
+		return nil
+	}
+	return d.log.Commit(seq)
+}
+
+// barrier blocks until every append so far is durable under SyncAlways
+// (a no-op on the weaker policies, which trade this guarantee away).
+// The monitor send path uses it so an event is never on the wire to a
+// monitor before it is on disk — otherwise a crash could leave a
+// resuming monitor ahead of the recovered stream.
+func (d *Durability) barrier() error {
+	if d.policy != SyncAlways {
+		return nil
+	}
+	return d.log.Commit(d.log.Appended())
+}
+
+// commit makes the given append durable per policy and triggers a
+// background snapshot when the interval has elapsed.
+func (d *Durability) commit(seq int64) error {
+	err := d.log.Commit(seq)
+	if err == nil && d.snapshotEvery > 0 &&
+		d.sinceSnap.Load() >= int64(d.snapshotEvery) &&
+		!d.closed.Load() && d.snapping.CompareAndSwap(false, true) {
+		go func() {
+			defer d.snapping.Store(false)
+			if d.closed.Load() { // Close snapshots on its own
+				return
+			}
+			if serr := d.Snapshot(); serr != nil {
+				d.logf("poet: background snapshot failed: %v", serr)
+			}
+		}()
+	}
+	return err
+}
+
+// Snapshot writes the collector's current state to the data directory
+// and truncates the WAL segments the snapshot makes redundant. Safe to
+// call concurrently with ingestion: the state cut and the WAL rotation
+// happen atomically under the collector lock, so every event is in
+// exactly one of {snapshot, post-cut WAL}.
+func (d *Durability) Snapshot() error {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+
+	c := d.c
+	c.mu.Lock()
+	cut, err := d.log.Rotate()
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("poet: rotating WAL for snapshot: %w", err)
+	}
+	st, err := c.snapshotStateLocked()
+	d.sinceSnap.Store(0)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	path := filepath.Join(d.dir, SnapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("poet: creating snapshot: %w", err)
+	}
+	if err := encodeSnapshot(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("poet: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("poet: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("poet: publishing snapshot: %w", err)
+	}
+	if dirf, err := os.Open(d.dir); err == nil {
+		_ = dirf.Sync()
+		dirf.Close()
+	}
+	// Only now is the pre-cut WAL redundant. A crash before this line
+	// replays those segments as stale no-ops against the new snapshot.
+	if err := d.log.RemoveSegmentsBefore(cut); err != nil {
+		return fmt.Errorf("poet: truncating WAL after snapshot: %w", err)
+	}
+	d.snapshots.Add(1)
+	d.logf("poet: snapshot: %d delivered + %d pending events, WAL truncated below segment %d", len(st.events), len(st.pending), cut)
+	return nil
+}
+
+// Close writes a final snapshot (so restart recovery is a pure snapshot
+// load), truncates the WAL, detaches from the collector, and closes the
+// log. Safe to call once; the collector remains usable in memory-only
+// mode afterwards.
+func (d *Durability) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	snapErr := d.Snapshot()
+	c := d.c
+	c.mu.Lock()
+	if c.durable == d {
+		c.durable = nil
+	}
+	c.mu.Unlock()
+	closeErr := d.log.Close()
+	if snapErr != nil {
+		return snapErr
+	}
+	return closeErr
+}
+
+// ReloadDir replays a durability data directory — snapshot plus WAL —
+// into a collector without attaching durability, for offline inspection
+// of a recovered state (`poetd -reload <datadir>`).
+func ReloadDir(c *Collector, dir string) (RecoveryStats, error) {
+	var stats RecoveryStats
+	start := time.Now()
+	n, truncated, err := c.reloadSnapshotFile(filepath.Join(dir, SnapshotFile))
+	switch {
+	case err == errNoSnapshot:
+	case err != nil:
+		return stats, err
+	default:
+		stats.SnapshotTruncated = truncated
+		stats.SnapshotEvents = c.Delivered()
+		stats.SnapshotPending = n - stats.SnapshotEvents
+	}
+	d := &Durability{c: c} // decode context only; no log attached
+	walStats, err := wal.Replay(dir, func(p []byte) error {
+		stats.WALRecords++
+		if err := d.replayRecord(p); err != nil {
+			if errors.Is(err, ErrStaleEvent) {
+				stats.StaleRecords++
+			} else {
+				stats.RejectedRecords++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return stats, fmt.Errorf("poet: replaying write-ahead log: %w", err)
+	}
+	stats.DiscardedRecords = int64(walStats.DiscardedRecords)
+	stats.DiscardedBytes = walStats.DiscardedBytes
+	stats.Delivered = c.Delivered()
+	stats.Pending = c.Pending()
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// WAL record encoding: one leading kind byte, then varint-framed fields.
+// Manual encoding instead of gob: records are written on the ingestion
+// hot path, and gob's per-encoder type preamble would bloat every
+// record.
+const (
+	recEvent = 1 // trace, seq, kind, msgid, type, text
+	recTrace = 2 // name
+)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func encodeEventRecord(raw RawEvent) []byte {
+	b := make([]byte, 0, 16+len(raw.Trace)+len(raw.Type)+len(raw.Text))
+	b = append(b, recEvent)
+	b = appendString(b, raw.Trace)
+	b = binary.AppendUvarint(b, uint64(raw.Seq))
+	b = binary.AppendUvarint(b, uint64(raw.Kind))
+	b = binary.AppendUvarint(b, raw.MsgID)
+	b = appendString(b, raw.Type)
+	b = appendString(b, raw.Text)
+	return b
+}
+
+func encodeTraceRecord(name string) []byte {
+	b := make([]byte, 0, 2+len(name))
+	b = append(b, recTrace)
+	return appendString(b, name)
+}
+
+// recordReader cursors over one WAL record payload.
+type recordReader struct {
+	p   []byte
+	bad bool
+}
+
+func (r *recordReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.p)
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.p = r.p[n:]
+	return v
+}
+
+func (r *recordReader) string() string {
+	n := r.uvarint()
+	if r.bad || n > uint64(len(r.p)) {
+		r.bad = true
+		return ""
+	}
+	s := string(r.p[:n])
+	r.p = r.p[n:]
+	return s
+}
+
+// replayRecord decodes one WAL record and applies it to the collector.
+func (d *Durability) replayRecord(p []byte) error {
+	if len(p) == 0 {
+		return fmt.Errorf("poet: empty WAL record")
+	}
+	r := &recordReader{p: p[1:]}
+	switch p[0] {
+	case recEvent:
+		raw := RawEvent{Trace: r.string()}
+		raw.Seq = int(r.uvarint())
+		raw.Kind = event.Kind(r.uvarint())
+		raw.MsgID = r.uvarint()
+		raw.Type = r.string()
+		raw.Text = r.string()
+		if r.bad {
+			return fmt.Errorf("poet: malformed WAL event record")
+		}
+		return d.c.Report(raw)
+	case recTrace:
+		name := r.string()
+		if r.bad || name == "" {
+			return fmt.Errorf("poet: malformed WAL trace record")
+		}
+		d.c.RegisterTrace(name)
+		return nil
+	default:
+		return fmt.Errorf("poet: unknown WAL record kind %d", p[0])
+	}
+}

@@ -112,17 +112,25 @@ type WireStats struct {
 	TargetResumes int
 	// MonitorResumes counts monitor hellos with a nonzero resume offset.
 	MonitorResumes int
+	// RecoveryDiscarded counts WAL records discarded as torn or corrupt
+	// by startup recovery (0 for a non-durable or cleanly started
+	// server). See RecoveryStats.DiscardedRecords.
+	RecoveryDiscarded int
 }
 
 // WireStats returns the server's cumulative wire counters.
 func (s *Server) WireStats() WireStats {
-	return WireStats{
+	st := WireStats{
 		StaleEvents:    int(s.stale.Load()),
 		AcksSent:       int(s.acksSent.Load()),
 		Heartbeats:     int(s.heartbeats.Load()),
 		TargetResumes:  int(s.targetResumes.Load()),
 		MonitorResumes: int(s.monitorResumes.Load()),
 	}
+	if d := s.collector.Durable(); d != nil {
+		st.RecoveryDiscarded = int(d.Recovery().DiscardedRecords)
+	}
+	return st
 }
 
 // NewServer wraps a collector. Pass a logf (e.g. log.Printf) for
@@ -406,6 +414,16 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 	if h.ResumeFrom < 0 || h.ResumeFrom > s.collector.Delivered() {
 		msg := fmt.Sprintf("cannot resume from offset %d (delivered %d): this collector did not produce that stream",
 			h.ResumeFrom, s.collector.Delivered())
+		if d := s.collector.Durable(); d != nil {
+			rec := d.Recovery()
+			if rec.DiscardedRecords > 0 || rec.SnapshotTruncated {
+				// A recovered server may legitimately be behind a client
+				// that outlived it: say so, instead of implying the
+				// client is confused.
+				msg = fmt.Sprintf("cannot resume from offset %d: crash recovery rebuilt only %d events (%d WAL records discarded); the requested suffix no longer exists",
+					h.ResumeFrom, s.collector.Delivered(), rec.DiscardedRecords)
+			}
+		}
 		_ = sendHello(helloAck{Error: msg})
 		return fmt.Errorf("monitor %s: %s", conn.RemoteAddr(), msg)
 	}
@@ -452,6 +470,16 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 		}
 		if !dropCheck() {
 			return
+		}
+		if d := s.collector.Durable(); d != nil {
+			// Durability barrier: never put an event on the wire before it
+			// is on disk, or a crash would leave this monitor's resume
+			// offset ahead of the recovered stream. Usually a no-op — the
+			// ingestion path already synced these events.
+			if err := d.barrier(); err != nil {
+				fail(fmt.Errorf("durability barrier: %w", err))
+				return
+			}
 		}
 		for i := range pending {
 			if err := writeMsg(&wireMsg{Trace: &pending[i]}); err != nil {

@@ -1,0 +1,684 @@
+// Package wal implements the collector's write-ahead log: an
+// append-only, segmented, per-record-checksummed log of opaque payloads
+// with a configurable durability policy. The poet collector appends one
+// record per ingested raw event (in ingestion order, which makes the
+// rebuilt linearization identical on replay) and truncates the log by
+// rotating to a fresh segment whenever a snapshot of the full state has
+// been made durable.
+//
+// On-disk layout: a directory of numbered segment files
+// ("00000001.wal", "00000002.wal", ...), each opening with a 16-byte
+// header (8-byte magic, 8-byte little-endian segment index) followed by
+// records framed as
+//
+//	[4-byte LE payload length][4-byte LE CRC32-C of payload][payload]
+//
+// Recovery replays segments in index order and stops at the first torn
+// or corrupt record — a partial frame at the tail (the crash interrupted
+// a write) or a CRC mismatch (bit rot, torn sector) — truncating the log
+// there so subsequent appends continue from the last durable prefix
+// instead of refusing to start. Everything after the corruption point is
+// counted, never silently dropped.
+//
+// Durability is a policy, not a promise: SyncAlways fsyncs before an
+// append commits (group commit — concurrent committers share one fsync),
+// SyncInterval fsyncs on a timer, SyncNone leaves flushing to the OS.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before Commit returns: an acknowledged record
+	// survives any crash. Concurrent committers share fsyncs (group
+	// commit), so the cost amortizes under load.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval flushes and fsyncs on a timer (Options.Interval). A
+	// crash loses at most one interval of records.
+	SyncInterval
+	// SyncNone never fsyncs; records are flushed to the OS on the same
+	// timer but survive only process crashes, not machine crashes.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return "unknown"
+}
+
+// ParseSyncPolicy parses the poetd -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy selects the durability policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the flush/fsync cadence for SyncInterval and the
+	// flush cadence for SyncNone (default 100ms). Ignored by SyncAlways.
+	Interval time.Duration
+}
+
+func (o Options) norm() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	return o
+}
+
+const (
+	segMagic      = "OCEPWAL1"
+	segHeaderSize = 16
+	recHeaderSize = 8
+	// MaxRecord bounds a single payload; a longer length prefix marks a
+	// corrupt frame.
+	MaxRecord = 1 << 26
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ReplayStats summarizes one recovery scan of a log directory.
+type ReplayStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// Segments is the number of segment files scanned.
+	Segments int
+	// Truncated reports that the scan hit a torn or corrupt record and
+	// discarded the rest of the log.
+	Truncated bool
+	// DiscardedRecords counts records lost to the corruption: the bad
+	// record itself plus every structurally parseable record after it
+	// (including whole later segments).
+	DiscardedRecords int
+	// DiscardedBytes counts trailing bytes that were not even parseable
+	// as records.
+	DiscardedBytes int64
+}
+
+// Log is an open write-ahead log. Append/Commit are safe for concurrent
+// use; Rotate and RemoveSegmentsBefore coordinate with appends through
+// the same lock.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	seg uint64 // current segment index
+	seq int64  // records appended this process lifetime
+	err error  // sticky write failure
+
+	// Group-commit state: synced is the highest seq known durable,
+	// syncing marks an fsync in flight whose completion waiters share.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	synced   int64
+	syncing  bool
+
+	stop    chan struct{}
+	flusher sync.WaitGroup
+	closed  bool
+}
+
+func segName(idx uint64) string { return fmt.Sprintf("%08d.wal", idx) }
+
+// segIndex extracts the index from a segment file name, or 0.
+func segIndex(name string) uint64 {
+	var idx uint64
+	if _, err := fmt.Sscanf(name, "%08d.wal", &idx); err != nil {
+		return 0
+	}
+	return idx
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if idx := segIndex(e.Name()); idx > 0 {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs, nil
+}
+
+// syncDir fsyncs a directory so renames and segment creations are
+// durable. Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Open opens (creating if necessary) the log in dir, replays every
+// intact record through fn in append order, truncates the log at the
+// first torn or corrupt record, and leaves the log ready for appends at
+// the end of the valid prefix. A nil fn skips replay but still
+// validates and truncates. If fn returns an error the scan aborts and
+// Open fails; fn must swallow errors it wants to survive.
+func Open(dir string, opts Options, fn func(payload []byte) error) (*Log, ReplayStats, error) {
+	opts = opts.norm()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ReplayStats{}, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	stats, lastSeg, appendOff, err := scanDir(dir, fn, true)
+	if err != nil {
+		return nil, stats, err
+	}
+	l := &Log{dir: dir, opts: opts, stop: make(chan struct{})}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	if lastSeg == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, stats, err
+		}
+	} else if appendOff < segHeaderSize {
+		// The surviving prefix does not even cover the segment header
+		// (the file began with garbage): recreate the segment outright.
+		if err := os.Remove(filepath.Join(dir, segName(lastSeg))); err != nil {
+			return nil, stats, fmt.Errorf("wal: removing corrupt segment %d: %w", lastSeg, err)
+		}
+		if err := l.openSegment(lastSeg); err != nil {
+			return nil, stats, err
+		}
+	} else {
+		f, err := os.OpenFile(filepath.Join(dir, segName(lastSeg)), os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: reopening segment %d: %w", lastSeg, err)
+		}
+		if _, err := f.Seek(appendOff, io.SeekStart); err != nil {
+			_ = f.Close()
+			return nil, stats, fmt.Errorf("wal: seeking segment %d: %w", lastSeg, err)
+		}
+		l.f, l.w, l.seg = f, bufio.NewWriterSize(f, 1<<18), lastSeg
+	}
+	if opts.Policy != SyncAlways {
+		l.flusher.Add(1)
+		go l.flushLoop()
+	}
+	return l, stats, nil
+}
+
+// Replay reads the log in dir without modifying it: every intact record
+// is passed to fn; corruption ends the scan and is reported in the
+// stats, never repaired. Use it to inspect a log another process owns,
+// or to reload a data directory as a read-only trace source.
+func Replay(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	stats, _, _, err := scanDir(dir, fn, false)
+	return stats, err
+}
+
+// scanDir walks the segments in order, replaying intact records. With
+// truncate set it repairs the log: the corrupt segment is truncated at
+// the last good offset and every later segment is deleted (their
+// records are unreachable once the prefix has a hole). Returns the last
+// surviving segment index and the append offset within it.
+func scanDir(dir string, fn func([]byte) error, truncate bool) (ReplayStats, uint64, int64, error) {
+	var stats ReplayStats
+	idxs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, 0, 0, nil
+		}
+		return stats, 0, 0, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var lastSeg uint64
+	var appendOff int64
+	corrupt := false
+	for _, idx := range idxs {
+		path := filepath.Join(dir, segName(idx))
+		if corrupt {
+			// A later segment after a corrupt one: its records sit past a
+			// hole in the log and cannot be replayed. Count, then drop.
+			n, _ := countRecords(path)
+			stats.DiscardedRecords += n
+			if truncate {
+				_ = os.Remove(path)
+			}
+			continue
+		}
+		stats.Segments++
+		segStats, goodOff, serr := scanSegment(path, fn)
+		stats.Records += segStats.Records
+		stats.DiscardedRecords += segStats.DiscardedRecords
+		stats.DiscardedBytes += segStats.DiscardedBytes
+		if serr != nil {
+			return stats, 0, 0, serr
+		}
+		lastSeg, appendOff = idx, goodOff
+		if segStats.Truncated {
+			stats.Truncated = true
+			corrupt = true
+			if truncate {
+				if err := os.Truncate(path, goodOff); err != nil {
+					return stats, 0, 0, fmt.Errorf("wal: truncating %s: %w", path, err)
+				}
+			}
+		}
+	}
+	if corrupt && truncate {
+		syncDir(dir)
+	}
+	return stats, lastSeg, appendOff, nil
+}
+
+// scanSegment replays one segment through fn. It returns the offset of
+// the end of the last intact record (the truncation point when the
+// segment is corrupt) and per-segment stats. An error from fn aborts
+// the scan; I/O framing problems are reported in the stats instead.
+func scanSegment(path string, fn func([]byte) error) (ReplayStats, int64, error) {
+	var stats ReplayStats
+	f, err := os.Open(path)
+	if err != nil {
+		return stats, 0, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return stats, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return stats, 0, err
+	}
+	r := bufio.NewReaderSize(f, 1<<18)
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// A header-less (or empty) segment: everything is garbage.
+		stats.Truncated = size > 0
+		stats.DiscardedBytes = size
+		return stats, 0, nil
+	}
+	if string(hdr[:8]) != segMagic {
+		stats.Truncated = true
+		stats.DiscardedBytes = size
+		return stats, 0, nil
+	}
+	off := int64(segHeaderSize)
+	discarding := false
+	for {
+		var rh [recHeaderSize]byte
+		if _, err := io.ReadFull(r, rh[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end of segment
+			}
+			// Torn record header.
+			stats.Truncated = true
+			stats.DiscardedRecords++
+			stats.DiscardedBytes += size - off
+			break
+		}
+		length := binary.LittleEndian.Uint32(rh[0:4])
+		sum := binary.LittleEndian.Uint32(rh[4:8])
+		if length == 0 || length > MaxRecord || off+recHeaderSize+int64(length) > size {
+			// Implausible frame: either garbage or a record torn mid-payload.
+			stats.Truncated = true
+			stats.DiscardedRecords++
+			stats.DiscardedBytes += size - off
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			stats.Truncated = true
+			stats.DiscardedRecords++
+			stats.DiscardedBytes += size - off
+			break
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			// Corrupt record: stop replaying, keep parsing frames so the
+			// loss is counted precisely rather than reported as raw bytes.
+			stats.Truncated = true
+			discarding = true
+		}
+		if discarding {
+			stats.DiscardedRecords++
+			off += recHeaderSize + int64(length)
+			continue
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return stats, off, fmt.Errorf("wal: replaying %s at offset %d: %w", path, off, err)
+			}
+		}
+		stats.Records++
+		off += recHeaderSize + int64(length)
+	}
+	if discarding {
+		// The truncation point is the end of the last good record, before
+		// the corrupt one.
+		return stats, goodOffsetBeforeDiscard(path, stats.Records), nil
+	}
+	return stats, off, nil
+}
+
+// goodOffsetBeforeDiscard re-walks a segment to find the byte offset
+// just past the n-th record. Only used on the corruption path, where
+// the scan loop has advanced past the truncation point while counting.
+func goodOffsetBeforeDiscard(path string, n int) int64 {
+	f, err := os.Open(path)
+	if err != nil {
+		return segHeaderSize
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	if _, err := io.ReadFull(r, make([]byte, segHeaderSize)); err != nil {
+		return segHeaderSize
+	}
+	off := int64(segHeaderSize)
+	for i := 0; i < n; i++ {
+		var rh [recHeaderSize]byte
+		if _, err := io.ReadFull(r, rh[:]); err != nil {
+			return off
+		}
+		length := binary.LittleEndian.Uint32(rh[0:4])
+		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+			return off
+		}
+		off += recHeaderSize + int64(length)
+	}
+	return off
+}
+
+// countRecords counts structurally intact frames in a segment without
+// verifying checksums or replaying.
+func countRecords(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil || string(hdr[:8]) != segMagic {
+		return 0, nil
+	}
+	n := 0
+	for {
+		var rh [recHeaderSize]byte
+		if _, err := io.ReadFull(r, rh[:]); err != nil {
+			return n, nil
+		}
+		length := binary.LittleEndian.Uint32(rh[0:4])
+		if length == 0 || length > MaxRecord {
+			return n, nil
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// openSegment creates segment idx and makes it current. Caller holds no
+// locks (Open) or l.mu (rotate).
+func (l *Log) openSegment(idx uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(idx)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %d: %w", idx, err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], idx)
+	if _, err := f.Write(hdr[:]); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	syncDir(l.dir)
+	l.f, l.w, l.seg = f, bufio.NewWriterSize(f, 1<<18), idx
+	return nil
+}
+
+// Append buffers one record and returns its sequence number, to be
+// passed to Commit for the durability barrier. Safe for concurrent use;
+// the caller is responsible for making the ordering of concurrent
+// Appends meaningful (the poet collector appends under its own lock, so
+// WAL order equals ingestion order).
+func (l *Log) Append(payload []byte) (int64, error) {
+	if len(payload) == 0 || len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: payload size %d out of range", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, errors.New("wal: log closed")
+	}
+	var rh [recHeaderSize]byte
+	binary.LittleEndian.PutUint32(rh[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rh[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.w.Write(rh[:]); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return 0, l.err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return 0, l.err
+	}
+	l.seq++
+	return l.seq, nil
+}
+
+// Commit makes the record with the given sequence number durable
+// according to the policy: under SyncAlways it returns only after an
+// fsync covering seq (sharing in-flight fsyncs with concurrent
+// committers); under SyncInterval and SyncNone it is a cheap no-op —
+// the flush loop provides the (weaker) guarantee.
+func (l *Log) Commit(seq int64) error {
+	if l.opts.Policy != SyncAlways {
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.syncMu.Lock()
+	for l.syncing && l.synced < seq {
+		l.syncCond.Wait()
+	}
+	if l.synced >= seq {
+		l.syncMu.Unlock()
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.syncing = true
+	l.syncMu.Unlock()
+
+	l.mu.Lock()
+	target := l.seq
+	err := l.flushLocked(true)
+	l.mu.Unlock()
+
+	l.syncMu.Lock()
+	if err == nil && target > l.synced {
+		l.synced = target
+	}
+	l.syncing = false
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return err
+}
+
+// flushLocked flushes the buffer and optionally fsyncs. Caller holds l.mu.
+func (l *Log) flushLocked(fsync bool) error {
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = fmt.Errorf("wal: flush: %w", err)
+		return l.err
+	}
+	if fsync {
+		if err := l.f.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: fsync: %w", err)
+			return l.err
+		}
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs everything appended so far, regardless of
+// policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.seq
+	err := l.flushLocked(true)
+	l.mu.Unlock()
+	if err == nil {
+		l.syncMu.Lock()
+		if target > l.synced {
+			l.synced = target
+		}
+		l.syncMu.Unlock()
+	}
+	return err
+}
+
+// flushLoop services SyncInterval (flush+fsync) and SyncNone (flush
+// only) on the configured cadence.
+func (l *Log) flushLoop() {
+	defer l.flusher.Done()
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			_ = l.flushLocked(l.opts.Policy == SyncInterval)
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Rotate fsyncs and closes the current segment and starts a fresh one,
+// returning the new segment's index: every record appended before the
+// call lives in a segment with a smaller index. The poet collector
+// calls this under its ingestion lock when cutting a snapshot, so the
+// snapshot plus segments >= the returned index is a complete state.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log closed")
+	}
+	if err := l.flushLocked(true); err != nil {
+		return 0, err
+	}
+	target := l.seq
+	if err := l.f.Close(); err != nil && l.err == nil {
+		l.err = fmt.Errorf("wal: closing segment: %w", err)
+		return 0, l.err
+	}
+	if err := l.openSegment(l.seg + 1); err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+		return 0, err
+	}
+	l.syncMu.Lock()
+	if target > l.synced {
+		l.synced = target
+	}
+	l.syncMu.Unlock()
+	return l.seg, nil
+}
+
+// RemoveSegmentsBefore deletes every segment with an index below idx —
+// called after a snapshot covering those records has been made durable.
+func (l *Log) RemoveSegmentsBefore(idx uint64) error {
+	idxs, err := listSegments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing segments: %w", err)
+	}
+	var first error
+	for _, i := range idxs {
+		if i >= idx {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(i))); err != nil && first == nil {
+			first = fmt.Errorf("wal: removing segment %d: %w", i, err)
+		}
+	}
+	syncDir(l.dir)
+	return first
+}
+
+// Appended returns the number of records appended this process
+// lifetime (the latest sequence number).
+func (l *Log) Appended() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Segment returns the current segment index.
+func (l *Log) Segment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// Close flushes, fsyncs, and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if l.opts.Policy != SyncAlways {
+		close(l.stop)
+		l.flusher.Wait()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.flushLocked(true)
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	return err
+}

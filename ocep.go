@@ -88,12 +88,55 @@ type (
 	MonitorClientStats = poet.MonitorClientStats
 	// WireStats are a server's cumulative fault-tolerance counters.
 	WireStats = poet.WireStats
+	// Durability write-ahead-logs a collector's ingestion and manages
+	// its snapshots; see OpenDurable.
+	Durability = poet.Durability
+	// DurableOptions configures OpenDurable.
+	DurableOptions = poet.DurableOptions
+	// RecoveryStats describes what startup recovery found and rebuilt.
+	RecoveryStats = poet.RecoveryStats
+	// SyncPolicy selects when the write-ahead log is fsynced.
+	SyncPolicy = poet.SyncPolicy
 )
 
 // ErrStreamInterrupted is wrapped by MonitorClient.Next when the event
 // stream dies mid-flight and cannot be resumed; a clean end of stream
 // is always io.EOF instead.
 var ErrStreamInterrupted = poet.ErrStreamInterrupted
+
+// ErrSessionRejected is wrapped by client errors when the server refuses
+// a session outright (e.g. a resume offset beyond the server's stream,
+// after a crash recovery lost a suffix); the client reconnect loops
+// treat it as terminal rather than retrying a permanent refusal.
+var ErrSessionRejected = poet.ErrSessionRejected
+
+// WAL fsync policies for DurableOptions.Fsync.
+const (
+	// SyncAlways fsyncs before an append commits: an acknowledged event
+	// is never lost to a crash.
+	SyncAlways = poet.SyncAlways
+	// SyncInterval fsyncs on a timer: bounded loss, near-zero overhead.
+	SyncInterval = poet.SyncInterval
+	// SyncNone leaves durability to the OS page cache.
+	SyncNone = poet.SyncNone
+)
+
+// OpenDurable opens (or creates) a data directory, recovers its snapshot
+// and write-ahead log into c, and attaches write-ahead logging to c's
+// ingestion, making the collector crash-durable. Close the returned
+// Durability on shutdown for a final snapshot.
+func OpenDurable(c *Collector, opts DurableOptions) (*Durability, error) {
+	return poet.OpenDurable(c, opts)
+}
+
+// ReloadDir replays a durability data directory (snapshot plus
+// write-ahead log) into a collector without attaching durability.
+func ReloadDir(c *Collector, dir string) (RecoveryStats, error) {
+	return poet.ReloadDir(c, dir)
+}
+
+// ParseSyncPolicy parses "always", "interval", or "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return poet.ParseSyncPolicy(s) }
 
 // Backpressure policies for WithBackpressure.
 const (
