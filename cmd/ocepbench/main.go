@@ -15,6 +15,7 @@
 //	ocepbench -scaling                  # trace-isolation scaling study
 //	ocepbench -delivery                 # sync vs async monitor fan-out
 //	ocepbench -durability               # fsync-policy cost + recovery time
+//	ocepbench -telemetry                # metrics-overhead study + sample scrape
 //	ocepbench -monitors 8               # fan-out width for -delivery
 //	ocepbench -events 1000000           # events per data point
 //
@@ -50,6 +51,7 @@ func run() error {
 		latticeCmp   = flag.Bool("lattice", false, "global-state-lattice vs OCEP motivation study")
 		delivery     = flag.Bool("delivery", false, "sync vs async monitor fan-out throughput")
 		durability   = flag.Bool("durability", false, "WAL fsync-policy ingestion cost and crash/snapshot recovery time")
+		telemetry    = flag.Bool("telemetry", false, "metrics overhead (instrumented vs disabled pipeline) and a sample registry dump")
 		monitors     = flag.Int("monitors", 8, "concurrent monitors for -delivery")
 		events       = flag.Int("events", 100_000, "target events per data point (paper: >1e6)")
 		seed         = flag.Int64("seed", 1, "workload seed")
@@ -114,6 +116,9 @@ func run() error {
 		if err := bench.Durability(out, cfg); err != nil {
 			return err
 		}
+		if err := bench.Telemetry(out, cfg); err != nil {
+			return err
+		}
 	}
 	if *completeness && !*all {
 		any = true
@@ -163,6 +168,12 @@ func run() error {
 	if *durability && !*all {
 		any = true
 		if err := bench.Durability(out, cfg); err != nil {
+			return err
+		}
+	}
+	if *telemetry && !*all {
+		any = true
+		if err := bench.Telemetry(out, cfg); err != nil {
 			return err
 		}
 	}

@@ -8,7 +8,7 @@
 //	      [-data-dir dir] [-fsync always|interval|none]
 //	      [-fsync-interval d] [-snapshot-every n]
 //	      [-monitor-queue n] [-monitor-policy drop|block]
-//	      [-ack-interval d] [-heartbeat d] [-quiet]
+//	      [-ack-interval d] [-heartbeat d] [-metrics-addr addr] [-quiet]
 //
 // With -dump, the delivered raw-event log is written to the given file
 // on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
@@ -42,18 +42,26 @@
 // Reconnecting peers resume their sessions: reporters replay only what
 // was never acknowledged, monitors continue from the exact event index
 // they had reached.
+//
+// With -metrics-addr, a second listener serves operational telemetry:
+// /metrics (Prometheus text), /debug/vars (the same registry as JSON)
+// and /debug/pprof. The metrics listener is deliberately separate from
+// -listen so scrapes never share a socket with the protocol stream.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"ocep/internal/poet"
+	"ocep/internal/telemetry"
 )
 
 func main() {
@@ -73,6 +81,7 @@ func run() error {
 		monPolicy = flag.String("monitor-policy", "drop", "full-queue policy: drop (disconnect laggards) or block (throttle ingestion)")
 		ackEvery  = flag.Duration("ack-interval", poet.DefaultAckInterval, "cadence of ingestion acknowledgements to targets")
 		heartbeat = flag.Duration("heartbeat", poet.DefaultHeartbeat, "idle keep-alive cadence on monitor streams; targets silent for 8x this (min 2s) are declared dead")
+		metrics   = flag.String("metrics-addr", "", "address for the telemetry listener (/metrics, /debug/vars, /debug/pprof); empty disables it")
 		quiet     = flag.Bool("quiet", false, "suppress per-connection diagnostics")
 
 		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and snapshots; enables crash-durable operation and recovery on restart")
@@ -138,6 +147,29 @@ func run() error {
 		peerTimeout = 2 * time.Second
 	}
 	server.SetWireTiming(*ackEvery, *heartbeat, peerTimeout)
+
+	// Telemetry wires up after recovery and reload so the counters
+	// describe live traffic, not the replayed prefix, and before Listen
+	// so every connection is counted from the first byte.
+	var metricsSrv *http.Server
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		collector.InstrumentMetrics(reg) // also instruments the attached durability
+		server.InstrumentMetrics(reg)
+		telemetry.RegisterRuntimeMetrics(reg)
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		metricsSrv = &http.Server{Handler: telemetry.Handler(reg)}
+		go func() {
+			if err := metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", ln.Addr())
+	}
+
 	addr, err := server.Listen(*listen)
 	if err != nil {
 		return err
@@ -159,6 +191,9 @@ func run() error {
 	}
 	if err := server.Close(); err != nil {
 		log.Printf("close: %v", err)
+	}
+	if metricsSrv != nil {
+		_ = metricsSrv.Close()
 	}
 	if durable != nil {
 		// Clean shutdown: final snapshot, WAL truncated, so the next start

@@ -106,8 +106,10 @@ func TestCrashKilledPoetdMatchesCrashFreeRun(t *testing.T) {
 
 	var mu sync.Mutex
 	var matches []ocep.Match
+	reg := ocep.NewRegistry()
 	mon, err := ocep.NewMonitor(patternSrc,
 		ocep.WithReportAll(),
+		ocep.WithMetrics(reg),
 		ocep.WithMatchHandler(func(m ocep.Match) {
 			mu.Lock()
 			matches = append(matches, m)
@@ -143,9 +145,8 @@ func TestCrashKilledPoetdMatchesCrashFreeRun(t *testing.T) {
 	if err := rep.Flush(); err != nil {
 		t.Fatalf("flush after %d kills: %v", kills, err)
 	}
-	waitForCond(t, "monitor to consume the full recovered stream", func() bool {
-		return mon.Stats().EventsSeen == len(events)
-	})
+	waitCounter(t, "monitor to consume the full recovered stream",
+		reg.FindCounter("ocep_monitor_events_total"), int64(len(events)))
 
 	// Clean shutdown of the final incarnation: SIGTERM snapshots, sends
 	// End to the monitor, and Run returns nil.

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"ocep"
+	"ocep/internal/poet"
+	"ocep/internal/telemetry"
+	"ocep/internal/workload"
+)
+
+// This file implements the telemetry-overhead experiment: the same
+// recorded raw-event stream is replayed through an instrumented
+// pipeline (collector ingest counters, delivery-queue counters, matcher
+// counters and the domain-size histogram all live) and through the same
+// pipeline with telemetry disabled (a nil registry: every instrument is
+// a nil pointer and each call site pays one nil check). The experiment
+// reports the end-to-end throughput of both and their ratio — the
+// price of always-on metrics — and dumps the enabled run's registry, so
+// every `ocepbench -telemetry` run doubles as a sample scrape.
+
+// TelemetryResult is one telemetry mode's aggregate measurement.
+type TelemetryResult struct {
+	// Mode is "disabled" or "enabled".
+	Mode string
+	// Events is the number of raw events replayed per trial.
+	Events int
+	// Trials is how many measured trials contributed to Elapsed.
+	Trials int
+	// Elapsed is the summed wall-clock time across all measured trials
+	// to report every event and drain the monitor. Summing over
+	// interleaved trials averages out GC and scheduler noise that a
+	// best-of-N estimator samples instead (a single 200ms trial here
+	// swings by ±10% run to run).
+	Elapsed time.Duration
+	// Matches is the number of matches reported per trial (a
+	// differential guard: it must agree between modes).
+	Matches int
+}
+
+// Throughput returns events per second aggregated over the trials.
+func (r TelemetryResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Events*r.Trials) / r.Elapsed.Seconds()
+}
+
+// runTelemetryTrial replays raws through a collector with one async
+// monitor, instrumented into reg (nil = telemetry disabled), and
+// returns the wall-clock to a drained end state plus the match count.
+func runTelemetryTrial(raws []poet.RawEvent, patternSrc string, reg *telemetry.Registry) (time.Duration, int, error) {
+	c := ocep.NewCollector()
+	c.InstrumentMetrics(reg)
+	m, err := ocep.NewMonitor(patternSrc,
+		ocep.WithAsyncDelivery(), ocep.WithMetrics(reg))
+	if err != nil {
+		return 0, 0, err
+	}
+	m.Attach(c)
+	start := time.Now()
+	for _, raw := range raws {
+		if err := c.Report(raw); err != nil {
+			return 0, 0, fmt.Errorf("bench: telemetry replay: %w", err)
+		}
+	}
+	c.Flush()
+	elapsed := time.Since(start)
+	if err := m.Err(); err != nil {
+		return 0, 0, fmt.Errorf("bench: telemetry monitor: %w", err)
+	}
+	matches := m.Stats().Reported
+	m.Detach()
+	c.Close()
+	return elapsed, matches, nil
+}
+
+// RunTelemetry measures one mode, summing elapsed across trials.
+func RunTelemetry(raws []poet.RawEvent, patternSrc string, reg *telemetry.Registry, trials int) (TelemetryResult, error) {
+	mode := "disabled"
+	if reg != nil {
+		mode = "enabled"
+	}
+	res := TelemetryResult{Mode: mode, Events: len(raws), Trials: trials}
+	for i := 0; i < trials; i++ {
+		runtime.GC()
+		elapsed, matches, err := runTelemetryTrial(raws, patternSrc, reg)
+		if err != nil {
+			return res, err
+		}
+		res.Elapsed += elapsed
+		res.Matches = matches
+	}
+	return res, nil
+}
+
+// timePerOp measures the per-iteration cost of loop in nanoseconds,
+// best of three 2e6-iteration runs (best-of discards preemption; a
+// tight single-threaded loop has none of the batching feedback that
+// makes the pipeline wall clock noisy).
+func timePerOp(loop func(n int)) float64 {
+	const iters = 2_000_000
+	loop(iters / 10) // warm the path
+	best := math.MaxFloat64
+	for t := 0; t < 3; t++ {
+		start := time.Now()
+		loop(iters)
+		if ns := float64(time.Since(start).Nanoseconds()) / iters; ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// Telemetry runs the enabled-vs-disabled overhead comparison and dumps
+// the final enabled run's registry in Prometheus text form. It is the
+// experiment behind `ocepbench -telemetry`.
+func Telemetry(w io.Writer, cfg FigureConfig) error {
+	cfg = cfg.norm()
+	const pairs = 21
+	ranks := 6 - 6%cfg.CycleLen
+	if ranks < cfg.CycleLen {
+		ranks = cfg.CycleLen
+	}
+	// Cap the per-trial replay so one trial stays short (~50ms): the
+	// measurement wants many short paired trials, not few long ones —
+	// see the protocol note below.
+	trialEvents := cfg.TargetEvents
+	if trialEvents > 25000 {
+		trialEvents = 25000
+	}
+	rounds := trialEvents / (3 * ranks)
+	if rounds < 1 {
+		rounds = 1
+	}
+	rec := &rawRecorder{c: poet.NewCollector()}
+	if _, err := workload.GenDeadlock(workload.DeadlockConfig{
+		Ranks: ranks, CycleLen: cfg.CycleLen, Rounds: rounds,
+		BugProb: 0.01, Seed: cfg.Seed, Sink: rec,
+	}); err != nil {
+		return fmt.Errorf("bench: telemetry workload: %w", err)
+	}
+	if !rec.c.Drained() {
+		return fmt.Errorf("bench: telemetry workload left %d events pending", rec.c.Pending())
+	}
+	pat := workload.DeadlockPattern(cfg.CycleLen)
+
+	fmt.Fprintf(w, "Telemetry overhead: %d events/trial, %d randomized trial pairs, median of per-pair ratios\n",
+		len(rec.raw), pairs)
+	// Measurement protocol, forced by two observations:
+	//   - on a noisy shared host, trial wall-clock drifts by ±10-20% over
+	//     seconds, so any fixed schedule (all-disabled-then-all-enabled,
+	//     or even strict alternation) aliases that drift onto the modes
+	//     and has produced 10-20% phantom "overhead" — and phantom
+	//     speedups — on an instrumentation cost that is really ~40ns of
+	//     atomics per event (~2% of the pipeline's per-event cost);
+	//   - the async delivery pipeline is a feedback system: nanosecond
+	//     perturbations shift how many events the drain goroutine finds
+	//     queued per wakeup, changing batch sizes and thus FeedBatch
+	//     amortization by more than the instruments themselves cost, in
+	//     either direction.
+	// So: many SHORT paired trials (drift within one ~100ms pair window
+	// is small), the order inside each pair chosen by a deterministic
+	// LCG (so drift cannot align with a fixed parity), a forced GC
+	// before every trial to level heap state, and the MEDIAN of per-pair
+	// elapsed ratios as the reported overhead — a background burst lands
+	// inside one pair and corrupts one ratio, which the median discards,
+	// where a sum or best-of estimator would absorb or sample it.
+	reg := telemetry.NewRegistry()
+	off := TelemetryResult{Mode: "disabled", Events: len(rec.raw)}
+	on := TelemetryResult{Mode: "enabled", Events: len(rec.raw)}
+	ratios := make([]float64, 0, pairs)
+	lcg := uint32(cfg.Seed)*2654435761 + 1013904223
+	for i := -1; i < pairs; i++ {
+		pair := []*TelemetryResult{&off, &on}
+		lcg = lcg*1664525 + 1013904223
+		if lcg&0x10000 != 0 {
+			pair[0], pair[1] = pair[1], pair[0]
+		}
+		var pairElapsed [2]time.Duration // indexed: 0 = disabled, 1 = enabled
+		for _, r := range pair {
+			trialReg := reg
+			idx := 1
+			if r.Mode == "disabled" {
+				trialReg = nil
+				idx = 0
+			}
+			runtime.GC()
+			elapsed, matches, err := runTelemetryTrial(rec.raw, pat, trialReg)
+			if err != nil {
+				return err
+			}
+			if i < 0 {
+				continue // warmup pair: exercised, not measured
+			}
+			pairElapsed[idx] = elapsed
+			r.Elapsed += elapsed
+			r.Trials++
+			r.Matches = matches
+		}
+		if i >= 0 {
+			ratios = append(ratios, pairElapsed[1].Seconds()/pairElapsed[0].Seconds())
+		}
+	}
+	if off.Matches != on.Matches {
+		return fmt.Errorf("bench: telemetry differential failed: disabled reported %d matches, enabled %d",
+			off.Matches, on.Matches)
+	}
+	for _, r := range []TelemetryResult{off, on} {
+		fmt.Fprintf(w, "  %-8s  %10.0f events/s  total %-12v (%d trials)  matches %d/trial\n",
+			r.Mode, r.Throughput(), r.Elapsed.Round(time.Microsecond), r.Trials, r.Matches)
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (median + ratios[len(ratios)/2-1]) / 2
+	}
+	fmt.Fprintf(w, "  wall-clock delta: %+.2f%% elapsed (median of %d per-pair ratios; IQR %+.2f%% .. %+.2f%%)\n",
+		(median-1)*100, len(ratios), (ratios[len(ratios)/4]-1)*100, (ratios[3*len(ratios)/4]-1)*100)
+	fmt.Fprintf(w, "  (the wall-clock delta is noise-bounded, not a cost measurement: batching\n"+
+		"   feedback and per-process layout shift it by more than the instruments cost;\n"+
+		"   the attributable overhead below is the defensible number)\n")
+
+	// Attributable overhead: measure the instruments' unit costs with
+	// tight in-process loops, count how many instrument operations the
+	// enabled pipeline actually performed (from the registry itself),
+	// and express their product as a fraction of the enabled pipeline's
+	// per-event wall clock. This is stable where the wall-clock diff is
+	// not — a machine-wide slowdown inflates the numerator and the
+	// denominator together.
+	incNs := timePerOp(func(n int) {
+		var c telemetry.Counter
+		for i := 0; i < n; i++ {
+			c.Inc()
+		}
+	})
+	obsNs := timePerOp(func(n int) {
+		var h telemetry.Histogram
+		for i := 0; i < n; i++ {
+			h.Observe(int64(i & 1023))
+		}
+	})
+	totalEvents := float64(reg.Value("poet_ingested_events_total"))
+	batches := float64(reg.Value("poet_delivery_batches_total"))
+	domainObs := float64(reg.FindHistogram("ocep_monitor_domain_size").Count())
+	// Per-event hot-path ops: ingested.Inc + enqueued.Inc per event;
+	// one domain-size observation per computed domain; per batch, the
+	// drain side adds handled.Add + batches.Inc + events.Add +
+	// matches.Add and one batch-size observation.
+	incOps := 2*totalEvents + 4*batches
+	obsOps := domainObs + batches
+	telNsPerEvent := (incOps*incNs + obsOps*obsNs) / totalEvents
+	pipelineNsPerEvent := float64(on.Elapsed.Nanoseconds()) / float64(on.Events*on.Trials)
+	fmt.Fprintf(w, "  attributable overhead: %.2f%% — %.1f ns/event of instruments\n"+
+		"   (%.2f counter incs/event at %.1f ns, %.2f histogram observes/event at %.1f ns)\n"+
+		"   against %.0f ns/event of enabled pipeline\n\n",
+		telNsPerEvent/pipelineNsPerEvent*100, telNsPerEvent,
+		incOps/totalEvents, incNs, obsOps/totalEvents, obsNs, pipelineNsPerEvent)
+
+	fmt.Fprintf(w, "Registry after the enabled trials (Prometheus text; counters accumulate across the %d trials plus warmup):\n", pairs)
+	if err := reg.WritePrometheus(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"ocep/internal/poet"
+	"ocep/internal/telemetry"
+	"ocep/internal/workload"
+)
+
+func telemetryWorkload(b *testing.B) ([]poet.RawEvent, string) {
+	b.Helper()
+	rec := &rawRecorder{c: poet.NewCollector()}
+	if _, err := workload.GenDeadlock(workload.DeadlockConfig{
+		Ranks: 6, CycleLen: 3, Rounds: 1100, BugProb: 0.01, Seed: 1, Sink: rec,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return rec.raw, workload.DeadlockPattern(3)
+}
+
+// BenchmarkPipelineTelemetryOff measures the instrumented pipeline with
+// a nil registry: every call site pays its nil check and nothing else.
+func BenchmarkPipelineTelemetryOff(b *testing.B) {
+	raws, pat := telemetryWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runTelemetryTrial(raws, pat, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(raws)), "events/op")
+}
+
+// BenchmarkPipelineTelemetryOn is the same pipeline with live counters,
+// gauges and histograms in every layer. The delta against ...Off is the
+// telemetry tax.
+func BenchmarkPipelineTelemetryOn(b *testing.B) {
+	raws, pat := telemetryWorkload(b)
+	reg := telemetry.NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runTelemetryTrial(raws, pat, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(raws)), "events/op")
+}
+
+// TestTelemetryExperimentSmoke runs the ocepbench experiment end to end
+// at a small scale (differential match guard included).
+func TestTelemetryExperimentSmoke(t *testing.T) {
+	var sink discard
+	if err := Telemetry(&sink, FigureConfig{TargetEvents: 5000, Seed: 1, CycleLen: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

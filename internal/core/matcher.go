@@ -6,6 +6,7 @@ import (
 
 	"ocep/internal/event"
 	"ocep/internal/pattern"
+	"ocep/internal/telemetry"
 )
 
 // Options tunes the matcher. The zero value is the configuration
@@ -98,6 +99,15 @@ type Stats struct {
 	CandidatesTried int
 	// DomainsComputed counts per-trace domain computations.
 	DomainsComputed int
+	// Backtracks counts candidate instantiations whose subtree found no
+	// complete match: the search undid the assignment and moved on.
+	Backtracks int
+	// Backjumps counts conflict-directed cutoffs — a failed subtree's
+	// conflict analysis either tightened the candidate bound, pruned
+	// the rest of the trace, or declared the whole level hopeless.
+	// Every backjump follows one failed candidate, so Backjumps <=
+	// Backtracks always holds.
+	Backjumps int
 	// BackjumpSkips counts candidates skipped by conflict-directed
 	// backjumping.
 	BackjumpSkips int
@@ -132,7 +142,17 @@ type Matcher struct {
 	// store was populated ahead of the replay.
 	comm  []int
 	stats Stats
+	// domainHist, when non-nil, records the size of every computed
+	// per-trace candidate domain (after the GP/LS interval restriction
+	// prunes it). Observe is lock-free, so parallel workers share it.
+	domainHist *telemetry.Histogram
 }
+
+// SetDomainHistogram attaches a histogram that observes the size of
+// every computed candidate domain — the direct measure of how much
+// search volume the causal-interval restriction leaves. Pass nil to
+// detach. Set at wiring time, before feeding begins.
+func (m *Matcher) SetDomainHistogram(h *telemetry.Histogram) { m.domainHist = h }
 
 // NewMatcher builds a matcher for the compiled pattern with its own
 // event store; events enter only through Feed, which appends them.
@@ -456,6 +476,8 @@ func (m *Matcher) parallelTrigger(trig int, e *event.Event) []Match {
 		out = append(out, results[w]...)
 		m.stats.CandidatesTried += deltas[w].CandidatesTried
 		m.stats.DomainsComputed += deltas[w].DomainsComputed
+		m.stats.Backtracks += deltas[w].Backtracks
+		m.stats.Backjumps += deltas[w].Backjumps
 		m.stats.BackjumpSkips += deltas[w].BackjumpSkips
 		m.stats.CompleteMatches += deltas[w].CompleteMatches
 		m.stats.Reported += deltas[w].Reported
@@ -717,6 +739,7 @@ func (s *search) tryCandidates(li int, leaf *pattern.Leaf, leafIdx int, trace ev
 			}
 			return traceOutcome{matched: true}
 		}
+		s.stats.Backtracks++
 		if m.opts.DisableBackjumping || !sub.valid {
 			continue // chronological backtracking
 		}
@@ -737,14 +760,17 @@ func (s *search) tryCandidates(li int, leaf *pattern.Leaf, leafIdx int, trace ev
 		case !anyMine:
 			// Every conflict is caused by an earlier level (or is
 			// structural): changing this level cannot help.
+			s.stats.Backjumps++
 			return traceOutcome{hopeless: true, conflicts: sub.conflicts}
 		case mineUnbounded:
 			// Some conflict on this level has no provable bound.
 			continue
 		case mineMax <= 0:
 			// This level's conflicts demand pruning its whole trace.
+			s.stats.Backjumps++
 			return traceOutcome{matched: matchedAny}
 		default:
+			s.stats.Backjumps++
 			jumpBound = mineMax
 		}
 	}
@@ -780,6 +806,12 @@ func (s *search) isAssigned(ev *event.Event) bool {
 // from the end), the conflict describing an empty domain, and whether the
 // emptiness is structural (no restriction involved).
 func (s *search) domainOn(li, leafIdx int, trace event.TraceID) ([]histEntry, conflict, bool) {
+	cands, confl, structEmpty := s.domainOnRestrict(li, leafIdx, trace)
+	s.m.domainHist.Observe(int64(len(cands)))
+	return cands, confl, structEmpty
+}
+
+func (s *search) domainOnRestrict(li, leafIdx int, trace event.TraceID) ([]histEntry, conflict, bool) {
 	m := s.m
 	h := m.hist[leafIdx]
 	s.stats.DomainsComputed++

@@ -12,8 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ocep/internal/event"
+	"ocep/internal/telemetry"
 	"ocep/internal/vclock"
 )
 
@@ -94,6 +96,72 @@ type Collector struct {
 	// durable.go). Appends happen under mu so WAL order equals ingestion
 	// order; the durability barrier (fsync) runs after mu is released.
 	durable *Durability
+	// tel holds the collector's telemetry instruments. All fields are
+	// nil until InstrumentMetrics attaches a registry; every write is a
+	// nil-safe no-op, so the uninstrumented hot path pays only nil
+	// checks.
+	tel collectorMetrics
+}
+
+// collectorMetrics groups the collector's instruments so they can be
+// snapshotted into each delivery queue at subscription time.
+type collectorMetrics struct {
+	ingested     *telemetry.Counter
+	stale        *telemetry.Counter
+	rejected     *telemetry.Counter
+	delivered    *telemetry.Counter
+	walEventRecs *telemetry.Counter
+	walTraceRecs *telemetry.Counter
+	blockedNs    *telemetry.Counter
+	queues       queueMetrics
+}
+
+// InstrumentMetrics registers the collector's metrics with reg and
+// turns instrumentation on. Call it once, at wiring time — before
+// reporting begins and before subscriptions are created (each delivery
+// queue snapshots the instruments when it is registered). A nil
+// registry leaves the collector uninstrumented.
+func (c *Collector) InstrumentMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	c.tel = collectorMetrics{
+		ingested:     reg.Counter("poet_ingested_events_total", "Raw events accepted by the collector."),
+		stale:        reg.Counter("poet_stale_reports_total", "Reports rejected as stale or duplicate (idempotent retransmit no-ops)."),
+		rejected:     reg.Counter("poet_rejected_reports_total", "Reports rejected as malformed (bad sequence, missing message id, duplicate message id)."),
+		delivered:    reg.Counter("poet_delivered_events_total", "Events stamped and published in linearization order."),
+		walEventRecs: reg.Counter("poet_wal_event_records_total", "Event records appended to the write-ahead log."),
+		walTraceRecs: reg.Counter("poet_wal_trace_records_total", "Trace-registration records appended to the write-ahead log."),
+		blockedNs:    reg.Counter("poet_delivery_blocked_ns_total", "Nanoseconds Report spent blocked on full subscriber queues (BackpressureBlock)."),
+		queues: queueMetrics{
+			enqueued:  reg.Counter("poet_delivery_enqueued_total", "Events accepted into subscriber delivery queues (summed over subscribers)."),
+			handled:   reg.Counter("poet_delivery_handled_total", "Events consumed by batch subscriber handlers."),
+			dropped:   reg.Counter("poet_delivery_dropped_total", "Events discarded by full queues under BackpressureDrop."),
+			batches:   reg.Counter("poet_delivery_batches_total", "Batch handler invocations."),
+			batchSize: reg.Histogram("poet_delivery_batch_size", "Events per cut batch handed to subscriber handlers."),
+		},
+	}
+	d := c.durable
+	c.mu.Unlock()
+	if d != nil {
+		d.InstrumentMetrics(reg)
+	}
+	reg.GaugeFunc("poet_pending_events", "Buffered raw events awaiting causal predecessors.", func() int64 {
+		return int64(c.Pending())
+	})
+	reg.GaugeFunc("poet_traces", "Registered traces.", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.store.NumTraces())
+	})
+	reg.GaugeFunc("poet_delivery_queue_depth", "Current depth summed over subscriber delivery queues.", func() int64 {
+		var n int64
+		for _, q := range c.asyncQueues() {
+			n += int64(q.stats().Queued)
+		}
+		return n
+	})
 }
 
 // NewCollector returns an empty collector.
@@ -226,6 +294,7 @@ func (c *Collector) RegisterTrace(name string) event.TraceID {
 		// differ after recovery. Event-driven registrations are implied
 		// by the event records themselves.
 		seq = d.appendTraceLocked(name)
+		c.tel.walTraceRecs.Inc()
 	}
 	c.mu.Unlock()
 	if seq >= 0 {
@@ -369,6 +438,14 @@ func (c *Collector) TraceStats() []TraceStat {
 func (c *Collector) Report(raw RawEvent) error {
 	c.mu.Lock()
 	err := c.reportLocked(raw)
+	switch {
+	case err == nil:
+		c.tel.ingested.Inc()
+	case errors.Is(err, ErrStaleEvent):
+		c.tel.stale.Inc()
+	default:
+		c.tel.rejected.Inc()
+	}
 	d := c.durable
 	var walSeq int64 = -1
 	var walErr error
@@ -377,6 +454,9 @@ func (c *Collector) Report(raw RawEvent) error {
 		// order so recovery rebuilds the identical linearization. The
 		// write is buffered; the fsync barrier runs after unlock.
 		walSeq, walErr = d.appendEventLocked(raw)
+		if walErr == nil {
+			c.tel.walEventRecs.Inc()
+		}
 	}
 	var laggards []*queue
 	for _, q := range c.asyncs {
@@ -384,6 +464,7 @@ func (c *Collector) Report(raw RawEvent) error {
 			laggards = append(laggards, q)
 		}
 	}
+	blockedNs := c.tel.blockedNs
 	c.mu.Unlock()
 	if walErr == nil && walSeq >= 0 {
 		walErr = d.commit(walSeq)
@@ -395,8 +476,17 @@ func (c *Collector) Report(raw RawEvent) error {
 		// next crash. Acks are withheld too (see acksFor).
 		return fmt.Errorf("poet: write-ahead log: %w", walErr)
 	}
-	for _, q := range laggards {
-		q.waitSpace()
+	if len(laggards) > 0 {
+		var start time.Time
+		if blockedNs != nil {
+			start = time.Now()
+		}
+		for _, q := range laggards {
+			q.waitSpace()
+		}
+		if blockedNs != nil {
+			blockedNs.Add(time.Since(start).Nanoseconds())
+		}
 	}
 	return err
 }
@@ -492,6 +582,7 @@ func (c *Collector) deliver(t event.TraceID, raw RawEvent) {
 		c.sends[raw.MsgID] = e.ID
 	}
 	c.delivered++
+	c.tel.delivered.Inc()
 	c.order = append(c.order, e)
 	if c.retainLog {
 		c.log = append(c.log, raw)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ocep/internal/event"
+	"ocep/internal/telemetry"
 )
 
 // This file implements the asynchronous fan-out delivery pipeline: each
@@ -126,6 +127,20 @@ type traceAnn struct {
 	name string
 }
 
+// queueMetrics are the delivery-pipeline instruments shared by every
+// queue of one collector (the counters aggregate over subscribers;
+// per-subscriber numbers remain available via DeliveryStats). All nil
+// when the collector is uninstrumented — each write is a nil-safe
+// no-op. A queue copies the struct at creation, so instrument before
+// subscribing.
+type queueMetrics struct {
+	enqueued  *telemetry.Counter
+	handled   *telemetry.Counter
+	dropped   *telemetry.Counter
+	batches   *telemetry.Counter
+	batchSize *telemetry.Histogram
+}
+
 // queue is one subscriber's bounded delivery queue: multiple producers
 // (Report calls, under the collector lock), one consumer goroutine.
 type queue struct {
@@ -134,6 +149,7 @@ type queue struct {
 	depth    int
 	maxBatch int
 	policy   BackpressurePolicy
+	tel      queueMetrics
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on enqueue, batch completion, and close
@@ -150,7 +166,7 @@ type queue struct {
 	done      chan struct{}
 }
 
-func newQueue(h BatchHandler, opts AsyncOptions) *queue {
+func newQueue(h BatchHandler, opts AsyncOptions, tel queueMetrics) *queue {
 	opts = opts.norm()
 	q := &queue{
 		handler:  h,
@@ -158,6 +174,7 @@ func newQueue(h BatchHandler, opts AsyncOptions) *queue {
 		depth:    opts.QueueDepth,
 		maxBatch: opts.MaxBatch,
 		policy:   opts.Policy,
+		tel:      tel,
 		done:     make(chan struct{}),
 	}
 	q.cond = sync.NewCond(&q.mu)
@@ -189,6 +206,7 @@ func (q *queue) push(e *event.Event, name string) {
 	}
 	if q.policy == BackpressureDrop && len(q.buf) >= q.depth {
 		q.dropped++
+		q.tel.dropped.Inc()
 		if annAdded {
 			// The announcement must still reach the consumer even though
 			// its event was dropped.
@@ -199,6 +217,7 @@ func (q *queue) push(e *event.Event, name string) {
 	cp := *e
 	q.buf = append(q.buf, &cp)
 	q.enqueued++
+	q.tel.enqueued.Inc()
 	if len(q.buf) > q.maxQueued {
 		q.maxQueued = len(q.buf)
 	}
@@ -261,6 +280,9 @@ func (q *queue) run() {
 		}
 		if n > 0 {
 			q.handler(batch)
+			q.tel.handled.Add(int64(n))
+			q.tel.batches.Inc()
+			q.tel.batchSize.Observe(int64(n))
 		}
 
 		q.mu.Lock()
@@ -354,7 +376,7 @@ func (c *Collector) SubscribeBatchReplayFrom(offset int, h BatchHandler, opts As
 // linearization from replayFrom (replayFrom == delivered count means no
 // replay; use a negative value to skip replay entirely).
 func (c *Collector) subscribeBatchLocked(h BatchHandler, opts AsyncOptions, replayFrom int) *Subscription {
-	q := newQueue(h, opts)
+	q := newQueue(h, opts, c.tel.queues)
 	if replayFrom >= 0 {
 		// Seeding bypasses the drop policy: the backlog is part of the
 		// atomic replay contract.

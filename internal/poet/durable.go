@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"ocep/internal/event"
+	"ocep/internal/telemetry"
 	"ocep/internal/wal"
 )
 
@@ -206,6 +207,33 @@ func OpenDurable(c *Collector, opts DurableOptions) (*Durability, error) {
 
 // Recovery returns what startup recovery found.
 func (d *Durability) Recovery() RecoveryStats { return d.recovery }
+
+// InstrumentMetrics registers the durability subsystem's metrics with
+// reg: snapshot and recovery counters here, plus the underlying WAL's
+// append/fsync counters and latency histograms. Call it at wiring
+// time — after OpenDurable (recovery itself is not metered) and before
+// reporting begins. A nil registry is a no-op. Collector
+// InstrumentMetrics calls this automatically for an attached
+// durability, so poetd only instruments the collector.
+func (d *Durability) InstrumentMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	d.log.SetMetrics(wal.NewMetrics(reg))
+	reg.CounterFunc("poet_snapshots_total", "Snapshots written (including the final one on Close).", d.Snapshots)
+	reg.GaugeFunc("poet_recovery_wal_records", "WAL records replayed by the last startup recovery.", func() int64 {
+		return int64(d.recovery.WALRecords)
+	})
+	reg.GaugeFunc("poet_recovery_stale_records", "Replayed WAL records already covered by the snapshot (idempotent no-ops).", func() int64 {
+		return int64(d.recovery.StaleRecords)
+	})
+	reg.GaugeFunc("poet_recovery_discarded_records", "Torn or corrupt WAL records discarded by the last startup recovery.", func() int64 {
+		return d.recovery.DiscardedRecords
+	})
+	reg.GaugeFunc("poet_recovery_delivered_events", "Delivered events rebuilt by the last startup recovery.", func() int64 {
+		return int64(d.recovery.Delivered)
+	})
+}
 
 // Snapshots returns how many snapshots have been written (including the
 // final one on Close).

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ocep/internal/event"
+	"ocep/internal/telemetry"
 )
 
 // Server exposes a Collector over TCP: target processes connect to
@@ -47,6 +48,10 @@ type Server struct {
 	heartbeats     atomic.Int64
 	targetResumes  atomic.Int64
 	monitorResumes atomic.Int64
+
+	// tel mirrors the wire counters into a telemetry registry; all nil
+	// (no-op) until InstrumentMetrics.
+	tel serverMetrics
 
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -116,6 +121,43 @@ type WireStats struct {
 	// by startup recovery (0 for a non-durable or cleanly started
 	// server). See RecoveryStats.DiscardedRecords.
 	RecoveryDiscarded int
+}
+
+// serverMetrics are the wire layer's instruments. All fields are nil
+// until InstrumentMetrics; writes are nil-safe no-ops.
+type serverMetrics struct {
+	targetConns  *telemetry.Counter
+	monitorConns *telemetry.Counter
+	targetEvents *telemetry.Counter
+	acksSent     *telemetry.Counter
+	heartbeats   *telemetry.Counter
+	stale        *telemetry.Counter
+	targetRes    *telemetry.Counter
+	monitorRes   *telemetry.Counter
+	peerTimeouts *telemetry.Counter
+	monOverflows *telemetry.Counter
+}
+
+// InstrumentMetrics registers the server's wire metrics with reg. Call
+// before Listen; a nil registry leaves the server uninstrumented. The
+// collector (and, when durable, the WAL) are instrumented separately
+// via Collector.InstrumentMetrics.
+func (s *Server) InstrumentMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.tel = serverMetrics{
+		targetConns:  reg.Counter("poet_wire_target_conns_total", "Accepted target (reporter) connections."),
+		monitorConns: reg.Counter("poet_wire_monitor_conns_total", "Accepted monitor connections."),
+		targetEvents: reg.Counter("poet_wire_target_events_total", "Event frames received from targets (before ingestion; includes stale retransmits)."),
+		acksSent:     reg.Counter("poet_wire_acks_sent_total", "serverAck frames sent to targets."),
+		heartbeats:   reg.Counter("poet_wire_heartbeats_sent_total", "Idle keep-alive frames sent to monitors."),
+		stale:        reg.Counter("poet_wire_stale_retransmits_total", "Retransmitted events absorbed as idempotent no-ops."),
+		targetRes:    reg.Counter("poet_wire_target_resumes_total", "Target hellos that named resumed traces."),
+		monitorRes:   reg.Counter("poet_wire_monitor_resumes_total", "Monitor hellos with a nonzero resume offset."),
+		peerTimeouts: reg.Counter("poet_wire_peer_timeouts_total", "Target connections declared dead after peer-timeout silence."),
+		monOverflows: reg.Counter("poet_wire_monitor_overflow_disconnects_total", "Monitors disconnected for overflowing their delivery queue."),
+	}
 }
 
 // WireStats returns the server's cumulative wire counters.
@@ -278,6 +320,7 @@ func (s *Server) handle(conn net.Conn) error {
 // connection, with the reason reported to the peer so it stops
 // retransmitting the poison event.
 func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
+	s.tel.targetConns.Inc()
 	enc := gob.NewEncoder(conn)
 	var encMu sync.Mutex
 	writeAck := func(ack *serverAck) error {
@@ -298,6 +341,7 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 	}
 	if len(h.Traces) > 0 {
 		s.targetResumes.Add(1)
+		s.tel.targetRes.Inc()
 	}
 
 	// Traces this connection has reported, for the ack pump.
@@ -331,6 +375,7 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 					return
 				}
 				s.acksSent.Add(1)
+				s.tel.acksSent.Inc()
 			}
 		}
 	}()
@@ -343,6 +388,7 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 				return nil
 			}
 			if isTimeout(err) {
+				s.tel.peerTimeouts.Inc()
 				return fmt.Errorf("target silent for %v (no event or heartbeat); presumed dead", s.peerTimeout)
 			}
 			return fmt.Errorf("decoding raw event: %w", err)
@@ -354,6 +400,7 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 			return fmt.Errorf("empty target message")
 		}
 		raw := *msg.Event
+		s.tel.targetEvents.Inc()
 		seenMu.Lock()
 		seen[raw.Trace] = true
 		seenMu.Unlock()
@@ -363,6 +410,7 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 				// aftermath of a reporter reconnect, not a fault. Dropping
 				// it is exactly once delivery.
 				s.stale.Add(1)
+				s.tel.stale.Inc()
 				s.logf("poet server: %s: ignoring stale retransmit %s/%d", conn.RemoteAddr(), raw.Trace, raw.Seq)
 				continue
 			}
@@ -386,6 +434,7 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 // monitor instead. On server Close the queue is drained and an End
 // frame marks the clean end of stream.
 func (s *Server) handleMonitor(conn net.Conn, h hello) error {
+	s.tel.monitorConns.Inc()
 	s.monWG.Add(1)
 	defer s.monWG.Done()
 
@@ -432,6 +481,7 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 	}
 	if h.ResumeFrom > 0 {
 		s.monitorResumes.Add(1)
+		s.tel.monitorRes.Inc()
 	}
 
 	errc := make(chan error, 1)
@@ -458,6 +508,7 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 			return true
 		}
 		if st := stats(); st.Dropped > 0 {
+			s.tel.monOverflows.Inc()
 			fail(fmt.Errorf("monitor %s overflowed its %d-event queue; disconnected",
 				conn.RemoteAddr(), s.monQueue))
 			return false

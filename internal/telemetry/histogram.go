@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram buckets use a log-linear layout: each power-of-two octave
+// is split into histSubCount equal-width linear sub-buckets, which
+// bounds the relative error of any recorded value at
+// 1/histSubCount = 25% while keeping the whole bucket array small
+// enough (157 slots) to live as a flat block of atomics. The same
+// layout underlies HdrHistogram and OpenTelemetry's exponential
+// histograms; here it is reduced to pure integer bit tricks so that
+// Observe is two shifts, a mask, and three atomic adds.
+//
+// Layout:
+//   - values 0..3 map to their own exact bucket (idx == value);
+//   - a value v >= 4 with exp = floor(log2 v) lands in
+//     idx = (exp-1)*4 + (v >> (exp-2)) & 3,
+//     i.e. 4 buckets per octave, each covering 2^(exp-2) values;
+//   - values >= 2^histMaxExp (about 1.1e12 — over 18 minutes when the
+//     unit is nanoseconds) share one overflow bucket rendered as +Inf.
+const (
+	histSubBits  = 2
+	histSubCount = 1 << histSubBits // linear sub-buckets per octave
+	histMaxExp   = 40
+	// Buckets 0..3 are the exact linear region; octaves exp=2..39
+	// contribute 4 buckets each at indices (exp-1)*4 .. (exp-1)*4+3;
+	// one more slot is the overflow bucket.
+	histNumBuckets = (histMaxExp-1)*histSubCount + 1
+)
+
+// bucketIndex maps a value to its bucket. Negative values clamp to 0:
+// the histograms record counts, sizes, and durations, all non-negative
+// by construction, so a negative observation is a caller bug we absorb
+// rather than crash on.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	if exp >= histMaxExp {
+		return histNumBuckets - 1
+	}
+	sub := int((uint64(v) >> uint(exp-histSubBits)) & (histSubCount - 1))
+	return (exp-1)*histSubCount + sub
+}
+
+// bucketBound returns the inclusive upper bound of bucket idx. The
+// overflow bucket reports math.MaxInt64 and renders as +Inf.
+func bucketBound(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	if idx >= histNumBuckets-1 {
+		return math.MaxInt64
+	}
+	exp := idx/histSubCount + 1
+	sub := idx % histSubCount
+	lo := int64(1)<<uint(exp) + int64(sub)<<uint(exp-histSubBits)
+	return lo + int64(1)<<uint(exp-histSubBits) - 1
+}
+
+// A Histogram records int64 observations into log-linear buckets. The
+// zero value is ready to use; a nil *Histogram no-ops. Observe is
+// lock-free (three atomic adds); Snapshot reads the same atomics, so a
+// snapshot taken while writers are active is a consistent-enough view:
+// each bucket count is exact at some instant, and Count/Sum may trail
+// or lead the bucket totals by in-flight observations.
+type Histogram struct {
+	_       [64]byte // keep count/sum off heap neighbors' cache lines (see Counter)
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histNumBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations. Nil receivers read 0.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values. Nil receivers read 0.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot. UpperBound is
+// inclusive; the overflow bucket has UpperBound == math.MaxInt64.
+type HistogramBucket struct {
+	UpperBound int64
+	Count      int64
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram. Buckets
+// holds only non-empty buckets in ascending bound order.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets []HistogramBucket
+}
+
+// Snapshot captures the histogram without blocking writers.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: bucketBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Quantile returns an estimate of the q-th quantile (0 <= q <= 1) of
+// the recorded distribution, using each bucket's upper bound. With the
+// log-linear layout the estimate is within 25% of the true value.
+// Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.UpperBound
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveBucketIndex is an independent reference implementation of the
+// log-linear bucketing using floating-point log2 and plain arithmetic
+// instead of bit tricks. The float exponent is corrected at power-of-two
+// boundaries where Log2 of a large int64 can round the wrong way.
+func naiveBucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := int(math.Log2(float64(v)))
+	for exp+1 < 63 && int64(1)<<uint(exp+1) <= v {
+		exp++
+	}
+	for int64(1)<<uint(exp) > v {
+		exp--
+	}
+	if exp >= histMaxExp {
+		return histNumBuckets - 1
+	}
+	width := int64(1) << uint(exp-histSubBits)
+	sub := int((v - int64(1)<<uint(exp)) / width)
+	return (exp-1)*histSubCount + sub
+}
+
+func TestBucketIndexMatchesNaiveReference(t *testing.T) {
+	// Exhaustive over the small range, then dense boundary probing, then
+	// random sampling across every octave.
+	for v := int64(-5); v < 1<<16; v++ {
+		if got, want := bucketIndex(v), naiveBucketIndex(v); got != want {
+			t.Fatalf("bucketIndex(%d) = %d, naive = %d", v, got, want)
+		}
+	}
+	for exp := uint(4); exp < 62; exp++ {
+		base := int64(1) << exp
+		for _, v := range []int64{base - 2, base - 1, base, base + 1, base + base/4, base + base/2, 2*base - 1} {
+			if v < 0 {
+				continue
+			}
+			if got, want := bucketIndex(v), naiveBucketIndex(v); got != want {
+				t.Fatalf("bucketIndex(%d) = %d, naive = %d (exp=%d)", v, got, want, exp)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200_000; i++ {
+		exp := rng.Intn(62)
+		v := int64(1)<<uint(exp) | rng.Int63n(int64(1)<<uint(exp))
+		if got, want := bucketIndex(v), naiveBucketIndex(v); got != want {
+			t.Fatalf("bucketIndex(%d) = %d, naive = %d", v, got, want)
+		}
+	}
+	if got := bucketIndex(math.MaxInt64); got != histNumBuckets-1 {
+		t.Fatalf("bucketIndex(MaxInt64) = %d, want overflow bucket %d", got, histNumBuckets-1)
+	}
+}
+
+func TestBucketBoundsProperties(t *testing.T) {
+	// Bounds are strictly increasing and bucketIndex(bound) round-trips.
+	prev := int64(-1)
+	for idx := 0; idx < histNumBuckets; idx++ {
+		b := bucketBound(idx)
+		if b <= prev {
+			t.Fatalf("bucketBound(%d) = %d not > bucketBound(%d) = %d", idx, b, idx-1, prev)
+		}
+		prev = b
+		if idx < histNumBuckets-1 {
+			if got := bucketIndex(b); got != idx {
+				t.Fatalf("bucketIndex(bucketBound(%d)=%d) = %d", idx, b, got)
+			}
+			if got := bucketIndex(b + 1); got != idx+1 {
+				t.Fatalf("bucketIndex(bucketBound(%d)+1) = %d, want %d", idx, got, idx+1)
+			}
+		}
+	}
+
+	// Relative error: the bound over-reports any in-bucket value by at
+	// most 1/histSubCount = 25% (exact below histSubCount).
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100_000; i++ {
+		exp := rng.Intn(histMaxExp - 2)
+		v := int64(1)<<uint(exp+2) | rng.Int63n(int64(1)<<uint(exp+2)) // >= 4, < 2^histMaxExp
+		b := bucketBound(bucketIndex(v))
+		if b < v {
+			t.Fatalf("bound %d below value %d", b, v)
+		}
+		if rel := float64(b-v) / float64(v); rel > 1.0/histSubCount {
+			t.Fatalf("bound %d overstates %d by %.3f > %.3f", b, v, rel, 1.0/histSubCount)
+		}
+	}
+}
+
+func TestHistogramObserveSnapshot(t *testing.T) {
+	var h Histogram
+	vals := []int64{0, 1, 2, 3, 4, 5, 100, 100, 1000, -7, math.MaxInt64}
+	var sum int64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), sum)
+	}
+	s := h.Snapshot()
+	var n int64
+	for i, b := range s.Buckets {
+		n += b.Count
+		if i > 0 && b.UpperBound <= s.Buckets[i-1].UpperBound {
+			t.Fatal("snapshot buckets must be in ascending bound order")
+		}
+	}
+	if n != s.Count {
+		t.Fatalf("bucket counts sum to %d, snapshot count %d", n, s.Count)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.UpperBound != math.MaxInt64 || last.Count != 1 {
+		t.Fatalf("MaxInt64 observation missing from overflow bucket: %+v", last)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 500}, {0.9, 900}, {0.99, 990}, {1, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		// The log-linear estimate may overstate by up to 25%.
+		if float64(got) < tc.want || float64(got) > tc.want*1.25+1 {
+			t.Fatalf("Quantile(%v) = %d, want within [%v, %v]", tc.q, got, tc.want, tc.want*1.25+1)
+		}
+	}
+}

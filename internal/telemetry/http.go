@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics      Prometheus text exposition format
+//	/debug/vars   expvar-style JSON of the same registry
+//	/debug/pprof  the standard net/http/pprof profiles
+//
+// Mount it on a dedicated listener (poetd's -metrics-addr) rather than
+// the event wire: scrapes and profile downloads must never share a
+// socket with the protocol stream.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RegisterRuntimeMetrics adds Go runtime gauges (goroutines, heap,
+// GC) to the registry so a scrape of poetd carries process health
+// alongside pipeline counters. ReadMemStats is cheap at scrape
+// frequency; it runs only when a scrape evaluates the func metrics.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.NumGC)
+	})
+}

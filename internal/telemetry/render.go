@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sanitizeName maps an arbitrary string to a legal Prometheus metric
+// name ([a-zA-Z_:][a-zA-Z0-9_:]*). Illegal runes become '_'; a leading
+// digit gets a '_' prefix. Names are sanitized once at registration so
+// lookups and rendering agree.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelKey is sanitizeName without ':' (label names exclude it).
+func sanitizeLabelKey(s string) string {
+	return strings.ReplaceAll(sanitizeName(s), ":", "_")
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders `{k="v",...}` (empty string when no labels),
+// with extra appended last (used for histogram `le`).
+func labelString(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, l := range labels {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range extra {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortedFamilies groups the registry's metrics into families sorted by
+// name, each family's series sorted by label signature. Stable output
+// ordering is part of the contract (golden tests diff it verbatim).
+func (r *Registry) sortedFamilies() [][]*metric {
+	ms := r.snapshot()
+	byName := make(map[string][]*metric)
+	var names []string
+	for _, m := range ms {
+		if _, ok := byName[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	sort.Strings(names)
+	out := make([][]*metric, 0, len(names))
+	for _, n := range names {
+		fam := byName[n]
+		sort.SliceStable(fam, func(i, j int) bool {
+			return labelString(fam[i].labels) < labelString(fam[j].labels)
+		})
+		out = append(out, fam)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name,
+// series within a family by label set; HELP/TYPE are emitted once per
+// family. Histograms render cumulative `le` buckets (only buckets
+// whose cumulative count changes, plus +Inf), then _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.sortedFamilies() {
+		head := fam[0]
+		if head.help != "" {
+			bw.WriteString("# HELP " + head.name + " " + escapeHelp(head.help) + "\n")
+		}
+		bw.WriteString("# TYPE " + head.name + " " + head.kind.promType() + "\n")
+		for _, m := range fam {
+			if m.kind == kindHistogram {
+				writePromHistogram(bw, m)
+				continue
+			}
+			bw.WriteString(m.name + labelString(m.labels) + " " +
+				strconv.FormatInt(m.value(), 10) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(bw *bufio.Writer, m *metric) {
+	s := m.hist.Snapshot()
+	var cum int64
+	for _, b := range s.Buckets {
+		if b.UpperBound == math.MaxInt64 {
+			// Folded into +Inf below.
+			cum += b.Count
+			continue
+		}
+		cum += b.Count
+		bw.WriteString(m.name + "_bucket" +
+			labelString(m.labels, Label{Key: "le", Value: strconv.FormatInt(b.UpperBound, 10)}) +
+			" " + strconv.FormatInt(cum, 10) + "\n")
+	}
+	bw.WriteString(m.name + "_bucket" + labelString(m.labels, Label{Key: "le", Value: "+Inf"}) +
+		" " + strconv.FormatInt(cum, 10) + "\n")
+	bw.WriteString(m.name + "_sum" + labelString(m.labels) + " " + strconv.FormatInt(s.Sum, 10) + "\n")
+	bw.WriteString(m.name + "_count" + labelString(m.labels) + " " + strconv.FormatInt(s.Count, 10) + "\n")
+}
+
+// WriteJSON renders the registry as a single JSON object in the spirit
+// of expvar: scalar metrics map to numbers, histograms to
+// {"count":..,"sum":..,"buckets":[{"le":..,"n":..},...]}. Keys are the
+// series name plus its label string, sorted, so output is stable.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{")
+	first := true
+	for _, fam := range r.sortedFamilies() {
+		for _, m := range fam {
+			if !first {
+				bw.WriteString(",")
+			}
+			first = false
+			bw.WriteString("\n  ")
+			bw.WriteString(strconv.Quote(m.name + labelString(m.labels)))
+			bw.WriteString(": ")
+			if m.kind == kindHistogram {
+				writeJSONHistogram(bw, m.hist)
+			} else {
+				bw.WriteString(strconv.FormatInt(m.value(), 10))
+			}
+		}
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
+}
+
+func writeJSONHistogram(bw *bufio.Writer, h *Histogram) {
+	s := h.Snapshot()
+	bw.WriteString(`{"count":` + strconv.FormatInt(s.Count, 10) +
+		`,"sum":` + strconv.FormatInt(s.Sum, 10) + `,"buckets":[`)
+	for i, b := range s.Buckets {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		le := strconv.FormatInt(b.UpperBound, 10)
+		if b.UpperBound == math.MaxInt64 {
+			le = `"+Inf"`
+		}
+		bw.WriteString(`{"le":` + le + `,"n":` + strconv.FormatInt(b.Count, 10) + `}`)
+	}
+	bw.WriteString("]}")
+}
+
+// String renders the Prometheus text format to a string (handy in
+// tests and for ocepbench metric dumps).
+func (r *Registry) String() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}

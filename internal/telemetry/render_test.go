@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenRegistry builds a registry exercising every rendering feature:
+// name sanitization, label-key sanitization, label-value escaping,
+// multi-series families, func metrics, and a histogram with an
+// overflow observation.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	// "2xx responses!" needs a leading-digit fix and two '_' rewrites.
+	r.Counter("2xx responses!", "leading digit and spaces").Add(7)
+	// Label key with a space; value with a quote, a backslash and a
+	// newline, all of which must be escaped.
+	r.Counter("ocep_escapes_total", "label escaping",
+		L("bad key", `va"l\ue`+"\n")).Add(1)
+	// A multi-series family, registered out of label order so rendering
+	// must sort it.
+	r.Counter("ocep_cases_total", "per-case counter", L("case", "races")).Add(2)
+	r.Counter("ocep_cases_total", "per-case counter", L("case", "deadlock")).Add(3)
+	r.Gauge("ocep_depth", "a gauge").Set(-4)
+	r.CounterFunc("ocep_func_total", "a computed counter", func() int64 { return 9 })
+	h := r.Histogram("ocep_sizes", "a histogram")
+	for _, v := range []int64{0, 1, 1, 3, 5, 9, 100, 1 << 50} {
+		h.Observe(v)
+	}
+	// HELP lines escape backslash and newline.
+	r.Gauge("ocep_help_escape", "line one\nline \\two").Set(1)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("output differs from %s (run with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := goldenRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.prom", []byte(b.String()))
+
+	// Rendering must be byte-stable across calls (ordering contract).
+	if again := r.String(); again != b.String() {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	r := goldenRegistry()
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.json", []byte(b.String()))
+
+	// The output must be valid JSON with one key per series.
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if _, ok := parsed[`ocep_cases_total{case="deadlock"}`]; !ok {
+		t.Fatal("labeled series key missing from JSON output")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"ok_name:sub", "ok_name:sub"},
+		{"2bad", "_2bad"},
+		{"has space", "has_space"},
+		{"dash-dot.", "dash_dot_"},
+		{"", "_"},
+	} {
+		if got := sanitizeName(tc.in); got != tc.want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := sanitizeLabelKey("a:b"); got != "a_b" {
+		t.Errorf("sanitizeLabelKey(a:b) = %q, want a_b", got)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	in := `a\b"c` + "\nd"
+	want := `a\\b\"c\nd`
+	if got := escapeLabelValue(in); got != want {
+		t.Fatalf("escapeLabelValue = %q, want %q", got, want)
+	}
+}
+
+func TestNilRegistryRenders(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.String() != "" {
+		t.Fatalf("nil registry Prometheus render: %q, %v", b.String(), err)
+	}
+	b.Reset()
+	if err := r.WriteJSON(&b); err != nil || b.String() != "{}\n" {
+		t.Fatalf("nil registry JSON render: %q, %v", b.String(), err)
+	}
+}

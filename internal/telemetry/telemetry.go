@@ -1,0 +1,410 @@
+// Package telemetry is a dependency-free metrics layer for the OCEP
+// pipeline: atomic counters and gauges, bounded log-linear histograms,
+// and a registry that renders Prometheus text or expvar-style JSON.
+//
+// Design constraints, in order:
+//
+//   - The hot path (Counter.Add, Gauge.Set, Histogram.Observe) must be
+//     a handful of atomic operations with no locks and no allocation,
+//     because the collector calls it once per event under its own
+//     mutex and the matcher calls it once per candidate.
+//   - A disabled pipeline must cost nothing but a nil check: every
+//     instrument method is safe on a nil receiver and compiles to a
+//     predictable branch, so instrumented code never guards call
+//     sites with `if metrics != nil`.
+//   - Scrapes must not stall writers: rendering reads the same atomics
+//     the writers touch, never a lock the hot path takes.
+//
+// Registration (Registry.Counter etc.) does take a mutex; it happens
+// once at wiring time, not per event.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Counter is a monotonically increasing int64. The zero value is
+// ready to use; a nil *Counter no-ops on writes and reads zero, which
+// is how disabled telemetry stays free at the call site.
+//
+// The padding fields keep the hot line (v, waitArmed) from sharing a
+// cache line with heap neighbors. Counters are small and registered
+// back to back, so without padding two instruments hammered by
+// different goroutines (the collector's ingest counter and a monitor's
+// event counter, say) can land on one line and, on a multi-core host,
+// ping-pong it between cores — a heap-layout-dependent tax that would
+// dwarf the instruments' actual cost. A few hundred bytes per
+// instrument is nothing next to that risk.
+type Counter struct {
+	_ [64]byte
+	v atomic.Int64
+
+	// Waiter support for WaitAtLeast. waitArmed is checked on every
+	// Add so it must stay an atomic flag, not a mutex acquisition; it
+	// is only true while at least one WaitAtLeast is blocked.
+	waitArmed atomic.Bool
+	_         [55]byte
+
+	mu      sync.Mutex
+	wake    chan struct{}
+	waiters int
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+	if c.waitArmed.Load() {
+		c.broadcast()
+	}
+}
+
+func (c *Counter) broadcast() {
+	c.mu.Lock()
+	if c.wake != nil {
+		close(c.wake)
+		c.wake = nil
+	}
+	c.mu.Unlock()
+}
+
+// Value returns the current count. Nil receivers read 0.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// WaitAtLeast blocks until Value() >= target or the timeout elapses,
+// and reports whether the target was reached. It exists so tests can
+// wait on pipeline progress ("monitor has seen N events") instead of
+// sleep-polling: the counter wakes waiters on the increment that
+// crosses the target, so the wait ends microseconds after the event,
+// not at the next poll tick.
+//
+// The arm/check ordering makes the handshake sound: a waiter arms the
+// flag, then re-reads the value before sleeping; a writer bumps the
+// value, then checks the flag. Whichever order the two race in, either
+// the waiter sees the new value or the writer sees the armed flag.
+func (c *Counter) WaitAtLeast(target int64, timeout time.Duration) bool {
+	if c == nil {
+		return target <= 0
+	}
+	if c.v.Load() >= target {
+		return true
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	c.mu.Lock()
+	c.waiters++
+	c.waitArmed.Store(true)
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			c.waitArmed.Store(false)
+		}
+		c.mu.Unlock()
+	}()
+
+	for {
+		c.mu.Lock()
+		if c.wake == nil {
+			c.wake = make(chan struct{})
+		}
+		wake := c.wake
+		c.mu.Unlock()
+		if c.v.Load() >= target {
+			return true
+		}
+		select {
+		case <-wake:
+		case <-timer.C:
+			return c.v.Load() >= target
+		}
+	}
+}
+
+// A Gauge is an int64 that can go up and down. The zero value is ready
+// to use; a nil *Gauge no-ops. Padded for the same reason as Counter.
+type Gauge struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add increments the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value. Nil receivers read 0.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// A Label is one key=value pair attached to a metric. Metrics with the
+// same name but different labels are distinct series in one family.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+type metric struct {
+	name   string // sanitized metric name
+	help   string
+	kind   metricKind
+	labels []Label // sanitized keys, raw values
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	// fn holds a func() int64 for func metrics. It is an atomic.Value
+	// because re-registering a func metric rebinds it (e.g. a fresh
+	// collector instrumented into a long-lived registry) and a scrape
+	// may be evaluating it concurrently.
+	fn atomic.Value
+}
+
+// value returns the metric's current scalar value (not for histograms).
+func (m *metric) value() int64 {
+	switch m.kind {
+	case kindCounter:
+		return m.counter.Value()
+	case kindGauge:
+		return m.gauge.Value()
+	case kindCounterFunc, kindGaugeFunc:
+		if f, ok := m.fn.Load().(func() int64); ok {
+			return f()
+		}
+	}
+	return 0
+}
+
+// A Registry holds named metrics and renders them. The zero value is
+// not usable; call NewRegistry. A nil *Registry is the disabled mode:
+// every constructor returns a nil instrument, so an entire pipeline
+// can be wired with `var reg *telemetry.Registry` and pay only nil
+// checks at runtime.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed by name + label signature
+	order   []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// seriesKey builds the lookup key for a (name, labels) pair. Labels
+// are assumed already sorted by register.
+func seriesKey(name string, labels []Label) string {
+	k := name
+	for _, l := range labels {
+		k += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return k
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, fn func() int64) *metric {
+	name = sanitizeName(name)
+	ls := make([]Label, len(labels))
+	for i, l := range labels {
+		ls[i] = Label{Key: sanitizeLabelKey(l.Key), Value: l.Value}
+	}
+	sortLabels(ls)
+	key := seriesKey(name, ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.metrics[key]; ok {
+		if existing.kind != kind {
+			panic("telemetry: metric " + name + " re-registered with a different type")
+		}
+		if fn != nil {
+			// Re-registering a func metric rebinds it (e.g. a fresh
+			// collector instrumented into a long-lived registry).
+			existing.fn.Store(fn)
+		}
+		return existing
+	}
+	m := &metric{name: name, help: help, kind: kind, labels: ls}
+	if fn != nil {
+		m.fn.Store(fn)
+	}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or returns the existing) counter with the given
+// name and labels. On a nil registry it returns nil, which is a valid
+// no-op counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, labels, nil).counter
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, labels, nil).gauge
+}
+
+// Histogram registers (or returns the existing) histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, labels, nil).hist
+}
+
+// CounterFunc registers a counter whose value is computed by fn at
+// scrape time. fn must be safe to call from any goroutine; it may take
+// locks, since rendering happens off the hot path.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounterFunc, labels, fn)
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGaugeFunc, labels, fn)
+}
+
+func (r *Registry) find(name string, labels ...Label) *metric {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	ls := make([]Label, len(labels))
+	for i, l := range labels {
+		ls[i] = Label{Key: sanitizeLabelKey(l.Key), Value: l.Value}
+	}
+	sortLabels(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[seriesKey(name, ls)]
+}
+
+// FindCounter returns the registered counter, or nil if absent (or if
+// the name belongs to a different metric type). Useful for tests and
+// for waiting on counters registered elsewhere.
+func (r *Registry) FindCounter(name string, labels ...Label) *Counter {
+	if m := r.find(name, labels...); m != nil && m.kind == kindCounter {
+		return m.counter
+	}
+	return nil
+}
+
+// FindGauge returns the registered gauge, or nil.
+func (r *Registry) FindGauge(name string, labels ...Label) *Gauge {
+	if m := r.find(name, labels...); m != nil && m.kind == kindGauge {
+		return m.gauge
+	}
+	return nil
+}
+
+// FindHistogram returns the registered histogram, or nil.
+func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
+	if m := r.find(name, labels...); m != nil && m.kind == kindHistogram {
+		return m.hist
+	}
+	return nil
+}
+
+// Value returns the current scalar value of any non-histogram series,
+// or 0 if absent. Func metrics are evaluated.
+func (r *Registry) Value(name string, labels ...Label) int64 {
+	m := r.find(name, labels...)
+	if m == nil || m.kind == kindHistogram {
+		return 0
+	}
+	return m.value()
+}
+
+// snapshot returns the metric list in registration order without
+// holding the lock during rendering (func metrics may themselves take
+// locks, e.g. a collector reading its pending depth).
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, len(r.order))
+	copy(out, r.order)
+	r.mu.Unlock()
+	return out
+}
+
+func sortLabels(ls []Label) {
+	// Insertion sort: label sets are tiny (0-3 entries).
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Key < ls[j-1].Key; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if got := c.Value(); got != 0 {
+		t.Fatalf("zero counter reads %d", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+	if !c.WaitAtLeast(0, time.Millisecond) {
+		t.Fatal("nil counter WaitAtLeast(0) must succeed")
+	}
+	if c.WaitAtLeast(1, time.Millisecond) {
+		t.Fatal("nil counter WaitAtLeast(1) must fail")
+	}
+}
+
+func TestNilRegistryReturnsNilInstruments(t *testing.T) {
+	var r *Registry
+	if r.Counter("a", "") != nil || r.Gauge("b", "") != nil || r.Histogram("c", "") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.CounterFunc("d", "", func() int64 { return 1 })
+	r.GaugeFunc("e", "", func() int64 { return 1 })
+	if r.Value("d") != 0 {
+		t.Fatal("nil registry Value must read 0")
+	}
+	if r.FindCounter("a") != nil {
+		t.Fatal("nil registry FindCounter must return nil")
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("poet_x_total", "first help")
+	b := r.Counter("poet_x_total", "second help ignored")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the same instrument")
+	}
+	a.Add(3)
+	if got := r.Value("poet_x_total"); got != 3 {
+		t.Fatalf("Value = %d, want 3", got)
+	}
+
+	// Distinct label values are distinct series.
+	c1 := r.Counter("poet_y_total", "", L("case", "deadlock"))
+	c2 := r.Counter("poet_y_total", "", L("case", "races"))
+	if c1 == c2 {
+		t.Fatal("different label values must be different series")
+	}
+	// Label order must not matter.
+	d1 := r.Counter("poet_z_total", "", L("a", "1"), L("b", "2"))
+	d2 := r.Counter("poet_z_total", "", L("b", "2"), L("a", "1"))
+	if d1 != d2 {
+		t.Fatal("label order must not distinguish series")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflicted", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("conflicted", "")
+}
+
+func TestRegistryFind(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", L("k", "v"))
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	c.Add(2)
+	g.Set(-7)
+	h.Observe(10)
+	if r.FindCounter("c_total", L("k", "v")) != c {
+		t.Fatal("FindCounter missed")
+	}
+	if r.FindCounter("c_total") != nil {
+		t.Fatal("FindCounter must not match a different label set")
+	}
+	if r.FindGauge("g") != g || r.FindHistogram("h") != h {
+		t.Fatal("FindGauge/FindHistogram missed")
+	}
+	if r.FindCounter("g") != nil {
+		t.Fatal("FindCounter must not return a gauge's series")
+	}
+	if got := r.Value("g"); got != -7 {
+		t.Fatalf("gauge Value = %d, want -7", got)
+	}
+}
+
+func TestFuncMetricsRebind(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("depth", "", func() int64 { return 1 })
+	if got := r.Value("depth"); got != 1 {
+		t.Fatalf("func gauge = %d, want 1", got)
+	}
+	// Re-registration rebinds the evaluation func — the pattern used by
+	// benchmarks that instrument a fresh collector into one registry.
+	r.GaugeFunc("depth", "", func() int64 { return 2 })
+	if got := r.Value("depth"); got != 2 {
+		t.Fatalf("rebound func gauge = %d, want 2", got)
+	}
+}
+
+func TestWaitAtLeastAlreadyReached(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	if !c.WaitAtLeast(10, 0) {
+		t.Fatal("WaitAtLeast must succeed immediately when already at target")
+	}
+}
+
+func TestWaitAtLeastTimeout(t *testing.T) {
+	var c Counter
+	start := time.Now()
+	if c.WaitAtLeast(1, 20*time.Millisecond) {
+		t.Fatal("WaitAtLeast must time out when the target is never reached")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("WaitAtLeast returned before its timeout")
+	}
+	if c.waitArmed.Load() {
+		t.Fatal("waitArmed must be disarmed after the last waiter leaves")
+	}
+}
+
+func TestWaitAtLeastWakesOnCrossingIncrement(t *testing.T) {
+	var c Counter
+	done := make(chan bool, 1)
+	go func() { done <- c.WaitAtLeast(1000, 10*time.Second) }()
+	// Cross the target from another goroutine; the waiter must return
+	// promptly (far sooner than the 10s timeout).
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitAtLeast reported failure after the target was crossed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAtLeast did not wake after the target was crossed")
+	}
+}
+
+func TestWaitAtLeastManyWaiters(t *testing.T) {
+	var c Counter
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.WaitAtLeast(int64(100+i), 10*time.Second)
+		}(i)
+	}
+	for i := 0; i < 200; i++ {
+		c.Inc()
+	}
+	wg.Wait()
+	for i, ok := range results {
+		if !ok {
+			t.Fatalf("waiter %d (target %d) failed with final value %d", i, 100+i, c.Value())
+		}
+	}
+}
+
+// TestRegistryConcurrentHammer is the -race workout: N writer
+// goroutines hit counters, gauges and histograms while M scrapers
+// render both formats and one goroutine keeps registering (idempotent)
+// series and rebinding func metrics. Any locking mistake in the
+// registry or rendering path shows up as a race report.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		scrapes = 4
+		perG    = 2000
+	)
+	// Pre-register the instruments the writers share.
+	cs := make([]*Counter, writers)
+	for i := range cs {
+		cs[i] = r.Counter("hammer_total", "", L("w", fmt.Sprint(i%3)))
+	}
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_hist", "")
+	r.GaugeFunc("hammer_fn", "", func() int64 { return g.Value() })
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				cs[i].Inc()
+				g.Add(1)
+				h.Observe(int64(j))
+				if j%64 == 0 {
+					// Concurrent WaitAtLeast arms the broadcast path.
+					cs[i].WaitAtLeast(1, 0)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < scrapes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = r.String()
+				var sb writerDiscard
+				_ = r.WriteJSON(&sb)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 500; j++ {
+			r.Counter("hammer_total", "", L("w", fmt.Sprint(j%3)))
+			r.GaugeFunc("hammer_fn", "", func() int64 { return g.Value() })
+		}
+	}()
+	wg.Wait()
+
+	var total int64
+	for _, w := range []string{"0", "1", "2"} {
+		total += r.Value("hammer_total", L("w", w))
+	}
+	if want := int64(writers * perG); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	if h.Count() != int64(writers*perG) {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), writers*perG)
+	}
+}
+
+type writerDiscard struct{}
+
+func (writerDiscard) Write(p []byte) (int, error) { return len(p), nil }

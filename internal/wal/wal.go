@@ -37,6 +37,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ocep/internal/telemetry"
 )
 
 // SyncPolicy selects when appended records are forced to stable storage.
@@ -125,6 +127,42 @@ type ReplayStats struct {
 	DiscardedBytes int64
 }
 
+// Metrics are a log's optional instruments. Individual fields may be
+// nil (each write is a nil-safe no-op); latency observations are
+// skipped entirely when the whole struct is absent, so an
+// uninstrumented log never calls time.Now on the append path.
+type Metrics struct {
+	// Appends counts records accepted by Append.
+	Appends *telemetry.Counter
+	// AppendBytes counts payload bytes accepted by Append.
+	AppendBytes *telemetry.Counter
+	// AppendNs records per-append latency (checksum + buffered write,
+	// excluding lock wait) in nanoseconds.
+	AppendNs *telemetry.Histogram
+	// Fsyncs counts successful fsyncs of the active segment.
+	Fsyncs *telemetry.Counter
+	// FsyncNs records per-fsync latency in nanoseconds.
+	FsyncNs *telemetry.Histogram
+	// Rotations counts segment rotations.
+	Rotations *telemetry.Counter
+}
+
+// NewMetrics registers the standard WAL metric set on reg and returns
+// it; a nil registry yields nil (the uninstrumented mode).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Appends:     reg.Counter("wal_appends_total", "Records appended to the write-ahead log."),
+		AppendBytes: reg.Counter("wal_append_bytes_total", "Payload bytes appended to the write-ahead log."),
+		AppendNs:    reg.Histogram("wal_append_ns", "Write-ahead log append latency (checksum + buffered write) in nanoseconds."),
+		Fsyncs:      reg.Counter("wal_fsyncs_total", "Fsyncs of the active write-ahead log segment."),
+		FsyncNs:     reg.Histogram("wal_fsync_ns", "Write-ahead log fsync latency in nanoseconds."),
+		Rotations:   reg.Counter("wal_rotations_total", "Write-ahead log segment rotations."),
+	}
+}
+
 // Log is an open write-ahead log. Append/Commit are safe for concurrent
 // use; Rotate and RemoveSegmentsBefore coordinate with appends through
 // the same lock.
@@ -132,12 +170,13 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu  sync.Mutex
-	f   *os.File
-	w   *bufio.Writer
-	seg uint64 // current segment index
-	seq int64  // records appended this process lifetime
-	err error  // sticky write failure
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seg     uint64   // current segment index
+	seq     int64    // records appended this process lifetime
+	err     error    // sticky write failure
+	metrics *Metrics // nil when uninstrumented; read under mu
 
 	// Group-commit state: synced is the highest seq known durable,
 	// syncing marks an fsync in flight whose completion waiters share.
@@ -149,6 +188,14 @@ type Log struct {
 	stop    chan struct{}
 	flusher sync.WaitGroup
 	closed  bool
+}
+
+// SetMetrics attaches (or, with nil, detaches) the log's instruments.
+// Attach at wiring time, before appends begin.
+func (l *Log) SetMetrics(m *Metrics) {
+	l.mu.Lock()
+	l.metrics = m
+	l.mu.Unlock()
 }
 
 func segName(idx uint64) string { return fmt.Sprintf("%08d.wal", idx) }
@@ -484,6 +531,10 @@ func (l *Log) Append(payload []byte) (int64, error) {
 	if l.closed {
 		return 0, errors.New("wal: log closed")
 	}
+	var start time.Time
+	if l.metrics != nil {
+		start = time.Now()
+	}
 	var rh [recHeaderSize]byte
 	binary.LittleEndian.PutUint32(rh[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rh[4:8], crc32.Checksum(payload, crcTable))
@@ -496,6 +547,11 @@ func (l *Log) Append(payload []byte) (int64, error) {
 		return 0, l.err
 	}
 	l.seq++
+	if m := l.metrics; m != nil {
+		m.Appends.Inc()
+		m.AppendBytes.Add(int64(len(payload)))
+		m.AppendNs.Observe(time.Since(start).Nanoseconds())
+	}
 	return l.seq, nil
 }
 
@@ -550,9 +606,17 @@ func (l *Log) flushLocked(fsync bool) error {
 		return l.err
 	}
 	if fsync {
+		var start time.Time
+		if l.metrics != nil {
+			start = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			l.err = fmt.Errorf("wal: fsync: %w", err)
 			return l.err
+		}
+		if m := l.metrics; m != nil {
+			m.Fsyncs.Inc()
+			m.FsyncNs.Observe(time.Since(start).Nanoseconds())
 		}
 	}
 	return nil
@@ -623,6 +687,9 @@ func (l *Log) Rotate() (uint64, error) {
 		l.synced = target
 	}
 	l.syncMu.Unlock()
+	if m := l.metrics; m != nil {
+		m.Rotations.Inc()
+	}
 	return l.seg, nil
 }
 

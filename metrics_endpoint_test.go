@@ -1,0 +1,172 @@
+package ocep_test
+
+// End-to-end scrape test: a real poetd child started with
+// -metrics-addr must serve Prometheus text whose counters satisfy the
+// wire-decomposition identity against live traffic, and the same
+// registry as JSON under /debug/vars.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ocep"
+	"ocep/internal/workload"
+)
+
+// parsePromText parses the Prometheus text exposition format into a
+// map from series (name plus label string, verbatim) to value.
+func parsePromText(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	var lastErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				return string(body)
+			}
+			lastErr = fmt.Errorf("status %d, read err %v", resp.StatusCode, err)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("scraping %s: %v", url, lastErr)
+	return ""
+}
+
+func TestPoetdMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping process-spawning test")
+	}
+	poetd := buildTool(t, "poetd")
+	addr := freePort(t)
+	metricsAddr := freePort(t)
+
+	out := &syncBuffer{}
+	cmd := exec.Command(poetd,
+		"-listen", addr,
+		"-metrics-addr", metricsAddr,
+		"-ack-interval", "5ms",
+		"-heartbeat", "25ms",
+		"-quiet")
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting poetd: %v", err)
+	}
+	defer func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	// The metrics endpoint must come up (scrape retries until it does)
+	// and expose runtime metrics before any traffic.
+	body := scrape(t, "http://"+metricsAddr+"/metrics")
+	if !strings.Contains(body, "# TYPE go_goroutines gauge") {
+		t.Fatalf("initial scrape missing runtime metrics:\n%s", body)
+	}
+
+	// Drive a real workload through the wire.
+	sink := &captureSink{}
+	if _, err := workload.GenMsgRace(workload.MsgRaceConfig{Ranks: 4, Waves: 15, Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ocep.DialReporter(addr,
+		ocep.WithReporterHeartbeat(20*time.Millisecond),
+		ocep.WithReporterReconnect(15*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sink.events {
+		if err := rep.Report(e); err != nil {
+			t.Fatalf("report: %v", err)
+		}
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	rep.Close()
+
+	m := parsePromText(t, scrape(t, "http://"+metricsAddr+"/metrics"))
+	n := float64(len(sink.events))
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{"poet_ingested_events_total", n},
+		{"poet_delivered_events_total", n},
+		{"poet_rejected_reports_total", 0},
+		{"poet_pending_events", 0},
+		{"poet_wire_target_conns_total", 1},
+	}
+	for _, c := range checks {
+		got, ok := m[c.name]
+		if !ok {
+			t.Errorf("scrape missing %s", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Wire decomposition against the live scrape.
+	if m["poet_wire_target_events_total"] !=
+		m["poet_ingested_events_total"]+m["poet_stale_reports_total"]+m["poet_rejected_reports_total"] {
+		t.Errorf("wire frames %v != ingested %v + stale %v + rejected %v",
+			m["poet_wire_target_events_total"], m["poet_ingested_events_total"],
+			m["poet_stale_reports_total"], m["poet_rejected_reports_total"])
+	}
+	if m["poet_wire_acks_sent_total"] < 1 {
+		t.Error("no acks counted, yet the reporter flushed")
+	}
+
+	// /debug/vars serves the same registry as valid JSON.
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(scrape(t, "http://"+metricsAddr+"/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if v, ok := vars["poet_ingested_events_total"].(float64); !ok || v != n {
+		t.Errorf("/debug/vars poet_ingested_events_total = %v, want %v", vars["poet_ingested_events_total"], n)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("poetd shutdown: %v\noutput:\n%s", err, out.String())
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"ocep/internal/event"
 	"ocep/internal/pattern"
 	"ocep/internal/poet"
+	"ocep/internal/telemetry"
 )
 
 // Re-exported event model types. They alias the internal implementation
@@ -98,6 +99,40 @@ type (
 	// SyncPolicy selects when the write-ahead log is fsynced.
 	SyncPolicy = poet.SyncPolicy
 )
+
+// Re-exported telemetry types. A Registry collects named metrics from
+// every layer of the pipeline and renders them as Prometheus text
+// (Registry.WritePrometheus) or expvar-style JSON (Registry.WriteJSON).
+// Wire one registry through the components of a deployment:
+//
+//	reg := ocep.NewRegistry()
+//	collector.InstrumentMetrics(reg)   // ingest, WAL, delivery queues
+//	server.InstrumentMetrics(reg)      // wire protocol counters
+//	mon, _ := ocep.NewMonitor(src, ocep.WithMetrics(reg), ...)
+//
+// Instrument at wiring time, before traffic flows: delivery queues
+// snapshot their instruments when a monitor attaches.
+type (
+	// Registry holds named metrics and renders them. A nil *Registry is
+	// the disabled mode: constructors return nil instruments whose
+	// methods no-op, so instrumented code costs only nil checks.
+	Registry = telemetry.Registry
+	// MetricCounter is a monotonically increasing counter. Its
+	// WaitAtLeast method lets tests block on pipeline progress instead
+	// of sleep-polling.
+	MetricCounter = telemetry.Counter
+	// MetricGauge is a value that can go up and down.
+	MetricGauge = telemetry.Gauge
+	// MetricHistogram is a bounded log-linear histogram of int64
+	// observations (≤25% relative bucket error, lock-free writes).
+	MetricHistogram = telemetry.Histogram
+	// MetricLabel is one key=value pair distinguishing series within a
+	// metric family.
+	MetricLabel = telemetry.Label
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
 
 // ErrStreamInterrupted is wrapped by MonitorClient.Next when the event
 // stream dies mid-flight and cannot be resumed; a clean end of stream
@@ -226,6 +261,23 @@ type config struct {
 	queueDepth int
 	maxBatch   int
 	policy     BackpressurePolicy
+	reg        *Registry
+	labels     []MetricLabel
+}
+
+// monitorMetrics holds the monitor's real instruments. All fields are
+// nil when WithMetrics was not given; the nil receivers no-op.
+type monitorMetrics struct {
+	// events counts events consumed by the matcher
+	// (ocep_monitor_events_total) — the counter tests wait on to know
+	// the monitor has caught up with a delivered stream.
+	events *telemetry.Counter
+	// matches counts reported matches (ocep_monitor_matches_total).
+	matches *telemetry.Counter
+	// domains records per-trace candidate-domain sizes after causal
+	// pruning (ocep_monitor_domain_size); its count equals the
+	// matcher's DomainsComputed.
+	domains *telemetry.Histogram
 }
 
 // WithMatchHandler invokes fn for every reported match. The handler runs
@@ -338,6 +390,23 @@ func WithMaxTriggerMatches(n int) Option {
 	return func(c *config) { c.opts.MaxTriggerMatches = n }
 }
 
+// WithMetrics registers the monitor's metrics (ocep_monitor_*) in reg:
+// counters for events consumed and matches reported, scrape-time
+// counters mirroring the matcher's search statistics (triggers,
+// candidates, backtracks, backjumps), and a histogram of candidate
+// domain sizes. A nil registry disables instrumentation at zero cost.
+//
+// The registry keys series by name, so give each monitor sharing a
+// registry its own label (e.g. ocep.L("pattern", "deadlock")) to keep
+// their series distinct; identically-labeled monitors would share
+// counters.
+func WithMetrics(reg *Registry, labels ...MetricLabel) Option {
+	return func(c *config) { c.reg = reg; c.labels = labels }
+}
+
+// L is shorthand for constructing a MetricLabel.
+func L(key, value string) MetricLabel { return telemetry.L(key, value) }
+
 // Monitor matches one causal event pattern over a delivered event
 // stream. Create with NewMonitor, then either Attach it to an in-process
 // Collector, Run it against a TCP monitor client, or Feed it events
@@ -346,6 +415,7 @@ func WithMaxTriggerMatches(n int) Option {
 type Monitor struct {
 	pat     *pattern.Compiled
 	cfg     config
+	tel     monitorMetrics
 	mu      sync.Mutex
 	matcher *core.Matcher
 	timings []time.Duration
@@ -372,8 +442,35 @@ func NewMonitor(source string, options ...Option) (*Monitor, error) {
 	if m.cfg.async && m.cfg.policy == BackpressureDrop {
 		return nil, fmt.Errorf("ocep: WithBackpressure(BackpressureDrop) is incompatible with WithAsyncDelivery: the matcher needs a gap-free per-trace stream, and a dropped event would wedge every later event of its trace; use BackpressureBlock, or Collector.SubscribeBatch for a raw subscriber that tolerates gaps")
 	}
+	m.instrument()
 	m.matcher = core.NewMatcher(pat, m.cfg.opts)
+	m.matcher.SetDomainHistogram(m.tel.domains)
 	return m, nil
+}
+
+// instrument registers the monitor's series in cfg.reg (a no-op for a
+// nil registry). The scrape-time counters read Stats under the monitor
+// lock; they reset when the monitor is re-Attached (a new matcher).
+func (m *Monitor) instrument() {
+	reg, ls := m.cfg.reg, m.cfg.labels
+	m.tel.events = reg.Counter("ocep_monitor_events_total",
+		"Events consumed by the monitor's matcher.", ls...)
+	m.tel.matches = reg.Counter("ocep_monitor_matches_total",
+		"Matches reported by the monitor.", ls...)
+	m.tel.domains = reg.Histogram("ocep_monitor_domain_size",
+		"Per-trace candidate domain sizes after causal-interval pruning.", ls...)
+	reg.CounterFunc("ocep_monitor_triggers_total",
+		"Terminating events that started a search.",
+		func() int64 { return int64(m.Stats().Triggers) }, ls...)
+	reg.CounterFunc("ocep_monitor_candidates_total",
+		"Candidate instantiations tried by the search.",
+		func() int64 { return int64(m.Stats().CandidatesTried) }, ls...)
+	reg.CounterFunc("ocep_monitor_backtracks_total",
+		"Candidate instantiations whose subtree found no complete match.",
+		func() int64 { return int64(m.Stats().Backtracks) }, ls...)
+	reg.CounterFunc("ocep_monitor_backjumps_total",
+		"Conflict-directed cutoffs taken by the search.",
+		func() int64 { return int64(m.Stats().Backjumps) }, ls...)
 }
 
 // PatternLength returns the number of primitive events in the pattern
@@ -413,9 +510,11 @@ func (m *Monitor) feedLocked(e *Event) ([]Match, error) {
 	if m.cfg.measure {
 		m.timings = append(m.timings, time.Since(start))
 	}
+	m.tel.events.Inc()
 	if err != nil {
 		return nil, err
 	}
+	m.tel.matches.Add(int64(len(matches)))
 	return matches, nil
 }
 
@@ -454,6 +553,7 @@ func (m *Monitor) Attach(c *Collector) {
 	}
 	m.mu.Lock()
 	m.matcher = core.NewMatcherOn(m.pat, c.Store(), m.cfg.opts)
+	m.matcher.SetDomainHistogram(m.tel.domains)
 	m.mu.Unlock()
 	sub := c.SubscribeReplay(func(e *Event) {
 		m.mu.Lock()
@@ -476,6 +576,7 @@ func (m *Monitor) Attach(c *Collector) {
 func (m *Monitor) attachAsync(c *Collector) {
 	m.mu.Lock()
 	m.matcher = core.NewMatcher(m.pat, m.cfg.opts)
+	m.matcher.SetDomainHistogram(m.tel.domains)
 	m.mu.Unlock()
 	opts := poet.AsyncOptions{
 		QueueDepth: m.cfg.queueDepth,
@@ -503,6 +604,10 @@ func (m *Monitor) attachAsync(c *Collector) {
 			}
 		} else {
 			matches, err = m.matcher.FeedBatch(batch)
+			m.tel.events.Add(int64(len(batch)))
+			if err == nil {
+				m.tel.matches.Add(int64(len(matches)))
+			}
 		}
 		if err != nil && m.err == nil {
 			m.err = err

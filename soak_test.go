@@ -3,21 +3,26 @@ package ocep_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"ocep"
 	"ocep/internal/workload"
 )
 
 // TestMultiMonitorSoak runs all four case-study workloads concurrently
-// into one collector with four monitors attached — the deployment shape
-// of one POET server watching a whole application suite. Exercises the
-// collector's locking, replay subscriptions and the shared store under
-// the race detector.
+// into one instrumented collector with four instrumented monitors
+// attached — the deployment shape of one POET server watching a whole
+// application suite. Exercises the collector's locking, replay
+// subscriptions, the shared store, and the telemetry hot path under
+// the race detector; per-monitor progress is asserted through labeled
+// counters rather than polled stats.
 func TestMultiMonitorSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping soak test")
 	}
+	reg := ocep.NewRegistry()
 	collector := ocep.NewCollector()
+	collector.InstrumentMetrics(reg)
 
 	monitors := map[string]*ocep.Monitor{}
 	for name, src := range map[string]string{
@@ -26,7 +31,7 @@ func TestMultiMonitorSoak(t *testing.T) {
 		"atomicity": workload.AtomicityPattern(),
 		"ordering":  workload.OrderingPattern(),
 	} {
-		mon, err := ocep.NewMonitor(src)
+		mon, err := ocep.NewMonitor(src, ocep.WithMetrics(reg, ocep.L("pattern", name)))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -85,13 +90,24 @@ func TestMultiMonitorSoak(t *testing.T) {
 		t.Fatalf("collector left %d undelivered events", collector.Pending())
 	}
 
+	delivered := int64(collector.Delivered())
+	if got := reg.Value("poet_delivered_events_total"); got != delivered {
+		t.Fatalf("delivered counter %d != collector.Delivered() %d", got, delivered)
+	}
 	for name, mon := range monitors {
 		if err := mon.Err(); err != nil {
 			t.Fatalf("%s monitor: %v", name, err)
 		}
+		// Counter-wait instead of polling Stats: synchronous attachments
+		// are already drained, so this must succeed immediately, and each
+		// labeled series must agree with the matcher's own count.
+		c := reg.FindCounter("ocep_monitor_events_total", ocep.L("pattern", name))
+		if !c.WaitAtLeast(delivered, 10*time.Second) {
+			t.Fatalf("%s monitor saw %d of %d events", name, c.Value(), delivered)
+		}
 		s := mon.Stats()
-		if s.EventsSeen != collector.Delivered() {
-			t.Fatalf("%s monitor saw %d of %d events", name, s.EventsSeen, collector.Delivered())
+		if int64(s.EventsSeen) != c.Value() {
+			t.Fatalf("%s monitor counter %d != EventsSeen %d", name, c.Value(), s.EventsSeen)
 		}
 		if s.CompleteMatches == 0 {
 			t.Errorf("%s monitor found nothing despite seeded violations", name)

@@ -61,23 +61,25 @@ func coverageSignatures(pairs []ocep.CoveredPair, name func(ocep.TraceID) string
 	return sigs
 }
 
-func waitForCond(t *testing.T, what string, cond func() bool) {
+// waitCounter blocks until a telemetry counter reaches target — the
+// event-driven replacement for sleep-polling on pipeline state: the
+// counter wakes the waiter on the increment that crosses the target,
+// so convergence is detected microseconds after it happens instead of
+// at the next poll tick.
+func waitCounter(t *testing.T, what string, c *ocep.MetricCounter, target int64) {
 	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
+	if !c.WaitAtLeast(target, 15*time.Second) {
+		t.Fatalf("timed out waiting for %s (counter at %d, want %d)", what, c.Value(), target)
 	}
-	t.Fatalf("timed out waiting for %s", what)
 }
 
 // runCleanBaseline feeds the captured sequence to an in-process
 // collector with a synchronously attached monitor — no wire, no faults.
 func runCleanBaseline(t *testing.T, patternSrc string, events []ocep.RawEvent) (matchSigs, covSigs []string) {
 	t.Helper()
+	reg := ocep.NewRegistry()
 	collector := ocep.NewCollector()
+	collector.InstrumentMetrics(reg)
 	var mu sync.Mutex
 	var matches []ocep.Match
 	mon, err := ocep.NewMonitor(patternSrc,
@@ -96,7 +98,7 @@ func runCleanBaseline(t *testing.T, patternSrc string, events []ocep.RawEvent) (
 			t.Fatalf("clean report: %v", err)
 		}
 	}
-	waitForCond(t, "clean delivery", func() bool { return collector.Delivered() == len(events) })
+	waitCounter(t, "clean delivery", reg.FindCounter("poet_delivered_events_total"), int64(len(events)))
 	if err := mon.Err(); err != nil {
 		t.Fatalf("clean monitor: %v", err)
 	}
@@ -110,7 +112,9 @@ func runCleanBaseline(t *testing.T, patternSrc string, events []ocep.RawEvent) (
 // while the events flow.
 func runFaultyWire(t *testing.T, patternSrc string, events []ocep.RawEvent) (matchSigs, covSigs []string) {
 	t.Helper()
+	reg := ocep.NewRegistry()
 	collector := ocep.NewCollector()
+	collector.InstrumentMetrics(reg)
 	srv := ocep.NewServer(collector, t.Logf)
 	srv.SetWireTiming(10*time.Millisecond, 20*time.Millisecond, 2*time.Second)
 	addr, err := srv.Listen("127.0.0.1:0")
@@ -152,6 +156,7 @@ func runFaultyWire(t *testing.T, patternSrc string, events []ocep.RawEvent) (mat
 	var matches []ocep.Match
 	mon, err := ocep.NewMonitor(patternSrc,
 		ocep.WithReportAll(),
+		ocep.WithMetrics(reg),
 		ocep.WithMatchHandler(func(m ocep.Match) {
 			mu.Lock()
 			matches = append(matches, m)
@@ -184,8 +189,8 @@ func runFaultyWire(t *testing.T, patternSrc string, events []ocep.RawEvent) (mat
 	if err := rep.Flush(); err != nil {
 		t.Fatalf("faulty flush: %v", err)
 	}
-	waitForCond(t, "faulty delivery", func() bool { return collector.Delivered() == len(events) })
-	waitForCond(t, "monitor to consume the stream", func() bool { return mon.Stats().EventsSeen == len(events) })
+	waitCounter(t, "faulty delivery", reg.FindCounter("poet_delivered_events_total"), int64(len(events)))
+	waitCounter(t, "monitor to consume the stream", reg.FindCounter("ocep_monitor_events_total"), int64(len(events)))
 
 	// Graceful shutdown: the server drains and sends End, the monitor's
 	// Run returns nil. An error here means the faults leaked out.
