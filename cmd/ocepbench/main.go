@@ -16,6 +16,7 @@
 //	ocepbench -delivery                 # sync vs async monitor fan-out
 //	ocepbench -durability               # fsync-policy cost + recovery time
 //	ocepbench -telemetry                # metrics-overhead study + sample scrape
+//	ocepbench -governance               # search budgets + bounded-memory soak
 //	ocepbench -monitors 8               # fan-out width for -delivery
 //	ocepbench -events 1000000           # events per data point
 //
@@ -52,6 +53,7 @@ func run() error {
 		delivery     = flag.Bool("delivery", false, "sync vs async monitor fan-out throughput")
 		durability   = flag.Bool("durability", false, "WAL fsync-policy ingestion cost and crash/snapshot recovery time")
 		telemetry    = flag.Bool("telemetry", false, "metrics overhead (instrumented vs disabled pipeline) and a sample registry dump")
+		governance   = flag.Bool("governance", false, "resource governance: adversarial-trigger budgets and bounded-memory soak")
 		monitors     = flag.Int("monitors", 8, "concurrent monitors for -delivery")
 		events       = flag.Int("events", 100_000, "target events per data point (paper: >1e6)")
 		seed         = flag.Int64("seed", 1, "workload seed")
@@ -119,6 +121,9 @@ func run() error {
 		if err := bench.Telemetry(out, cfg); err != nil {
 			return err
 		}
+		if err := bench.Governance(out, cfg); err != nil {
+			return err
+		}
 	}
 	if *completeness && !*all {
 		any = true
@@ -174,6 +179,12 @@ func run() error {
 	if *telemetry && !*all {
 		any = true
 		if err := bench.Telemetry(out, cfg); err != nil {
+			return err
+		}
+	}
+	if *governance && !*all {
+		any = true
+		if err := bench.Governance(out, cfg); err != nil {
 			return err
 		}
 	}

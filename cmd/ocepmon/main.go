@@ -7,6 +7,14 @@
 //
 //	ocepmon -pattern file.pat [-addr host:port] [-all] [-guarantee]
 //	        [-stats] [-builtin name] [-reconnect d]
+//	        [-max-steps n] [-deadline d] [-history-cap n]
+//
+// The governance flags bound the matcher's resources: -max-steps and
+// -deadline cap the search work and wall-clock time per triggering
+// event (an exhausted trigger aborts cleanly, reporting its partial
+// results with Truncated set), and -history-cap bounds the per-leaf
+// event histories with coverage-aware eviction, keeping a long-running
+// monitor's footprint flat.
 //
 // The connection to poetd is fault-tolerant: if it dies mid-stream the
 // client reconnects with exponential backoff and resumes from the exact
@@ -56,6 +64,9 @@ func run() error {
 		printStats = flag.Bool("stats", false, "print matcher statistics when the stream ends")
 		explain    = flag.Bool("explain", false, "print the causal evidence for each match")
 		reconnect  = flag.Duration("reconnect", 30*time.Second, "cumulative backoff budget for resuming a dead connection (0 disables reconnection)")
+		maxSteps   = flag.Int("max-steps", 0, "abort a trigger's search after n candidate steps (0 = unlimited)")
+		deadline   = flag.Duration("deadline", 0, "abort a trigger's search after this wall-clock time (0 = none)")
+		historyCap = flag.Int("history-cap", 0, "bound per-(leaf,trace) histories with coverage-aware eviction (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -121,6 +132,15 @@ func run() error {
 	if *guarantee {
 		opts = append(opts, ocep.WithGuaranteedCoverage())
 	}
+	if *maxSteps > 0 {
+		opts = append(opts, ocep.WithMaxTriggerSteps(*maxSteps))
+	}
+	if *deadline > 0 {
+		opts = append(opts, ocep.WithTriggerDeadline(*deadline))
+	}
+	if *historyCap > 0 {
+		opts = append(opts, ocep.WithHistoryCap(*historyCap))
+	}
 	var err2 error
 	mon, err2 = ocep.NewMonitor(src, opts...)
 	if err2 != nil {
@@ -139,7 +159,10 @@ func run() error {
 		fmt.Printf("complete matches: %d\n", s.CompleteMatches)
 		fmt.Printf("reported:         %d\n", s.Reported)
 		fmt.Printf("redundant:        %d\n", s.Redundant)
-		fmt.Printf("history size:     %d (pruned %d)\n", s.HistorySize, s.HistoryPruned)
+		fmt.Printf("history size:     %d (pruned %d, evicted %d)\n", s.HistorySize, s.HistoryPruned, s.HistoryEvicted)
+		if s.TriggersAborted > 0 {
+			fmt.Printf("triggers aborted: %d (budget exhausted; partial results marked truncated)\n", s.TriggersAborted)
+		}
 	}
 	return nil
 }

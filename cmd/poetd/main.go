@@ -9,6 +9,7 @@
 //	      [-fsync-interval d] [-snapshot-every n]
 //	      [-monitor-queue n] [-monitor-policy drop|block]
 //	      [-ack-interval d] [-heartbeat d] [-metrics-addr addr] [-quiet]
+//	      [-retain-events n] [-max-pending n] [-mem-limit bytes]
 //
 // With -dump, the delivered raw-event log is written to the given file
 // on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
@@ -44,9 +45,24 @@
 // they had reached.
 //
 // With -metrics-addr, a second listener serves operational telemetry:
-// /metrics (Prometheus text), /debug/vars (the same registry as JSON)
-// and /debug/pprof. The metrics listener is deliberately separate from
-// -listen so scrapes never share a socket with the protocol stream.
+// /metrics (Prometheus text), /debug/vars (the same registry as JSON),
+// /debug/pprof, and the /healthz + /readyz probe pair. The metrics
+// listener is deliberately separate from -listen so scrapes never share
+// a socket with the protocol stream, and it starts before crash
+// recovery so orchestration can distinguish "recovering" (alive, not
+// ready: /readyz answers 503) from "dead" (probe times out). /readyz
+// also answers 503 while the server is shedding load.
+//
+// Resource governance: -retain-events bounds the collector's memory by
+// evicting the oldest delivered events past the bound (incompatible
+// with -dump and -data-dir, which need the full log); -max-pending caps
+// the out-of-order events buffered per trace, shedding the excess back
+// onto reporter buffers; -mem-limit sets a soft heap ceiling (bytes,
+// with optional K/M/G suffix) — the Go runtime GC target is set to it,
+// a sampler watches the heap, and each time usage crosses 85% of the
+// ceiling the retention window is halved, trading history depth for a
+// flat footprint. -mem-limit requires -retain-events as its starting
+// window.
 package main
 
 import (
@@ -57,6 +73,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -88,12 +110,30 @@ func run() error {
 		fsyncMode = flag.String("fsync", "always", "WAL durability: always (fsync before acking), interval (periodic fsync), none (OS page cache only)")
 		fsyncInt  = flag.Duration("fsync-interval", 100*time.Millisecond, "flush/fsync cadence for -fsync interval and none")
 		snapEvery = flag.Int("snapshot-every", 0, "snapshot + WAL truncation every n ingested events (0 = default 8192, negative = only on shutdown)")
+
+		retain     = flag.Int("retain-events", 0, "bound the delivered-event log: evict the oldest events past this count (0 = keep everything; incompatible with -dump and -data-dir)")
+		maxPending = flag.Int("max-pending", 0, "cap the out-of-order events buffered per trace; excess reports are shed back onto reporter buffers (0 = unbounded)")
+		memLimit   = flag.String("mem-limit", "", "soft heap ceiling in bytes (K/M/G suffixes accepted); halves -retain-events each time the heap crosses 85% of it")
 	)
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+
+	memCeiling, err := parseBytes(*memLimit)
+	if err != nil {
+		return fmt.Errorf("-mem-limit: %w", err)
+	}
+	if memCeiling > 0 && *retain <= 0 {
+		return fmt.Errorf("-mem-limit needs -retain-events as its starting retention window")
+	}
+	if *retain > 0 && *dump != "" {
+		return fmt.Errorf("-retain-events is incompatible with -dump (the dump needs the full delivered log)")
+	}
+	if *retain > 0 && *dataDir != "" {
+		return fmt.Errorf("-retain-events is incompatible with -data-dir (snapshots need the full delivered log)")
 	}
 
 	collector := poet.NewCollector()
@@ -103,6 +143,45 @@ func run() error {
 		// rather than silently writing a partial file.
 		collector.RetainLog()
 	}
+	if *retain > 0 {
+		if err := collector.SetRetention(*retain); err != nil {
+			return fmt.Errorf("-retain-events: %w", err)
+		}
+	}
+	if *maxPending > 0 {
+		collector.SetAdmissionLimit(*maxPending)
+	}
+
+	// The health/metrics listener starts before recovery: a poetd
+	// replaying a large write-ahead log is alive but not ready, and
+	// orchestration needs the probes to say so instead of timing out.
+	health := telemetry.NewHealth()
+	var ready atomic.Bool
+	health.RegisterCheck("startup", func() error {
+		if !ready.Load() {
+			return fmt.Errorf("starting: recovery or reload still in progress")
+		}
+		return nil
+	})
+	reg := telemetry.NewRegistry()
+	var metricsSrv *http.Server
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.Handler(reg))
+		health.Mount(mux)
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics (probes: /healthz, /readyz)", ln.Addr())
+	}
+
 	var durable *poet.Durability
 	if *dataDir != "" {
 		policy, err := poet.ParseSyncPolicy(*fsyncMode)
@@ -148,32 +227,32 @@ func run() error {
 	}
 	server.SetWireTiming(*ackEvery, *heartbeat, peerTimeout)
 
-	// Telemetry wires up after recovery and reload so the counters
+	// Instruments attach after recovery and reload so the counters
 	// describe live traffic, not the replayed prefix, and before Listen
-	// so every connection is counted from the first byte.
-	var metricsSrv *http.Server
+	// so every connection is counted from the first byte. The registry
+	// was already being served; metrics appear on the next scrape.
 	if *metrics != "" {
-		reg := telemetry.NewRegistry()
 		collector.InstrumentMetrics(reg) // also instruments the attached durability
 		server.InstrumentMetrics(reg)
 		telemetry.RegisterRuntimeMetrics(reg)
-		ln, err := net.Listen("tcp", *metrics)
-		if err != nil {
-			return fmt.Errorf("-metrics-addr: %w", err)
-		}
-		metricsSrv = &http.Server{Handler: telemetry.Handler(reg)}
-		go func() {
-			if err := metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				log.Printf("metrics listener: %v", err)
-			}
-		}()
-		log.Printf("metrics on http://%s/metrics", ln.Addr())
 	}
+	// A server parked on overloaded reporters is alive but should stop
+	// receiving new traffic from the balancer until the backlog drains.
+	health.RegisterCheck("overload", func() error {
+		if server.Shedding() {
+			return fmt.Errorf("shedding load: collector above its -max-pending admission limit")
+		}
+		return nil
+	})
+
+	stopSampler := startMemGovernor(collector, memCeiling, *retain)
+	defer stopSampler()
 
 	addr, err := server.Listen(*listen)
 	if err != nil {
 		return err
 	}
+	ready.Store(true)
 	log.Printf("listening on %s", addr)
 
 	sig := make(chan os.Signal, 1)
@@ -181,9 +260,13 @@ func run() error {
 	<-sig
 	log.Printf("shutting down: %d events delivered, %d pending",
 		collector.Delivered(), collector.Pending())
-	if ws := server.WireStats(); ws.StaleEvents > 0 || ws.TargetResumes > 0 || ws.MonitorResumes > 0 {
-		log.Printf("wire: %d stale retransmits absorbed, %d target resumes, %d monitor resumes",
-			ws.StaleEvents, ws.TargetResumes, ws.MonitorResumes)
+	if ws := server.WireStats(); ws.StaleEvents > 0 || ws.TargetResumes > 0 || ws.MonitorResumes > 0 || ws.LoadSheds > 0 {
+		log.Printf("wire: %d stale retransmits absorbed, %d target resumes, %d monitor resumes, %d load sheds",
+			ws.StaleEvents, ws.TargetResumes, ws.MonitorResumes, ws.LoadSheds)
+	}
+	if rs := collector.RetentionStats(); rs.Evicted > 0 {
+		log.Printf("retention: evicted %d delivered events (%d released from the store), %d retained",
+			rs.Evicted, rs.StoreCompacted, rs.Retained)
 	}
 	for _, ts := range collector.TraceStats() {
 		log.Printf("  trace %-20s delivered=%d comm=%d buffered=%d",
@@ -210,4 +293,84 @@ func run() error {
 		log.Printf("dumped trace to %s", *dump)
 	}
 	return nil
+}
+
+// parseBytes parses a byte count with an optional K/M/G suffix
+// (case-insensitive; "KiB"/"MB" style spellings accepted). Empty means
+// 0 (disabled).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	num := s
+	var mult int64 = 1
+	upper := strings.ToUpper(strings.TrimSuffix(strings.TrimSuffix(strings.ToUpper(s), "B"), "I"))
+	for suffix, m := range map[string]int64{"K": 1 << 10, "M": 1 << 20, "G": 1 << 30} {
+		if strings.HasSuffix(upper, suffix) {
+			num = strings.TrimSuffix(upper, suffix)
+			mult = m
+			break
+		}
+	}
+	if mult == 1 {
+		num = upper
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("not a byte count: %q", s)
+	}
+	return n * mult, nil
+}
+
+// startMemGovernor enforces a soft heap ceiling: the runtime's GC
+// target is set to it (so collection intensifies as the ceiling
+// nears), and a sampler halves the collector's retention window each
+// time the live heap crosses 85% of the ceiling — shedding history
+// instead of growing without bound. Returns a stop func; a no-op when
+// no ceiling is set.
+func startMemGovernor(c *poet.Collector, ceiling int64, keep int) func() {
+	if ceiling <= 0 {
+		return func() {}
+	}
+	prev := debug.SetMemoryLimit(ceiling)
+	stop := make(chan struct{})
+	var once sync.Once
+	go func() {
+		const (
+			pollEvery = 500 * time.Millisecond
+			floor     = 256
+		)
+		trip := ceiling - ceiling/8 + ceiling/40 // ~85%
+		t := time.NewTicker(pollEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if int64(ms.HeapAlloc) <= trip || keep <= floor {
+				continue
+			}
+			keep /= 2
+			if keep < floor {
+				keep = floor
+			}
+			if err := c.SetRetention(keep); err != nil {
+				log.Printf("mem governor: tightening retention: %v", err)
+				return
+			}
+			log.Printf("mem governor: heap %d MiB over 85%% of the %d MiB ceiling; retention tightened to %d events",
+				ms.HeapAlloc>>20, ceiling>>20, keep)
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(stop)
+			debug.SetMemoryLimit(prev)
+		})
+	}
 }

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ocep"
+	"ocep/internal/core"
+)
+
+func TestGovernanceSmall(t *testing.T) {
+	var buf bytes.Buffer
+	err := governance(&buf, governanceConfig{
+		PerTrace:   100,
+		SeedCutoff: 20 * time.Millisecond,
+		MaxSteps:   500,
+		Deadline:   100 * time.Millisecond,
+		SoakEvents: 3000,
+		HistoryCap: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"seed probe", "governed", "triggers aborted 1",
+		"ocep_monitor_triggers_aborted_total 1",
+		"bounded-memory soak", "identical coverage",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("governance output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGovernedReplayAbortsWithoutInventingMatches(t *testing.T) {
+	raws := adversarialRaws(100)
+	r, err := replayGoverned(raws, nil, ocep.WithMaxTriggerSteps(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.stats.TriggersAborted != 1 {
+		t.Fatalf("TriggersAborted = %d, want 1", r.stats.TriggersAborted)
+	}
+	if r.matches != 0 {
+		t.Fatalf("budgeted replay invented %d matches", r.matches)
+	}
+	if r.stats.EventsSeen != len(raws) {
+		t.Fatalf("monitor consumed %d of %d events", r.stats.EventsSeen, len(raws))
+	}
+}
+
+func TestGovernanceSoakCoverageAndEviction(t *testing.T) {
+	free, err := governanceSoakRun(4000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := governanceSoakRun(4000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.matches != free.matches {
+		t.Fatalf("matches diverged: capped %d, unbounded %d", capped.matches, free.matches)
+	}
+	if capped.coverage != free.coverage {
+		t.Fatalf("coverage diverged: capped %s, unbounded %s", capped.coverage, free.coverage)
+	}
+	if capped.stats.HistoryEvicted == 0 {
+		t.Fatal("history cap never evicted")
+	}
+	if capped.stats.StoreCompacted == 0 {
+		t.Fatal("store was never compacted under the cap")
+	}
+	if capped.retained >= free.retained {
+		t.Fatalf("capped store retains %d events, unbounded %d", capped.retained, free.retained)
+	}
+}
+
+// TestTriggerDeadlineBoundsEventLatency: the CI deadline guarantee. On
+// an adversarial stream that stalls an ungoverned matcher for seconds,
+// a trigger deadline must bound every single event's end-to-end
+// latency to at most twice the deadline (the budget is polled every 64
+// search steps, so the abort lands just past the deadline).
+func TestTriggerDeadlineBoundsEventLatency(t *testing.T) {
+	const deadline = 100 * time.Millisecond
+	raws := adversarialRaws(2000) // 8000 sends: seconds of search ungoverned
+	r, err := replayGoverned(raws, nil, ocep.WithTriggerDeadline(deadline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.stats.TriggersAborted != 1 {
+		t.Fatalf("TriggersAborted = %d, want 1 (the workload no longer stalls?)", r.stats.TriggersAborted)
+	}
+	if r.maxEvent > 2*deadline {
+		t.Fatalf("an event took %v, more than 2x the %v trigger deadline", r.maxEvent, deadline)
+	}
+}
+
+// TestGovernanceSoak100k is the CI bounded-memory soak, gated behind
+// OCEP_SOAK=1 (CI runs it under a hard GOMEMLIMIT): 100k events under
+// the history cap must hold settled heap growth under a fixed ceiling
+// with eviction and store compaction active, while reporting the same
+// matches and coverage as the unbounded run.
+func TestGovernanceSoak100k(t *testing.T) {
+	if os.Getenv("OCEP_SOAK") == "" {
+		t.Skip("set OCEP_SOAK=1 to run the 100k-event bounded-memory soak")
+	}
+	const events = 100_000
+	capped, err := governanceSoakRun(events, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := governanceSoakRun(events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.matches != free.matches {
+		t.Fatalf("matches diverged: capped %d, unbounded %d", capped.matches, free.matches)
+	}
+	if capped.coverage != free.coverage {
+		t.Fatalf("coverage diverged: capped %s, unbounded %s", capped.coverage, free.coverage)
+	}
+	if capped.stats.HistoryEvicted == 0 || capped.stats.StoreCompacted == 0 {
+		t.Fatalf("governance idle over %d events: evicted=%d compacted=%d",
+			events, capped.stats.HistoryEvicted, capped.stats.StoreCompacted)
+	}
+	// The measured growth is ~0.1 MB; 16 MB is the hard ceiling with
+	// generous headroom for allocator and race-detector variance.
+	const ceiling = 16 << 20
+	growth := capped.heapPeak - capped.heapStart
+	if growth > ceiling {
+		t.Fatalf("capped soak heap grew %.1f MB, ceiling %.1f MB", mb(growth), mb(ceiling))
+	}
+	freeGrowth := free.heapPeak - free.heapStart
+	if freeGrowth < 4*growth {
+		t.Fatalf("soak is not memory-bound enough to test governance: unbounded grew %.1f MB vs capped %.1f MB",
+			mb(freeGrowth), mb(growth))
+	}
+}
+
+// matchKeys canonicalizes a match set for order-insensitive comparison.
+func matchKeys(matches []core.Match) []string {
+	keys := make([]string, 0, len(matches))
+	for _, m := range matches {
+		ids := make([]string, 0, len(m.Events))
+		for _, e := range m.Events {
+			ids = append(ids, e.ID.String())
+		}
+		sort.Strings(ids)
+		keys = append(keys, strings.Join(ids, " "))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// replayWithCoverage replays a workload like Workload.Run but exposes
+// the matcher so the test can read Coverage().
+func replayWithCoverage(t *testing.T, wl *Workload, opts core.Options) ([]core.Match, *core.Matcher) {
+	t.Helper()
+	pat, err := CompilePattern(wl.Pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMatcherOn(pat, wl.Collector.Store(), opts)
+	var matches []core.Match
+	for _, e := range wl.Collector.Ordered() {
+		ms, err := m.Feed(e)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		matches = append(matches, ms...)
+	}
+	return matches, m
+}
+
+// TestGovernanceDifferentialOnCaseStudies is the PR's differential
+// guard: on all four case-study workloads, budgets and caps sized so
+// they never fire must leave the match set and the coverage bit-for-bit
+// identical to the ungoverned run, with zero aborts and evictions.
+func TestGovernanceDifferentialOnCaseStudies(t *testing.T) {
+	for _, cs := range Cases {
+		t.Run(string(cs), func(t *testing.T) {
+			wl, err := Generate(GenConfig{
+				Case: cs, Traces: 8, TargetEvents: testEvents, Seed: 11,
+				// High violation rate so every case reports matches and
+				// the differential is non-vacuous at this small scale.
+				BugProb: 0.3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := PaperOptions()
+			governed := base
+			governed.MaxTriggerSteps = 1 << 30
+			governed.TriggerDeadline = time.Hour
+			governed.MaxHistoryPerTrace = 1 << 30
+			wantMatches, mBase := replayWithCoverage(t, wl, base)
+			gotMatches, mGov := replayWithCoverage(t, wl, governed)
+			if s := mGov.Stats(); s.TriggersAborted != 0 || s.HistoryEvicted != 0 {
+				t.Fatalf("oversized budgets fired: aborted=%d evicted=%d", s.TriggersAborted, s.HistoryEvicted)
+			}
+			want, got := matchKeys(wantMatches), matchKeys(gotMatches)
+			if len(want) == 0 {
+				t.Fatalf("workload %s reported no matches; differential is vacuous", cs)
+			}
+			if fmt.Sprint(want) != fmt.Sprint(got) {
+				t.Fatalf("match sets diverged under no-op budgets:\nbase %d matches\ngoverned %d matches", len(want), len(got))
+			}
+			if coverageKey(mBase.Coverage()) != coverageKey(mGov.Coverage()) {
+				t.Fatal("coverage diverged under no-op budgets")
+			}
+		})
+	}
+}

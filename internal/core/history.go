@@ -27,6 +27,9 @@ type history struct {
 	perTrace [][]histEntry
 	// pruned counts events discarded by the duplicate rule.
 	pruned int
+	// evicted counts entries discarded by the MaxHistoryPerTrace
+	// retention watermark.
+	evicted int
 }
 
 func newHistory() *history { return &history{} }
@@ -71,6 +74,32 @@ func (h *history) size() int {
 		n += len(tr)
 	}
 	return n
+}
+
+// evictOldest discards the oldest entries of trace t down to keep
+// entries and returns the number evicted. The retained suffix is copied
+// to a fresh slice so the evicted prefix — and the events it pins —
+// becomes collectable instead of lingering in the old backing array.
+func (h *history) evictOldest(t, keep int) int {
+	entries := h.entries(t)
+	drop := len(entries) - keep
+	if drop <= 0 {
+		return 0
+	}
+	rest := entries[drop:]
+	h.perTrace[t] = append(make([]histEntry, 0, len(rest)), rest...)
+	h.evicted += drop
+	return drop
+}
+
+// firstIndex returns the trace position of the oldest retained entry on
+// trace t, or 0 when the trace has none.
+func (h *history) firstIndex(t int) int {
+	entries := h.entries(t)
+	if len(entries) == 0 {
+		return 0
+	}
+	return entries[0].ev.ID.Index
 }
 
 // lastPos returns the trace position (event index) of the last entry on

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ocep/internal/event"
 	"ocep/internal/pattern"
@@ -44,8 +45,41 @@ type Options struct {
 	CoverageSkip bool
 	// MaxTriggerMatches aborts a single trigger's search after this
 	// many complete matches (0 = unlimited). A safety valve for
-	// adversarial inputs.
+	// adversarial inputs. Under ParallelTraces > 1 the cap is enforced
+	// by an atomic counter shared across the top-level workers, so the
+	// reported count never exceeds the cap; which particular matches
+	// fill the cap is then timing-dependent (the sequential and parallel
+	// runs may report different — but equally sized — subsets). A
+	// trigger aborted by the cap counts in Stats.TriggersAborted and
+	// its matches carry Match.Truncated.
 	MaxTriggerMatches int
+	// MaxTriggerSteps bounds the searched volume of a single trigger:
+	// the search aborts cleanly after this many goForward candidate
+	// steps (0 = unlimited). The triggering event is still appended to
+	// the histories, so the stream stays consistent; the abort is
+	// surfaced via Stats.TriggersAborted and Match.Truncated. Under
+	// ParallelTraces the counter is a shared atomic, so the ceiling
+	// bounds the trigger's total work and exhaustion cancels every
+	// worker.
+	MaxTriggerSteps int
+	// TriggerDeadline bounds the wall-clock time of a single trigger's
+	// search (0 = unlimited). The deadline is polled every 64 steps of
+	// the step counter, so an exhausted trigger overruns it by at most
+	// a few microseconds of candidate work. Same surfacing and
+	// parallel-sharing semantics as MaxTriggerSteps.
+	TriggerDeadline time.Duration
+	// MaxHistoryPerTrace caps the retained entries of each (leaf,
+	// trace) history (0 = unlimited). When a history exceeds the cap
+	// on a trace whose (leaf, trace) pair is already covered, its
+	// oldest entries are evicted down to a low watermark (3/4 of the
+	// cap); pairs not yet covered retain everything, so eviction never
+	// un-covers a pair and the representative-subset guarantee keeps
+	// its footing. A matcher owning its store also compacts the store
+	// prefix below the oldest retained entry, bounding memory end to
+	// end. Eviction is disabled automatically for patterns using lim->,
+	// whose completion check needs the full class history. Evictions
+	// count in Stats.HistoryEvicted.
+	MaxHistoryPerTrace int
 	// GuaranteeCoverage runs, after the paper's per-trace enumeration,
 	// one pinned search per still-uncovered (leaf, trace) pair. This
 	// makes the k*n representative-subset property exact (the paper's
@@ -77,6 +111,12 @@ type Match struct {
 	Events []*event.Event
 	// Bindings is the witnessing attribute-variable environment.
 	Bindings map[string]string
+	// Truncated marks a match reported by a trigger whose search was
+	// aborted before exhausting its space (MaxTriggerSteps,
+	// TriggerDeadline or MaxTriggerMatches fired): the trigger's match
+	// set may be incomplete and coverage may lag. The match itself is
+	// still sound.
+	Truncated bool
 }
 
 // Stats are cumulative matcher counters.
@@ -116,6 +156,15 @@ type Stats struct {
 	// HistorySize is the current total number of retained history
 	// entries across leaves.
 	HistorySize int
+	// TriggersAborted counts triggers whose search was cut short by a
+	// budget: MaxTriggerSteps, TriggerDeadline or MaxTriggerMatches.
+	TriggersAborted int
+	// HistoryEvicted counts history entries discarded by the
+	// MaxHistoryPerTrace retention watermark.
+	HistoryEvicted int
+	// StoreCompacted counts events dropped from the owned store's
+	// per-trace prefixes by retention compaction.
+	StoreCompacted int
 }
 
 // Matcher is the OCEP online matcher for one compiled pattern. It owns an
@@ -131,6 +180,10 @@ type Matcher struct {
 	covered [][]bool
 	opts    Options
 	prune   bool
+	// evictable gates MaxHistoryPerTrace retention: like prune, it is
+	// forced off for lim-> patterns, whose completion check scans the
+	// full class history.
+	evictable bool
 	// external marks a shared store: Feed validates instead of appends.
 	external bool
 	// coverMu guards covered and the shared Stats when ParallelTraces
@@ -181,12 +234,14 @@ func newMatcher(pat *pattern.Compiled, st *event.Store, external bool, opts Opti
 	for i := range m.hist {
 		m.hist[i] = newHistory()
 	}
-	// lim->'s completion check scans the class history; pruning would
-	// make it miss intervening events.
-	for i := 0; i < pat.K() && m.prune; i++ {
+	// lim->'s completion check scans the class history; pruning or
+	// evicting entries would make it miss intervening events.
+	m.evictable = opts.MaxHistoryPerTrace > 0
+	for i := 0; i < pat.K(); i++ {
 		for j := 0; j < pat.K(); j++ {
 			if pat.Rel[i][j] == pattern.RelLim || pat.Rel[i][j] == pattern.RelLimAfter {
 				m.prune = false
+				m.evictable = false
 			}
 		}
 	}
@@ -201,9 +256,11 @@ func (m *Matcher) Stats() Stats {
 	s := m.stats
 	s.HistorySize = 0
 	s.HistoryPruned = 0
+	s.HistoryEvicted = 0
 	for _, h := range m.hist {
 		s.HistorySize += h.size()
 		s.HistoryPruned += h.pruned
+		s.HistoryEvicted += h.evicted
 	}
 	return s
 }
@@ -293,6 +350,7 @@ func (m *Matcher) Feed(e *event.Event) ([]Match, error) {
 		}
 	}
 	if !joined {
+		m.maybeEvict(e.ID.Trace)
 		return nil, nil
 	}
 	m.stats.EventsMatched++
@@ -303,7 +361,89 @@ func (m *Matcher) Feed(e *event.Event) ([]Match, error) {
 		}
 		out = append(out, m.trigger(i, e)...)
 	}
+	m.maybeEvict(e.ID.Trace)
 	return out, nil
+}
+
+// maybeEvict enforces Options.MaxHistoryPerTrace on the trace that just
+// grew. Eviction is coverage-aware at two levels: it only fires at all
+// once every (leaf, trace) pair holding at least one entry is covered
+// (the representative subset is saturated — no pinned search is still
+// hunting for a witness among the old entries), and it then sheds only
+// the oldest entries of the over-cap histories, down to a low watermark
+// of 3/4 cap so the copy cost is amortized. Until saturation the
+// histories retain everything, so a pair is never un-covered and a
+// coverable pair is never starved of its witness candidates. A matcher
+// that owns its store then compacts the store prefix no retained
+// history entry can reach, which keeps every GP/LS interval endpoint
+// exact for the candidates that still exist (see docs/ARCHITECTURE.md,
+// "Resource governance").
+func (m *Matcher) maybeEvict(trace event.TraceID) {
+	if !m.evictable {
+		return
+	}
+	capN := m.opts.MaxHistoryPerTrace
+	t := int(trace)
+	over := false
+	for _, h := range m.hist {
+		if len(h.entries(t)) > capN {
+			over = true
+			break
+		}
+	}
+	if over && m.saturated() {
+		low := capN - capN/4
+		if low < 1 {
+			low = 1
+		}
+		for _, h := range m.hist {
+			if len(h.entries(t)) > capN {
+				h.evictOldest(t, low)
+			}
+		}
+	}
+	if !m.external {
+		m.compactStore(trace)
+	}
+}
+
+// saturated reports whether every (leaf, trace) pair with at least one
+// retained history entry is covered. O(k*n), paid only while some
+// history is over its cap.
+func (m *Matcher) saturated() bool {
+	for i, h := range m.hist {
+		for t := 0; t < h.numTraces(); t++ {
+			if len(h.entries(t)) > 0 && !m.isCovered(i, event.TraceID(t)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// compactStore drops the owned store's prefix of the trace below the
+// oldest entry any leaf history still retains there. Dropped events can
+// no longer be candidates (they are in no history), and the store's
+// least-successor query stays exact for every surviving candidate: LS
+// over a compacted trace returns max(true LS, first retained index),
+// and the first retained index is by construction <= every retained
+// candidate's index. Shared (external) stores are never compacted — the
+// collector owns their retention.
+func (m *Matcher) compactStore(trace event.TraceID) {
+	t := int(trace)
+	keepFrom := m.store.Len(trace) + 1
+	for _, h := range m.hist {
+		if first := h.firstIndex(t); first > 0 && first < keepFrom {
+			keepFrom = first
+		}
+	}
+	// Compacting copies the retained suffix; only pay that once a
+	// meaningful prefix has accumulated.
+	const minChunk = 256
+	if keepFrom-1-m.store.CompactedBefore(trace) < minChunk {
+		return
+	}
+	m.stats.StoreCompacted += m.store.CompactTrace(trace, keepFrom)
 }
 
 // FeedBatch advances the matcher over one cut batch of the linearized
@@ -362,16 +502,40 @@ type search struct {
 	// topFilter, when non-nil, restricts the traces explored at level 1
 	// (parallel worker partitioning).
 	topFilter func(tr int) bool
-	assigned  []*event.Event
-	env       *pattern.Env
-	matches   []Match
-	found     int
-	aborted   bool
+	assigned []*event.Event
+	env      *pattern.Env
+	matches  []Match
+	// bud is the trigger's shared resource budget (nil = unlimited).
+	// Parallel workers and pinned sweeps all hold the same instance.
+	bud     *budget
+	aborted bool
 	// pinned search mode (GuaranteeCoverage): pinLeaf must be matched
 	// on pinTrace, and the search stops at the first complete match.
 	pinLeaf   int // -1 when not pinned
 	pinTrace  event.TraceID
 	stopFirst bool
+}
+
+// exhausted reports whether this search must stop: it aborted itself,
+// or any search sharing the trigger budget exhausted it.
+func (s *search) exhausted() bool {
+	if !s.aborted && s.bud.out() {
+		s.aborted = true
+	}
+	return s.aborted
+}
+
+// budgetStep consumes one step of the trigger budget; false aborts the
+// search.
+func (s *search) budgetStep() bool {
+	if s.aborted {
+		return false
+	}
+	if !s.bud.step() {
+		s.aborted = true
+		return false
+	}
+	return true
 }
 
 // placeResult reports the outcome of placing one level (and everything
@@ -397,6 +561,7 @@ func (m *Matcher) trigger(trig int, e *event.Event) []Match {
 		env:       pattern.NewEnv(),
 		pinLeaf:   -1,
 		stats:     &m.stats,
+		bud:       newBudget(m.opts),
 	}
 	if m.opts.StaticOrder {
 		s.staticOrder = m.pat.Orders[trig]
@@ -411,23 +576,36 @@ func (m *Matcher) trigger(trig int, e *event.Event) []Match {
 	case m.pat.K() == 1:
 		s.complete()
 	case m.parallelWorkers() > 1:
-		s.matches = m.parallelTrigger(trig, e)
+		s.matches = m.parallelTrigger(trig, e, s.bud)
 	default:
 		s.place(1)
 	}
-	if m.opts.GuaranteeCoverage && !s.aborted {
+	if m.opts.GuaranteeCoverage && !s.exhausted() {
 		m.pinnedSweep(trig, e, s)
+	}
+	if s.exhausted() {
+		// Budget exhausted (steps, deadline or match cap): the event is
+		// already in the histories, so the stream stays consistent; the
+		// degradation is surfaced, not silent.
+		m.stats.TriggersAborted++
+		for i := range s.matches {
+			s.matches[i].Truncated = true
+		}
 	}
 	return s.matches
 }
 
 // parallelWorkers returns the effective top-level worker count.
 // Parallelism is disabled for the reporting modes whose decisions depend
-// on global enumeration order.
+// on global enumeration order. MaxTriggerMatches is NOT such a mode: the
+// cap is enforced by an atomic counter shared across workers (see
+// budget.noteMatch), so the reported count is exact — a worker that
+// completes a match after another worker consumed the final slot
+// suppresses it. Only the choice of which matches fill the cap is
+// timing-dependent under parallelism, which the option documents.
 func (m *Matcher) parallelWorkers() int {
 	if m.opts.ParallelTraces <= 1 || m.opts.RepresentativeOnly ||
-		m.opts.CoverageSkip || m.opts.GuaranteeCoverage ||
-		m.opts.MaxTriggerMatches > 0 {
+		m.opts.CoverageSkip || m.opts.GuaranteeCoverage {
 		return 1
 	}
 	return m.opts.ParallelTraces
@@ -439,7 +617,7 @@ func (m *Matcher) parallelWorkers() int {
 // environment, assignment and counters; the matcher's counters receive
 // the summed deltas and the reported match set equals the sequential
 // one (the report order may differ).
-func (m *Matcher) parallelTrigger(trig int, e *event.Event) []Match {
+func (m *Matcher) parallelTrigger(trig int, e *event.Event, bud *budget) []Match {
 	workers := m.parallelWorkers()
 	traceName := m.store.TraceName(e.ID.Trace)
 	results := make([][]Match, workers)
@@ -456,6 +634,7 @@ func (m *Matcher) parallelTrigger(trig int, e *event.Event) []Match {
 				env:       pattern.NewEnv(),
 				pinLeaf:   -1,
 				stats:     &deltas[w],
+				bud:       bud,
 				topFilter: func(tr int) bool { return tr%workers == w },
 			}
 			if m.opts.StaticOrder {
@@ -493,6 +672,9 @@ func (m *Matcher) pinnedSweep(trig int, e *event.Event, base *search) {
 	n := m.store.NumTraces()
 	for leafIdx := 0; leafIdx < m.pat.K(); leafIdx++ {
 		for tr := 0; tr < n; tr++ {
+			if base.exhausted() {
+				return // trigger budget spent: skip the remaining pairs
+			}
 			trace := event.TraceID(tr)
 			if m.isCovered(leafIdx, trace) || m.hist[leafIdx].lastPos(tr) == 0 {
 				continue
@@ -509,6 +691,7 @@ func (m *Matcher) pinnedSweep(trig int, e *event.Event, base *search) {
 				pinTrace:  trace,
 				stopFirst: true,
 				stats:     &m.stats,
+				bud:       base.bud,
 			}
 			if m.opts.StaticOrder {
 				s.staticOrder = m.pat.Orders[trig]
@@ -643,7 +826,7 @@ func (s *search) place(li int) placeResult {
 		if li == 1 && s.topFilter != nil && !s.topFilter(tr) {
 			continue // another parallel worker owns this trace
 		}
-		if s.aborted {
+		if s.exhausted() {
 			res.valid = false
 			return res
 		}
@@ -702,7 +885,9 @@ func (s *search) tryCandidates(li int, leaf *pattern.Leaf, leafIdx int, trace ev
 	jumpBound := int(^uint(0) >> 1) // max int: no bound yet
 	matchedAny := false
 	for ci := len(cands) - 1; ci >= 0; ci-- {
-		if s.aborted {
+		// goForward's step check: one budget unit per candidate-loop
+		// iteration, shared with every worker of the trigger.
+		if !s.budgetStep() {
 			return traceOutcome{}
 		}
 		cand := cands[ci]
@@ -915,6 +1100,14 @@ func (s *search) complete() placeResult {
 		return placeResult{valid: false}
 	}
 	s.stats.CompleteMatches++
+	verdict := s.bud.noteMatch()
+	if verdict == matchOver {
+		// A concurrent worker consumed the final MaxTriggerMatches slot:
+		// suppress this match entirely — coverage untouched, nothing
+		// reported — so the cap bounds the reported set exactly.
+		s.aborted = true
+		return placeResult{matched: true}
+	}
 	newCoverage := false
 	for leafIdx, ev := range s.assigned {
 		if m.cover(leafIdx, ev.ID.Trace) {
@@ -929,9 +1122,8 @@ func (s *search) complete() placeResult {
 	} else {
 		s.stats.Redundant++
 	}
-	s.found++
-	if m.opts.MaxTriggerMatches > 0 && s.found >= m.opts.MaxTriggerMatches {
-		s.aborted = true
+	if verdict == matchLast {
+		s.aborted = true // the cap is spent: stop the search
 	}
 	return placeResult{matched: true}
 }

@@ -12,8 +12,15 @@ import (
 // Store is not safe for concurrent use; the monitor appends events from
 // the single linearized delivery stream.
 type Store struct {
-	traces [][]*Event // traces[t][i-1] is event t#i
-	names  []string   // optional human-readable trace names
+	// traces[t] holds the retained events of trace t in trace order:
+	// traces[t][i] is event t#(base[t]+i+1). base[t] is zero until
+	// CompactTrace drops a prefix; all indices in the API stay logical
+	// (1-based positions within the full trace).
+	traces [][]*Event
+	// base[t] counts events compacted away from the front of trace t.
+	// nil until the first compaction, then sized like traces.
+	base   []int
+	names  []string // optional human-readable trace names
 	byName map[string]TraceID
 	// comm[t] counts the communication events (non-internal kinds)
 	// appended to trace t so far. The duplicate-pruning rule of the
@@ -77,21 +84,83 @@ func (s *Store) TraceByName(name string) (TraceID, bool) {
 // NumTraces returns the number of traces seen so far.
 func (s *Store) NumTraces() int { return len(s.traces) }
 
-// Len returns the number of events stored on trace t.
+// Len returns the number of events appended to trace t — a logical
+// count that includes any compacted prefix.
 func (s *Store) Len(t TraceID) int {
 	if int(t) >= len(s.traces) {
 		return 0
 	}
-	return len(s.traces[t])
+	return s.baseOf(int(t)) + len(s.traces[t])
 }
 
-// TotalEvents returns the number of events stored across all traces.
+// baseOf returns the compacted-prefix length of trace t (0 before any
+// compaction).
+func (s *Store) baseOf(t int) int {
+	if t >= len(s.base) {
+		return 0
+	}
+	return s.base[t]
+}
+
+// CompactedBefore returns the logical index up to which trace t's
+// prefix has been compacted: events with Index <= CompactedBefore are
+// gone, Get returns nil for them.
+func (s *Store) CompactedBefore(t TraceID) int {
+	if int(t) >= len(s.traces) {
+		return 0
+	}
+	return s.baseOf(int(t))
+}
+
+// TotalEvents returns the number of events appended across all traces
+// (logical: compacted events are still counted; see RetainedEvents).
 func (s *Store) TotalEvents() int {
+	n := 0
+	for t := range s.traces {
+		n += s.baseOf(t) + len(s.traces[t])
+	}
+	return n
+}
+
+// RetainedEvents returns the number of events currently held in memory
+// across all traces — TotalEvents minus everything compacted away.
+func (s *Store) RetainedEvents() int {
 	n := 0
 	for _, tr := range s.traces {
 		n += len(tr)
 	}
 	return n
+}
+
+// CompactTrace drops the events of trace t with logical Index <
+// keepFrom and returns how many were dropped. Compaction is the
+// matcher/collector retention hook: Len stays logical, Append still
+// expects the next logical index, Get returns nil for compacted
+// events, and LS degrades gracefully — over a compacted trace it
+// returns max(true least successor, first retained index), which is
+// exact for every retained event at or above the compaction point.
+// Callers must therefore only compact below any index they may still
+// need as a candidate. The retained suffix is copied to a fresh slice
+// so the dropped prefix becomes collectable.
+func (s *Store) CompactTrace(t TraceID, keepFrom int) int {
+	ti := int(t)
+	if ti < 0 || ti >= len(s.traces) {
+		return 0
+	}
+	for len(s.base) < len(s.traces) {
+		s.base = append(s.base, 0)
+	}
+	drop := keepFrom - 1 - s.base[ti]
+	if drop <= 0 {
+		return 0
+	}
+	if drop > len(s.traces[ti]) {
+		drop = len(s.traces[ti])
+	}
+	rest := s.traces[ti][drop:]
+	s.traces[ti] = append(make([]*Event, 0, len(rest)), rest...)
+	s.base[ti] += drop
+	return drop
 }
 
 // Append adds e to its trace. The event's Index must be exactly one past
@@ -107,7 +176,7 @@ func (s *Store) Append(e *Event) error {
 		s.names = append(s.names, "")
 		s.comm = append(s.comm, 0)
 	}
-	if want := len(s.traces[t]) + 1; e.ID.Index != want {
+	if want := s.baseOf(t) + len(s.traces[t]) + 1; e.ID.Index != want {
 		return fmt.Errorf("event %s arrived out of trace order: want index %d", e.ID, want)
 	}
 	s.traces[t] = append(s.traces[t], e)
@@ -126,17 +195,24 @@ func (s *Store) CommCount(t TraceID) int {
 	return s.comm[t]
 }
 
-// Get returns the event with the given ID, or nil if it is out of range.
+// Get returns the event with the given ID, or nil if it is out of range
+// or was compacted away.
 func (s *Store) Get(id ID) *Event {
 	t := int(id.Trace)
-	if t < 0 || t >= len(s.traces) || id.Index < 1 || id.Index > len(s.traces[t]) {
+	if t < 0 || t >= len(s.traces) {
 		return nil
 	}
-	return s.traces[t][id.Index-1]
+	i := id.Index - 1 - s.baseOf(t)
+	if i < 0 || i >= len(s.traces[t]) {
+		return nil
+	}
+	return s.traces[t][i]
 }
 
-// Events returns the stored events of trace t in trace order. The returned
-// slice is the store's own backing array; callers must not modify it.
+// Events returns the retained events of trace t in trace order; after
+// compaction the slice starts at logical index CompactedBefore(t)+1.
+// The returned slice is the store's own backing array; callers must not
+// modify it.
 func (s *Store) Events(t TraceID) []*Event {
 	if int(t) >= len(s.traces) {
 		return nil

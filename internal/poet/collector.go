@@ -56,6 +56,13 @@ type Handler func(*event.Event)
 // already-buffered position of its trace.
 var ErrStaleEvent = errors.New("poet: stale or duplicate raw event")
 
+// ErrOverloaded reports a raw event refused by admission control: the
+// reporting trace already has the configured maximum of buffered
+// out-of-order events (SetAdmissionLimit). The event was not ingested;
+// the reporter should back off and retransmit (the wire server does this
+// transparently, shedding load onto the reporter's bounded buffer).
+var ErrOverloaded = errors.New("poet: collector overloaded")
+
 // Collector ingests raw events, reconstructs causality, and delivers
 // stamped events in a linearization of the partial order. It is safe for
 // concurrent use by multiple reporting goroutines.
@@ -92,6 +99,20 @@ type Collector struct {
 	// nonzero value means the log is a suffix and a dump of it would be
 	// silently incomplete, so Dump refuses.
 	retainedFrom int
+	// retain, when positive, bounds len(order): SetRetention trims the
+	// linearization log (and compacts the store) once it exceeds the
+	// bound by a quarter. 0 means keep everything.
+	retain int
+	// trimmedFrom is the number of delivered events trimmed off the front
+	// of order by retention: order[0] is delivery number trimmedFrom.
+	trimmedFrom int
+	// evictedEvents counts events evicted by retention (order trims).
+	evictedEvents int
+	// compactedEvents counts events released from the store by retention.
+	compactedEvents int
+	// admission, when positive, caps the buffered out-of-order events per
+	// trace: a Report that would exceed it fails with ErrOverloaded.
+	admission int
 	// durable, when non-nil, write-ahead-logs every ingested event (see
 	// durable.go). Appends happen under mu so WAL order equals ingestion
 	// order; the durability barrier (fsync) runs after mu is released.
@@ -109,7 +130,9 @@ type collectorMetrics struct {
 	ingested     *telemetry.Counter
 	stale        *telemetry.Counter
 	rejected     *telemetry.Counter
+	overloaded   *telemetry.Counter
 	delivered    *telemetry.Counter
+	evicted      *telemetry.Counter
 	walEventRecs *telemetry.Counter
 	walTraceRecs *telemetry.Counter
 	blockedNs    *telemetry.Counter
@@ -130,7 +153,9 @@ func (c *Collector) InstrumentMetrics(reg *telemetry.Registry) {
 		ingested:     reg.Counter("poet_ingested_events_total", "Raw events accepted by the collector."),
 		stale:        reg.Counter("poet_stale_reports_total", "Reports rejected as stale or duplicate (idempotent retransmit no-ops)."),
 		rejected:     reg.Counter("poet_rejected_reports_total", "Reports rejected as malformed (bad sequence, missing message id, duplicate message id)."),
+		overloaded:   reg.Counter("poet_overloaded_reports_total", "Reports refused by admission control (ErrOverloaded)."),
 		delivered:    reg.Counter("poet_delivered_events_total", "Events stamped and published in linearization order."),
+		evicted:      reg.Counter("poet_retention_evicted_total", "Delivered events evicted from the linearization log by SetRetention."),
 		walEventRecs: reg.Counter("poet_wal_event_records_total", "Event records appended to the write-ahead log."),
 		walTraceRecs: reg.Counter("poet_wal_trace_records_total", "Trace-registration records appended to the write-ahead log."),
 		blockedNs:    reg.Counter("poet_delivery_blocked_ns_total", "Nanoseconds Report spent blocked on full subscriber queues (BackpressureBlock)."),
@@ -162,6 +187,11 @@ func (c *Collector) InstrumentMetrics(reg *telemetry.Registry) {
 		}
 		return n
 	})
+	reg.GaugeFunc("poet_retained_events", "Delivered events currently retained in the linearization log (equals delivered when retention is off).", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(len(c.order))
+	})
 }
 
 // NewCollector returns an empty collector.
@@ -184,6 +214,128 @@ func (c *Collector) RetainLog() {
 	if !c.retainLog {
 		c.retainLog = true
 		c.retainedFrom = c.delivered
+	}
+}
+
+// SetRetention bounds the collector's memory: once more than keepEvents
+// (plus a quarter, to amortize the trims) delivered events are held, the
+// oldest are evicted from the linearization log and released from the
+// event store. Eviction is watermark-based — each trim drops back to
+// keepEvents — and never touches an unmatched send (its receive still
+// needs the send's vector clock), so causality reconstruction is exact
+// regardless of the bound.
+//
+// Consequences of eviction, all surfaced loudly rather than silently:
+// monitor resumes (SubscribeBatchReplayFrom) below the trim point are
+// rejected; queries for evicted events return "unknown event"; Dump and
+// snapshots need the full log, so retention refuses a collector with
+// RetainLog or durability enabled (and OpenDurable refuses a retaining
+// collector). keepEvents <= 0 disables retention.
+func (c *Collector) SetRetention(keepEvents int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if keepEvents <= 0 {
+		c.retain = 0
+		return nil
+	}
+	if c.retainLog {
+		return errors.New("poet: retention is incompatible with RetainLog (a dump of a trimmed log would be silently incomplete)")
+	}
+	if c.durable != nil {
+		return errors.New("poet: retention is incompatible with a durable collector (snapshots need the full delivered log)")
+	}
+	c.retain = keepEvents
+	// Drop already-matched sends from the map so it holds only open
+	// sends from here on (deliver maintains that invariant under
+	// retention; entries that predate it are swept once, here).
+	for msgID, id := range c.sends {
+		if e := c.store.Get(id); e == nil || !e.Partner.IsZero() {
+			delete(c.sends, msgID)
+		}
+	}
+	c.maybeTrimLocked()
+	return nil
+}
+
+// SetAdmissionLimit caps the out-of-order events buffered per trace:
+// a Report that finds its trace already holding maxPendingPerTrace
+// undeliverable events fails with ErrOverloaded instead of buffering
+// without bound. The refused event is not ingested — the reporter
+// retransmits it once the backlog drains (the wire server retries
+// transparently; see WireStats.LoadSheds). n <= 0 disables the limit.
+func (c *Collector) SetAdmissionLimit(maxPendingPerTrace int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxPendingPerTrace < 0 {
+		maxPendingPerTrace = 0
+	}
+	c.admission = maxPendingPerTrace
+}
+
+// RetentionStats summarizes the effect of SetRetention.
+type RetentionStats struct {
+	// KeepEvents is the configured bound (0 when retention is off).
+	KeepEvents int
+	// TrimmedFrom is the delivery number of the oldest retained event:
+	// events 0..TrimmedFrom-1 of the linearization have been evicted.
+	TrimmedFrom int
+	// Evicted counts events evicted from the linearization log.
+	Evicted int
+	// StoreCompacted counts events released from the event store (lags
+	// Evicted by the open-send watermark and per-trace clamping).
+	StoreCompacted int
+	// Retained is the current length of the linearization log.
+	Retained int
+}
+
+// RetentionStats returns the collector's cumulative retention counters.
+func (c *Collector) RetentionStats() RetentionStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return RetentionStats{
+		KeepEvents:     c.retain,
+		TrimmedFrom:    c.trimmedFrom,
+		Evicted:        c.evictedEvents,
+		StoreCompacted: c.compactedEvents,
+		Retained:       len(c.order),
+	}
+}
+
+// maybeTrimLocked evicts the oldest delivered events once the
+// linearization log exceeds the retention bound by a quarter (the
+// hysteresis keeps trims amortized instead of per-delivery). The store
+// is compacted along with the log, clamped per trace so no unmatched
+// send — still needed to stamp its future receive — is released.
+func (c *Collector) maybeTrimLocked() {
+	if c.retain <= 0 || len(c.order) <= c.retain+c.retain/4 {
+		return
+	}
+	drop := len(c.order) - c.retain
+	// The linearization holds each trace's events in trace order, so the
+	// dropped prefix covers a per-trace prefix: the highest index per
+	// trace tells the store how far it may compact.
+	keepFrom := make(map[event.TraceID]int)
+	for _, e := range c.order[:drop] {
+		if e.ID.Index+1 > keepFrom[e.ID.Trace] {
+			keepFrom[e.ID.Trace] = e.ID.Index + 1
+		}
+	}
+	rest := c.order[drop:]
+	c.order = append(make([]*event.Event, 0, len(rest)), rest...)
+	c.trimmedFrom += drop
+	c.evictedEvents += drop
+	c.tel.evicted.Add(int64(drop))
+	// Unmatched sends pin the store: a receive delivered later merges the
+	// send's vector clock via store.Get. sends entries are deleted when
+	// the receive is delivered (retention mode only), so what remains in
+	// the map is exactly the open sends.
+	for _, id := range c.sends {
+		if limit, ok := keepFrom[id.Trace]; ok && id.Index < limit {
+			keepFrom[id.Trace] = id.Index
+		}
+	}
+	for t, from := range keepFrom {
+		c.compactedEvents += c.store.CompactTrace(t, from)
 	}
 }
 
@@ -261,6 +413,7 @@ func (c *Collector) subscribeLocked(h Handler) *Subscription {
 // SubscribeReplay atomically replays every already-delivered event to h
 // (in delivery order) and then registers h for future deliveries, so the
 // handler observes one complete linearization no matter when it joins.
+// Under SetRetention the replay covers only the retained suffix.
 func (c *Collector) SubscribeReplay(h Handler) *Subscription {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -270,9 +423,10 @@ func (c *Collector) SubscribeReplay(h Handler) *Subscription {
 	return c.subscribeLocked(h)
 }
 
-// Ordered returns the delivered events in delivery order. The slice is
-// the collector's own log: callers must not modify it, and should read
-// it only once reporting has quiesced.
+// Ordered returns the delivered events in delivery order (the retained
+// suffix, when SetRetention has trimmed the front). The slice is the
+// collector's own log: callers must not modify it, and should read it
+// only once reporting has quiesced.
 func (c *Collector) Ordered() []*event.Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -441,8 +595,11 @@ func (c *Collector) Report(raw RawEvent) error {
 	switch {
 	case err == nil:
 		c.tel.ingested.Inc()
+		c.maybeTrimLocked()
 	case errors.Is(err, ErrStaleEvent):
 		c.tel.stale.Inc()
+	case errors.Is(err, ErrOverloaded):
+		c.tel.overloaded.Inc()
 	default:
 		c.tel.rejected.Inc()
 	}
@@ -505,6 +662,14 @@ func (c *Collector) reportLocked(raw RawEvent) error {
 	if _, dup := c.pending[t][raw.Seq]; dup {
 		return fmt.Errorf("poet: event %q/%d already buffered: %w", raw.Trace, raw.Seq, ErrStaleEvent)
 	}
+	// Admission control: never refuse the trace's delivery head (it is
+	// what drains the backlog — refusing it would wedge the trace), but
+	// an out-of-order event beyond the per-trace buffer cap is shed back
+	// to the reporter, which retains and retransmits it.
+	if c.admission > 0 && raw.Seq != c.nextSeq[t] && len(c.pending[t]) >= c.admission {
+		return fmt.Errorf("poet: trace %q has %d buffered events awaiting causal predecessors: %w",
+			raw.Trace, len(c.pending[t]), ErrOverloaded)
+	}
 	if isSendLike(raw.Kind) && raw.MsgID != 0 {
 		if c.sendersSeen[raw.MsgID] {
 			return fmt.Errorf("poet: duplicate message id %d from %q/%d", raw.MsgID, raw.Trace, raw.Seq)
@@ -557,6 +722,12 @@ func (c *Collector) deliver(t event.TraceID, raw RawEvent) {
 		sendEv := c.store.Get(sendID)
 		clock = clock.Merge(sendEv.VC)
 		partner = sendID
+		if c.retain > 0 {
+			// Under retention the sends map holds only open (unmatched)
+			// sends: a matched entry no longer pins the store against
+			// compaction, and the map stays bounded by the open-send count.
+			delete(c.sends, raw.MsgID)
+		}
 	}
 	clock = clock.Tick(int(t))
 	c.clocks[t] = clock

@@ -350,7 +350,10 @@ func (c *Collector) SubscribeBatch(h BatchHandler, opts AsyncOptions) *Subscript
 // consumer observes one complete, gap-free linearization no matter when
 // it joins. The replayed backlog is exempt from the queue depth (it is
 // enqueued in one atomic step); backpressure applies from the first live
-// delivery on.
+// delivery on. Under SetRetention only the retained suffix is replayed —
+// consumers that need the full stream from event 0 (a matcher store
+// does) must use SubscribeBatchReplayFrom, which rejects an evicted
+// offset instead of handing over a gapped stream.
 func (c *Collector) SubscribeBatchReplay(h BatchHandler, opts AsyncOptions) *Subscription {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -362,14 +365,20 @@ func (c *Collector) SubscribeBatchReplay(h BatchHandler, opts AsyncOptions) *Sub
 // events the consumer has already observed) is replayed. It fails when
 // offset exceeds the delivered count — the consumer is ahead of this
 // collector, which means it is talking to a different (e.g. restarted)
-// instance and must not be handed a stream with a silent gap.
+// instance and must not be handed a stream with a silent gap — and when
+// offset falls below the retention trim point (SetRetention evicted the
+// requested suffix; replaying past the hole would be an equally silent
+// gap).
 func (c *Collector) SubscribeBatchReplayFrom(offset int, h BatchHandler, opts AsyncOptions) (*Subscription, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if offset < 0 || offset > len(c.order) {
-		return nil, fmt.Errorf("poet: resume offset %d out of range (delivered %d)", offset, len(c.order))
+	if offset < 0 || offset > c.trimmedFrom+len(c.order) {
+		return nil, fmt.Errorf("poet: resume offset %d out of range (delivered %d)", offset, c.trimmedFrom+len(c.order))
 	}
-	return c.subscribeBatchLocked(h, opts, offset), nil
+	if offset < c.trimmedFrom {
+		return nil, fmt.Errorf("poet: resume offset %d was evicted by retention (oldest retained event is %d)", offset, c.trimmedFrom)
+	}
+	return c.subscribeBatchLocked(h, opts, offset-c.trimmedFrom), nil
 }
 
 // subscribeBatchLocked registers a batch subscription, replaying the

@@ -126,6 +126,9 @@ func OpenDurable(c *Collector, opts DurableOptions) (*Durability, error) {
 	if c.Delivered() > 0 || c.Pending() > 0 {
 		return nil, fmt.Errorf("poet: OpenDurable requires a fresh collector")
 	}
+	if c.RetentionStats().KeepEvents > 0 {
+		return nil, fmt.Errorf("poet: OpenDurable requires a collector without retention (snapshots need the full delivered log)")
+	}
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("poet: OpenDurable requires a data directory")
 	}

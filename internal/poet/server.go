@@ -48,6 +48,12 @@ type Server struct {
 	heartbeats     atomic.Int64
 	targetResumes  atomic.Int64
 	monitorResumes atomic.Int64
+	loadSheds      atomic.Int64
+	// sheddingConns counts target handlers currently parked in the
+	// overload retry loop; nonzero means the server is shedding load
+	// (see Shedding, which readiness probes consult).
+	sheddingConns atomic.Int64
+	overloadWait  time.Duration
 
 	// tel mirrors the wire counters into a telemetry registry; all nil
 	// (no-op) until InstrumentMetrics.
@@ -72,6 +78,13 @@ const (
 	DefaultAckInterval = 250 * time.Millisecond
 	DefaultHeartbeat   = time.Second
 	DefaultPeerTimeout = 10 * time.Second
+	// DefaultOverloadWait bounds how long a target handler parks waiting
+	// for an overloaded collector to drain before it gives up on the
+	// connection; see SetOverloadWait.
+	DefaultOverloadWait = 5 * time.Second
+	// overloadPoll is the cadence at which a shedding target handler
+	// re-offers its refused event to the collector.
+	overloadPoll = 5 * time.Millisecond
 )
 
 // SetMonitorQueue configures the per-monitor-connection delivery queue:
@@ -104,6 +117,23 @@ func (s *Server) SetWireTiming(ackInterval, heartbeat, peerTimeout time.Duration
 	}
 }
 
+// SetOverloadWait bounds how long a target handler sheds load — parking
+// the connection and re-offering the refused event every few
+// milliseconds — when the collector's admission control reports
+// ErrOverloaded, before failing the connection. While parked, the
+// reporter's bounded buffer absorbs the backpressure. Zero keeps
+// DefaultOverloadWait. Call before Listen.
+func (s *Server) SetOverloadWait(d time.Duration) {
+	if d > 0 {
+		s.overloadWait = d
+	}
+}
+
+// Shedding reports whether any target connection is currently parked in
+// the overload retry loop. Readiness probes use it to advertise
+// not-ready while the collector is above its admission limits.
+func (s *Server) Shedding() bool { return s.sheddingConns.Load() > 0 }
+
 // WireStats are the server's cumulative fault-tolerance counters.
 type WireStats struct {
 	// StaleEvents counts retransmitted events ignored as idempotent
@@ -117,6 +147,10 @@ type WireStats struct {
 	TargetResumes int
 	// MonitorResumes counts monitor hellos with a nonzero resume offset.
 	MonitorResumes int
+	// LoadSheds counts events the collector refused with ErrOverloaded
+	// that the server shed back onto reporter buffers (parking the
+	// connection until the backlog drained or the overload wait expired).
+	LoadSheds int
 	// RecoveryDiscarded counts WAL records discarded as torn or corrupt
 	// by startup recovery (0 for a non-durable or cleanly started
 	// server). See RecoveryStats.DiscardedRecords.
@@ -136,6 +170,7 @@ type serverMetrics struct {
 	monitorRes   *telemetry.Counter
 	peerTimeouts *telemetry.Counter
 	monOverflows *telemetry.Counter
+	loadSheds    *telemetry.Counter
 }
 
 // InstrumentMetrics registers the server's wire metrics with reg. Call
@@ -157,7 +192,11 @@ func (s *Server) InstrumentMetrics(reg *telemetry.Registry) {
 		monitorRes:   reg.Counter("poet_wire_monitor_resumes_total", "Monitor hellos with a nonzero resume offset."),
 		peerTimeouts: reg.Counter("poet_wire_peer_timeouts_total", "Target connections declared dead after peer-timeout silence."),
 		monOverflows: reg.Counter("poet_wire_monitor_overflow_disconnects_total", "Monitors disconnected for overflowing their delivery queue."),
+		loadSheds:    reg.Counter("poet_wire_load_sheds_total", "Events shed back onto reporter buffers after an ErrOverloaded refusal."),
 	}
+	reg.GaugeFunc("poet_wire_shedding_connections", "Target connections currently parked in the overload retry loop.", func() int64 {
+		return s.sheddingConns.Load()
+	})
 }
 
 // WireStats returns the server's cumulative wire counters.
@@ -168,6 +207,7 @@ func (s *Server) WireStats() WireStats {
 		Heartbeats:     int(s.heartbeats.Load()),
 		TargetResumes:  int(s.targetResumes.Load()),
 		MonitorResumes: int(s.monitorResumes.Load()),
+		LoadSheds:      int(s.loadSheds.Load()),
 	}
 	if d := s.collector.Durable(); d != nil {
 		st.RecoveryDiscarded = int(d.Recovery().DiscardedRecords)
@@ -190,6 +230,7 @@ func NewServer(c *Collector, logf func(format string, args ...any)) *Server {
 		ackInterval:  DefaultAckInterval,
 		hbInterval:   DefaultHeartbeat,
 		peerTimeout:  DefaultPeerTimeout,
+		overloadWait: DefaultOverloadWait,
 		writeTimeout: defaultWriteTimeout,
 		closing:      make(chan struct{}),
 	}
@@ -404,7 +445,37 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 		seenMu.Lock()
 		seen[raw.Trace] = true
 		seenMu.Unlock()
-		if err := s.collector.Report(raw); err != nil {
+		err := s.collector.Report(raw)
+		if errors.Is(err, ErrOverloaded) {
+			// Admission control refused the event: shed the load back onto
+			// the reporter by parking this connection and re-offering the
+			// event until the backlog drains. The reporter keeps the event
+			// in its bounded unacked buffer the whole time (no ack covers
+			// it), so nothing is lost; its own Report calls block once that
+			// buffer fills, propagating the backpressure to the source.
+			s.loadSheds.Add(1)
+			s.tel.loadSheds.Inc()
+			s.sheddingConns.Add(1)
+			deadline := time.Now().Add(s.overloadWait)
+			for errors.Is(err, ErrOverloaded) && time.Now().Before(deadline) {
+				select {
+				case <-s.closing:
+					s.sheddingConns.Add(-1)
+					return nil
+				case <-time.After(overloadPoll):
+				}
+				err = s.collector.Report(raw)
+			}
+			s.sheddingConns.Add(-1)
+			if errors.Is(err, ErrOverloaded) {
+				// The backlog never drained: a causal predecessor is likely
+				// missing for good. Tell the peer before hanging up.
+				_ = writeAck(&serverAck{Err: err.Error()})
+				return fmt.Errorf("shedding %s/%d: collector still overloaded after %v: %w",
+					raw.Trace, raw.Seq, s.overloadWait, err)
+			}
+		}
+		if err != nil {
 			if errors.Is(err, ErrStaleEvent) {
 				// A retransmit of something already ingested: the normal
 				// aftermath of a reporter reconnect, not a fault. Dropping
@@ -458,8 +529,16 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 		return err
 	}
 
-	// Validate the resume offset before subscribing. Delivered only
-	// grows, so an offset valid here stays valid for the subscription.
+	// Validate the resume offset before subscribing. Delivered and the
+	// retention trim point only grow; an offset rejected here would be
+	// rejected by the subscription too, so check the trim first for the
+	// better error message.
+	if trimmed := s.collector.RetentionStats().TrimmedFrom; h.ResumeFrom >= 0 && h.ResumeFrom < trimmed {
+		msg := fmt.Sprintf("cannot resume from offset %d: retention evicted events below %d; the requested suffix no longer exists",
+			h.ResumeFrom, trimmed)
+		_ = sendHello(helloAck{Error: msg})
+		return fmt.Errorf("monitor %s: %s", conn.RemoteAddr(), msg)
+	}
 	if h.ResumeFrom < 0 || h.ResumeFrom > s.collector.Delivered() {
 		msg := fmt.Sprintf("cannot resume from offset %d (delivered %d): this collector did not produce that stream",
 			h.ResumeFrom, s.collector.Delivered())
@@ -555,7 +634,9 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 		},
 	})
 	if err != nil {
-		return err // unreachable: the offset was validated above
+		// Only reachable when a concurrent retention trim overtook the
+		// offset between validation and subscription.
+		return err
 	}
 	defer sub.Cancel()
 	statsCh <- sub.Stats

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Health aggregates named readiness checks into the conventional
+// /healthz + /readyz probe pair. Liveness (/healthz) answers 200 as
+// long as the process serves HTTP at all; readiness (/readyz) runs
+// every registered check and answers 503 while any of them fails —
+// load balancers and orchestration stop routing to the instance
+// without killing it. Zero value is ready with no checks.
+type Health struct {
+	mu     sync.Mutex
+	names  []string
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty health aggregator.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// RegisterCheck adds (or replaces) a named readiness check. The check
+// runs on every /readyz request: it must be cheap and must not block.
+// A nil error means ready; the error text of a failing check is
+// reported in the probe body.
+func (h *Health) RegisterCheck(name string, check func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.checks == nil {
+		h.checks = make(map[string]func() error)
+	}
+	if _, ok := h.checks[name]; !ok {
+		h.names = append(h.names, name)
+		sort.Strings(h.names)
+	}
+	h.checks[name] = check
+}
+
+// checkResult is one check's outcome for a readiness evaluation.
+type checkResult struct {
+	name string
+	err  error
+}
+
+func (h *Health) run() []checkResult {
+	h.mu.Lock()
+	names := append([]string(nil), h.names...)
+	checks := make([]func() error, len(names))
+	for i, n := range names {
+		checks[i] = h.checks[n]
+	}
+	h.mu.Unlock()
+	// Run outside the lock: a check may consult subsystems that in turn
+	// register further checks.
+	out := make([]checkResult, len(names))
+	for i, n := range names {
+		out[i] = checkResult{name: n, err: checks[i]()}
+	}
+	return out
+}
+
+// Ready reports whether every registered check passes.
+func (h *Health) Ready() bool {
+	for _, r := range h.run() {
+		if r.err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Healthz returns the liveness handler: always 200. Reaching it at all
+// proves the process is up and serving; deadness is detected by the
+// probe timing out, not by a status code.
+func (h *Health) Healthz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// Readyz returns the readiness handler: 200 with one "<name> ok" line
+// per check when everything passes, 503 with the failing checks' error
+// texts otherwise.
+func (h *Health) Readyz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		results := h.run()
+		ready := true
+		for _, r := range results {
+			if r.err != nil {
+				ready = false
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Fprintf(w, "%s: %v\n", r.name, r.err)
+			} else {
+				fmt.Fprintf(w, "%s ok\n", r.name)
+			}
+		}
+		if len(results) == 0 {
+			fmt.Fprintln(w, "ok")
+		}
+	})
+}
+
+// Mount registers the /healthz and /readyz probes on mux.
+func (h *Health) Mount(mux *http.ServeMux) {
+	mux.Handle("/healthz", h.Healthz())
+	mux.Handle("/readyz", h.Readyz())
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func probe(t *testing.T, h http.Handler) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	h := NewHealth()
+	h.RegisterCheck("broken", func() error { return errors.New("down") })
+	if code, body := probe(t, h.Healthz()); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q, want 200 ok (liveness ignores readiness checks)", code, body)
+	}
+}
+
+func TestReadyzReflectsChecks(t *testing.T) {
+	h := NewHealth()
+	if code, _ := probe(t, h.Readyz()); code != 200 {
+		t.Fatalf("empty health not ready: %d", code)
+	}
+	var failing error
+	h.RegisterCheck("collector", func() error { return nil })
+	h.RegisterCheck("wal", func() error { return failing })
+	if code, body := probe(t, h.Readyz()); code != 200 || !strings.Contains(body, "wal ok") {
+		t.Fatalf("passing checks = %d %q", code, body)
+	}
+	if h.Ready() != true {
+		t.Fatal("Ready() false with passing checks")
+	}
+	failing = errors.New("recovering")
+	code, body := probe(t, h.Readyz())
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("failing check = %d, want 503", code)
+	}
+	if !strings.Contains(body, "wal: recovering") || !strings.Contains(body, "collector ok") {
+		t.Fatalf("body does not name the failing check: %q", body)
+	}
+	if h.Ready() {
+		t.Fatal("Ready() true with a failing check")
+	}
+	// Recovery flips it back without re-registration.
+	failing = nil
+	if code, _ := probe(t, h.Readyz()); code != 200 {
+		t.Fatalf("recovered check still not ready: %d", code)
+	}
+}
+
+func TestHealthMount(t *testing.T) {
+	h := NewHealth()
+	h.RegisterCheck("c", func() error { return errors.New("no") })
+	mux := http.NewServeMux()
+	h.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 503} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}

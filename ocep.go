@@ -98,6 +98,8 @@ type (
 	RecoveryStats = poet.RecoveryStats
 	// SyncPolicy selects when the write-ahead log is fsynced.
 	SyncPolicy = poet.SyncPolicy
+	// RetentionStats summarize the effect of Collector.SetRetention.
+	RetentionStats = poet.RetentionStats
 )
 
 // Re-exported telemetry types. A Registry collects named metrics from
@@ -129,10 +131,16 @@ type (
 	// MetricLabel is one key=value pair distinguishing series within a
 	// metric family.
 	MetricLabel = telemetry.Label
+	// Health aggregates named readiness checks into /healthz + /readyz
+	// probe handlers (poetd mounts one on its metrics listener).
+	Health = telemetry.Health
 )
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// NewHealth returns an empty health-probe aggregator.
+func NewHealth() *Health { return telemetry.NewHealth() }
 
 // ErrStreamInterrupted is wrapped by MonitorClient.Next when the event
 // stream dies mid-flight and cannot be resumed; a clean end of stream
@@ -144,6 +152,11 @@ var ErrStreamInterrupted = poet.ErrStreamInterrupted
 // after a crash recovery lost a suffix); the client reconnect loops
 // treat it as terminal rather than retrying a permanent refusal.
 var ErrSessionRejected = poet.ErrSessionRejected
+
+// ErrOverloaded is wrapped by Collector.Report when admission control
+// (Collector.SetAdmissionLimit) refuses an event; the TCP server sheds
+// the load back onto the reporter's buffer instead of surfacing it.
+var ErrOverloaded = poet.ErrOverloaded
 
 // WAL fsync policies for DurableOptions.Fsync.
 const (
@@ -385,9 +398,40 @@ func WithTiming() Option {
 }
 
 // WithMaxTriggerMatches bounds the complete matches explored per
-// terminating event (safety valve; 0 = unlimited).
+// terminating event (safety valve; 0 = unlimited). The cap is one
+// shared atomic under WithParallelTraces, so exactly n matches are
+// reported regardless of worker count.
 func WithMaxTriggerMatches(n int) Option {
 	return func(c *config) { c.opts.MaxTriggerMatches = n }
+}
+
+// WithMaxTriggerSteps bounds the search work per terminating event
+// (candidate instantiation attempts, shared across parallel workers).
+// An exhausted trigger aborts cleanly: its partial results are reported
+// with Match.Truncated set, Stats().TriggersAborted counts it, and the
+// stream continues — the triggering event still joins the histories.
+// 0 = unlimited.
+func WithMaxTriggerSteps(n int) Option {
+	return func(c *config) { c.opts.MaxTriggerSteps = n }
+}
+
+// WithTriggerDeadline bounds the wall-clock time per terminating
+// event; see WithMaxTriggerSteps for the abort semantics. The deadline
+// is polled every 64 search steps, so overrun is bounded and the
+// uncontended fast path stays cheap. 0 = no deadline.
+func WithTriggerDeadline(d time.Duration) Option {
+	return func(c *config) { c.opts.TriggerDeadline = d }
+}
+
+// WithHistoryCap bounds the per-(pattern leaf, trace) event histories:
+// once every pair with any retained entry is covered by a reported
+// match, histories beyond the cap are evicted down to a watermark,
+// keeping long-running monitors at a flat footprint. Eviction never
+// changes the coverage guarantee (evicted entries belong to
+// already-covered pairs). Stats().HistoryEvicted counts evictions.
+// 0 = unbounded.
+func WithHistoryCap(n int) Option {
+	return func(c *config) { c.opts.MaxHistoryPerTrace = n }
 }
 
 // WithMetrics registers the monitor's metrics (ocep_monitor_*) in reg:
@@ -471,6 +515,12 @@ func (m *Monitor) instrument() {
 	reg.CounterFunc("ocep_monitor_backjumps_total",
 		"Conflict-directed cutoffs taken by the search.",
 		func() int64 { return int64(m.Stats().Backjumps) }, ls...)
+	reg.CounterFunc("ocep_monitor_triggers_aborted_total",
+		"Triggers aborted by the search budget (WithMaxTriggerSteps / WithTriggerDeadline / WithMaxTriggerMatches).",
+		func() int64 { return int64(m.Stats().TriggersAborted) }, ls...)
+	reg.CounterFunc("ocep_monitor_history_evicted_total",
+		"History entries evicted by the WithHistoryCap retention watermark.",
+		func() int64 { return int64(m.Stats().HistoryEvicted) }, ls...)
 }
 
 // PatternLength returns the number of primitive events in the pattern
