@@ -17,6 +17,7 @@
 //	ocepbench -durability               # fsync-policy cost + recovery time
 //	ocepbench -telemetry                # metrics-overhead study + sample scrape
 //	ocepbench -governance               # search budgets + bounded-memory soak
+//	ocepbench -patternscale             # compiled dispatch vs interpreted fan-out
 //	ocepbench -monitors 8               # fan-out width for -delivery
 //	ocepbench -events 1000000           # events per data point
 //
@@ -54,6 +55,7 @@ func run() error {
 		durability   = flag.Bool("durability", false, "WAL fsync-policy ingestion cost and crash/snapshot recovery time")
 		telemetry    = flag.Bool("telemetry", false, "metrics overhead (instrumented vs disabled pipeline) and a sample registry dump")
 		governance   = flag.Bool("governance", false, "resource governance: adversarial-trigger budgets and bounded-memory soak")
+		patternscale = flag.Bool("patternscale", false, "attached-pattern scaling: compiled class-indexed dispatch vs interpreted fan-out")
 		monitors     = flag.Int("monitors", 8, "concurrent monitors for -delivery")
 		events       = flag.Int("events", 100_000, "target events per data point (paper: >1e6)")
 		seed         = flag.Int64("seed", 1, "workload seed")
@@ -124,6 +126,9 @@ func run() error {
 		if err := bench.Governance(out, cfg); err != nil {
 			return err
 		}
+		if err := bench.PatternScale(out, cfg); err != nil {
+			return err
+		}
 	}
 	if *completeness && !*all {
 		any = true
@@ -185,6 +190,12 @@ func run() error {
 	if *governance && !*all {
 		any = true
 		if err := bench.Governance(out, cfg); err != nil {
+			return err
+		}
+	}
+	if *patternscale && !*all {
+		any = true
+		if err := bench.PatternScale(out, cfg); err != nil {
 			return err
 		}
 	}

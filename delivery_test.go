@@ -375,6 +375,101 @@ func TestMonitorReattach(t *testing.T) {
 	}
 }
 
+// TestMonitorSetReattachSharedDispatch is the class-index counterpart
+// of TestMonitorReattach: a MonitorSet routed through the shared
+// dispatcher is re-attached to a second collector, and every member —
+// including one whose types never appear — must get fresh index entries
+// and fresh matcher state. A stale entry from the first attachment
+// would either leak the old collector's stream into the counters or
+// leave a member unreachable in the rebuilt index.
+func TestMonitorSetReattachSharedDispatch(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	set := ocep.NewMonitorSet(func(name string, _ ocep.Match) {
+		mu.Lock()
+		counts[name]++
+		mu.Unlock()
+	})
+	if err := set.Add("rr", requestResponse, ocep.WithRepresentativeOnly()); err != nil {
+		t.Fatal(err)
+	}
+	// A member subscribed to types neither stream carries: the index
+	// must skip it on every event, across both attachments.
+	if err := set.Add("quiet", `A := [*, never1, *]; B := [*, never2, *]; pattern := A -> B;`,
+		ocep.WithRepresentativeOnly()); err != nil {
+		t.Fatal(err)
+	}
+	report := func(c *ocep.Collector, from, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			typ := "request"
+			if (from+i)%2 == 0 {
+				typ = "response"
+			}
+			if err := c.Report(ocep.RawEvent{
+				Trace: "p", Seq: from + i, Kind: ocep.KindInternal, Type: typ, Text: "x",
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	c1 := ocep.NewCollector()
+	defer c1.Close()
+	set.Attach(c1)
+	report(c1, 1, 10)
+	set.Flush()
+	for name, st := range set.Stats() {
+		if st.EventsSeen != 10 {
+			t.Fatalf("first attachment: %s saw %d events, want 10", name, st.EventsSeen)
+		}
+	}
+	d1 := set.DispatchStats()
+	if d1.Events != 10 || d1.Members != 2 || d1.Visited != 10 || d1.Skipped != 10 {
+		t.Fatalf("first attachment dispatch stats %+v: want 10 events, 2 members, 10 visited, 10 skipped", d1)
+	}
+	mu.Lock()
+	firstMatches := counts["rr"]
+	mu.Unlock()
+	if firstMatches == 0 {
+		t.Fatal("no matches on the first attachment: re-attach check would be vacuous")
+	}
+
+	c2 := ocep.NewCollector()
+	defer c2.Close()
+	set.Attach(c2) // re-attach without an explicit Detach
+	report(c2, 1, 4)
+	// Later traffic on the old collector must not reach any member.
+	report(c1, 11, 6)
+	set.Flush()
+	if err := set.Err(); err != nil {
+		t.Fatalf("set error after re-attach: %v", err)
+	}
+	for name, st := range set.Stats() {
+		if st.EventsSeen != 4 {
+			t.Fatalf("after re-attach %s saw %d events, want 4 (c2's stream only)", name, st.EventsSeen)
+		}
+	}
+	d2 := set.DispatchStats()
+	if d2.Events != 4 || d2.Members != 2 || d2.Visited != 4 || d2.Skipped != 4 {
+		t.Fatalf("re-attach dispatch stats %+v: want 4 events, 2 members, 4 visited, 4 skipped", d2)
+	}
+	mu.Lock()
+	second := counts["rr"] - firstMatches
+	quiet := counts["quiet"]
+	mu.Unlock()
+	if second == 0 {
+		t.Fatal("rr matched nothing on the re-attached stream: stale index entry?")
+	}
+	if quiet != 0 {
+		t.Fatalf("quiet member reported %d matches; its types never occur", quiet)
+	}
+	set.Detach()
+	if d := set.DispatchStats(); d != (ocep.DispatchStats{}) {
+		t.Fatalf("dispatch stats after Detach %+v: want zero", d)
+	}
+}
+
 // TestAsyncHandlerReentrancy checks the documented contract that an
 // async onMatch handler may call the monitor's and the collector's read
 // methods without deadlocking.

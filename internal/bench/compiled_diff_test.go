@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ocep/internal/core"
+)
+
+// This file is the case-study half of the compiled-vs-interpreted
+// differential suite: on each of the four paper workloads the compiled
+// execution form (the default) must reproduce the interpreted oracle's
+// match sets, coverage, truncation flags and path-independent counters
+// exactly — including under a search budget that never fires and one
+// that fires on every trigger. The random-pattern half lives in
+// internal/core (TestRandomPatternsCompiledMatchesInterpreted and
+// FuzzCompiledVsInterpreted).
+
+// diffKey canonicalizes a match including its truncation flag, so the
+// comparison covers Match.Truncated as well as the event set.
+func diffKey(m core.Match) string {
+	var b strings.Builder
+	for _, e := range m.Events {
+		fmt.Fprintf(&b, "%s;", e.ID)
+	}
+	fmt.Fprintf(&b, "trunc=%v", m.Truncated)
+	return b.String()
+}
+
+func matchMultiset(ms []core.Match) map[string]int {
+	out := make(map[string]int, len(ms))
+	for _, m := range ms {
+		out[diffKey(m)]++
+	}
+	return out
+}
+
+// runDiff replays one workload in both modes under the given options
+// and fails the test on any observable divergence.
+func runDiff(t *testing.T, w *Workload, label string, opts core.Options) {
+	t.Helper()
+	interp := opts
+	interp.DisableCompiled = true
+	compiled, err := w.Run(ReplayConfig{Options: opts, KeepMatches: true, NoTiming: true})
+	if err != nil {
+		t.Fatalf("%s: compiled replay: %v", label, err)
+	}
+	oracle, err := w.Run(ReplayConfig{Options: interp, KeepMatches: true, NoTiming: true})
+	if err != nil {
+		t.Fatalf("%s: interpreted replay: %v", label, err)
+	}
+	got, want := matchMultiset(compiled.Matches), matchMultiset(oracle.Matches)
+	if len(got) != len(want) {
+		t.Fatalf("%s: distinct matches differ: compiled %d, interpreted %d", label, len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: match %s reported %d times compiled, %d interpreted", label, k, got[k], n)
+		}
+	}
+	// Every counter is path-independent on the sequential search: the
+	// compiled form changes data layout and dispatch, never the search
+	// decisions, so full Stats equality is the contract (HistorySize
+	// included — the same events joined the same histories).
+	if compiled.Stats != oracle.Stats {
+		t.Fatalf("%s: stats diverged:\ncompiled    %+v\ninterpreted %+v", label, compiled.Stats, oracle.Stats)
+	}
+}
+
+// TestCompiledDifferentialCaseStudies runs the differential on all four
+// paper case studies in the paper's reporting mode, then under a
+// never-firing and an always-firing search budget.
+func TestCompiledDifferentialCaseStudies(t *testing.T) {
+	events := 6_000
+	if testing.Short() {
+		events = 2_000
+	}
+	budgets := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"paper", func(*core.Options) {}},
+		// A budget high enough that no trigger exhausts it: the budget
+		// machinery runs (per-candidate steps are counted) but never
+		// fires, and no match may be marked truncated.
+		{"budget-never", func(o *core.Options) { o.MaxTriggerSteps = 1 << 30 }},
+		// A budget of one step: every trigger that searches at all
+		// aborts immediately, so the truncation flags and TriggersAborted
+		// accounting are exercised on every trigger.
+		{"budget-always", func(o *core.Options) { o.MaxTriggerSteps = 1 }},
+	}
+	for _, c := range Cases {
+		w, err := Generate(GenConfig{Case: c, Traces: 4, TargetEvents: events, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: generate: %v", c, err)
+		}
+		for _, b := range budgets {
+			opts := PaperOptions()
+			b.mut(&opts)
+			runDiff(t, w, fmt.Sprintf("%s/%s", c, b.name), opts)
+		}
+	}
+}
+
+// TestCompiledDifferentialBudgetFires sanity-checks the always-firing
+// budget actually aborts triggers on at least one case study, so the
+// budget rows of the differential are not vacuously passing.
+func TestCompiledDifferentialBudgetFires(t *testing.T) {
+	w, err := Generate(GenConfig{Case: CaseMsgRace, Traces: 4, TargetEvents: 2_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := PaperOptions()
+	opts.MaxTriggerSteps = 1
+	r, err := w.Run(ReplayConfig{Options: opts, NoTiming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.TriggersAborted == 0 {
+		t.Fatal("MaxTriggerSteps=1 aborted no triggers: the always-firing differential is vacuous")
+	}
+}
+
+// TestPatternScaleSmall runs the -patternscale experiment at test
+// scale; its internal cross-checks (per-pattern matches and telemetry
+// across modes, public-path MonitorSet equality) are the assertions.
+func TestPatternScaleSmall(t *testing.T) {
+	var buf bytes.Buffer
+	err := patternScale(&buf, patternScaleConfig{
+		Waves:        400,
+		NoisePerWave: 4,
+		Scales:       []int{1, 8, 32},
+		Repeat:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Pattern-scale dispatch", "differential:", "public path:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("patternscale output missing %q:\n%s", want, out)
+		}
+	}
+}

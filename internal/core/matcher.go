@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ocep/internal/event"
@@ -101,6 +103,18 @@ type Options struct {
 	// leaves whose process variable is already bound first; this flag
 	// reproduces the paper's behaviour for comparison.
 	StaticOrder bool
+	// DisableCompiled turns off the compiled execution form and runs
+	// the original interpreted path: the per-event leaf scan over the
+	// AST-derived classes, relation lookups through the Rel matrix, and
+	// per-trigger search-state allocation. The interpreted path is the
+	// reference implementation — the differential and fuzz harnesses
+	// check the compiled path (type-indexed dispatch, flattened
+	// constraint tables, pooled search state) against it. Matches,
+	// coverage, truncation flags and the path-independent Stats
+	// counters are identical either way; only speed differs. Patterns
+	// longer than pattern.MaxIndexLeaves fall back to the interpreted
+	// path automatically.
+	DisableCompiled bool
 }
 
 // Match is one reported pattern match: the matched event per pattern-tree
@@ -173,6 +187,16 @@ type Stats struct {
 type Matcher struct {
 	pat   *pattern.Compiled
 	store *event.Store
+	// prog is the compiled execution form of pat (always built; its
+	// flattened tables are read only when compiled is set).
+	prog *pattern.Program
+	// compiled selects the compiled hot path: type-indexed event
+	// dispatch, flattened constraint tables, pooled search state.
+	// Cleared by Options.DisableCompiled (the interpreted oracle) and
+	// for patterns beyond pattern.MaxIndexLeaves.
+	compiled bool
+	// slots pools per-trigger search state (compiled path only).
+	slots sync.Pool
 	hist  []*history
 	// covered[leaf][trace] marks (leaf, trace) pairs already present in
 	// a reported match; the representative subset is complete when every
@@ -195,6 +219,12 @@ type Matcher struct {
 	// store was populated ahead of the replay.
 	comm  []int
 	stats Stats
+	// extSeen, when non-nil, is the owning Dispatcher's event counter;
+	// extBase is its value at binding time. A dispatched matcher only
+	// examines the events its trigger index selects, so EventsSeen is
+	// derived from the dispatcher's count to stay path-independent.
+	extSeen *atomic.Int64
+	extBase int64
 	// domainHist, when non-nil, records the size of every computed
 	// per-trace candidate domain (after the GP/LS interval restriction
 	// prunes it). Observe is lock-free, so parallel workers share it.
@@ -234,19 +264,25 @@ func newMatcher(pat *pattern.Compiled, st *event.Store, external bool, opts Opti
 	for i := range m.hist {
 		m.hist[i] = newHistory()
 	}
+	m.prog = pattern.NewProgram(pat)
+	m.compiled = !opts.DisableCompiled && m.prog.Indexable()
 	// lim->'s completion check scans the class history; pruning or
 	// evicting entries would make it miss intervening events.
 	m.evictable = opts.MaxHistoryPerTrace > 0
-	for i := 0; i < pat.K(); i++ {
-		for j := 0; j < pat.K(); j++ {
-			if pat.Rel[i][j] == pattern.RelLim || pat.Rel[i][j] == pattern.RelLimAfter {
-				m.prune = false
-				m.evictable = false
-			}
-		}
+	if m.prog.HasLim() {
+		m.prune = false
+		m.evictable = false
 	}
 	return m
 }
+
+// Compiled reports whether the matcher runs the compiled execution form
+// (as opposed to the interpreted oracle path).
+func (m *Matcher) Compiled() bool { return m.compiled }
+
+// Program exposes the compiled execution form (immutable; a Dispatcher
+// reads its trigger index).
+func (m *Matcher) Program() *pattern.Program { return m.prog }
 
 // Store exposes the matcher's event store (read-only use).
 func (m *Matcher) Store() *event.Store { return m.store }
@@ -254,6 +290,11 @@ func (m *Matcher) Store() *event.Store { return m.store }
 // Stats returns a copy of the cumulative counters.
 func (m *Matcher) Stats() Stats {
 	s := m.stats
+	if m.extSeen != nil {
+		// Dispatched: the dispatcher counts the stream; the matcher only
+		// examined the events its trigger index selected.
+		s.EventsSeen = m.stats.EventsSeen + int(m.extSeen.Load()-m.extBase)
+	}
 	s.HistorySize = 0
 	s.HistoryPruned = 0
 	s.HistoryEvicted = 0
@@ -334,14 +375,32 @@ func (m *Matcher) Feed(e *event.Event) ([]Match, error) {
 		}
 	}
 	m.stats.EventsSeen++
-	traceName := m.store.TraceName(e.ID.Trace)
 	for int(e.ID.Trace) >= len(m.comm) {
 		m.comm = append(m.comm, 0)
 	}
 	if e.Kind.IsComm() {
 		m.comm[e.ID.Trace]++
 	}
-	commAt := m.comm[e.ID.Trace]
+	return m.advance(e, m.comm[e.ID.Trace]), nil
+}
+
+// FeedDispatched consumes one event on behalf of a Dispatcher, which has
+// already validated it against the shared store and maintains the
+// per-trace communication counts (commAt is the trace's count including
+// e). EventsSeen is sourced from the dispatcher's event counter (see
+// bindDispatcher), so Stats stays path-independent even though the
+// matcher examines only the events its trigger index selects.
+func (m *Matcher) FeedDispatched(e *event.Event, commAt int) []Match {
+	return m.advance(e, commAt)
+}
+
+// advance runs the per-event join and trigger phase shared by Feed and
+// FeedDispatched.
+func (m *Matcher) advance(e *event.Event, commAt int) []Match {
+	if m.compiled {
+		return m.advanceCompiled(e, commAt)
+	}
+	traceName := m.store.TraceName(e.ID.Trace)
 	joined := false
 	for i, leaf := range m.pat.Leaves {
 		if leaf.Class.MatchesIgnoringVars(e, traceName) {
@@ -351,7 +410,7 @@ func (m *Matcher) Feed(e *event.Event) ([]Match, error) {
 	}
 	if !joined {
 		m.maybeEvict(e.ID.Trace)
-		return nil, nil
+		return nil
 	}
 	m.stats.EventsMatched++
 	var out []Match
@@ -362,7 +421,60 @@ func (m *Matcher) Feed(e *event.Event) ([]Match, error) {
 		out = append(out, m.trigger(i, e)...)
 	}
 	m.maybeEvict(e.ID.Trace)
-	return out, nil
+	return out
+}
+
+// advanceCompiled is advance on the Program's trigger index: one map
+// lookup bounds the candidate leaves, the variable-free prefilter runs
+// only over that bitmask, and the terminating scan walks the mask of
+// leaves the event actually matched. An event whose type no leaf
+// accepts costs the map lookup and nothing else. Triggers fire off the
+// matched mask, not the post-prune history, mirroring the interpreted
+// path (a duplicate-pruned event still triggers).
+func (m *Matcher) advanceCompiled(e *event.Event, commAt int) []Match {
+	cand := m.prog.CandidateLeaves(e.Type)
+	if cand == 0 {
+		m.maybeEvict(e.ID.Trace)
+		return nil
+	}
+	traceName := m.store.TraceName(e.ID.Trace)
+	var matched pattern.LeafMask
+	for rest := cand; rest != 0; rest &= rest - 1 {
+		i := bits.TrailingZeros64(uint64(rest))
+		if m.prog.LeafMatchesIgnoringVars(i, e.Type, e.Text, traceName) {
+			m.hist[i].add(e, commAt, m.prune)
+			matched |= pattern.LeafMask(1) << uint(i)
+		}
+	}
+	if matched == 0 {
+		m.maybeEvict(e.ID.Trace)
+		return nil
+	}
+	m.stats.EventsMatched++
+	var out []Match
+	for rest := matched & m.prog.TermMask(); rest != 0; rest &= rest - 1 {
+		out = append(out, m.trigger(bits.TrailingZeros64(uint64(rest)), e)...)
+	}
+	m.maybeEvict(e.ID.Trace)
+	return out
+}
+
+// bindDispatcher hands the matcher the dispatcher's event counter so
+// EventsSeen covers the whole dispatched stream.
+func (m *Matcher) bindDispatcher(seen *atomic.Int64) {
+	m.extSeen = seen
+	m.extBase = seen.Load()
+}
+
+// unbindDispatcher freezes the dispatcher-derived EventsSeen into the
+// matcher's own counter (so a later solo Feed keeps counting from it).
+func (m *Matcher) unbindDispatcher() {
+	if m.extSeen == nil {
+		return
+	}
+	m.stats.EventsSeen += int(m.extSeen.Load() - m.extBase)
+	m.extSeen = nil
+	m.extBase = 0
 }
 
 // maybeEvict enforces Options.MaxHistoryPerTrace on the trace that just
@@ -502,9 +614,9 @@ type search struct {
 	// topFilter, when non-nil, restricts the traces explored at level 1
 	// (parallel worker partitioning).
 	topFilter func(tr int) bool
-	assigned []*event.Event
-	env      *pattern.Env
-	matches  []Match
+	assigned  []*event.Event
+	env       *pattern.Env
+	matches   []Match
 	// bud is the trigger's shared resource budget (nil = unlimited).
 	// Parallel workers and pinned sweeps all hold the same instance.
 	bud     *budget
@@ -514,6 +626,16 @@ type search struct {
 	pinLeaf   int // -1 when not pinned
 	pinTrace  event.TraceID
 	stopFirst bool
+}
+
+// rel returns the relation between leaves i and j from i's perspective:
+// the Program's flattened table on the compiled path (one multiply-add,
+// contiguous memory), the Rel matrix on the interpreted oracle path.
+func (s *search) rel(i, j int) pattern.Rel {
+	if s.m.compiled {
+		return s.m.prog.Rel(i, j)
+	}
+	return s.m.pat.Rel[i][j]
 }
 
 // exhausted reports whether this search must stop: it aborted itself,
@@ -551,18 +673,32 @@ type placeResult struct {
 	conflicts []conflict
 }
 
+// newSearch builds a search, drawing levelLeaf/assigned/env from the
+// matcher's slot pool on the compiled path (release returns them; it
+// must run after the search's matches have been consumed or copied —
+// Match.Events is always a fresh copy, so returning s.matches is safe).
+// The interpreted oracle path allocates fresh state, as the original
+// implementation did.
+func (m *Matcher) newSearch() (s *search, release func()) {
+	s = &search{m: m, pinLeaf: -1}
+	if m.compiled {
+		slots := m.getSlots()
+		s.levelLeaf, s.assigned, s.env = slots.levelLeaf, slots.assigned, slots.env
+		return s, func() { m.putSlots(slots) }
+	}
+	s.levelLeaf = make([]int, m.pat.K())
+	s.assigned = make([]*event.Event, m.pat.K())
+	s.env = pattern.NewEnv()
+	return s, func() {}
+}
+
 // trigger runs the search with e fixed as the match's terminating event
 // at leaf index trig.
 func (m *Matcher) trigger(trig int, e *event.Event) []Match {
-	s := &search{
-		m:         m,
-		levelLeaf: make([]int, m.pat.K()),
-		assigned:  make([]*event.Event, m.pat.K()),
-		env:       pattern.NewEnv(),
-		pinLeaf:   -1,
-		stats:     &m.stats,
-		bud:       newBudget(m.opts),
-	}
+	s, release := m.newSearch()
+	defer release()
+	s.stats = &m.stats
+	s.bud = newBudget(m.opts)
 	if m.opts.StaticOrder {
 		s.staticOrder = m.pat.Orders[trig]
 	}
@@ -627,16 +763,11 @@ func (m *Matcher) parallelTrigger(trig int, e *event.Event, bud *budget) []Match
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws := &search{
-				m:         m,
-				levelLeaf: make([]int, m.pat.K()),
-				assigned:  make([]*event.Event, m.pat.K()),
-				env:       pattern.NewEnv(),
-				pinLeaf:   -1,
-				stats:     &deltas[w],
-				bud:       bud,
-				topFilter: func(tr int) bool { return tr%workers == w },
-			}
+			ws, release := m.newSearch()
+			defer release()
+			ws.stats = &deltas[w]
+			ws.bud = bud
+			ws.topFilter = func(tr int) bool { return tr%workers == w }
 			if m.opts.StaticOrder {
 				ws.staticOrder = m.pat.Orders[trig]
 			}
@@ -682,33 +813,41 @@ func (m *Matcher) pinnedSweep(trig int, e *event.Event, base *search) {
 			if leafIdx == trig && trace != e.ID.Trace {
 				continue // the trigger leaf is fixed to e
 			}
-			s := &search{
-				m:         m,
-				levelLeaf: make([]int, m.pat.K()),
-				assigned:  make([]*event.Event, m.pat.K()),
-				env:       pattern.NewEnv(),
-				pinLeaf:   leafIdx,
-				pinTrace:  trace,
-				stopFirst: true,
-				stats:     &m.stats,
-				bud:       base.bud,
-			}
-			if m.opts.StaticOrder {
-				s.staticOrder = m.pat.Orders[trig]
-			}
-			if !m.pat.Leaves[trig].Class.MatchEvent(e, m.store.TraceName(e.ID.Trace), s.env) {
+			matches, ok := m.pinnedOne(trig, e, base.bud, leafIdx, trace)
+			if !ok {
 				return
 			}
-			s.levelLeaf[0] = trig
-			s.assigned[trig] = e
-			if m.pat.K() == 1 {
-				s.complete()
-			} else {
-				s.place(1)
-			}
-			base.matches = append(base.matches, s.matches...)
+			base.matches = append(base.matches, matches...)
 		}
 	}
+}
+
+// pinnedOne runs one pinned first-match search for the (leafIdx, trace)
+// pair, owning a search's lifecycle so its pooled state is released per
+// pair. ok is false when the trigger event no longer matches its leaf
+// under a fresh environment (the sweep stops entirely, as before).
+func (m *Matcher) pinnedOne(trig int, e *event.Event, bud *budget, leafIdx int, trace event.TraceID) (matches []Match, ok bool) {
+	s, release := m.newSearch()
+	defer release()
+	s.pinLeaf = leafIdx
+	s.pinTrace = trace
+	s.stopFirst = true
+	s.stats = &m.stats
+	s.bud = bud
+	if m.opts.StaticOrder {
+		s.staticOrder = m.pat.Orders[trig]
+	}
+	if !m.pat.Leaves[trig].Class.MatchEvent(e, m.store.TraceName(e.ID.Trace), s.env) {
+		return nil, false
+	}
+	s.levelLeaf[0] = trig
+	s.assigned[trig] = e
+	if m.pat.K() == 1 {
+		s.complete()
+	} else {
+		s.place(1)
+	}
+	return s.matches, true
 }
 
 // place instantiates the leaf at position li of the evaluation order
@@ -741,7 +880,7 @@ func (s *search) chooseLeaf(li int) int {
 		// domain even on a single trace.
 		score := 0
 		for pj := 0; pj < li; pj++ {
-			switch m.pat.Rel[cand][s.levelLeaf[pj]] {
+			switch s.rel(cand, s.levelLeaf[pj]) {
 			case pattern.RelNone:
 			case pattern.RelLink:
 				score += 100_000
@@ -795,7 +934,7 @@ func (s *search) place(li int) placeResult {
 	// linking level's event is unchanged.
 	for pj := 0; pj < li; pj++ {
 		placedLeaf := s.levelLeaf[pj]
-		if m.pat.Rel[leafIdx][placedLeaf] != pattern.RelLink {
+		if s.rel(leafIdx, placedLeaf) != pattern.RelLink {
 			continue
 		}
 		partner := s.assigned[placedLeaf].Partner
@@ -1008,7 +1147,7 @@ func (s *search) domainOnRestrict(li, leafIdx int, trace event.TraceID) ([]histE
 	if !m.opts.DisableCausalDomains {
 		for pj := 0; pj < li; pj++ {
 			placedLeaf := s.levelLeaf[pj]
-			rel := m.pat.Rel[leafIdx][placedLeaf]
+			rel := s.rel(leafIdx, placedLeaf)
 			if rel == pattern.RelNone {
 				continue
 			}
@@ -1042,11 +1181,10 @@ func (s *search) domainOnRestrict(li, leafIdx int, trace event.TraceID) ([]histE
 // restricting level, with no bound (changing that level may reopen the
 // interval in ways the Figure 5 analysis does not cover).
 func (s *search) narrowingConflict(li, leafIdx int, trace event.TraceID) conflict {
-	m := s.m
 	deepest := -1
 	for pj := 0; pj < li; pj++ {
 		placedLeaf := s.levelLeaf[pj]
-		if m.pat.Rel[leafIdx][placedLeaf] != pattern.RelNone {
+		if s.rel(leafIdx, placedLeaf) != pattern.RelNone {
 			deepest = pj
 		}
 	}
@@ -1058,11 +1196,10 @@ func (s *search) narrowingConflict(li, leafIdx int, trace event.TraceID) conflic
 // (the ablation path); with domains on, the interval already guarantees
 // these.
 func (s *search) checkCandidate(li int, cand *event.Event) bool {
-	m := s.m
 	leafIdx := s.levelLeaf[li]
 	for pj := 0; pj < li; pj++ {
 		placedLeaf := s.levelLeaf[pj]
-		rel := m.pat.Rel[leafIdx][placedLeaf]
+		rel := s.rel(leafIdx, placedLeaf)
 		if rel == pattern.RelNone {
 			continue
 		}
@@ -1163,9 +1300,18 @@ func existsOrdered(assigned []*event.Event, as, bs []int) bool {
 }
 
 // checkLim validates every lim-> pair: no same-class event causally
-// between the matched endpoints.
+// between the matched endpoints. The compiled path reads the Program's
+// precomputed pair list instead of scanning the k×k matrix per match.
 func (s *search) checkLim() bool {
 	m := s.m
+	if m.compiled {
+		for _, p := range m.prog.LimPairs() {
+			if m.hist[p[0]].anyBetween(m.store, s.assigned[p[0]], s.assigned[p[1]]) {
+				return false
+			}
+		}
+		return true
+	}
 	for i := 0; i < m.pat.K(); i++ {
 		for j := 0; j < m.pat.K(); j++ {
 			if m.pat.Rel[i][j] != pattern.RelLim {

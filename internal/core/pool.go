@@ -1,0 +1,47 @@
+package core
+
+import (
+	"ocep/internal/event"
+	"ocep/internal/pattern"
+)
+
+// searchSlots is the reusable allocation set of one search: the
+// level→leaf map, the per-leaf assignment vector and the binding
+// environment. On the compiled path a matcher draws these from a
+// sync.Pool instead of allocating three objects per trigger; with the
+// pooled slots, a trigger whose search finds nothing allocates only its
+// budget. The interpreted oracle path never pools, so its allocation
+// behaviour stays exactly as the reference implementation.
+type searchSlots struct {
+	levelLeaf []int
+	assigned  []*event.Event
+	env       *pattern.Env
+}
+
+// getSlots returns search state sized for the pattern, freshly zeroed.
+// Safe for concurrent use (parallel trigger workers share the pool).
+func (m *Matcher) getSlots() *searchSlots {
+	if v := m.slots.Get(); v != nil {
+		return v.(*searchSlots)
+	}
+	k := m.pat.K()
+	return &searchSlots{
+		levelLeaf: make([]int, k),
+		assigned:  make([]*event.Event, k),
+		env:       pattern.NewEnv(),
+	}
+}
+
+// putSlots scrubs the state and returns it to the pool. Scrubbing on
+// put (rather than get) drops the event pointers promptly so pooled
+// slots never pin evicted events against the garbage collector.
+func (m *Matcher) putSlots(s *searchSlots) {
+	for i := range s.levelLeaf {
+		s.levelLeaf[i] = 0
+	}
+	for i := range s.assigned {
+		s.assigned[i] = nil
+	}
+	s.env.Reset()
+	m.slots.Put(s)
+}

@@ -161,6 +161,112 @@ func TestRandomPatternsAgainstOracle(t *testing.T) {
 	}
 }
 
+// TestRandomPatternsCompiledMatchesInterpreted is the property-based
+// half of the compiled-vs-interpreted differential suite: over seeded
+// random (pattern, workload) pairs, the compiled execution form (the
+// default) must agree with the interpreted oracle (DisableCompiled) on
+// the reported match multiset, the coverage set, and the Stats
+// counters.
+//
+// Counter contract: on the sequential search every counter is
+// path-independent — the compiled form changes the dispatch layer
+// (type-indexed join, flattened relation tables, pooled search state)
+// but never a search decision, so candidate enumeration order, backtrack
+// and backjump points are bit-identical and full Stats equality holds.
+// Counters that WOULD be allowed to differ are the ones downstream of a
+// nondeterministic schedule — under ParallelTraces, which matches fill
+// a MaxTriggerMatches cap and hence Backtracks/BackjumpSkips can vary
+// run to run — which is why this test pins the sequential path and
+// TestRandomPatternsParallelAgree covers parallel separately. The
+// directional invariant (compiled candidates never exceed interpreted
+// candidates) is asserted explicitly first, so if the equality contract
+// is ever deliberately relaxed the direction check must survive.
+func TestRandomPatternsCompiledMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(161803))
+	types := []string{"a", "b", "c"}
+	rounds := 60
+	if testing.Short() {
+		rounds = 15
+	}
+	compiledRounds := 0
+	for round := 0; round < rounds; round++ {
+		src := randomPatternSource(rng, types)
+		f, err := pattern.Parse(src)
+		if err != nil {
+			t.Fatalf("generated pattern does not parse: %v\n%s", err, src)
+		}
+		pat, err := pattern.Compile(f)
+		if err != nil {
+			continue // contradictory random constraint sets are legal to reject
+		}
+		st, evs := eventtest.Random(rng, eventtest.RandomConfig{
+			Traces:   2 + rng.Intn(4),
+			Events:   30 + rng.Intn(30),
+			SendProb: 0.3,
+			RecvProb: 0.3,
+			Types:    types,
+		})
+		// Sweep the option surface the two paths share: the paper mode,
+		// exhaustive reporting, guaranteed coverage, and a tight budget
+		// (exercising truncation flags and abort accounting).
+		for _, opts := range []core.Options{
+			{RepresentativeOnly: true},
+			{ReportAll: true, DisablePruning: true},
+			{GuaranteeCoverage: true},
+			{RepresentativeOnly: true, MaxTriggerSteps: 3},
+		} {
+			iOpts := opts
+			iOpts.DisableCompiled = true
+			cm, cMatches := feedAll(t, pat, st, evs, opts)
+			im, iMatches := feedAll(t, pat, st, evs, iOpts)
+			if cm.Compiled() {
+				compiledRounds++
+			}
+			ck := map[string]int{}
+			for _, m := range cMatches {
+				ck[matchKey(m)+fmt.Sprintf("trunc=%v", m.Truncated)]++
+			}
+			ik := map[string]int{}
+			for _, m := range iMatches {
+				ik[matchKey(m)+fmt.Sprintf("trunc=%v", m.Truncated)]++
+			}
+			if len(ck) != len(ik) {
+				t.Fatalf("round %d %+v: distinct matches differ (compiled %d, interpreted %d)\npattern:\n%s",
+					round, opts, len(ck), len(ik), src)
+			}
+			for k, n := range ik {
+				if ck[k] != n {
+					t.Fatalf("round %d %+v: match %s reported %d times compiled, %d interpreted\npattern:\n%s",
+						round, opts, k, ck[k], n, src)
+				}
+			}
+			cs, is := cm.Stats(), im.Stats()
+			if cs.CandidatesTried > is.CandidatesTried {
+				t.Fatalf("round %d %+v: compiled tried %d candidates, interpreted %d — the index may only prune\npattern:\n%s",
+					round, opts, cs.CandidatesTried, is.CandidatesTried, src)
+			}
+			if cs != is {
+				t.Fatalf("round %d %+v: stats diverged\ncompiled    %+v\ninterpreted %+v\npattern:\n%s",
+					round, opts, cs, is, src)
+			}
+			cCov := baseline.Coverage(cMatches)
+			iCov := baseline.Coverage(iMatches)
+			if len(cCov) != len(iCov) {
+				t.Fatalf("round %d %+v: coverage sizes differ\npattern:\n%s", round, opts, src)
+			}
+			for pair := range iCov {
+				if !cCov[pair] {
+					t.Fatalf("round %d %+v: pair %v covered interpreted but not compiled\npattern:\n%s",
+						round, opts, pair, src)
+				}
+			}
+		}
+	}
+	if compiledRounds == 0 {
+		t.Fatal("no round ran the compiled path: the differential is vacuous")
+	}
+}
+
 // TestRandomPatternsParallelAgree fuzzes parallel against sequential
 // search over generated patterns.
 func TestRandomPatternsParallelAgree(t *testing.T) {

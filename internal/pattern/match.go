@@ -36,6 +36,11 @@ func (e *Env) Rewind(mark int) {
 	}
 }
 
+// Reset removes every binding, returning the environment to its
+// freshly constructed state. Pooled search state calls it between
+// triggers so an environment is reused without reallocation.
+func (e *Env) Reset() { e.Rewind(0) }
+
 // bind adds a binding and records it on the trail.
 func (e *Env) bind(name, value string) {
 	e.vals[name] = value

@@ -5,16 +5,33 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"ocep/internal/core"
+	"ocep/internal/poet"
 )
 
 // MonitorSet manages several named pattern monitors over one collector —
 // the deployment shape of a POET server watching a whole application
 // suite for different safety conditions at once.
+//
+// Attach folds the eligible members (synchronous, compiled, without
+// per-monitor timing or metrics — see Monitor.sharedDispatchEligible)
+// behind one shared class-indexed dispatcher: the collector delivers
+// each event once, and the dispatcher's per-event-type index routes it
+// only to the members whose pattern leaves could match it, so a set of
+// many patterns over mostly disjoint event classes pays per event
+// roughly the cost of one pattern. Ineligible members attach with their
+// own subscriptions exactly as before; results (matches, Stats,
+// Coverage, Err) are identical either way.
 type MonitorSet struct {
 	mu       sync.Mutex
 	monitors map[string]*Monitor
 	onMatch  func(pattern string, m Match)
 	attached *Collector
+	// disp and dispSub are the live shared dispatcher and its collector
+	// subscription; nil when no eligible members are attached.
+	disp    *core.Dispatcher
+	dispSub *poet.Subscription
 }
 
 // NewMonitorSet returns an empty set. fn, when non-nil, receives every
@@ -37,7 +54,11 @@ func NewMonitorSet(fn func(pattern string, m Match)) *MonitorSet {
 
 // Add compiles a pattern and registers it under the given name. If the
 // set is already attached to a collector, the new monitor attaches
-// immediately (replaying the delivered history).
+// immediately (replaying the delivered history) with its own
+// subscription; re-Attach the set to fold it into the shared
+// class-indexed dispatcher (the collector offers no atomic replay into
+// an already-subscribed dispatcher, so a late member cannot join one
+// without a gap).
 func (s *MonitorSet) Add(name, source string, options ...Option) error {
 	if s.onMatch != nil {
 		fn := s.onMatch
@@ -68,7 +89,10 @@ func (s *MonitorSet) Add(name, source string, options ...Option) error {
 
 // Attach subscribes every registered monitor to the collector (replaying
 // already-delivered history), and auto-attaches monitors added later.
+// Eligible members share one class-indexed dispatcher subscription; the
+// rest subscribe individually (see the type comment).
 func (s *MonitorSet) Attach(c *Collector) {
+	s.detachShared()
 	s.mu.Lock()
 	s.attached = c
 	members := make([]*Monitor, 0, len(s.monitors))
@@ -76,9 +100,60 @@ func (s *MonitorSet) Attach(c *Collector) {
 		members = append(members, mon)
 	}
 	s.mu.Unlock()
+	// Attach outside the set lock (see Add for the ordering rationale).
+	var shared []*Monitor
 	for _, mon := range members {
-		mon.Attach(c)
+		if mon.sharedDispatchEligible() {
+			shared = append(shared, mon)
+		} else {
+			mon.Attach(c)
+		}
 	}
+	if len(shared) == 0 {
+		return
+	}
+	d := core.NewDispatcher(c.Store())
+	for _, mon := range shared {
+		mon.joinDispatcher(d, c)
+	}
+	// Members joined first, subscription second: SubscribeReplay replays
+	// the delivered history atomically with registration, so every
+	// member observes the full stream with no gap.
+	sub := c.SubscribeReplay(func(e *Event) {
+		if err := d.Feed(e); err != nil {
+			for _, mon := range shared {
+				mon.recordErr(err)
+			}
+		}
+	})
+	s.mu.Lock()
+	s.disp, s.dispSub = d, sub
+	s.mu.Unlock()
+}
+
+// detachShared cancels the shared dispatcher subscription, if any.
+func (s *MonitorSet) detachShared() {
+	s.mu.Lock()
+	sub := s.dispSub
+	s.disp, s.dispSub = nil, nil
+	s.mu.Unlock()
+	if sub != nil {
+		sub.Cancel()
+	}
+}
+
+// DispatchStats returns the shared dispatcher's counters: events
+// dispatched, member feeds run, and member feeds skipped by the class
+// index. Zero when the set is not attached or no member was eligible
+// for shared dispatch.
+func (s *MonitorSet) DispatchStats() DispatchStats {
+	s.mu.Lock()
+	d := s.disp
+	s.mu.Unlock()
+	if d == nil {
+		return DispatchStats{}
+	}
+	return d.Stats()
 }
 
 // Names returns the registered pattern names, sorted.
@@ -150,6 +225,7 @@ func (s *MonitorSet) Flush() {
 // queues and stopping their delivery goroutines. The set can be attached
 // again afterwards. Safe to call more than once.
 func (s *MonitorSet) Detach() {
+	s.detachShared()
 	s.mu.Lock()
 	s.attached = nil
 	s.mu.Unlock()

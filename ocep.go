@@ -68,6 +68,9 @@ type (
 	Match = core.Match
 	// MatcherStats are cumulative matcher counters.
 	MatcherStats = core.Stats
+	// DispatchStats are a MonitorSet's shared class-index dispatcher
+	// counters; see MonitorSet.DispatchStats.
+	DispatchStats = core.DispatchStats
 	// BackpressurePolicy selects what a full asynchronous delivery queue
 	// does: block ingestion or drop for that monitor.
 	BackpressurePolicy = poet.BackpressurePolicy
@@ -384,6 +387,21 @@ func WithStaticOrder() Option {
 	return func(c *config) { c.opts.StaticOrder = true }
 }
 
+// WithCompiledMatching selects the matcher execution form. The default
+// (true) compiles each pattern once, at monitor construction and again
+// at every attach, into a specialized form: a per-event-type trigger
+// index, flattened constraint tables and pooled per-trigger search
+// state; eligible members of a MonitorSet additionally share one
+// class-indexed dispatcher so events skip whole non-matching patterns.
+// WithCompiledMatching(false) is the escape hatch that runs the
+// original interpreted path instead — the reference oracle the
+// differential test harness compares against. Matches, coverage,
+// truncation flags and path-independent statistics are identical in
+// both modes; only speed differs.
+func WithCompiledMatching(enabled bool) Option {
+	return func(c *config) { c.opts.DisableCompiled = !enabled }
+}
+
 // WithParallelTraces explores the top backtracking level's traces with n
 // concurrent workers (the parallelism suggested in the paper's Section
 // VI). The reported match set is unchanged; report order may differ.
@@ -467,6 +485,10 @@ type Monitor struct {
 	// sub is the live collector subscription (sync or async); nil until
 	// Attach and after Detach.
 	sub *poet.Subscription
+	// disp is the MonitorSet dispatcher this monitor is a member of, when
+	// it was attached through a shared class index rather than its own
+	// subscription; nil otherwise. Detach deregisters from it.
+	disp *core.Dispatcher
 }
 
 // NewMonitor parses and compiles the pattern source and builds a monitor.
@@ -619,6 +641,50 @@ func (m *Monitor) Attach(c *Collector) {
 	m.mu.Unlock()
 }
 
+// sharedDispatchEligible reports whether the monitor can be served by a
+// MonitorSet's shared class-indexed dispatcher. Excluded: async members
+// (they own a private store and queue), WithTiming (per-event wall
+// clock must cover every event, not just dispatched ones), WithMetrics
+// (ocep_monitor_events_total counts per-monitor feeds, which dispatch
+// deliberately avoids), the interpreted escape hatch, and patterns too
+// long for a trigger index.
+func (m *Monitor) sharedDispatchEligible() bool {
+	return !m.cfg.async && !m.cfg.measure && m.cfg.reg == nil &&
+		!m.cfg.opts.DisableCompiled && m.pat.K() <= pattern.MaxIndexLeaves
+}
+
+// joinDispatcher rebuilds the matcher on the collector's store and
+// registers it with the set's shared dispatcher. The dispatcher's feed
+// callback replicates the synchronous Attach path (feed under the
+// monitor lock, emit outside it); the caller subscribes the dispatcher
+// to the collector afterwards, so the replay reaches every member.
+func (m *Monitor) joinDispatcher(d *core.Dispatcher, c *Collector) {
+	m.Detach()
+	m.mu.Lock()
+	m.err = nil
+	m.matcher = core.NewMatcherOn(m.pat, c.Store(), m.cfg.opts)
+	m.matcher.SetDomainHistogram(m.tel.domains)
+	m.disp = d
+	mat := m.matcher
+	m.mu.Unlock()
+	d.Add(mat, func(e *Event, commAt int) {
+		m.mu.Lock()
+		matches := mat.FeedDispatched(e, commAt)
+		m.mu.Unlock()
+		m.emit(matches)
+	})
+}
+
+// recordErr records the first subscription error (shared-dispatch
+// members all observe a dispatcher stream error).
+func (m *Monitor) recordErr(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+}
+
 // attachAsync registers the monitor's bounded delivery queue. The
 // matcher owns a private store fed with the queue's event copies; trace
 // names arrive as announcements so the store mirrors the collector's
@@ -686,14 +752,22 @@ func (m *Monitor) Flush() {
 
 // Detach cancels the collector subscription. For an async attachment the
 // queue is drained and the delivery goroutine stopped before Detach
-// returns. Safe to call more than once.
+// returns; a shared-dispatch member is deregistered from the set's
+// dispatcher (dropping its class-index entries). Safe to call more than
+// once.
 func (m *Monitor) Detach() {
 	m.mu.Lock()
 	sub := m.sub
 	m.sub = nil
+	d := m.disp
+	m.disp = nil
+	mat := m.matcher
 	m.mu.Unlock()
 	if sub != nil {
 		sub.Cancel()
+	}
+	if d != nil {
+		d.Remove(mat)
 	}
 }
 
