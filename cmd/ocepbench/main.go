@@ -18,6 +18,7 @@
 //	ocepbench -telemetry                # metrics-overhead study + sample scrape
 //	ocepbench -governance               # search budgets + bounded-memory soak
 //	ocepbench -patternscale             # compiled dispatch vs interpreted fan-out
+//	ocepbench -tracescale               # dense vs delta/sparse timestamps at many traces
 //	ocepbench -monitors 8               # fan-out width for -delivery
 //	ocepbench -events 1000000           # events per data point
 //
@@ -56,6 +57,7 @@ func run() error {
 		telemetry    = flag.Bool("telemetry", false, "metrics overhead (instrumented vs disabled pipeline) and a sample registry dump")
 		governance   = flag.Bool("governance", false, "resource governance: adversarial-trigger budgets and bounded-memory soak")
 		patternscale = flag.Bool("patternscale", false, "attached-pattern scaling: compiled class-indexed dispatch vs interpreted fan-out")
+		tracescale   = flag.Bool("tracescale", false, "trace-count scaling: dense vs delta wire clocks and dense vs sparse in-memory timestamps")
 		monitors     = flag.Int("monitors", 8, "concurrent monitors for -delivery")
 		events       = flag.Int("events", 100_000, "target events per data point (paper: >1e6)")
 		seed         = flag.Int64("seed", 1, "workload seed")
@@ -129,6 +131,9 @@ func run() error {
 		if err := bench.PatternScale(out, cfg); err != nil {
 			return err
 		}
+		if err := bench.TraceScale(out, cfg); err != nil {
+			return err
+		}
 	}
 	if *completeness && !*all {
 		any = true
@@ -196,6 +201,12 @@ func run() error {
 	if *patternscale && !*all {
 		any = true
 		if err := bench.PatternScale(out, cfg); err != nil {
+			return err
+		}
+	}
+	if *tracescale && !*all {
+		any = true
+		if err := bench.TraceScale(out, cfg); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@
 //	      [-monitor-queue n] [-monitor-policy drop|block]
 //	      [-ack-interval d] [-heartbeat d] [-metrics-addr addr] [-quiet]
 //	      [-retain-events n] [-max-pending n] [-mem-limit bytes]
+//	      [-sparse-clocks]
 //
 // With -dump, the delivered raw-event log is written to the given file
 // on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
@@ -114,6 +115,8 @@ func run() error {
 		retain     = flag.Int("retain-events", 0, "bound the delivered-event log: evict the oldest events past this count (0 = keep everything; incompatible with -dump and -data-dir)")
 		maxPending = flag.Int("max-pending", 0, "cap the out-of-order events buffered per trace; excess reports are shed back onto reporter buffers (0 = unbounded)")
 		memLimit   = flag.String("mem-limit", "", "soft heap ceiling in bytes (K/M/G suffixes accepted); halves -retain-events each time the heap crosses 85% of it")
+
+		sparseClocks = flag.Bool("sparse-clocks", false, "stamp events with sparse (trace, count)-pair vector clocks: O(causal-past) memory per event instead of O(#traces), same causal order")
 	)
 	flag.Parse()
 
@@ -137,6 +140,13 @@ func run() error {
 	}
 
 	collector := poet.NewCollector()
+	if *sparseClocks {
+		// Before recovery/reload: the representation must be fixed before
+		// any event (replayed or live) is stamped.
+		if err := collector.SetSparseClocks(true); err != nil {
+			return fmt.Errorf("-sparse-clocks: %w", err)
+		}
+	}
 	if *dump != "" {
 		// Enable retention before any event can arrive, so the shutdown
 		// dump is complete. Dump refuses a late-enabled retention window

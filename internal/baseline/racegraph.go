@@ -21,7 +21,7 @@ type RaceChecker struct {
 type sendStamp struct {
 	id    event.ID
 	trace event.TraceID
-	vc    vclock.VC
+	vc    vclock.Clock
 }
 
 // NewRaceChecker builds an empty checker.

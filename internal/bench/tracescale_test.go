@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTraceScaleSmall runs the trace-scale experiment at test size: the
+// sweep's dense/sparse and delta differentials plus the four case-study
+// representation differentials all run, just on small streams.
+func TestTraceScaleSmall(t *testing.T) {
+	var buf bytes.Buffer
+	err := traceScale(&buf, traceScaleConfig{
+		Scales:       []int{5, 40},
+		Rounds:       2,
+		SampleEvents: 300,
+		HBPairs:      20_000,
+		DiffTraces:   40,
+		CaseEvents:   3_000,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatalf("traceScale: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"traces", "dense B/ev", "identical matches", "decoded back"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRingStreamRepresentations checks the ring generator itself: both
+// representations drain fully and agree event for event.
+func TestRingStreamRepresentations(t *testing.T) {
+	dc, err := ringStream(7, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	sc, err := ringStream(7, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if got := len(dc.Ordered()); got != 7*3*3 {
+		t.Fatalf("ring stream has %d events, want %d", got, 7*3*3)
+	}
+	if err := diffStreams(dc.Ordered(), sc.Ordered()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -111,6 +111,14 @@ func (d *Dispatcher) Remove(m *Matcher) {
 		}
 		kept = append(kept, mem)
 	}
+	// Clear the truncated tail: the in-place filter leaves the removed
+	// member's pointer alive in the backing array, which would pin the
+	// detached matcher (and its histories) against the GC for as long
+	// as the dispatcher lives.
+	tail := d.members[len(kept):]
+	for i := range tail {
+		tail[i] = nil
+	}
 	d.members = kept
 	d.rebuild()
 }

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"ocep/internal/event"
+	"ocep/internal/pattern"
+)
+
+// TestRemoveClearsBackingArray is the regression test for the stale tail
+// pointer Remove used to leave behind: the in-place filter truncated
+// d.members but kept the removed member reachable through the backing
+// array, pinning the detached matcher (and its histories) against the
+// GC. The slot past the new length must be nil after a removal.
+func TestRemoveClearsBackingArray(t *testing.T) {
+	compile := func(src string) *pattern.Compiled {
+		f, err := pattern.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := pattern.Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	st := event.NewStore()
+	st.RegisterTrace("p0")
+	d := NewDispatcher(st)
+	var ms []*Matcher
+	for i := 0; i < 3; i++ {
+		m := NewMatcherOn(compile(`A := [*, a, *]; pattern := A;`), st, Options{})
+		ms = append(ms, m)
+		d.Add(m, nil)
+	}
+	full := d.members // shares the backing array with the filtered slice
+	if len(full) != 3 {
+		t.Fatalf("members = %d, want 3", len(full))
+	}
+	d.Remove(ms[1])
+	if len(d.members) != 2 {
+		t.Fatalf("members after remove = %d, want 2", len(d.members))
+	}
+	// The backing array still has 3 slots; the truncated one must no
+	// longer reference any member.
+	if got := full[:3][2]; got != nil {
+		t.Fatalf("truncated slot still pins member %p (matcher %p)", got, got.m)
+	}
+	// Removing the rest leaves every slot cleared.
+	d.Remove(ms[0])
+	d.Remove(ms[2])
+	for i, mem := range full[:3] {
+		if mem != nil {
+			t.Fatalf("slot %d still pins a member after full removal", i)
+		}
+	}
+	// And a matcher that was never a member stays a no-op.
+	d.Remove(NewMatcherOn(compile(`A := [*, a, *]; pattern := A;`), st, Options{}))
+}

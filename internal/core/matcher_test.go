@@ -633,9 +633,8 @@ func TestPruningBoundsHistory(t *testing.T) {
 			ID:   event.ID{Trace: 0, Index: i},
 			Kind: event.KindInternal,
 			Type: "a",
-			VC:   vclock.New(1),
+			VC:   vclock.New(1).Set(0, int32(i)),
 		}
-		e.VC[0] = int32(i)
 		if _, err := m.Feed(e); err != nil {
 			t.Fatal(err)
 		}

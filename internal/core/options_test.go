@@ -7,6 +7,7 @@ import (
 	"ocep/internal/core"
 	"ocep/internal/event"
 	"ocep/internal/event/eventtest"
+	"ocep/internal/vclock"
 )
 
 // manyMatchesFixture: ten a's on one trace, then one b on another, all
@@ -142,7 +143,7 @@ func TestLimDisablesPruning(t *testing.T) {
 	}
 }
 
-func vclockAt(i int) []int32 {
+func vclockAt(i int) vclock.VC {
 	return []int32{int32(i)}
 }
 

@@ -92,7 +92,10 @@ type Event struct {
 	// exactly, ignore it, or bind it to a variable.
 	Text string
 	// VC is the event's vector timestamp, constructed by the collector.
-	VC vclock.VC
+	// It may be the dense (vclock.VC) or sparse (vclock.Sparse)
+	// representation; both order events identically, so consumers only
+	// ever go through the Clock interface.
+	VC vclock.Clock
 	// Partner is the ID of the communication partner event (the matching
 	// receive of a send, the matching send of a receive, the release
 	// granted by an acquire). Zero when there is none or it is unknown.

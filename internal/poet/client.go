@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ocep/internal/event"
+	"ocep/internal/vclock"
 )
 
 // ErrStreamInterrupted reports that a wire connection died without the
@@ -42,6 +43,10 @@ const (
 	defaultHeartbeat       = time.Second
 	defaultPeerTimeout     = 10 * time.Second
 	defaultReporterBuffer  = 8192
+	// minHandshakeTimeout floors the hello/ack read deadline: liveness
+	// timeouts may be tuned far below what a degraded link needs to
+	// complete a handshake.
+	minHandshakeTimeout = 2 * time.Second
 )
 
 // isTimeout reports whether err is a read/write deadline expiry.
@@ -239,7 +244,16 @@ func (r *Reporter) handshake() (net.Conn, *gob.Encoder, chan struct{}, error) {
 		return nil, nil, nil, fmt.Errorf("hello: %w", err)
 	}
 	dec := gob.NewDecoder(conn)
-	_ = conn.SetReadDeadline(time.Now().Add(r.cfg.peerTimeout))
+	// The handshake deadline is floored: peerTimeout tracks the
+	// heartbeat interval and can be tuned to tens of milliseconds for
+	// fast liveness detection, but the one-shot hello/ack exchange over
+	// a slow or degraded link should not inherit that aggressiveness —
+	// a reconnect loop that times out every handshake never recovers.
+	hsTimeout := r.cfg.peerTimeout
+	if hsTimeout < minHandshakeTimeout {
+		hsTimeout = minHandshakeTimeout
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(hsTimeout))
 	var ack helloAck
 	if err := dec.Decode(&ack); err != nil {
 		_ = conn.Close()
@@ -575,6 +589,12 @@ type monCfg struct {
 	readTimeout     time.Duration
 	dialTimeout     time.Duration
 	logf            func(string, ...any)
+	// deltaVC advertises delta-encoded timestamps in the hello. On by
+	// default; a server that predates the flag simply never confirms
+	// it and the session stays dense.
+	deltaVC bool
+	// sparse emits each event's timestamp in the sparse representation.
+	sparse bool
 }
 
 func defaultMonCfg() monCfg {
@@ -585,6 +605,7 @@ func defaultMonCfg() monCfg {
 		readTimeout:     defaultPeerTimeout,
 		dialTimeout:     defaultDialTimeout,
 		logf:            func(string, ...any) {},
+		deltaVC:         true,
 	}
 }
 
@@ -620,6 +641,27 @@ func WithMonitorLog(logf func(string, ...any)) MonitorOption {
 	}
 }
 
+// WithMonitorDeltaVC controls whether the client offers delta-encoded
+// vector timestamps at the handshake (on by default). The server must
+// confirm the offer for the session to use deltas; a server that
+// predates the negotiation silently keeps the session on dense full
+// vectors, so the option never breaks compatibility. Turning it off
+// forces dense timestamps — useful as a differential oracle against the
+// delta path.
+func WithMonitorDeltaVC(on bool) MonitorOption {
+	return func(c *monCfg) { c.deltaVC = on }
+}
+
+// WithMonitorSparseClocks makes the client stamp received events with
+// the sparse timestamp representation (vclock.Sparse) instead of dense
+// vectors. The causal order is identical either way; sparse stamps keep
+// a long-lived monitor's memory proportional to each event's causal
+// past rather than the trace count. Works on both dense and
+// delta-negotiated sessions.
+func WithMonitorSparseClocks() MonitorOption {
+	return func(c *monCfg) { c.sparse = true }
+}
+
 // MonitorClientStats are a monitor client's cumulative wire counters.
 type MonitorClientStats struct {
 	// Received counts events consumed (also the resume offset sent on
@@ -627,6 +669,9 @@ type MonitorClientStats struct {
 	Received int
 	// Reconnects counts successful session resumptions.
 	Reconnects int
+	// DeltaNegotiated reports whether the current connection carries
+	// delta-encoded timestamps (the server confirmed the offer).
+	DeltaNegotiated bool
 }
 
 // MonitorClient receives the linearized event stream from a POET server,
@@ -652,7 +697,11 @@ type MonitorClient struct {
 	conn   net.Conn
 	closed bool
 
-	dec      *gob.Decoder
+	dec *gob.Decoder
+	// ddec reconstructs delta-encoded timestamps; nil on a dense
+	// session. Replaced wholesale on every (re)connection so the
+	// baseline resets together with the server's.
+	ddec     *deltaDecoder
 	received int
 	ended    bool
 	stats    MonitorClientStats
@@ -684,7 +733,7 @@ func (m *MonitorClient) connect(resumeFrom int) error {
 	}
 	enc := gob.NewEncoder(conn)
 	_ = conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
-	if err := enc.Encode(hello{Magic: wireMagic, Role: roleMonitor, ResumeFrom: resumeFrom}); err != nil {
+	if err := enc.Encode(hello{Magic: wireMagic, Role: roleMonitor, ResumeFrom: resumeFrom, DeltaVC: m.cfg.deltaVC}); err != nil {
 		_ = conn.Close()
 		return fmt.Errorf("hello: %w", err)
 	}
@@ -708,6 +757,15 @@ func (m *MonitorClient) connect(resumeFrom int) error {
 	m.conn = conn
 	m.mu.Unlock()
 	m.dec = dec
+	// A fresh decoder per connection: the delta baseline restarts at
+	// zero on both sides of every handshake, so resumed replays decode
+	// correctly regardless of what the dead connection had seen.
+	if ack.DeltaVC {
+		m.ddec = &deltaDecoder{sparse: m.cfg.sparse}
+	} else {
+		m.ddec = nil
+	}
+	m.stats.DeltaNegotiated = ack.DeltaVC
 	return nil
 }
 
@@ -752,13 +810,39 @@ func (m *MonitorClient) Next() (*event.Event, error) {
 		case msg.Trace != nil:
 			m.names[event.TraceID(msg.Trace.ID)] = msg.Trace.Name
 		case msg.Event != nil:
+			e, err := m.eventFromWire(msg.Event)
+			if err != nil {
+				// A baseline desync is a protocol bug, not a transport
+				// fault: resuming would mask it, so surface it.
+				return nil, err
+			}
 			m.received++
 			m.stats.Received = m.received
-			return fromWire(msg.Event), nil
+			return e, nil
 		default:
 			return nil, fmt.Errorf("poet monitor: empty wire message")
 		}
 	}
+}
+
+// eventFromWire materializes one received event in the configured
+// timestamp representation, decoding the connection's delta stream when
+// one was negotiated.
+func (m *MonitorClient) eventFromWire(w *wireEvent) (*event.Event, error) {
+	if m.ddec == nil {
+		e := fromWire(w)
+		if m.cfg.sparse {
+			e.VC = vclock.SparseOf(e.VC)
+		}
+		return e, nil
+	}
+	vc, err := m.ddec.decode(w)
+	if err != nil {
+		return nil, err
+	}
+	e := fromWire(w)
+	e.VC = vc
+	return e, nil
 }
 
 // resume redials with backoff and resumes the session at the current

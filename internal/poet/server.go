@@ -49,6 +49,9 @@ type Server struct {
 	targetResumes  atomic.Int64
 	monitorResumes atomic.Int64
 	loadSheds      atomic.Int64
+	monitorBytes   atomic.Int64
+	vcEntriesSent  atomic.Int64
+	deltaSessions  atomic.Int64
 	// sheddingConns counts target handlers currently parked in the
 	// overload retry loop; nonzero means the server is shedding load
 	// (see Shedding, which readiness probes consult).
@@ -151,6 +154,18 @@ type WireStats struct {
 	// that the server shed back onto reporter buffers (parking the
 	// connection until the backlog drained or the overload wait expired).
 	LoadSheds int
+	// MonitorBytes counts bytes written to monitor connections (frames,
+	// heartbeats, and handshakes included).
+	MonitorBytes int
+	// VCEntriesSent counts vector-timestamp entries put on the wire to
+	// monitors: the full dense length per event on dense connections,
+	// only the changed entries on delta-negotiated ones. Divide by the
+	// event count for the per-event timestamp cost the delta encoding
+	// is there to shrink.
+	VCEntriesSent int
+	// DeltaSessions counts monitor sessions that negotiated
+	// delta-encoded timestamps at the handshake.
+	DeltaSessions int
 	// RecoveryDiscarded counts WAL records discarded as torn or corrupt
 	// by startup recovery (0 for a non-durable or cleanly started
 	// server). See RecoveryStats.DiscardedRecords.
@@ -171,6 +186,9 @@ type serverMetrics struct {
 	peerTimeouts *telemetry.Counter
 	monOverflows *telemetry.Counter
 	loadSheds    *telemetry.Counter
+	monitorBytes *telemetry.Counter
+	vcEntries    *telemetry.Counter
+	deltaSess    *telemetry.Counter
 }
 
 // InstrumentMetrics registers the server's wire metrics with reg. Call
@@ -193,6 +211,9 @@ func (s *Server) InstrumentMetrics(reg *telemetry.Registry) {
 		peerTimeouts: reg.Counter("poet_wire_peer_timeouts_total", "Target connections declared dead after peer-timeout silence."),
 		monOverflows: reg.Counter("poet_wire_monitor_overflow_disconnects_total", "Monitors disconnected for overflowing their delivery queue."),
 		loadSheds:    reg.Counter("poet_wire_load_sheds_total", "Events shed back onto reporter buffers after an ErrOverloaded refusal."),
+		monitorBytes: reg.Counter("poet_wire_monitor_bytes_total", "Bytes written to monitor connections (events, announcements, heartbeats, handshakes)."),
+		vcEntries:    reg.Counter("poet_wire_vc_entries_total", "Vector-timestamp entries sent to monitors (full vectors on dense connections, changed entries on delta connections)."),
+		deltaSess:    reg.Counter("poet_wire_delta_sessions_total", "Monitor sessions that negotiated delta-encoded timestamps."),
 	}
 	reg.GaugeFunc("poet_wire_shedding_connections", "Target connections currently parked in the overload retry loop.", func() int64 {
 		return s.sheddingConns.Load()
@@ -208,6 +229,9 @@ func (s *Server) WireStats() WireStats {
 		TargetResumes:  int(s.targetResumes.Load()),
 		MonitorResumes: int(s.monitorResumes.Load()),
 		LoadSheds:      int(s.loadSheds.Load()),
+		MonitorBytes:   int(s.monitorBytes.Load()),
+		VCEntriesSent:  int(s.vcEntriesSent.Load()),
+		DeltaSessions:  int(s.deltaSessions.Load()),
 	}
 	if d := s.collector.Durable(); d != nil {
 		st.RecoveryDiscarded = int(d.Recovery().DiscardedRecords)
@@ -322,6 +346,21 @@ func (s *Server) Close() error {
 	s.serveWG.Wait()
 	s.wg.Wait()
 	return err
+}
+
+// countingWriter counts the bytes flowing to one connection into a
+// server-wide atomic and (when instrumented) a telemetry counter.
+type countingWriter struct {
+	w     io.Writer
+	total *atomic.Int64
+	tel   *telemetry.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.total.Add(int64(n))
+	cw.tel.Add(int64(n))
+	return n, err
 }
 
 func (s *Server) handle(conn net.Conn) error {
@@ -457,15 +496,22 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 			s.tel.loadSheds.Inc()
 			s.sheddingConns.Add(1)
 			deadline := time.Now().Add(s.overloadWait)
+			// One timer reused across polls: a long park re-arms it each
+			// iteration instead of allocating a fresh time.After channel
+			// per poll.
+			poll := time.NewTimer(overloadPoll)
 			for errors.Is(err, ErrOverloaded) && time.Now().Before(deadline) {
 				select {
 				case <-s.closing:
+					poll.Stop()
 					s.sheddingConns.Add(-1)
 					return nil
-				case <-time.After(overloadPoll):
+				case <-poll.C:
+					poll.Reset(overloadPoll)
 				}
 				err = s.collector.Report(raw)
 			}
+			poll.Stop()
 			s.sheddingConns.Add(-1)
 			if errors.Is(err, ErrOverloaded) {
 				// The backlog never drained: a causal predecessor is likely
@@ -509,7 +555,12 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 	s.monWG.Add(1)
 	defer s.monWG.Done()
 
-	enc := gob.NewEncoder(conn)
+	// All monitor-bound frames go through a byte-counting writer so the
+	// wire cost of the stream — and of the timestamp encoding in
+	// particular — is observable (WireStats.MonitorBytes,
+	// poet_wire_monitor_bytes_total).
+	cw := &countingWriter{w: conn, total: &s.monitorBytes, tel: s.tel.monitorBytes}
+	enc := gob.NewEncoder(cw)
 	var encMu sync.Mutex
 	var lastWrite atomic.Int64
 	writeMsg := func(msg *wireMsg) error {
@@ -555,8 +606,18 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 		_ = sendHello(helloAck{Error: msg})
 		return fmt.Errorf("monitor %s: %s", conn.RemoteAddr(), msg)
 	}
-	if err := sendHello(helloAck{OK: true}); err != nil {
+	// Timestamp-encoding negotiation: the client advertised DeltaVC and
+	// the echo in the ack seals it. The delta baseline starts at zero on
+	// both sides at this handshake, so reconnects and resumed replays
+	// are re-encoded from scratch — retransmitted suffixes never depend
+	// on state from a dead connection.
+	deltaVC := h.DeltaVC
+	if err := sendHello(helloAck{OK: true, DeltaVC: deltaVC}); err != nil {
 		return fmt.Errorf("hello ack: %w", err)
+	}
+	if deltaVC {
+		s.deltaSessions.Add(1)
+		s.tel.deltaSess.Inc()
 	}
 	if h.ResumeFrom > 0 {
 		s.monitorResumes.Add(1)
@@ -574,6 +635,7 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 	// pending and stats are touched only on the subscription's consumer
 	// goroutine: announcements arrive before the batch that needs them.
 	var pending []wireTrace
+	denc := &deltaEncoder{}
 	statsCh := make(chan func() DeliveryStats, 1)
 	var stats func() DeliveryStats
 	// dropCheck disconnects the client at the first dropped event. It
@@ -619,7 +681,20 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 		}
 		pending = nil
 		for _, e := range batch {
-			if err := writeMsg(&wireMsg{Event: toWire(e)}); err != nil {
+			var w *wireEvent
+			if deltaVC {
+				// denc is touched only here, on the subscription's
+				// consumer goroutine, so encoding order equals stream
+				// order — which the delta baseline depends on.
+				w = toWireDelta(e, denc)
+				s.vcEntriesSent.Add(int64(len(w.VCTr)))
+				s.tel.vcEntries.Add(int64(len(w.VCTr)))
+			} else {
+				w = toWire(e)
+				s.vcEntriesSent.Add(int64(len(w.VC)))
+				s.tel.vcEntries.Add(int64(len(w.VC)))
+			}
+			if err := writeMsg(&wireMsg{Event: w}); err != nil {
 				fail(fmt.Errorf("encoding to monitor: %w", err))
 				return
 			}

@@ -1,6 +1,10 @@
 package poet
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
 	"ocep/internal/event"
 	"ocep/internal/vclock"
 )
@@ -46,6 +50,12 @@ type hello struct {
 	// Traces (target role) names the traces the reporter has unacked
 	// events for; the helloAck returns the server's ack for each.
 	Traces []string
+	// DeltaVC (monitor role) advertises that the client can decode
+	// delta-encoded vector timestamps. The server echoes it in the
+	// helloAck when it agrees; either side left at false keeps the
+	// connection on dense clocks. gob ignores unknown fields, so v2
+	// peers that predate the flag negotiate dense without a magic bump.
+	DeltaVC bool
 }
 
 const wireMagic = "OCEP-POET-2"
@@ -61,6 +71,10 @@ type helloAck struct {
 	// Acks (target role) is the server's contiguous ingest position for
 	// each trace named in the hello.
 	Acks []traceAck
+	// DeltaVC confirms delta-encoded timestamps for this monitor
+	// session. False from a server that predates the flag (gob zeroes
+	// missing fields), so the client falls back to dense.
+	DeltaVC bool
 }
 
 // traceAck is the highest seq s such that events 1..s of the trace have
@@ -105,13 +119,33 @@ type wireTrace struct {
 	Name string
 }
 
-// wireEvent is a delivered event in transit.
+// wireEvent is a delivered event in transit. The timestamp travels in
+// exactly one of two spellings, fixed per connection at the handshake:
+//
+//   - dense (DeltaVC not negotiated): VC carries the full vector;
+//   - delta (DeltaVC negotiated): VCTr/VCN carry only the entries whose
+//     value differs from the previous event sent on this connection,
+//     including explicit zero values for entries that vanished (the
+//     linearization interleaves traces, so timestamps are not
+//     per-component monotone along the stream). The baseline is the
+//     all-zero vector at handshake time, so the first event's delta is
+//     its full set of nonzero entries; VCFull marks that frame so a
+//     desynchronized decoder fails loudly instead of mis-stamping.
+//
+// Reconnect/resume safety falls out of the handshake reset: every
+// (re)connection re-runs the hello, both sides restart from the zero
+// baseline, and replayed suffixes are re-encoded fresh.
 type wireEvent struct {
 	Trace, Index               int
 	Kind                       event.Kind
 	Type, Text                 string
 	VC                         vclock.VC
 	PartnerTrace, PartnerIndex int
+	// VCTr/VCN are the delta entries: parallel (trace, new value) pairs.
+	VCTr, VCN []int32
+	// VCFull marks the first frame of a connection's delta stream (a
+	// delta against the all-zero baseline).
+	VCFull bool
 }
 
 func toWire(e *event.Event) *wireEvent {
@@ -121,7 +155,7 @@ func toWire(e *event.Event) *wireEvent {
 		Kind:         e.Kind,
 		Type:         e.Type,
 		Text:         e.Text,
-		VC:           e.VC,
+		VC:           denseView(e.VC),
 		PartnerTrace: int(e.Partner.Trace),
 		PartnerIndex: e.Partner.Index,
 	}
@@ -136,4 +170,162 @@ func fromWire(w *wireEvent) *event.Event {
 		VC:      vclock.VC(w.VC),
 		Partner: event.ID{Trace: event.TraceID(w.PartnerTrace), Index: w.PartnerIndex},
 	}
+}
+
+// denseView returns a dense read-only view of c: the clock itself when
+// it is already dense (stamps are immutable once delivered, so sharing
+// is safe for encoding), a dense copy otherwise.
+func denseView(c vclock.Clock) vclock.VC {
+	if v, ok := c.(vclock.VC); ok {
+		return v
+	}
+	return vclock.DenseOf(c)
+}
+
+// toWireDelta is toWire with the timestamp delta-encoded against d's
+// baseline instead of carried as a full vector.
+func toWireDelta(e *event.Event, d *deltaEncoder) *wireEvent {
+	w := &wireEvent{
+		Trace:        int(e.ID.Trace),
+		Index:        e.ID.Index,
+		Kind:         e.Kind,
+		Type:         e.Type,
+		Text:         e.Text,
+		PartnerTrace: int(e.Partner.Trace),
+		PartnerIndex: e.Partner.Index,
+	}
+	d.encode(e.VC, w)
+	return w
+}
+
+// deltaEncoder turns event timestamps into per-connection deltas. It
+// lives on the server side of one monitor connection; its baseline is
+// the timestamp of the previous event encoded on that connection
+// (all-zero after the handshake).
+type deltaEncoder struct {
+	base vclock.VC
+	sent bool
+}
+
+// encode fills w's delta fields with the entries of vc that differ from
+// the baseline and advances the baseline. Entry order is two sorted
+// runs (changed/new entries, then vanished ones); the decoder applies
+// entries independently, so order is irrelevant to correctness.
+func (d *deltaEncoder) encode(vc vclock.Clock, w *wireEvent) {
+	w.VCFull = !d.sent
+	d.sent = true
+	if vc != nil {
+		vc.Range(func(t int, n int32) bool {
+			if int32(d.base.Get(t)) != n {
+				w.VCTr = append(w.VCTr, int32(t))
+				w.VCN = append(w.VCN, n)
+			}
+			return true
+		})
+	}
+	d.base.Range(func(t int, _ int32) bool {
+		if vclockGet(vc, t) == 0 {
+			w.VCTr = append(w.VCTr, int32(t))
+			w.VCN = append(w.VCN, 0)
+		}
+		return true
+	})
+	for i, t := range w.VCTr {
+		d.base = d.base.Set(int(t), w.VCN[i])
+	}
+}
+
+func vclockGet(c vclock.Clock, t int) int {
+	if c == nil {
+		return 0
+	}
+	return c.Get(t)
+}
+
+// byteCounter is an io.Writer that only counts.
+type byteCounter struct{ n int64 }
+
+func (b *byteCounter) Write(p []byte) (int, error) {
+	b.n += int64(len(p))
+	return len(p), nil
+}
+
+// MeasureWire gob-encodes evs exactly as one monitor session would —
+// dense or delta-encoded timestamps — and reports the encoded bytes and
+// the number of timestamp entries shipped. The delta variant buffers
+// its stream, decodes it back, and verifies every reconstructed
+// timestamp against the original, so a measurement run doubles as a
+// codec differential; the dense variant streams into a pure counter
+// (a dense stream at tens of thousands of traces is too large to hold).
+// Supports the -tracescale experiment; not on the serving path.
+func MeasureWire(evs []*event.Event, delta bool) (wireBytes int64, vcEntries int, err error) {
+	if !delta {
+		var bc byteCounter
+		enc := gob.NewEncoder(&bc)
+		for _, e := range evs {
+			w := toWire(e)
+			vcEntries += len(w.VC)
+			if err := enc.Encode(&wireMsg{Event: w}); err != nil {
+				return bc.n, vcEntries, err
+			}
+		}
+		return bc.n, vcEntries, nil
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	denc := &deltaEncoder{}
+	for _, e := range evs {
+		w := toWireDelta(e, denc)
+		vcEntries += len(w.VCTr)
+		if err := enc.Encode(&wireMsg{Event: w}); err != nil {
+			return int64(buf.Len()), vcEntries, err
+		}
+	}
+	wireBytes = int64(buf.Len())
+	dec := gob.NewDecoder(&buf)
+	ddec := &deltaDecoder{}
+	for _, e := range evs {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			return wireBytes, vcEntries, fmt.Errorf("poet: measure decode: %w", err)
+		}
+		vc, err := ddec.decode(msg.Event)
+		if err != nil {
+			return wireBytes, vcEntries, err
+		}
+		if !vc.Equal(e.VC) {
+			return wireBytes, vcEntries, fmt.Errorf("poet: delta codec diverged at %v: decoded %v, stamped %v", e.ID, vc, e.VC)
+		}
+	}
+	return wireBytes, vcEntries, nil
+}
+
+// deltaDecoder reconstructs timestamps from per-connection deltas on
+// the monitor client side. A fresh decoder is installed on every
+// (re)connection, restoring the all-zero baseline the server restarts
+// from.
+type deltaDecoder struct {
+	base vclock.VC
+	seen bool
+	// sparse selects the representation of the emitted stamps.
+	sparse bool
+}
+
+// decode applies w's delta entries to the baseline and returns the
+// event's timestamp as an independent clock.
+func (d *deltaDecoder) decode(w *wireEvent) (vclock.Clock, error) {
+	if !d.seen && !w.VCFull {
+		return nil, fmt.Errorf("poet: delta-encoded event %d/%d without a baseline frame (decoder out of sync)", w.Trace, w.Index)
+	}
+	if w.VCFull {
+		d.base = nil
+	}
+	d.seen = true
+	for i, t := range w.VCTr {
+		d.base = d.base.Set(int(t), w.VCN[i])
+	}
+	if d.sparse {
+		return vclock.SparseOf(d.base), nil
+	}
+	return d.base.Clone(), nil
 }

@@ -1,0 +1,76 @@
+package vclock
+
+import (
+	"testing"
+)
+
+// FuzzDenseVsSparse interprets the fuzz input as a program of clock
+// operations applied simultaneously to a dense and a sparse clock (plus
+// one partner clock of each representation) and fails on any observable
+// divergence: Get, Equal, LessEqual, Before, Compare, Weight of the
+// sparse side vs the dense nonzero count, and DenseOf round-trips.
+//
+// Opcodes (byte pairs: op, operand):
+//
+//	0: Tick(operand % 64)
+//	1: Merge the partner into the main clock (cross-representation)
+//	2: snapshot the main clock as the new partner
+//	3: compare main vs partner at traces (operand%64, operand/4%64)
+func FuzzDenseVsSparse(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 2, 0, 0, 5, 1, 0, 3, 9})
+	f.Add([]byte{0, 63, 0, 63, 2, 0, 0, 0, 1, 0, 3, 255})
+	f.Add([]byte{2, 0, 3, 0})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		var d Clock = VC(nil)
+		var s Clock = NewSparse()
+		var partD Clock = VC(nil)
+		var partS Clock = NewSparse()
+		check := func(step int) {
+			if !d.Equal(s) || !s.Equal(d) {
+				t.Fatalf("step %d: representations diverged: %s vs %s", step, d, s)
+			}
+			if dd := DenseOf(s); !dd.Equal(d) {
+				t.Fatalf("step %d: DenseOf(sparse) = %s, want %s", step, dd, d)
+			}
+			nz := 0
+			d.Range(func(int, int32) bool { nz++; return true })
+			if s.Weight() != nz {
+				t.Fatalf("step %d: sparse weight %d, dense nonzero %d", step, s.Weight(), nz)
+			}
+		}
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i], program[i+1]
+			switch op % 4 {
+			case 0:
+				tr := int(arg % 64)
+				d = d.Tick(tr)
+				s = s.Tick(tr)
+			case 1:
+				// Cross the representations on purpose: the dense main
+				// merges the sparse partner and vice versa.
+				d = d.Merge(partS)
+				s = s.Merge(partD)
+			case 2:
+				partD = DenseOf(d)
+				partS = SparseOf(s)
+				if !partD.Equal(partS) {
+					t.Fatalf("step %d: partner snapshots diverged", i)
+				}
+			case 3:
+				ta := int(arg % 64)
+				tb := int(arg/4) % 64
+				if Before(d, ta, partD, tb) != Before(s, ta, partS, tb) ||
+					Before(partD, tb, d, ta) != Before(partS, tb, s, ta) {
+					t.Fatalf("step %d: Before diverged at (%d,%d)", i, ta, tb)
+				}
+				if Compare(d, ta, partD, tb) != Compare(s, ta, partS, tb) {
+					t.Fatalf("step %d: Compare diverged at (%d,%d)", i, ta, tb)
+				}
+				if d.LessEqual(partD) != s.LessEqual(partS) {
+					t.Fatalf("step %d: LessEqual diverged", i)
+				}
+			}
+			check(i)
+		}
+	})
+}

@@ -1,0 +1,319 @@
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sparse is a sparse vector timestamp: the nonzero entries of the vector
+// stored as parallel (trace, count) slices sorted by trace. Memory is
+// O(k) for k nonzero entries instead of O(#traces), which is what makes
+// timestamps affordable when a deployment has tens of thousands of
+// traces but each event's causal past touches only a few.
+//
+// The nil *Sparse and the empty Sparse both denote the all-zero
+// timestamp; every method is safe on a nil receiver. Invariants: ts is
+// strictly increasing, ns[i] > 0, len(ts) == len(ns).
+//
+// Tick and Merge follow the same append contract as VC (the pinned
+// Merge semantics): they return the updated clock, the receiver is
+// considered moved, and the argument is never mutated nor aliased by
+// the result.
+type Sparse struct {
+	ts []int32 // traces with a nonzero entry, strictly increasing
+	ns []int32 // counts, parallel to ts, all > 0
+}
+
+// NewSparse returns an empty sparse clock. The trace-count hint is not
+// needed: sparse clocks grow with the causal past, not the system size.
+func NewSparse() *Sparse { return &Sparse{} }
+
+// SparseOf returns a sparse copy of c. A *Sparse input is cloned; any
+// other representation is converted entry by entry.
+func SparseOf(c Clock) *Sparse {
+	if c == nil {
+		return &Sparse{}
+	}
+	if s, ok := c.(*Sparse); ok {
+		return s.Clone().(*Sparse)
+	}
+	s := &Sparse{}
+	if w := c.Weight(); w > 0 {
+		s.ts = make([]int32, 0, w)
+		s.ns = make([]int32, 0, w)
+	}
+	c.Range(func(t int, n int32) bool {
+		s.ts = append(s.ts, int32(t))
+		s.ns = append(s.ns, n)
+		return true
+	})
+	return s
+}
+
+// find returns the position of trace t in s.ts and whether it is
+// present. The happens-before test is a Get on each side, so this is
+// the hottest path of the sparse representation: a hand-rolled binary
+// search (no sort.Search closure) with a linear scan below a few
+// entries, where branch-predictable straight-line code beats halving.
+func (s *Sparse) find(t int) (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	tt := int32(t)
+	if len(s.ts) <= 8 {
+		for i, v := range s.ts {
+			if v >= tt {
+				return i, v == tt
+			}
+		}
+		return len(s.ts), false
+	}
+	lo, hi := 0, len(s.ts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ts[mid] < tt {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.ts) && s.ts[lo] == tt
+}
+
+// Get returns entry t, zero when absent. O(log k), with a straight
+// scan at small k. Specialized rather than routed through find: Get is
+// the happens-before test's inner loop, and the tuple return plus
+// re-branch costs measurable nanoseconds there.
+func (s *Sparse) Get(t int) int {
+	if s == nil {
+		return 0
+	}
+	ts := s.ts
+	tt := int32(t)
+	if len(ts) <= 8 {
+		for i, v := range ts {
+			if v == tt {
+				return int(s.ns[i])
+			}
+			if v > tt {
+				return 0
+			}
+		}
+		return 0
+	}
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ts[mid] < tt {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ts) && ts[lo] == tt {
+		return int(s.ns[lo])
+	}
+	return 0
+}
+
+// Clone returns an independent copy of s.
+func (s *Sparse) Clone() Clock {
+	if s == nil || len(s.ts) == 0 {
+		return &Sparse{}
+	}
+	c := &Sparse{
+		ts: make([]int32, len(s.ts)),
+		ns: make([]int32, len(s.ns)),
+	}
+	copy(c.ts, s.ts)
+	copy(c.ns, s.ns)
+	return c
+}
+
+// Tick increments entry t and returns the updated clock (append
+// contract). Inserting a new trace is O(k); ticking an existing one is
+// O(log k).
+func (s *Sparse) Tick(t int) Clock {
+	if s == nil {
+		s = &Sparse{}
+	}
+	i, ok := s.find(t)
+	if ok {
+		s.ns[i]++
+		return s
+	}
+	s.ts = append(s.ts, 0)
+	s.ns = append(s.ns, 0)
+	copy(s.ts[i+1:], s.ts[i:])
+	copy(s.ns[i+1:], s.ns[i:])
+	s.ts[i] = int32(t)
+	s.ns[i] = 1
+	return s
+}
+
+// Merge folds the component-wise maximum of other into s and returns
+// the updated clock. It replicates VC.Merge's pinned semantics exactly:
+// the receiver's storage may be reused (the receiver is moved), the
+// argument is never mutated, and its storage is never aliased by the
+// result.
+func (s *Sparse) Merge(other Clock) Clock {
+	if s == nil {
+		s = &Sparse{}
+	}
+	if other == nil {
+		return s
+	}
+	if o, ok := other.(*Sparse); ok {
+		return s.mergeSparse(o)
+	}
+	other.Range(func(t int, n int32) bool {
+		i, ok := s.find(t)
+		if ok {
+			if n > s.ns[i] {
+				s.ns[i] = n
+			}
+			return true
+		}
+		s.ts = append(s.ts, 0)
+		s.ns = append(s.ns, 0)
+		copy(s.ts[i+1:], s.ts[i:])
+		copy(s.ns[i+1:], s.ns[i:])
+		s.ts[i] = int32(t)
+		s.ns[i] = n
+		return true
+	})
+	return s
+}
+
+// mergeSparse merges two sorted pair lists in one linear pass. When
+// every entry of other is already dominated in place the receiver's
+// storage is reused; otherwise the merged list is built fresh (never
+// sharing other's storage).
+func (s *Sparse) mergeSparse(o *Sparse) Clock {
+	if o == nil || len(o.ts) == 0 {
+		return s
+	}
+	// Fast path: every trace in other already has an entry here, so the
+	// maxima can be written in place without reallocating.
+	inPlace := true
+	for i, j := 0, 0; j < len(o.ts); {
+		if i >= len(s.ts) || s.ts[i] > o.ts[j] {
+			inPlace = false
+			break
+		}
+		if s.ts[i] < o.ts[j] {
+			i++
+			continue
+		}
+		i++
+		j++
+	}
+	if inPlace {
+		for j := range o.ts {
+			i, _ := s.find(int(o.ts[j]))
+			if o.ns[j] > s.ns[i] {
+				s.ns[i] = o.ns[j]
+			}
+		}
+		return s
+	}
+	ts := make([]int32, 0, len(s.ts)+len(o.ts))
+	ns := make([]int32, 0, len(s.ts)+len(o.ts))
+	i, j := 0, 0
+	for i < len(s.ts) && j < len(o.ts) {
+		switch {
+		case s.ts[i] < o.ts[j]:
+			ts = append(ts, s.ts[i])
+			ns = append(ns, s.ns[i])
+			i++
+		case s.ts[i] > o.ts[j]:
+			ts = append(ts, o.ts[j])
+			ns = append(ns, o.ns[j])
+			j++
+		default:
+			n := s.ns[i]
+			if o.ns[j] > n {
+				n = o.ns[j]
+			}
+			ts = append(ts, s.ts[i])
+			ns = append(ns, n)
+			i++
+			j++
+		}
+	}
+	ts = append(ts, s.ts[i:]...)
+	ns = append(ns, s.ns[i:]...)
+	ts = append(ts, o.ts[j:]...)
+	ns = append(ns, o.ns[j:]...)
+	s.ts, s.ns = ts, ns
+	return s
+}
+
+// Weight returns the number of stored (nonzero) entries.
+func (s *Sparse) Weight() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ts)
+}
+
+// Range calls f for every nonzero entry in increasing trace order.
+func (s *Sparse) Range(f func(t int, n int32) bool) {
+	if s == nil {
+		return
+	}
+	for i := range s.ts {
+		if !f(int(s.ts[i]), s.ns[i]) {
+			return
+		}
+	}
+}
+
+// Equal reports component-wise equality with other, treating missing
+// entries as zero; a sparse clock equals a dense clock with the same
+// values.
+func (s *Sparse) Equal(other Clock) bool {
+	if o, ok := other.(*Sparse); ok {
+		sw, ow := s.Weight(), o.Weight()
+		if sw != ow {
+			return false
+		}
+		for i := 0; i < sw; i++ {
+			if s.ts[i] != o.ts[i] || s.ns[i] != o.ns[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var c Clock
+	if s != nil {
+		c = s
+	}
+	return clockEqual(c, other)
+}
+
+// LessEqual reports whether s <= other component-wise.
+func (s *Sparse) LessEqual(other Clock) bool {
+	var c Clock
+	if s != nil {
+		c = s
+	}
+	return clockLessEqual(c, other)
+}
+
+// String renders the clock as "{t:n t:n ...}" — only nonzero entries,
+// since the dense "[...]" form would be unreadable at sparse scales.
+func (s *Sparse) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	if s != nil {
+		for i := range s.ts {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d:%d", s.ts[i], s.ns[i])
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSparseTickInsertOrder(t *testing.T) {
+	var c Clock = NewSparse()
+	for _, tr := range []int{5, 1, 9, 1, 0, 5} {
+		c = c.Tick(tr)
+	}
+	s := c.(*Sparse)
+	want := map[int]int{0: 1, 1: 2, 5: 2, 9: 1}
+	if s.Weight() != len(want) {
+		t.Fatalf("weight %d, want %d (%s)", s.Weight(), len(want), s)
+	}
+	prev := -1
+	s.Range(func(tr int, n int32) bool {
+		if tr <= prev {
+			t.Fatalf("entries out of order: %s", s)
+		}
+		prev = tr
+		if int(n) != want[tr] {
+			t.Fatalf("entry %d = %d, want %d", tr, n, want[tr])
+		}
+		return true
+	})
+	if got, wantStr := s.String(), "{0:1 1:2 5:2 9:1}"; got != wantStr {
+		t.Fatalf("String() = %q, want %q", got, wantStr)
+	}
+}
+
+// TestSparseDenseEquivalence drives identical random op sequences
+// through a dense and a sparse clock and requires every observable —
+// Get, Weight-visible entries, Equal, String via DenseOf — to agree at
+// each step.
+func TestSparseDenseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for round := 0; round < 50; round++ {
+		var d Clock = VC(nil)
+		var s Clock = NewSparse()
+		// A pool of merged-in partner clocks, kept in both forms.
+		partnersD := []Clock{}
+		partnersS := []Clock{}
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				tr := rng.Intn(40)
+				d = d.Tick(tr)
+				s = s.Tick(tr)
+			case 2:
+				pd := d.Clone()
+				partnersD = append(partnersD, pd)
+				partnersS = append(partnersS, SparseOf(pd))
+			case 3:
+				if len(partnersD) == 0 {
+					continue
+				}
+				i := rng.Intn(len(partnersD))
+				// Cross the representations: dense merges a sparse
+				// partner and vice versa, which is exactly what a mixed
+				// deployment does.
+				d = d.Merge(partnersS[i])
+				s = s.Merge(partnersD[i])
+			}
+			if !d.Equal(s) || !s.Equal(d) {
+				t.Fatalf("round %d step %d: diverged: dense=%s sparse=%s", round, step, d, s)
+			}
+			for _, tr := range []int{0, 7, 39, 40, 1000} {
+				if d.Get(tr) != s.Get(tr) {
+					t.Fatalf("round %d step %d: Get(%d): dense=%d sparse=%d",
+						round, step, tr, d.Get(tr), s.Get(tr))
+				}
+			}
+			if dd := DenseOf(s); !dd.Equal(d) {
+				t.Fatalf("round %d step %d: DenseOf(sparse) diverged: %s vs %s", round, step, dd, d)
+			}
+		}
+	}
+}
+
+func TestSparseWeightVsDense(t *testing.T) {
+	// The point of the sparse form: a clock that touched 3 of 10000
+	// traces stores 3 entries, not 10000.
+	var d Clock = New(10000)
+	var s Clock = NewSparse()
+	for _, tr := range []int{12, 9000, 4321} {
+		d = d.Tick(tr)
+		s = s.Tick(tr)
+	}
+	if d.Weight() != 10000 {
+		t.Fatalf("dense weight %d, want 10000", d.Weight())
+	}
+	if s.Weight() != 3 {
+		t.Fatalf("sparse weight %d, want 3", s.Weight())
+	}
+	if !d.Equal(s) {
+		t.Fatalf("weights differ but values must not: %s vs %s", d, s)
+	}
+}
+
+func TestSparseOfAndEntries(t *testing.T) {
+	v := VC{0, 3, 0, 0, 7}
+	s := SparseOf(v)
+	if s.Weight() != 2 || s.Get(1) != 3 || s.Get(4) != 7 {
+		t.Fatalf("SparseOf dropped entries: %s", s)
+	}
+	ts, ns := Entries(v)
+	if len(ts) != 2 || ts[0] != 1 || ns[0] != 3 || ts[1] != 4 || ns[1] != 7 {
+		t.Fatalf("Entries(%v) = %v/%v", v, ts, ns)
+	}
+	ts2, ns2 := Entries(s)
+	if len(ts2) != len(ts) || ts2[0] != ts[0] || ns2[1] != ns[1] {
+		t.Fatalf("Entries disagrees across representations")
+	}
+	if ts, ns := Entries(nil); ts != nil || ns != nil {
+		t.Fatalf("Entries(nil) must be nil")
+	}
+	if ts, ns := Entries(VC{0, 0}); ts != nil || ns != nil {
+		t.Fatalf("Entries of all-zero must be nil")
+	}
+	// Round trip through DenseOf.
+	if got := DenseOf(s); !got.Equal(v) {
+		t.Fatalf("DenseOf(SparseOf(v)) = %s, want %s", got, v)
+	}
+	if DenseOf(nil) != nil {
+		t.Fatalf("DenseOf(nil) must be nil")
+	}
+}
+
+func TestSparseCloneNoAliasing(t *testing.T) {
+	s := NewSparse().Tick(3).Tick(3).Tick(8)
+	c := s.Clone()
+	c = c.Tick(3).Tick(11)
+	if s.Get(3) != 2 || s.Get(11) != 0 {
+		t.Fatalf("clone aliased original: %s", s)
+	}
+	if c.Get(3) != 3 || c.Get(11) != 1 {
+		t.Fatalf("clone lost its own updates: %s", c)
+	}
+}
+
+func TestSparseMergeInPlaceAndRealloc(t *testing.T) {
+	// In-place path: every trace of other already present.
+	a := NewSparse().Tick(1).Tick(5)
+	b := NewSparse().Tick(1).Tick(1).Tick(1)
+	got := a.Merge(b)
+	if got.Get(1) != 3 || got.Get(5) != 1 {
+		t.Fatalf("in-place merge wrong: %s", got)
+	}
+	// Realloc path: other introduces new traces, interleaved both sides.
+	c := NewSparse().Tick(2).Tick(6)
+	d := NewSparse().Tick(0).Tick(2).Tick(2).Tick(9)
+	dSnap := d.Clone()
+	got = c.Merge(d)
+	wantVals := map[int]int{0: 1, 2: 2, 6: 1, 9: 1}
+	for tr, n := range wantVals {
+		if got.Get(tr) != n {
+			t.Fatalf("merge entry %d = %d, want %d (%s)", tr, got.Get(tr), n, got)
+		}
+	}
+	if got.Weight() != len(wantVals) {
+		t.Fatalf("merge weight %d, want %d", got.Weight(), len(wantVals))
+	}
+	if !d.Equal(dSnap) {
+		t.Fatalf("merge mutated its argument: %s", d)
+	}
+	// Mutating the result must not reach the argument.
+	got = got.Tick(0).Tick(9)
+	if !d.Equal(dSnap) {
+		t.Fatalf("merge result aliases its argument: %s", d)
+	}
+}
+
+func TestSparseNilReceiverOps(t *testing.T) {
+	var s *Sparse
+	if s.Get(0) != 0 || s.Weight() != 0 || s.String() != "{}" {
+		t.Fatalf("nil receiver reads broke")
+	}
+	s.Range(func(int, int32) bool { t.Fatal("nil Range must not visit"); return false })
+	if got := s.Tick(2); got.Get(2) != 1 {
+		t.Fatalf("nil Tick: %s", got)
+	}
+	if got := s.Merge(VC{4}); got.Get(0) != 4 {
+		t.Fatalf("nil Merge: %s", got)
+	}
+	if !s.Equal(VC(nil)) || !s.LessEqual(NewSparse()) {
+		t.Fatalf("nil comparisons broke")
+	}
+}
+
+func BenchmarkSparseBefore(b *testing.B) {
+	// Paper-scale: 10000 traces, stamps touching ~8 of them.
+	mk := func(seed int64) Clock {
+		rng := rand.New(rand.NewSource(seed))
+		var c Clock = NewSparse()
+		for i := 0; i < 8; i++ {
+			tr := rng.Intn(10000)
+			for k := 0; k <= rng.Intn(5); k++ {
+				c = c.Tick(tr)
+			}
+		}
+		return c
+	}
+	va, vb := mk(1), mk(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Before(va, 4242, vb, 17)
+	}
+}
+
+func BenchmarkSparseMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var base Clock = NewSparse()
+	var other Clock = NewSparse()
+	for i := 0; i < 16; i++ {
+		base = base.Tick(rng.Intn(10000))
+		other = other.Tick(rng.Intn(10000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := base.Clone()
+		c.Merge(other)
+	}
+}

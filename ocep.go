@@ -44,6 +44,7 @@ import (
 	"ocep/internal/pattern"
 	"ocep/internal/poet"
 	"ocep/internal/telemetry"
+	"ocep/internal/vclock"
 )
 
 // Re-exported event model types. They alias the internal implementation
@@ -57,6 +58,15 @@ type (
 	TraceID = event.TraceID
 	// Kind classifies an event's communication role.
 	Kind = event.Kind
+	// Clock is the vector-timestamp contract shared by the dense and
+	// sparse representations; Event.VC holds one.
+	Clock = vclock.Clock
+	// VC is the dense Fidge/Mattern vector timestamp — the differential
+	// oracle representation.
+	VC = vclock.VC
+	// SparseClock is the sparse (trace, count)-pair timestamp: O(causal
+	// past) memory instead of O(#traces); see Collector.SetSparseClocks.
+	SparseClock = vclock.Sparse
 	// RawEvent is an unstamped instrumented event as reported by targets.
 	RawEvent = poet.RawEvent
 	// Collector ingests raw events and delivers stamped events in a
@@ -264,6 +274,16 @@ var (
 	WithMonitorBackoff = poet.WithMonitorBackoff
 	// WithMonitorLog routes reconnect diagnostics to a log function.
 	WithMonitorLog = poet.WithMonitorLog
+	// WithMonitorDeltaVC controls whether the client offers delta-encoded
+	// vector timestamps at the handshake (on by default: each event ships
+	// only the clock entries that changed since the previous one on the
+	// connection). Pass false to force full dense vectors, e.g. against a
+	// server that predates the encoding.
+	WithMonitorDeltaVC = poet.WithMonitorDeltaVC
+	// WithMonitorSparseClocks makes the client stamp received events with
+	// sparse (trace, count)-pair clocks — O(causal past) memory per event
+	// instead of O(#traces), the same causal order.
+	WithMonitorSparseClocks = poet.WithMonitorSparseClocks
 )
 
 // Option configures a Monitor.

@@ -88,7 +88,7 @@ func TestMonitorFeedDirect(t *testing.T) {
 		ID:   ocep.EventID{Trace: tid, Index: 1},
 		Kind: ocep.KindInternal,
 		Type: "ping",
-		VC:   []int32{1},
+		VC:   ocep.VC{1},
 	})
 	if err != nil {
 		t.Fatal(err)
