@@ -23,6 +23,13 @@
 // (default 30s; 0 disables reconnection and the first interruption ends
 // the run with an error). A clean poetd shutdown ends the stream
 // normally.
+//
+// -addr also accepts a comma-separated endpoint pool
+// ("primary:7524,standby:7524") when poetd runs with a warm standby
+// (-follow): the monitor connects to the first healthy endpoint, fails
+// over on connection failures and drain notices, and resumes at its
+// exact stream offset on the promoted standby — the match output is
+// identical to a fault-free run.
 package main
 
 import (
@@ -56,7 +63,7 @@ func indent(s string) string {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7524", "poetd server address")
+		addr       = flag.String("addr", "127.0.0.1:7524", "poetd server address, or a comma-separated failover pool (\"primary:7524,standby:7524\")")
 		patFile    = flag.String("pattern", "", "pattern definition file")
 		builtin    = flag.String("builtin", "", "use a built-in case-study pattern (deadlock2, deadlock3, race, atomicity, ordering)")
 		reportAll  = flag.Bool("all", false, "report every complete match, not just the representative subset")

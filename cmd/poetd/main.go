@@ -10,7 +10,7 @@
 //	      [-monitor-queue n] [-monitor-policy drop|block]
 //	      [-ack-interval d] [-heartbeat d] [-metrics-addr addr] [-quiet]
 //	      [-retain-events n] [-max-pending n] [-mem-limit bytes]
-//	      [-sparse-clocks]
+//	      [-sparse-clocks] [-follow primaryaddr] [-drain-timeout d]
 //
 // With -dump, the delivered raw-event log is written to the given file
 // on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
@@ -64,9 +64,34 @@
 // ceiling the retention window is halved, trading history depth for a
 // flat footprint. -mem-limit requires -retain-events as its starting
 // window.
+//
+// High availability: with -follow, poetd starts as a warm standby of
+// the primary at the given address — it listens, answers queries and
+// probes, and tails the primary's replication stream into its own
+// collector (and WAL, with -data-dir), but rejects reporter/monitor
+// sessions with a retriable ack until promoted. Promotion happens when
+// the primary drains cleanly, when it stays unreachable past the
+// replication reconnect budget (-follow-reconnect), or on SIGUSR1
+// (manual). Clients given a
+// comma-separated endpoint pool ("primary:7524,standby:7524") fail over
+// to the promoted standby and resume their sessions exactly — no event
+// lost, duplicated, or reordered. The standby's /readyz answers 503
+// ("standby") until promotion, and poet_replica_lag_events on the
+// metrics listener tracks how far it trails the primary.
+//
+// Unless -retain-events is set (eviction is incompatible with replica
+// resume), every poetd keeps the replication log and serves replica
+// sessions, so a promoted standby can in turn be followed.
+//
+// Shutdown: SIGTERM drains gracefully — new sessions are rejected,
+// connected peers receive a drain notice (pooled clients fail over
+// immediately), reporter acks keep flowing while targets flush, and
+// after at most -drain-timeout the server closes with End frames.
+// SIGINT skips the drain and closes at once.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -117,6 +142,10 @@ func run() error {
 		memLimit   = flag.String("mem-limit", "", "soft heap ceiling in bytes (K/M/G suffixes accepted); halves -retain-events each time the heap crosses 85% of it")
 
 		sparseClocks = flag.Bool("sparse-clocks", false, "stamp events with sparse (trace, count)-pair vector clocks: O(causal-past) memory per event instead of O(#traces), same causal order")
+
+		follow       = flag.String("follow", "", "run as a warm standby replicating from the primary at this address; promoted when the primary drains or dies, or on SIGUSR1")
+		followBudget = flag.Duration("follow-reconnect", 0, "cumulative backoff budget before an unreachable primary is declared dead and the standby promotes itself (0 = default 10s)")
+		drainWait    = flag.Duration("drain-timeout", poet.DefaultDrainWait, "on SIGTERM, how long the graceful drain waits for targets to flush and replicas to catch up before closing")
 	)
 	flag.Parse()
 
@@ -137,6 +166,12 @@ func run() error {
 	}
 	if *retain > 0 && *dataDir != "" {
 		return fmt.Errorf("-retain-events is incompatible with -data-dir (snapshots need the full delivered log)")
+	}
+	if *follow != "" && *retain > 0 {
+		return fmt.Errorf("-follow is incompatible with -retain-events (a standby's replication log needs the full record stream)")
+	}
+	if *follow != "" && *reload != "" {
+		return fmt.Errorf("-follow is incompatible with -reload (the standby's state must be the primary's stream, nothing else)")
 	}
 
 	collector := poet.NewCollector()
@@ -160,6 +195,20 @@ func run() error {
 	}
 	if *maxPending > 0 {
 		collector.SetAdmissionLimit(*maxPending)
+	}
+	if *retain == 0 {
+		// Every non-evicting poetd captures the replication record stream
+		// so warm standbys can attach — and so a promoted standby can in
+		// turn be followed. Before OpenDurable/-reload: a replica resuming
+		// from zero needs the stream complete from the first record.
+		if err := collector.EnableReplicationLog(); err != nil {
+			return fmt.Errorf("enabling replication log: %w", err)
+		}
+		// Withheld acks must still leave room for the empty frame to
+		// heartbeat the reporter within its peer timeout.
+		collector.SetReplicationAckWait(*heartbeat / 2)
+	} else if *follow == "" {
+		log.Printf("note: -retain-events disables the replication log; replica sessions will be rejected")
 	}
 
 	// The health/metrics listener starts before recovery: a poetd
@@ -254,10 +303,30 @@ func run() error {
 		}
 		return nil
 	})
+	// An unpromoted standby and a draining server are both alive but
+	// must not receive new sessions from the balancer.
+	health.RegisterCheck("standby", func() error {
+		if server.Standby() {
+			return fmt.Errorf("standby: replicating from %s, not promoted", *follow)
+		}
+		return nil
+	})
+	health.RegisterCheck("draining", func() error {
+		if server.Draining() {
+			return fmt.Errorf("draining: shutting down, no new sessions")
+		}
+		return nil
+	})
 
 	stopSampler := startMemGovernor(collector, memCeiling, *retain)
 	defer stopSampler()
 
+	if *follow != "" {
+		// Gate sessions before the listener opens: a client that races
+		// the standby's startup must see a retriable rejection, never an
+		// accepted session on unreplicated state.
+		server.SetStandby(true)
+	}
 	addr, err := server.Listen(*listen)
 	if err != nil {
 		return err
@@ -265,14 +334,87 @@ func run() error {
 	ready.Store(true)
 	log.Printf("listening on %s", addr)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	var rep *poet.Replicator
+	if *follow != "" {
+		repOpts := []poet.ReplicaOption{
+			poet.WithReplicaLog(logf),
+			poet.WithReplicaHeartbeat(*heartbeat),
+		}
+		if *followBudget > 0 {
+			repOpts = append(repOpts, poet.WithReplicaReconnect(*followBudget))
+		}
+		rep, err = poet.FollowPrimary(*follow, collector, repOpts...)
+		if err != nil {
+			return fmt.Errorf("-follow: %w", err)
+		}
+		log.Printf("standby: replicating from %s (already applied %d events)", *follow, collector.IngestCount())
+		if *metrics != "" {
+			reg.GaugeFunc("poet_replica_lag_events", "Events the primary has ingested that this standby has not yet applied.", func() int64 {
+				return int64(rep.Stats().Lag)
+			})
+		}
+	}
+	// repDone yields the replicator's completion channel, or a nil
+	// channel (blocks forever) once following has ended.
+	following := rep
+	repDone := func() <-chan struct{} {
+		if following != nil {
+			return following.Done()
+		}
+		return nil
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
+	drain := false
+waitLoop:
+	for {
+		select {
+		case s := <-sig:
+			switch s {
+			case syscall.SIGUSR1:
+				if following != nil {
+					log.Printf("SIGUSR1: detaching from primary for manual promotion")
+					following.Stop()
+					continue // promotion completes via Done below
+				}
+				log.Printf("SIGUSR1 ignored: not a standby")
+				continue
+			case syscall.SIGTERM:
+				drain = true
+			}
+			break waitLoop
+		case <-repDone():
+			err := following.Err()
+			st := following.Stats()
+			following = nil
+			switch {
+			case err == nil, errors.Is(err, poet.ErrPrimaryDrained), errors.Is(err, poet.ErrStreamInterrupted):
+				reason := "manual stop"
+				if err != nil {
+					reason = err.Error()
+				}
+				server.Promote()
+				log.Printf("promoted (%s): %d events applied, %d replication reconnects", reason, st.Applied, st.Reconnects)
+			default:
+				return fmt.Errorf("replication from %s failed: %w", *follow, err)
+			}
+		}
+	}
+	if following != nil {
+		// Shutting down while still a standby: detach cleanly.
+		following.Stop()
+		<-following.Done()
+	}
 	log.Printf("shutting down: %d events delivered, %d pending",
 		collector.Delivered(), collector.Pending())
 	if ws := server.WireStats(); ws.StaleEvents > 0 || ws.TargetResumes > 0 || ws.MonitorResumes > 0 || ws.LoadSheds > 0 {
 		log.Printf("wire: %d stale retransmits absorbed, %d target resumes, %d monitor resumes, %d load sheds",
 			ws.StaleEvents, ws.TargetResumes, ws.MonitorResumes, ws.LoadSheds)
+	}
+	if ws := server.WireStats(); ws.ReplicaSessions > 0 || ws.ReplicaEvents > 0 {
+		log.Printf("replication: %d replica sessions served, %d events streamed, final lag %d",
+			ws.ReplicaSessions, ws.ReplicaEvents, ws.ReplicationLag)
 	}
 	if rs := collector.RetentionStats(); rs.Evicted > 0 {
 		log.Printf("retention: evicted %d delivered events (%d released from the store), %d retained",
@@ -282,7 +424,14 @@ func run() error {
 		log.Printf("  trace %-20s delivered=%d comm=%d buffered=%d",
 			ts.Name, ts.Delivered, ts.Comm, ts.Buffered)
 	}
-	if err := server.Close(); err != nil {
+	if drain {
+		// SIGTERM: orderly drain — reject new sessions, notify connected
+		// peers (pooled clients fail over at once), let targets flush and
+		// replicas catch up, then close with End frames.
+		if err := server.Drain(*drainWait); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	} else if err := server.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
 	if metricsSrv != nil {

@@ -1,0 +1,116 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBounds is the property test pinning the schedule's
+// contract: attempt n draws from [d/2, 3d/2) for d = min(base<<n, max),
+// so every delay is bounded, the schedule grows until the cap, and no
+// delay ever exceeds 1.5x the cap.
+func TestBackoffDelayBounds(t *testing.T) {
+	const trials = 200
+	base, max := 10*time.Millisecond, 160*time.Millisecond
+	for trial := 0; trial < trials; trial++ {
+		b := New(base, max)
+		for attempt := 0; attempt < 12; attempt++ {
+			want := base
+			for i := 0; i < attempt && want < max; i++ {
+				want *= 2
+			}
+			if want > max {
+				want = max
+			}
+			got := b.Next()
+			if got < want/2 || got >= want/2+want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, got, want/2, want/2+want)
+			}
+			if got >= max/2+max {
+				t.Fatalf("attempt %d: delay %v exceeds the jittered cap %v", attempt, got, max/2+max)
+			}
+		}
+	}
+}
+
+func TestBackoffResetRestartsSchedule(t *testing.T) {
+	b := New(10*time.Millisecond, time.Second)
+	for i := 0; i < 8; i++ {
+		b.Next()
+	}
+	if b.Attempt() != 8 {
+		t.Fatalf("attempt = %d, want 8", b.Attempt())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("attempt after reset = %d, want 0", b.Attempt())
+	}
+	// Post-reset the first delay is drawn from the base window again.
+	if d := b.Next(); d < 5*time.Millisecond || d >= 15*time.Millisecond {
+		t.Fatalf("post-reset delay %v outside the base window [5ms, 15ms)", d)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := New(0, 0)
+	if b.base != DefaultBase || b.max != DefaultBase {
+		t.Fatalf("New(0,0) = {base %v, max %v}; want base %v with max raised to base", b.base, b.max, DefaultBase)
+	}
+	b = New(time.Second, time.Millisecond)
+	if b.max != time.Second {
+		t.Fatalf("max below base not raised: max=%v", b.max)
+	}
+}
+
+func TestSleepElapses(t *testing.T) {
+	cancel := make(chan struct{})
+	start := time.Now()
+	if !Sleep(10*time.Millisecond, cancel) {
+		t.Fatal("Sleep reported cancellation without a cancel")
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= 10ms", elapsed)
+	}
+}
+
+func TestSleepCancelledPromptly(t *testing.T) {
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	if Sleep(30*time.Second, cancel) {
+		t.Fatal("Sleep reported a full elapse despite the cancel")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled Sleep took %v; the whole point is returning promptly", elapsed)
+	}
+}
+
+func TestSleepCancelledBeforeCall(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	if Sleep(30*time.Second, cancel) {
+		t.Fatal("Sleep ignored an already-closed cancel channel")
+	}
+	if !Sleep(0, nil) {
+		t.Fatal("zero-delay Sleep with nil cancel must elapse")
+	}
+}
+
+func TestResetTimerAbsorbsStaleTick(t *testing.T) {
+	tm := time.NewTimer(time.Nanosecond)
+	time.Sleep(5 * time.Millisecond) // let the tick land in the channel
+	ResetTimer(tm, 10*time.Millisecond)
+	select {
+	case <-tm.C:
+		t.Fatal("stale tick survived ResetTimer")
+	case <-time.After(2 * time.Millisecond):
+	}
+	select {
+	case <-tm.C: // the rearmed tick arrives
+	case <-time.After(time.Second):
+		t.Fatal("rearmed timer never fired")
+	}
+}

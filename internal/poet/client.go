@@ -10,7 +10,9 @@ import (
 	"sync"
 	"time"
 
+	"ocep/internal/backoff"
 	"ocep/internal/event"
+	"ocep/internal/pool"
 	"ocep/internal/vclock"
 )
 
@@ -150,6 +152,9 @@ type ReporterStats struct {
 	Retransmits int
 	// Reconnects counts successful re-establishments after a failure.
 	Reconnects int
+	// Failovers counts moves to a different endpoint in the pool
+	// (connection failures on the current endpoint and drain notices).
+	Failovers int
 }
 
 // Reporter is a target-side connection to a POET server: instrumented
@@ -167,7 +172,11 @@ type ReporterStats struct {
 //
 // Safe for concurrent use: Report only appends under an internal lock.
 type Reporter struct {
+	// addr is the full (possibly comma-separated) endpoint spec, for
+	// messages that speak about the service as a whole; eps tracks the
+	// individual endpoints and failover rotation.
 	addr string
+	eps  *pool.Pool
 	cfg  repCfg
 
 	mu   sync.Mutex
@@ -185,6 +194,8 @@ type Reporter struct {
 
 	// wake signals the sender (new events, new acks, close).
 	wake chan struct{}
+	// closeCh closes on Close, aborting any in-progress backoff sleep.
+	closeCh chan struct{}
 	// done closes when the sender goroutine exits.
 	done chan struct{}
 
@@ -194,36 +205,65 @@ type Reporter struct {
 	broken chan struct{}
 }
 
-// DialReporter connects to a POET server as a target. The initial dial
-// and handshake are synchronous (an unreachable server fails fast);
-// subsequent failures are handled by the background reconnect logic.
+// DialReporter connects to a POET server as a target. addr may name a
+// failover pool of servers as a comma-separated endpoint list
+// ("host1:6711,host2:6711"); the reporter connects to the first healthy
+// one and rotates to the next on connection failures and drain notices.
+// The initial dial and handshake are synchronous (an unreachable pool
+// fails fast after one round); subsequent failures are handled by the
+// background reconnect logic.
 func DialReporter(addr string, opts ...ReporterOption) (*Reporter, error) {
 	cfg := defaultRepCfg()
 	for _, o := range opts {
 		o(&cfg)
 	}
+	addrs := pool.ParseAddrs(addr)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("poet reporter: %w", pool.ErrNoEndpoints)
+	}
 	r := &Reporter{
-		addr: addr,
-		cfg:  cfg,
-		acks: make(map[string]int),
-		wake: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		addr:    addr,
+		eps:     pool.New(addrs, cfg.backoffBase, cfg.backoffMax),
+		cfg:     cfg,
+		acks:    make(map[string]int),
+		wake:    make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
-	conn, enc, broken, err := r.handshake()
-	if err != nil {
-		return nil, fmt.Errorf("poet reporter: %w", err)
+	// One synchronous round over the pool: a fully unreachable service
+	// fails fast, a partially degraded one lands on a healthy endpoint.
+	var (
+		conn   net.Conn
+		enc    *gob.Encoder
+		broken chan struct{}
+	)
+	for i := 0; ; i++ {
+		ep := r.eps.Pick()
+		var err error
+		conn, enc, broken, err = r.handshake(ep)
+		if err == nil {
+			r.eps.Success(ep)
+			break
+		}
+		if errors.Is(err, ErrSessionRejected) {
+			return nil, fmt.Errorf("poet reporter: %w", err)
+		}
+		r.eps.Fail(ep, err)
+		if i+1 >= r.eps.Size() {
+			return nil, fmt.Errorf("poet reporter: %w", r.eps.ErrorSummary())
+		}
 	}
 	r.conn, r.enc, r.broken = conn, enc, broken
 	go r.sender()
 	return r, nil
 }
 
-// handshake dials, sends the hello (naming the traces with unacked
-// events), reads the helloAck, and spawns the ack reader. Called from
-// DialReporter and, on the sender goroutine, from reconnect.
-func (r *Reporter) handshake() (net.Conn, *gob.Encoder, chan struct{}, error) {
-	conn, err := net.DialTimeout("tcp", r.addr, r.cfg.dialTimeout)
+// handshake dials one endpoint, sends the hello (naming the traces with
+// unacked events), reads the helloAck, and spawns the ack reader. Called
+// from DialReporter and, on the sender goroutine, from reconnect.
+func (r *Reporter) handshake(addr string) (net.Conn, *gob.Encoder, chan struct{}, error) {
+	conn, err := net.DialTimeout("tcp", addr, r.cfg.dialTimeout)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("dial: %w", err)
 	}
@@ -261,6 +301,12 @@ func (r *Reporter) handshake() (net.Conn, *gob.Encoder, chan struct{}, error) {
 	}
 	if !ack.OK {
 		_ = conn.Close()
+		if ack.Retry {
+			// A retriable refusal (standby awaiting promotion, draining
+			// server): treated like a dial failure so the pool rotates
+			// and the backoff schedule keeps probing.
+			return nil, nil, nil, fmt.Errorf("session deferred: %s", ack.Error)
+		}
 		return nil, nil, nil, fmt.Errorf("%w: %s", ErrSessionRejected, ack.Error)
 	}
 	r.mu.Lock()
@@ -274,7 +320,7 @@ func (r *Reporter) handshake() (net.Conn, *gob.Encoder, chan struct{}, error) {
 	r.sent = 0
 	r.mu.Unlock()
 	broken := make(chan struct{})
-	go r.reader(conn, dec, broken)
+	go r.reader(conn, addr, dec, broken)
 	return conn, enc, broken, nil
 }
 
@@ -282,14 +328,14 @@ func (r *Reporter) handshake() (net.Conn, *gob.Encoder, chan struct{}, error) {
 // sender (the only goroutine that mutates the buffer indices). Exits
 // when the connection dies; the peer timeout makes a silent server
 // indistinguishable from a dead one, on purpose.
-func (r *Reporter) reader(conn net.Conn, dec *gob.Decoder, broken chan struct{}) {
+func (r *Reporter) reader(conn net.Conn, addr string, dec *gob.Decoder, broken chan struct{}) {
 	defer close(broken)
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(r.cfg.peerTimeout))
 		var ack serverAck
 		if err := dec.Decode(&ack); err != nil {
 			if isTimeout(err) {
-				r.cfg.logf("poet reporter: no ack or heartbeat from %s in %v; reconnecting", r.addr, r.cfg.peerTimeout)
+				r.cfg.logf("poet reporter: no ack or heartbeat from %s in %v; reconnecting", addr, r.cfg.peerTimeout)
 			}
 			_ = conn.Close()
 			r.signal()
@@ -311,6 +357,21 @@ func (r *Reporter) reader(conn net.Conn, dec *gob.Decoder, broken chan struct{})
 		}
 		r.mu.Unlock()
 		r.signal()
+		if ack.Drain && r.eps.HealthyAlternative(addr) {
+			// The server is draining: move to a healthy peer now rather
+			// than riding the session to its forced end. The acks above
+			// were applied first, so the reconnect retransmits only what
+			// the draining server never ingested. With no alternative
+			// currently believed healthy (single endpoint, or every peer
+			// mid-failure-streak) the notice is ignored — the draining
+			// server keeps serving this session until its deadline, which
+			// beats spinning on dead endpoints.
+			r.cfg.logf("poet reporter: %s is draining; failing over", addr)
+			r.eps.Demote(addr)
+			_ = conn.Close()
+			r.signal()
+			return
+		}
 	}
 }
 
@@ -397,7 +458,7 @@ func (r *Reporter) sender() {
 				return
 			}
 			conn, enc, broken = c, e, b
-			resetTimer(hb, r.cfg.heartbeat)
+			backoff.ResetTimer(hb, r.cfg.heartbeat)
 			continue // re-prune with the handshake acks before sending
 		}
 		if pending {
@@ -405,7 +466,7 @@ func (r *Reporter) sender() {
 				disconnect()
 				continue
 			}
-			resetTimer(hb, r.cfg.heartbeat)
+			backoff.ResetTimer(hb, r.cfg.heartbeat)
 			continue
 		}
 		select {
@@ -445,15 +506,14 @@ func (r *Reporter) sendPending(conn net.Conn, enc *gob.Encoder) bool {
 	}
 }
 
-// reconnect redials with backoff until the budget is exhausted. Runs on
-// the sender goroutine.
+// reconnect redials with backoff — rotating through the endpoint pool,
+// sleeping only when a whole round has failed — until the budget is
+// exhausted. Runs on the sender goroutine.
 func (r *Reporter) reconnect() (net.Conn, *gob.Encoder, chan struct{}, error) {
 	if r.cfg.reconnectBudget <= 0 {
 		return nil, nil, nil, errors.New("reconnection disabled")
 	}
-	bo := newBackoff(r.cfg.backoffBase, r.cfg.backoffMax)
 	var slept time.Duration
-	var lastErr error
 	for {
 		r.mu.Lock()
 		closed, failed := r.closed, r.failed
@@ -461,8 +521,10 @@ func (r *Reporter) reconnect() (net.Conn, *gob.Encoder, chan struct{}, error) {
 		if closed || failed != nil {
 			return nil, nil, nil, ErrClientClosed
 		}
-		conn, enc, broken, err := r.handshake()
+		ep := r.eps.Pick()
+		conn, enc, broken, err := r.handshake(ep)
 		if err == nil {
+			r.eps.Success(ep)
 			r.mu.Lock()
 			r.stats.Reconnects++
 			retrans := 0
@@ -473,31 +535,24 @@ func (r *Reporter) reconnect() (net.Conn, *gob.Encoder, chan struct{}, error) {
 			}
 			r.stats.Retransmits += retrans
 			r.mu.Unlock()
-			r.cfg.logf("poet reporter: reconnected to %s (retransmitting %d unacked events)", r.addr, retrans)
+			r.cfg.logf("poet reporter: reconnected to %s (retransmitting %d unacked events)", ep, retrans)
 			return conn, enc, broken, nil
 		}
 		if errors.Is(err, ErrSessionRejected) {
+			// Terminal: the server understood the session and refused it
+			// for keeps. Another endpoint cannot make the refusal wrong,
+			// so it is not retried elsewhere.
 			return nil, nil, nil, err
 		}
-		lastErr = err
-		d := bo.next()
+		d := r.eps.Fail(ep, err)
 		if slept+d > r.cfg.reconnectBudget {
-			return nil, nil, nil, fmt.Errorf("reconnect budget %v exhausted: %w", r.cfg.reconnectBudget, lastErr)
+			return nil, nil, nil, fmt.Errorf("reconnect budget %v exhausted: %w", r.cfg.reconnectBudget, r.eps.ErrorSummary())
 		}
 		slept += d
-		time.Sleep(d)
-	}
-}
-
-// resetTimer safely rearms a timer whose channel may hold a stale tick.
-func resetTimer(t *time.Timer, d time.Duration) {
-	if !t.Stop() {
-		select {
-		case <-t.C:
-		default:
+		if !backoff.Sleep(d, r.closeCh) {
+			return nil, nil, nil, ErrClientClosed
 		}
 	}
-	t.Reset(d)
 }
 
 // Report buffers one raw event for transmission. It blocks only when the
@@ -547,8 +602,10 @@ func (r *Reporter) Flush() error {
 // Stats returns the reporter's cumulative wire counters.
 func (r *Reporter) Stats() ReporterStats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	s := r.stats
+	r.mu.Unlock()
+	s.Failovers = int(r.eps.Failovers())
+	return s
 }
 
 // Err returns the reporter's permanent failure, if any.
@@ -569,6 +626,7 @@ func (r *Reporter) Close() error {
 		return nil
 	}
 	r.closed = true
+	close(r.closeCh)
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	r.signal()
@@ -669,6 +727,9 @@ type MonitorClientStats struct {
 	Received int
 	// Reconnects counts successful session resumptions.
 	Reconnects int
+	// Failovers counts moves to a different endpoint in the pool
+	// (connection failures on the current endpoint and drain notices).
+	Failovers int
 	// DeltaNegotiated reports whether the current connection carries
 	// delta-encoded timestamps (the server confirmed the offer).
 	DeltaNegotiated bool
@@ -689,13 +750,19 @@ type MonitorClientStats struct {
 // Not safe for concurrent use, except Close, which may be called from
 // another goroutine to abort a blocked Next.
 type MonitorClient struct {
+	// addr is the full (possibly comma-separated) endpoint spec; eps
+	// tracks the individual endpoints and failover rotation.
 	addr  string
+	eps   *pool.Pool
 	cfg   monCfg
 	names map[event.TraceID]string
 
-	mu     sync.Mutex // guards conn swaps and closed, for cross-goroutine Close
-	conn   net.Conn
-	closed bool
+	mu      sync.Mutex // guards conn swaps and closed, for cross-goroutine Close
+	conn    net.Conn
+	curAddr string // endpoint the live connection is to
+	closed  bool
+	// closeCh closes on Close, aborting any in-progress backoff sleep.
+	closeCh chan struct{}
 
 	dec *gob.Decoder
 	// ddec reconstructs delta-encoded timestamps; nil on a dense
@@ -707,27 +774,52 @@ type MonitorClient struct {
 	stats    MonitorClientStats
 }
 
-// DialMonitor connects to a POET server as a monitor client.
+// DialMonitor connects to a POET server as a monitor client. addr may
+// name a failover pool of servers as a comma-separated endpoint list
+// ("host1:6711,host2:6711"); the client connects to the first healthy
+// one and rotates to the next on connection failures and drain notices,
+// resuming the stream at its exact offset so the observed sequence
+// stays gap-free and duplicate-free across the move.
 func DialMonitor(addr string, opts ...MonitorOption) (*MonitorClient, error) {
 	cfg := defaultMonCfg()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	m := &MonitorClient{
-		addr:  addr,
-		cfg:   cfg,
-		names: make(map[event.TraceID]string),
+	addrs := pool.ParseAddrs(addr)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("poet monitor: %w", pool.ErrNoEndpoints)
 	}
-	if err := m.connect(0); err != nil {
-		return nil, fmt.Errorf("poet monitor: %w", err)
+	m := &MonitorClient{
+		addr:    addr,
+		eps:     pool.New(addrs, cfg.backoffBase, cfg.backoffMax),
+		cfg:     cfg,
+		names:   make(map[event.TraceID]string),
+		closeCh: make(chan struct{}),
+	}
+	// One synchronous round over the pool: a fully unreachable service
+	// fails fast, a partially degraded one lands on a healthy endpoint.
+	for i := 0; ; i++ {
+		ep := m.eps.Pick()
+		err := m.connect(ep, 0)
+		if err == nil {
+			m.eps.Success(ep)
+			break
+		}
+		if errors.Is(err, ErrSessionRejected) {
+			return nil, fmt.Errorf("poet monitor: %w", err)
+		}
+		m.eps.Fail(ep, err)
+		if i+1 >= m.eps.Size() {
+			return nil, fmt.Errorf("poet monitor: %w", m.eps.ErrorSummary())
+		}
 	}
 	return m, nil
 }
 
-// connect dials and performs the hello/helloAck handshake, resuming from
-// the given linearization offset.
-func (m *MonitorClient) connect(resumeFrom int) error {
-	conn, err := net.DialTimeout("tcp", m.addr, m.cfg.dialTimeout)
+// connect dials one endpoint and performs the hello/helloAck handshake,
+// resuming from the given linearization offset.
+func (m *MonitorClient) connect(addr string, resumeFrom int) error {
+	conn, err := net.DialTimeout("tcp", addr, m.cfg.dialTimeout)
 	if err != nil {
 		return fmt.Errorf("dial: %w", err)
 	}
@@ -746,6 +838,12 @@ func (m *MonitorClient) connect(resumeFrom int) error {
 	}
 	if !ack.OK {
 		_ = conn.Close()
+		if ack.Retry {
+			// A retriable refusal (standby awaiting promotion, draining
+			// server): treated like a dial failure so the pool rotates
+			// and the backoff schedule keeps probing.
+			return fmt.Errorf("session deferred: %s", ack.Error)
+		}
 		return fmt.Errorf("%w: %s", ErrSessionRejected, ack.Error)
 	}
 	m.mu.Lock()
@@ -755,6 +853,7 @@ func (m *MonitorClient) connect(resumeFrom int) error {
 		return ErrClientClosed
 	}
 	m.conn = conn
+	m.curAddr = addr
 	m.mu.Unlock()
 	m.dec = dec
 	// A fresh decoder per connection: the delta baseline restarts at
@@ -781,7 +880,7 @@ func (m *MonitorClient) Next() (*event.Event, error) {
 	}
 	for {
 		m.mu.Lock()
-		conn, closed := m.conn, m.closed
+		conn, addr, closed := m.conn, m.curAddr, m.closed
 		m.mu.Unlock()
 		if closed {
 			return nil, io.EOF
@@ -793,7 +892,7 @@ func (m *MonitorClient) Next() (*event.Event, error) {
 				return nil, io.EOF
 			}
 			if isTimeout(err) {
-				m.cfg.logf("poet monitor: no frame from %s in %v; connection presumed dead", m.addr, m.cfg.readTimeout)
+				m.cfg.logf("poet monitor: no frame from %s in %v; connection presumed dead", addr, m.cfg.readTimeout)
 			}
 			_ = conn.Close()
 			if rerr := m.resume(err); rerr != nil {
@@ -806,6 +905,23 @@ func (m *MonitorClient) Next() (*event.Event, error) {
 			m.ended = true
 			return nil, io.EOF
 		case msg.Heartbeat:
+			continue
+		case msg.Drain:
+			// The server is draining. A pooled client moves to a healthy
+			// peer, resuming at its exact offset so the stream stays
+			// gap-free and duplicate-free across the move. With no
+			// alternative currently believed healthy (single endpoint, or
+			// every peer mid-failure-streak) it rides the session until
+			// the server's End frame instead of abandoning a live stream
+			// for dead endpoints.
+			if m.eps.HealthyAlternative(addr) {
+				m.cfg.logf("poet monitor: %s is draining; failing over at offset %d", addr, m.received)
+				m.eps.Demote(addr)
+				_ = conn.Close()
+				if rerr := m.resume(errors.New("server draining")); rerr != nil {
+					return nil, rerr
+				}
+			}
 			continue
 		case msg.Trace != nil:
 			m.names[event.TraceID(msg.Trace.ID)] = msg.Trace.Name
@@ -845,37 +961,46 @@ func (m *MonitorClient) eventFromWire(w *wireEvent) (*event.Event, error) {
 	return e, nil
 }
 
-// resume redials with backoff and resumes the session at the current
-// offset. cause is the transport error that killed the connection.
+// resume redials with backoff — rotating through the endpoint pool,
+// sleeping only when a whole round has failed — and resumes the session
+// at the current offset. cause is the transport error that killed the
+// connection.
 func (m *MonitorClient) resume(cause error) error {
 	interrupted := fmt.Errorf("poet monitor: %w after %d events (cause: %v)", ErrStreamInterrupted, m.received, cause)
 	if m.cfg.reconnectBudget <= 0 {
 		return interrupted
 	}
-	bo := newBackoff(m.cfg.backoffBase, m.cfg.backoffMax)
 	var slept time.Duration
 	for {
 		if m.isClosed() {
 			return io.EOF
 		}
-		err := m.connect(m.received)
+		ep := m.eps.Pick()
+		err := m.connect(ep, m.received)
 		if err == nil {
+			m.eps.Success(ep)
 			m.stats.Reconnects++
-			m.cfg.logf("poet monitor: resumed session with %s at offset %d", m.addr, m.received)
+			m.cfg.logf("poet monitor: resumed session with %s at offset %d", ep, m.received)
 			return nil
 		}
 		if errors.Is(err, ErrClientClosed) {
 			return io.EOF
 		}
 		if errors.Is(err, ErrSessionRejected) {
+			// Terminal: the offset this client remembers is beyond what
+			// the server (or a promoted standby) can replay. Another
+			// endpoint cannot make the refusal wrong, so it is not
+			// retried elsewhere.
 			return fmt.Errorf("%w: %w", interrupted, err)
 		}
-		d := bo.next()
+		d := m.eps.Fail(ep, err)
 		if slept+d > m.cfg.reconnectBudget {
-			return fmt.Errorf("%w; reconnect budget %v exhausted: %v", interrupted, m.cfg.reconnectBudget, err)
+			return fmt.Errorf("%w; reconnect budget %v exhausted: %w", interrupted, m.cfg.reconnectBudget, m.eps.ErrorSummary())
 		}
 		slept += d
-		time.Sleep(d)
+		if !backoff.Sleep(d, m.closeCh) {
+			return io.EOF
+		}
 	}
 }
 
@@ -901,12 +1026,22 @@ func (m *MonitorClient) Traces() []event.TraceID {
 }
 
 // Stats returns the client's cumulative wire counters.
-func (m *MonitorClient) Stats() MonitorClientStats { return m.stats }
+func (m *MonitorClient) Stats() MonitorClientStats {
+	s := m.stats
+	s.Failovers = int(m.eps.Failovers())
+	return s
+}
 
-// Close closes the connection and stops any in-flight reconnection.
+// Close closes the connection and stops any in-flight reconnection,
+// including one parked in a backoff sleep.
 func (m *MonitorClient) Close() error {
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
 	m.closed = true
+	close(m.closeCh)
 	conn := m.conn
 	m.mu.Unlock()
 	if conn != nil {

@@ -120,6 +120,18 @@ type Collector struct {
 	// durable.go). Appends happen under mu so WAL order equals ingestion
 	// order; the durability barrier (fsync) runs after mu is released.
 	durable *Durability
+	// ingests counts successfully ingested events (delivered + buffered
+	// pending): the event-record position replication offsets are
+	// expressed in.
+	ingests int
+	// repl, when non-nil, captures the ingestion-ordered record stream
+	// for warm-standby replica sessions and tracks their confirmations
+	// (see replication.go). Appends happen under mu, mirroring the WAL.
+	repl *replState
+	// replAckWait bounds how long acksFor waits for an attached replica
+	// to confirm the current ingest position before withholding the ack
+	// for one interval (reporters simply retry).
+	replAckWait time.Duration
 	// tel holds the collector's telemetry instruments. All fields are
 	// nil until InstrumentMetrics attaches a registry; every write is a
 	// nil-safe no-op, so the uninstrumented hot path pays only nil
@@ -246,6 +258,9 @@ func (c *Collector) SetRetention(keepEvents int) error {
 	}
 	if c.durable != nil {
 		return errors.New("poet: retention is incompatible with a durable collector (snapshots need the full delivered log)")
+	}
+	if c.repl != nil {
+		return errors.New("poet: retention is incompatible with the replication log (a replica resume needs the full record stream)")
 	}
 	c.retain = keepEvents
 	// Drop already-matched sends from the map so it holds only open
@@ -453,6 +468,12 @@ func (c *Collector) RegisterTrace(name string) event.TraceID {
 		seq = d.appendTraceLocked(name)
 		c.tel.walTraceRecs.Inc()
 	}
+	if !known && c.repl != nil {
+		// Same ordering requirement as the WAL trace record: replicas
+		// must register this trace at the same point of the record
+		// stream, or their trace numbering would diverge.
+		c.repl.appendLocked(repRecord{Trace: name})
+	}
 	c.mu.Unlock()
 	if seq >= 0 {
 		_ = d.commit(seq)
@@ -559,7 +580,12 @@ func (c *Collector) ackForLocked(name string) int {
 // taken together with the WAL position it depends on, and the ack is
 // released only once that position is durable under the configured
 // policy — under `-fsync always` a reporter therefore never prunes an
-// event a crash could lose.
+// event a crash could lose. When a replica session is attached, the ack
+// is likewise released only once the replica has confirmed the ingest
+// position the snapshot depends on, so a promoted standby always holds
+// every event a reporter was told to prune; if the replica lags past
+// replAckWait, the ack is withheld for this interval (the empty frame
+// still heartbeats the reporter) and retried on the next tick.
 func (c *Collector) acksFor(names []string) []traceAck {
 	if len(names) == 0 {
 		return nil
@@ -574,6 +600,10 @@ func (c *Collector) acksFor(names []string) []traceAck {
 	if d != nil {
 		walSeq = d.appendedLocked()
 	}
+	replPos := -1
+	if c.repl != nil && len(c.repl.confirmed) > 0 {
+		replPos = c.ingests
+	}
 	c.mu.Unlock()
 	if d != nil {
 		if err := d.waitDurable(walSeq); err != nil {
@@ -583,7 +613,30 @@ func (c *Collector) acksFor(names []string) []traceAck {
 			return nil
 		}
 	}
+	if replPos >= 0 && !c.replWait(replPos, c.replAckWaitLocked()) {
+		return nil
+	}
 	return out
+}
+
+func (c *Collector) replAckWaitLocked() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replAckWait > 0 {
+		return c.replAckWait
+	}
+	return defaultReplAckWait
+}
+
+// IngestCount returns the number of events successfully ingested
+// (delivered plus buffered pending): the position replication offsets
+// are expressed in. After a durable recovery it equals the number of
+// event records replayed, which is why a recovered standby can name its
+// exact resume point.
+func (c *Collector) IngestCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ingests
 }
 
 // Pending returns the number of buffered, not-yet-deliverable raw events.
@@ -646,6 +699,13 @@ func (c *Collector) Report(raw RawEvent) error {
 	err := c.reportLocked(raw)
 	switch {
 	case err == nil:
+		c.ingests++
+		if c.repl != nil {
+			// Record order must equal ingestion order, exactly like the
+			// WAL: a replica applying this stream rebuilds the identical
+			// collector, which is what makes failover exact.
+			c.repl.appendLocked(repRecord{Event: raw})
+		}
 		c.tel.ingested.Inc()
 		c.maybeTrimLocked()
 	case errors.Is(err, ErrStaleEvent):

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ocep/internal/backoff"
 	"ocep/internal/event"
 	"ocep/internal/telemetry"
 )
@@ -42,16 +43,30 @@ type Server struct {
 	// their queues, send the End frame, and exit before connections are
 	// torn down, so a graceful shutdown is distinguishable from a crash.
 	closing chan struct{}
+	// drainCh is closed at the start of Drain: handlers push a drain
+	// notice to their peers so pooled clients fail over immediately,
+	// while sessions keep running until Close.
+	drainCh   chan struct{}
+	drainFlag atomic.Bool
+	// standby gates an unpromoted warm standby: sessions are rejected
+	// with a retriable ack until Promote (see replication.go).
+	standby atomic.Bool
+	// targetConnCount tracks live target sessions, so Drain can tell
+	// when the reporters have flushed and left.
+	targetConnCount atomic.Int64
 
-	stale          atomic.Int64
-	acksSent       atomic.Int64
-	heartbeats     atomic.Int64
-	targetResumes  atomic.Int64
-	monitorResumes atomic.Int64
-	loadSheds      atomic.Int64
-	monitorBytes   atomic.Int64
-	vcEntriesSent  atomic.Int64
-	deltaSessions  atomic.Int64
+	stale           atomic.Int64
+	acksSent        atomic.Int64
+	heartbeats      atomic.Int64
+	targetResumes   atomic.Int64
+	monitorResumes  atomic.Int64
+	loadSheds       atomic.Int64
+	monitorBytes    atomic.Int64
+	vcEntriesSent   atomic.Int64
+	deltaSessions   atomic.Int64
+	replicaSessions atomic.Int64
+	replicaEvents   atomic.Int64
+	drains          atomic.Int64
 	// sheddingConns counts target handlers currently parked in the
 	// overload retry loop; nonzero means the server is shedding load
 	// (see Shedding, which readiness probes consult).
@@ -170,25 +185,38 @@ type WireStats struct {
 	// by startup recovery (0 for a non-durable or cleanly started
 	// server). See RecoveryStats.DiscardedRecords.
 	RecoveryDiscarded int
+	// ReplicaSessions counts accepted replica (warm-standby) sessions.
+	ReplicaSessions int
+	// ReplicaEvents counts event records streamed to replica sessions.
+	ReplicaEvents int
+	// ReplicationLag is the current number of ingested events not yet
+	// confirmed by every attached replica (0 with none attached).
+	ReplicationLag int
+	// Drains counts Drain invocations (0 or 1 in practice: draining is
+	// terminal).
+	Drains int
 }
 
 // serverMetrics are the wire layer's instruments. All fields are nil
 // until InstrumentMetrics; writes are nil-safe no-ops.
 type serverMetrics struct {
-	targetConns  *telemetry.Counter
-	monitorConns *telemetry.Counter
-	targetEvents *telemetry.Counter
-	acksSent     *telemetry.Counter
-	heartbeats   *telemetry.Counter
-	stale        *telemetry.Counter
-	targetRes    *telemetry.Counter
-	monitorRes   *telemetry.Counter
-	peerTimeouts *telemetry.Counter
-	monOverflows *telemetry.Counter
-	loadSheds    *telemetry.Counter
-	monitorBytes *telemetry.Counter
-	vcEntries    *telemetry.Counter
-	deltaSess    *telemetry.Counter
+	targetConns   *telemetry.Counter
+	monitorConns  *telemetry.Counter
+	targetEvents  *telemetry.Counter
+	acksSent      *telemetry.Counter
+	heartbeats    *telemetry.Counter
+	stale         *telemetry.Counter
+	targetRes     *telemetry.Counter
+	monitorRes    *telemetry.Counter
+	peerTimeouts  *telemetry.Counter
+	monOverflows  *telemetry.Counter
+	loadSheds     *telemetry.Counter
+	monitorBytes  *telemetry.Counter
+	vcEntries     *telemetry.Counter
+	deltaSess     *telemetry.Counter
+	replicaConns  *telemetry.Counter
+	replicaEvents *telemetry.Counter
+	drains        *telemetry.Counter
 }
 
 // InstrumentMetrics registers the server's wire metrics with reg. Call
@@ -200,38 +228,54 @@ func (s *Server) InstrumentMetrics(reg *telemetry.Registry) {
 		return
 	}
 	s.tel = serverMetrics{
-		targetConns:  reg.Counter("poet_wire_target_conns_total", "Accepted target (reporter) connections."),
-		monitorConns: reg.Counter("poet_wire_monitor_conns_total", "Accepted monitor connections."),
-		targetEvents: reg.Counter("poet_wire_target_events_total", "Event frames received from targets (before ingestion; includes stale retransmits)."),
-		acksSent:     reg.Counter("poet_wire_acks_sent_total", "serverAck frames sent to targets."),
-		heartbeats:   reg.Counter("poet_wire_heartbeats_sent_total", "Idle keep-alive frames sent to monitors."),
-		stale:        reg.Counter("poet_wire_stale_retransmits_total", "Retransmitted events absorbed as idempotent no-ops."),
-		targetRes:    reg.Counter("poet_wire_target_resumes_total", "Target hellos that named resumed traces."),
-		monitorRes:   reg.Counter("poet_wire_monitor_resumes_total", "Monitor hellos with a nonzero resume offset."),
-		peerTimeouts: reg.Counter("poet_wire_peer_timeouts_total", "Target connections declared dead after peer-timeout silence."),
-		monOverflows: reg.Counter("poet_wire_monitor_overflow_disconnects_total", "Monitors disconnected for overflowing their delivery queue."),
-		loadSheds:    reg.Counter("poet_wire_load_sheds_total", "Events shed back onto reporter buffers after an ErrOverloaded refusal."),
-		monitorBytes: reg.Counter("poet_wire_monitor_bytes_total", "Bytes written to monitor connections (events, announcements, heartbeats, handshakes)."),
-		vcEntries:    reg.Counter("poet_wire_vc_entries_total", "Vector-timestamp entries sent to monitors (full vectors on dense connections, changed entries on delta connections)."),
-		deltaSess:    reg.Counter("poet_wire_delta_sessions_total", "Monitor sessions that negotiated delta-encoded timestamps."),
+		targetConns:   reg.Counter("poet_wire_target_conns_total", "Accepted target (reporter) connections."),
+		monitorConns:  reg.Counter("poet_wire_monitor_conns_total", "Accepted monitor connections."),
+		targetEvents:  reg.Counter("poet_wire_target_events_total", "Event frames received from targets (before ingestion; includes stale retransmits)."),
+		acksSent:      reg.Counter("poet_wire_acks_sent_total", "serverAck frames sent to targets."),
+		heartbeats:    reg.Counter("poet_wire_heartbeats_sent_total", "Idle keep-alive frames sent to monitors."),
+		stale:         reg.Counter("poet_wire_stale_retransmits_total", "Retransmitted events absorbed as idempotent no-ops."),
+		targetRes:     reg.Counter("poet_wire_target_resumes_total", "Target hellos that named resumed traces."),
+		monitorRes:    reg.Counter("poet_wire_monitor_resumes_total", "Monitor hellos with a nonzero resume offset."),
+		peerTimeouts:  reg.Counter("poet_wire_peer_timeouts_total", "Target connections declared dead after peer-timeout silence."),
+		monOverflows:  reg.Counter("poet_wire_monitor_overflow_disconnects_total", "Monitors disconnected for overflowing their delivery queue."),
+		loadSheds:     reg.Counter("poet_wire_load_sheds_total", "Events shed back onto reporter buffers after an ErrOverloaded refusal."),
+		monitorBytes:  reg.Counter("poet_wire_monitor_bytes_total", "Bytes written to monitor connections (events, announcements, heartbeats, handshakes)."),
+		vcEntries:     reg.Counter("poet_wire_vc_entries_total", "Vector-timestamp entries sent to monitors (full vectors on dense connections, changed entries on delta connections)."),
+		deltaSess:     reg.Counter("poet_wire_delta_sessions_total", "Monitor sessions that negotiated delta-encoded timestamps."),
+		replicaConns:  reg.Counter("poet_wire_replica_sessions_total", "Accepted replica (warm-standby) sessions."),
+		replicaEvents: reg.Counter("poet_wire_replica_events_total", "Event records streamed to replica sessions."),
+		drains:        reg.Counter("poet_wire_drains_total", "Drain invocations (orderly shutdowns announced to peers)."),
 	}
 	reg.GaugeFunc("poet_wire_shedding_connections", "Target connections currently parked in the overload retry loop.", func() int64 {
 		return s.sheddingConns.Load()
+	})
+	reg.GaugeFunc("poet_wire_replication_lag_events", "Ingested events not yet confirmed by every attached replica session (0 with none attached).", func() int64 {
+		return int64(s.collector.ReplicationStats().Lag)
+	})
+	reg.GaugeFunc("poet_wire_draining", "1 while the server is draining, 0 otherwise.", func() int64 {
+		if s.Draining() {
+			return 1
+		}
+		return 0
 	})
 }
 
 // WireStats returns the server's cumulative wire counters.
 func (s *Server) WireStats() WireStats {
 	st := WireStats{
-		StaleEvents:    int(s.stale.Load()),
-		AcksSent:       int(s.acksSent.Load()),
-		Heartbeats:     int(s.heartbeats.Load()),
-		TargetResumes:  int(s.targetResumes.Load()),
-		MonitorResumes: int(s.monitorResumes.Load()),
-		LoadSheds:      int(s.loadSheds.Load()),
-		MonitorBytes:   int(s.monitorBytes.Load()),
-		VCEntriesSent:  int(s.vcEntriesSent.Load()),
-		DeltaSessions:  int(s.deltaSessions.Load()),
+		StaleEvents:     int(s.stale.Load()),
+		AcksSent:        int(s.acksSent.Load()),
+		Heartbeats:      int(s.heartbeats.Load()),
+		TargetResumes:   int(s.targetResumes.Load()),
+		MonitorResumes:  int(s.monitorResumes.Load()),
+		LoadSheds:       int(s.loadSheds.Load()),
+		MonitorBytes:    int(s.monitorBytes.Load()),
+		VCEntriesSent:   int(s.vcEntriesSent.Load()),
+		DeltaSessions:   int(s.deltaSessions.Load()),
+		ReplicaSessions: int(s.replicaSessions.Load()),
+		ReplicaEvents:   int(s.replicaEvents.Load()),
+		ReplicationLag:  s.collector.ReplicationStats().Lag,
+		Drains:          int(s.drains.Load()),
 	}
 	if d := s.collector.Durable(); d != nil {
 		st.RecoveryDiscarded = int(d.Recovery().DiscardedRecords)
@@ -257,6 +301,7 @@ func NewServer(c *Collector, logf func(format string, args ...any)) *Server {
 		overloadWait: DefaultOverloadWait,
 		writeTimeout: defaultWriteTimeout,
 		closing:      make(chan struct{}),
+		drainCh:      make(chan struct{}),
 	}
 }
 
@@ -379,11 +424,31 @@ func (s *Server) handle(conn net.Conn) error {
 		}
 		return fmt.Errorf("bad magic %q", h.Magic)
 	}
+	// An unpromoted standby or a draining server takes no new sessions;
+	// the rejection is marked retriable so endpoint pools rotate to the
+	// live peer (or keep probing until promotion) instead of treating it
+	// as terminal. Query sessions pass: read-only state stays readable.
+	if h.Role == roleTarget || h.Role == roleMonitor || h.Role == roleReplica {
+		reason := ""
+		if s.Draining() {
+			reason = "server is draining; no new sessions"
+		} else if s.standby.Load() {
+			reason = "standby awaiting promotion; not serving yet"
+		}
+		if reason != "" {
+			enc := gob.NewEncoder(conn)
+			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+			_ = enc.Encode(&helloAck{Error: reason, Retry: true})
+			return fmt.Errorf("rejected %s session: %s", h.Role, reason)
+		}
+	}
 	switch h.Role {
 	case roleTarget:
 		return s.handleTarget(conn, dec, h)
 	case roleMonitor:
 		return s.handleMonitor(conn, h)
+	case roleReplica:
+		return s.handleReplica(conn, dec, h)
 	case roleQuery:
 		return s.handleQuery(conn, dec)
 	default:
@@ -401,6 +466,8 @@ func (s *Server) handle(conn net.Conn) error {
 // retransmitting the poison event.
 func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 	s.tel.targetConns.Inc()
+	s.targetConnCount.Add(1)
+	defer s.targetConnCount.Add(-1)
 	enc := gob.NewEncoder(conn)
 	var encMu sync.Mutex
 	writeAck := func(ack *serverAck) error {
@@ -445,10 +512,23 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 	go func() {
 		t := time.NewTicker(s.ackInterval)
 		defer t.Stop()
+		drain := s.drainCh
 		for {
 			select {
 			case <-stop:
 				return
+			case <-drain:
+				// Orderly shutdown: tell the reporter now, with the
+				// current acks, so a pooled client peels off immediately
+				// instead of waiting for the connection to die. Acks keep
+				// flowing below while single-endpoint reporters flush.
+				drain = nil
+				if err := writeAck(&serverAck{Drain: true, Acks: s.collector.acksFor(names())}); err != nil {
+					_ = conn.Close()
+					return
+				}
+				s.acksSent.Add(1)
+				s.tel.acksSent.Inc()
 			case <-t.C:
 				if err := writeAck(&serverAck{Acks: s.collector.acksFor(names())}); err != nil {
 					_ = conn.Close() // unblock the decode loop
@@ -496,22 +576,15 @@ func (s *Server) handleTarget(conn net.Conn, dec *gob.Decoder, h hello) error {
 			s.tel.loadSheds.Inc()
 			s.sheddingConns.Add(1)
 			deadline := time.Now().Add(s.overloadWait)
-			// One timer reused across polls: a long park re-arms it each
-			// iteration instead of allocating a fresh time.After channel
-			// per poll.
-			poll := time.NewTimer(overloadPoll)
 			for errors.Is(err, ErrOverloaded) && time.Now().Before(deadline) {
-				select {
-				case <-s.closing:
-					poll.Stop()
+				// The interruptible sleep doubles as the shutdown check: a
+				// park must never outlive Close.
+				if !backoff.Sleep(overloadPoll, s.closing) {
 					s.sheddingConns.Add(-1)
 					return nil
-				case <-poll.C:
-					poll.Reset(overloadPoll)
 				}
 				err = s.collector.Report(raw)
 			}
-			poll.Stop()
 			s.sheddingConns.Add(-1)
 			if errors.Is(err, ErrOverloaded) {
 				// The backlog never drained: a causal predecessor is likely
@@ -673,6 +746,11 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 				return
 			}
 		}
+		// Replication barrier: never put an event on a monitor wire
+		// before an attached replica has it, or a failover would leave
+		// this monitor's resume offset ahead of the promoted standby's
+		// stream. Lifts the moment no replica is attached.
+		s.collector.replBarrier()
 		for i := range pending {
 			if err := writeMsg(&wireMsg{Trace: &pending[i]}); err != nil {
 				fail(fmt.Errorf("encoding to monitor: %w", err))
@@ -749,29 +827,40 @@ func (s *Server) handleMonitor(conn net.Conn, h hello) error {
 		close(done)
 	}()
 
-	select {
-	case err := <-errc:
-		return err
-	case <-done:
-		// Prefer a recorded failure over the close it provoked.
+	drain := s.drainCh
+	for {
 		select {
 		case err := <-errc:
 			return err
-		default:
+		case <-done:
+			// Prefer a recorded failure over the close it provoked.
+			select {
+			case err := <-errc:
+				return err
+			default:
+				return nil
+			}
+		case <-drain:
+			// Advise the client to move to a healthy peer. Pooled
+			// monitors fail over on the notice; single-endpoint clients
+			// ignore it, so keep serving until End/close.
+			drain = nil
+			if err := writeMsg(&wireMsg{Drain: true}); err != nil {
+				return fmt.Errorf("drain frame: %w", err)
+			}
+		case <-s.closing:
+			// Graceful shutdown: drain the queue (Cancel flushes the handler)
+			// and mark the clean end of stream.
+			sub.Cancel()
+			select {
+			case err := <-errc:
+				return err
+			default:
+			}
+			if err := writeMsg(&wireMsg{End: true}); err != nil {
+				return fmt.Errorf("end frame: %w", err)
+			}
 			return nil
 		}
-	case <-s.closing:
-		// Graceful shutdown: drain the queue (Cancel flushes the handler)
-		// and mark the clean end of stream.
-		sub.Cancel()
-		select {
-		case err := <-errc:
-			return err
-		default:
-		}
-		if err := writeMsg(&wireMsg{End: true}); err != nil {
-			return fmt.Errorf("end frame: %w", err)
-		}
-		return nil
 	}
 }

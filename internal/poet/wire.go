@@ -39,6 +39,10 @@ import (
 const (
 	roleTarget  = "target"
 	roleMonitor = "monitor"
+	// roleReplica is a warm-standby collector tailing this server's
+	// ingestion-ordered record stream (events plus explicit trace
+	// registrations) to keep an identical collector one failover away.
+	roleReplica = "replica"
 )
 
 type hello struct {
@@ -56,6 +60,12 @@ type hello struct {
 	// connection on dense clocks. gob ignores unknown fields, so v2
 	// peers that predate the flag negotiate dense without a magic bump.
 	DeltaVC bool
+	// ReplicaFrom (replica role) is the number of event records the
+	// replica has already applied; the server replays the record stream
+	// from just past that point (trace records in the skipped prefix
+	// were applied strictly in order, so they need no replay). Like
+	// DeltaVC, it is a new-in-struct field: no magic bump.
+	ReplicaFrom int
 }
 
 const wireMagic = "OCEP-POET-2"
@@ -75,6 +85,12 @@ type helloAck struct {
 	// session. False from a server that predates the flag (gob zeroes
 	// missing fields), so the client falls back to dense.
 	DeltaVC bool
+	// Retry marks a rejection as retriable: the server is a standby
+	// awaiting promotion or is draining, so the same hello may succeed
+	// later (or at another endpoint of the pool). Terminal rejections —
+	// a resume offset the collector cannot honor — leave it false, and
+	// clients surface those instead of rotating endpoints past them.
+	Retry bool
 }
 
 // traceAck is the highest seq s such that events 1..s of the trace have
@@ -99,9 +115,16 @@ type targetMsg struct {
 type serverAck struct {
 	Acks []traceAck
 	Err  string
+	// Drain announces an orderly shutdown: the server keeps acking what
+	// it has but wants no new sessions. A reporter with alternative
+	// endpoints fails over immediately instead of waiting for the
+	// connection to die; a single-endpoint reporter ignores the notice.
+	Drain bool
 }
 
-// wireMsg is one server-to-monitor message: exactly one field is set.
+// wireMsg is one server-to-monitor (and server-to-replica) message:
+// exactly one of Trace/Event/Raw/Heartbeat/End/Drain is set (Head rides
+// along on replica frames).
 type wireMsg struct {
 	Trace *wireTrace
 	Event *wireEvent
@@ -111,6 +134,26 @@ type wireMsg struct {
 	// End frame, a broken connection is an interruption, never a clean
 	// EOF.
 	End bool
+	// Raw is one ingestion-ordered event record on a replica session
+	// (monitor sessions carry delivered events as Event instead).
+	Raw *RawEvent
+	// Drain announces an orderly shutdown ahead of the End frame.
+	// Pooled monitors fail over immediately; a replica treats it as the
+	// primary's clean handoff and promotes.
+	Drain bool
+	// Head, on replica-session frames, is the server's current ingest
+	// count (event records), letting the replica compute its lag even
+	// while the stream is idle.
+	Head int
+}
+
+// replicaAck is one replica-to-server frame: the number of event
+// records the replica has durably applied (a bare heartbeat when
+// nothing advanced). The server's replication barrier releases reporter
+// acks and monitor sends only up to the confirmed position.
+type replicaAck struct {
+	Applied   int
+	Heartbeat bool
 }
 
 // wireTrace announces a trace's ID and name before its first event.

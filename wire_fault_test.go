@@ -77,6 +77,14 @@ func waitCounter(t *testing.T, what string, c *ocep.MetricCounter, target int64)
 // collector with a synchronously attached monitor — no wire, no faults.
 func runCleanBaseline(t *testing.T, patternSrc string, events []ocep.RawEvent) (matchSigs, covSigs []string) {
 	t.Helper()
+	matchSigs, covSigs, _ = runCleanBaselineStats(t, patternSrc, events)
+	return matchSigs, covSigs
+}
+
+// runCleanBaselineStats is runCleanBaseline plus the baseline matcher's
+// final Stats, for differentials that also compare search accounting.
+func runCleanBaselineStats(t *testing.T, patternSrc string, events []ocep.RawEvent) (matchSigs, covSigs []string, stats ocep.MatcherStats) {
+	t.Helper()
 	reg := ocep.NewRegistry()
 	collector := ocep.NewCollector()
 	collector.InstrumentMetrics(reg)
@@ -103,7 +111,7 @@ func runCleanBaseline(t *testing.T, patternSrc string, events []ocep.RawEvent) (
 		t.Fatalf("clean monitor: %v", err)
 	}
 	name := collector.Store().TraceName
-	return matchSignatures(matches, name), coverageSignatures(mon.Coverage(), name)
+	return matchSignatures(matches, name), coverageSignatures(mon.Coverage(), name), mon.Stats()
 }
 
 // runFaultyWire replays the same sequence over TCP with both sessions
