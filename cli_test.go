@@ -2,51 +2,19 @@ package ocep_test
 
 import (
 	"bufio"
-	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"ocep"
+	"ocep/internal/proctest"
 )
 
-// buildTool compiles one cmd/ binary into a shared temp dir (once per
-// test run) and returns its path.
-func buildTool(t *testing.T, name string) string {
-	t.Helper()
-	dir := sharedBinDir(t)
-	bin := filepath.Join(dir, name)
-	if _, err := os.Stat(bin); err == nil {
-		return bin
-	}
-	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
-	cmd.Dir = "."
-	if out, err := cmd.CombinedOutput(); err != nil {
-		t.Fatalf("building %s: %v\n%s", name, err, out)
-	}
-	return bin
-}
-
-var binDir string
-
-func sharedBinDir(t *testing.T) string {
-	t.Helper()
-	if binDir == "" {
-		dir, err := os.MkdirTemp("", "ocep-bin-")
-		if err != nil {
-			t.Fatal(err)
-		}
-		binDir = dir
-	}
-	return binDir
-}
-
 func TestPatterncCLI(t *testing.T) {
-	bin := buildTool(t, "patternc")
+	bin := proctest.BuildTool(t, "patternc")
 
 	t.Run("file", func(t *testing.T) {
 		pat := filepath.Join(t.TempDir(), "p.pat")
@@ -100,43 +68,13 @@ func TestPatterncCLI(t *testing.T) {
 	})
 }
 
-// syncBuffer is a mutex-guarded output buffer safe to poll while an
-// exec.Cmd writes into it.
-type syncBuffer struct {
-	mu  sync.Mutex
-	buf strings.Builder
-}
-
-func (b *syncBuffer) Write(p []byte) (int, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.buf.Write(p)
-}
-
-func (b *syncBuffer) String() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.buf.String()
-}
-
-func freePort(t *testing.T) string {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-	_ = ln.Close()
-	return addr
-}
-
 func TestPoetdAndOcepmonCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping process-spawning test")
 	}
-	poetd := buildTool(t, "poetd")
-	ocepmon := buildTool(t, "ocepmon")
-	addr := freePort(t)
+	poetd := proctest.BuildTool(t, "poetd")
+	ocepmon := proctest.BuildTool(t, "ocepmon")
+	addr := proctest.FreePort(t)
 	dumpFile := filepath.Join(t.TempDir(), "run.poet")
 
 	// Start the daemon.
@@ -180,7 +118,7 @@ func TestPoetdAndOcepmonCLI(t *testing.T) {
 		t.Fatal(err)
 	}
 	mon := exec.Command(ocepmon, "-addr", addr, "-pattern", pat, "-stats")
-	monOut := &syncBuffer{}
+	monOut := &proctest.SyncBuffer{}
 	mon.Stdout = monOut
 	mon.Stderr = monOut
 	if err := mon.Start(); err != nil {
@@ -246,10 +184,10 @@ func TestFullPipelineCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping process-spawning test")
 	}
-	poetd := buildTool(t, "poetd")
-	ocepmon := buildTool(t, "ocepmon")
-	ocepgen := buildTool(t, "ocepgen")
-	addr := freePort(t)
+	poetd := proctest.BuildTool(t, "poetd")
+	ocepmon := proctest.BuildTool(t, "ocepmon")
+	ocepgen := proctest.BuildTool(t, "ocepgen")
+	addr := proctest.FreePort(t)
 
 	daemon := exec.Command(poetd, "-listen", addr, "-quiet")
 	daemonOut, err := daemon.StderrPipe()
@@ -275,7 +213,7 @@ func TestFullPipelineCLI(t *testing.T) {
 	}()
 
 	mon := exec.Command(ocepmon, "-addr", addr, "-builtin", "ordering", "-stats")
-	monOut := &syncBuffer{}
+	monOut := &proctest.SyncBuffer{}
 	mon.Stdout = monOut
 	mon.Stderr = monOut
 	if err := mon.Start(); err != nil {
@@ -314,7 +252,7 @@ func TestFullPipelineCLI(t *testing.T) {
 }
 
 func TestOcepbenchCLI(t *testing.T) {
-	bench := buildTool(t, "ocepbench")
+	bench := proctest.BuildTool(t, "ocepbench")
 
 	out, err := exec.Command(bench, "-fig", "3").CombinedOutput()
 	if err != nil {
@@ -342,7 +280,7 @@ func TestOcepbenchCLI(t *testing.T) {
 }
 
 func TestOcepviewCLI(t *testing.T) {
-	ocepview := buildTool(t, "ocepview")
+	ocepview := proctest.BuildTool(t, "ocepview")
 
 	// Build a small dump with a stale read in it.
 	collector := ocep.NewCollector()
@@ -410,7 +348,7 @@ func TestOcepmonBuiltinFlag(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping process-spawning test")
 	}
-	ocepmon := buildTool(t, "ocepmon")
+	ocepmon := proctest.BuildTool(t, "ocepmon")
 	// Unknown builtin fails fast (no server needed: flag parsing first).
 	out, err := exec.Command(ocepmon, "-builtin", "nope", "-addr", "127.0.0.1:1").CombinedOutput()
 	if err == nil {

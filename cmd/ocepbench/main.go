@@ -19,6 +19,7 @@
 //	ocepbench -governance               # search budgets + bounded-memory soak
 //	ocepbench -patternscale             # compiled dispatch vs interpreted fan-out
 //	ocepbench -tracescale               # dense vs delta/sparse timestamps at many traces
+//	ocepbench -shardscale               # ingest throughput across 1/2/4-shard collector tiers
 //	ocepbench -monitors 8               # fan-out width for -delivery
 //	ocepbench -events 1000000           # events per data point
 //
@@ -58,6 +59,7 @@ func run() error {
 		governance   = flag.Bool("governance", false, "resource governance: adversarial-trigger budgets and bounded-memory soak")
 		patternscale = flag.Bool("patternscale", false, "attached-pattern scaling: compiled class-indexed dispatch vs interpreted fan-out")
 		tracescale   = flag.Bool("tracescale", false, "trace-count scaling: dense vs delta wire clocks and dense vs sparse in-memory timestamps")
+		shardscale   = flag.Bool("shardscale", false, "shard-count scaling: the same workload through 1/2/4-shard collector tiers over real TCP")
 		monitors     = flag.Int("monitors", 8, "concurrent monitors for -delivery")
 		events       = flag.Int("events", 100_000, "target events per data point (paper: >1e6)")
 		seed         = flag.Int64("seed", 1, "workload seed")
@@ -134,6 +136,9 @@ func run() error {
 		if err := bench.TraceScale(out, cfg); err != nil {
 			return err
 		}
+		if err := bench.ShardScale(out, cfg); err != nil {
+			return err
+		}
 	}
 	if *completeness && !*all {
 		any = true
@@ -207,6 +212,12 @@ func run() error {
 	if *tracescale && !*all {
 		any = true
 		if err := bench.TraceScale(out, cfg); err != nil {
+			return err
+		}
+	}
+	if *shardscale && !*all {
+		any = true
+		if err := bench.ShardScale(out, cfg); err != nil {
 			return err
 		}
 	}

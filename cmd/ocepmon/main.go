@@ -30,6 +30,15 @@
 // over on connection failures and drain notices, and resumes at its
 // exact stream offset on the promoted standby — the match output is
 // identical to a fault-free run.
+//
+// When -addr contains ';', it names a sharded collector tier (the same
+// spec the shards themselves take as -peers: ';' separates shards in
+// shard-ID order, ',' separates each shard's failover pool). The
+// monitor dials every shard, merges their streams into one causally
+// consistent linearization — a receive is never emitted before the
+// cross-shard send it observed — and matches against that, so the
+// output is identical to running the same workload through a single
+// collector.
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"ocep"
+	"ocep/internal/shard"
 	"ocep/internal/workload"
 )
 
@@ -63,7 +73,7 @@ func indent(s string) string {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7524", "poetd server address, or a comma-separated failover pool (\"primary:7524,standby:7524\")")
+		addr       = flag.String("addr", "127.0.0.1:7524", "poetd server address, a comma-separated failover pool (\"primary:7524,standby:7524\"), or a ';'-separated sharded tier (\"shard0;shard1,standby1\")")
 		patFile    = flag.String("pattern", "", "pattern definition file")
 		builtin    = flag.String("builtin", "", "use a built-in case-study pattern (deadlock2, deadlock3, race, atomicity, ordering)")
 		reportAll  = flag.Bool("all", false, "report every complete match, not just the representative subset")
@@ -104,11 +114,29 @@ func run() error {
 		return fmt.Errorf("a pattern is required: -pattern file.pat or -builtin name")
 	}
 
-	client, err := ocep.DialMonitor(*addr,
-		ocep.WithMonitorReconnect(*reconnect),
-		ocep.WithMonitorLog(log.Printf))
-	if err != nil {
-		return err
+	// A ';' in -addr means a sharded tier: dial every shard and merge
+	// their streams. Otherwise a single client (with an optional ','
+	// failover pool) is the stream.
+	var client interface {
+		ocep.EventSource
+		Close() error
+	}
+	if strings.Contains(*addr, ";") {
+		merged, err := shard.DialMergedMonitor(*addr,
+			ocep.WithMonitorReconnect(*reconnect),
+			ocep.WithMonitorLog(log.Printf))
+		if err != nil {
+			return err
+		}
+		client = merged
+	} else {
+		single, err := ocep.DialMonitor(*addr,
+			ocep.WithMonitorReconnect(*reconnect),
+			ocep.WithMonitorLog(log.Printf))
+		if err != nil {
+			return err
+		}
+		client = single
 	}
 	defer client.Close()
 

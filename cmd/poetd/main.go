@@ -11,6 +11,7 @@
 //	      [-ack-interval d] [-heartbeat d] [-metrics-addr addr] [-quiet]
 //	      [-retain-events n] [-max-pending n] [-mem-limit bytes]
 //	      [-sparse-clocks] [-follow primaryaddr] [-drain-timeout d]
+//	      [-shard-id n -peers "s0a,s0b;s1;s2"]
 //
 // With -dump, the delivered raw-event log is written to the given file
 // on shutdown (SIGINT/SIGTERM), reusable later with -reload — POET's
@@ -83,6 +84,22 @@
 // resume), every poetd keeps the replication log and serves replica
 // sessions, so a promoted standby can in turn be followed.
 //
+// Horizontal sharding: with -shard-id and -peers, this poetd is one
+// shard of a collector tier. -peers names every shard in the tier,
+// ';'-separated and ordered by shard ID; each entry may itself be a
+// comma-separated failover pool for that shard (primary first). The
+// daemon stripes its global trace IDs so they never collide with the
+// other shards', tails every peer's cross-shard send-export stream
+// (dialing through that peer's pool), and serves its own export stream
+// to them, so receives whose matching send was reported to another
+// shard still causally order. Peer followers always re-stream from
+// record zero after a reconnect — duplicates are absorbed as idempotent
+// no-ops — which is what makes a peer's crash, restart, or failover to
+// its standby invisible here. A sharded standby (-follow plus -shard-id)
+// defers its peer followers until it is promoted: until then the
+// primary's replication stream is the only writer of its state.
+// Sharding is incompatible with -retain-events and -reload.
+//
 // Shutdown: SIGTERM drains gracefully — new sessions are rejected,
 // connected peers receive a drain notice (pooled clients fail over
 // immediately), reporter acks keep flowing while targets flush, and
@@ -109,6 +126,7 @@ import (
 	"time"
 
 	"ocep/internal/poet"
+	"ocep/internal/shard"
 	"ocep/internal/telemetry"
 )
 
@@ -146,6 +164,9 @@ func run() error {
 		follow       = flag.String("follow", "", "run as a warm standby replicating from the primary at this address; promoted when the primary drains or dies, or on SIGUSR1")
 		followBudget = flag.Duration("follow-reconnect", 0, "cumulative backoff budget before an unreachable primary is declared dead and the standby promotes itself (0 = default 10s)")
 		drainWait    = flag.Duration("drain-timeout", poet.DefaultDrainWait, "on SIGTERM, how long the graceful drain waits for targets to flush and replicas to catch up before closing")
+
+		shardID = flag.Int("shard-id", -1, "this daemon's 0-based shard ID within the -peers tier; -1 disables sharding")
+		peers   = flag.String("peers", "", "the whole collector tier, ';'-separated and ordered by shard ID; each entry is that shard's comma-separated failover pool (required with -shard-id)")
 	)
 	flag.Parse()
 
@@ -173,6 +194,24 @@ func run() error {
 	if *follow != "" && *reload != "" {
 		return fmt.Errorf("-follow is incompatible with -reload (the standby's state must be the primary's stream, nothing else)")
 	}
+	var shardPools []string
+	if *shardID >= 0 {
+		shardPools = shard.SplitSpec(*peers)
+		if len(shardPools) == 0 {
+			return fmt.Errorf("-shard-id needs -peers naming every shard in the tier")
+		}
+		if *shardID >= len(shardPools) {
+			return fmt.Errorf("-shard-id %d out of range: -peers names %d shards", *shardID, len(shardPools))
+		}
+		if *reload != "" {
+			return fmt.Errorf("-shard-id is incompatible with -reload (a reloaded trace is not striped for this tier)")
+		}
+		if *retain > 0 {
+			return fmt.Errorf("-shard-id is incompatible with -retain-events (peer followers re-stream the export log from zero)")
+		}
+	} else if *peers != "" {
+		return fmt.Errorf("-peers needs -shard-id")
+	}
 
 	collector := poet.NewCollector()
 	if *sparseClocks {
@@ -180,6 +219,13 @@ func run() error {
 		// any event (replayed or live) is stamped.
 		if err := collector.SetSparseClocks(true); err != nil {
 			return fmt.Errorf("-sparse-clocks: %w", err)
+		}
+	}
+	if *shardID >= 0 {
+		// Before recovery: the striped trace-ID space must be fixed before
+		// any event — replayed or live — is registered.
+		if err := collector.EnableSharding(*shardID, len(shardPools)); err != nil {
+			return fmt.Errorf("-shard-id: %w", err)
 		}
 	}
 	if *dump != "" {
@@ -334,6 +380,51 @@ func run() error {
 	ready.Store(true)
 	log.Printf("listening on %s", addr)
 
+	// startShardFollowers attaches the cross-shard exchange: one follower
+	// per peer shard, each tailing that peer's export stream through its
+	// failover pool. A standby defers this until promotion — until then
+	// the primary's replication stream must be the only writer of its
+	// state, or the standby's linearization could diverge from the
+	// primary's.
+	var shardFollowers []*poet.ShardFollower
+	startShardFollowers := func() {
+		if *shardID < 0 || len(shardPools) < 2 || shardFollowers != nil {
+			return
+		}
+		for i, p := range shardPools {
+			if i == *shardID {
+				continue
+			}
+			f, err := poet.FollowShardPeer(p, collector, poet.WithShardLog(logf))
+			if err != nil {
+				log.Printf("shard peer %d (%s): %v", i, p, err)
+				continue
+			}
+			shardFollowers = append(shardFollowers, f)
+		}
+		log.Printf("shard %d/%d: following %d peer export streams", *shardID, len(shardPools), len(shardFollowers))
+		if *metrics != "" && len(shardFollowers) > 0 {
+			followers := shardFollowers
+			reg.GaugeFunc("poet_shard_peer_lag_records", "Cross-shard send records peers have exported that this shard has not yet applied, summed over all peers.", func() int64 {
+				var lag int64
+				for _, f := range followers {
+					lag += int64(f.Stats().Lag)
+				}
+				return lag
+			})
+			reg.GaugeFunc("poet_shard_peer_reconnects", "Peer export-stream reconnects, summed over all peers.", func() int64 {
+				var n int64
+				for _, f := range followers {
+					n += int64(f.Stats().Reconnects)
+				}
+				return n
+			})
+		}
+	}
+	if *follow == "" {
+		startShardFollowers()
+	}
+
 	var rep *poet.Replicator
 	if *follow != "" {
 		repOpts := []poet.ReplicaOption{
@@ -396,6 +487,10 @@ waitLoop:
 				}
 				server.Promote()
 				log.Printf("promoted (%s): %d events applied, %d replication reconnects", reason, st.Applied, st.Reconnects)
+				// Only now may a sharded standby start exchanging with its
+				// peers: the from-zero re-stream replays every cross-shard
+				// record the old primary had applied, idempotently.
+				startShardFollowers()
 			default:
 				return fmt.Errorf("replication from %s failed: %w", *follow, err)
 			}
@@ -406,8 +501,15 @@ waitLoop:
 		following.Stop()
 		<-following.Done()
 	}
+	for _, f := range shardFollowers {
+		f.Stop()
+	}
 	log.Printf("shutting down: %d events delivered, %d pending",
 		collector.Delivered(), collector.Pending())
+	if ss := collector.ShardStats(); ss.Enabled {
+		log.Printf("shard %d/%d: %d home traces, %d send exports, %d remote sends applied",
+			ss.ShardID, ss.NumShards, ss.HomeTraces, ss.Exports, ss.RemoteSends)
+	}
 	if ws := server.WireStats(); ws.StaleEvents > 0 || ws.TargetResumes > 0 || ws.MonitorResumes > 0 || ws.LoadSheds > 0 {
 		log.Printf("wire: %d stale retransmits absorbed, %d target resumes, %d monitor resumes, %d load sheds",
 			ws.StaleEvents, ws.TargetResumes, ws.MonitorResumes, ws.LoadSheds)

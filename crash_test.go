@@ -12,7 +12,6 @@ package ocep_test
 // the recovered stream.
 
 import (
-	"net"
 	"os/exec"
 	"sync"
 	"syscall"
@@ -20,14 +19,15 @@ import (
 	"time"
 
 	"ocep"
+	"ocep/internal/proctest"
 	"ocep/internal/workload"
 )
 
 // startPoetd launches a durable poetd child and waits until it accepts
 // connections (after a restart, that means recovery has finished).
-func startPoetd(t *testing.T, bin, addr, dataDir string, out *syncBuffer) *exec.Cmd {
+func startPoetd(t *testing.T, bin, addr, dataDir string, out *proctest.SyncBuffer) *exec.Cmd {
 	t.Helper()
-	cmd := exec.Command(bin,
+	return proctest.StartServer(t, bin, out, addr,
 		"-listen", addr,
 		"-data-dir", dataDir,
 		"-fsync", "always",
@@ -35,31 +35,14 @@ func startPoetd(t *testing.T, bin, addr, dataDir string, out *syncBuffer) *exec.
 		"-ack-interval", "5ms",
 		"-heartbeat", "25ms",
 		"-quiet")
-	cmd.Stdout = out
-	cmd.Stderr = out
-	if err := cmd.Start(); err != nil {
-		t.Fatalf("starting poetd: %v", err)
-	}
-	deadline := time.Now().Add(20 * time.Second)
-	for time.Now().Before(deadline) {
-		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
-		if err == nil {
-			_ = conn.Close()
-			return cmd
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	_ = cmd.Process.Kill()
-	t.Fatalf("poetd never came up on %s; output:\n%s", addr, out.String())
-	return nil
 }
 
 func TestCrashKilledPoetdMatchesCrashFreeRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping process-killing soak")
 	}
-	poetd := buildTool(t, "poetd")
-	addr := freePort(t)
+	poetd := proctest.BuildTool(t, "poetd")
+	addr := proctest.FreePort(t)
 	dataDir := t.TempDir()
 
 	// One captured workload drives both runs.
@@ -77,14 +60,9 @@ func TestCrashKilledPoetdMatchesCrashFreeRun(t *testing.T) {
 		t.Fatal("crash-free run reported no matches; the differential comparison is vacuous")
 	}
 
-	out := &syncBuffer{}
+	out := &proctest.SyncBuffer{}
 	daemon := startPoetd(t, poetd, addr, dataDir, out)
-	defer func() {
-		if daemon != nil && daemon.ProcessState == nil {
-			_ = daemon.Process.Kill()
-			_ = daemon.Wait()
-		}
-	}()
+	defer func() { proctest.KillIfAlive(daemon) }()
 
 	rep, err := ocep.DialReporter(addr,
 		ocep.WithReporterBackoff(5*time.Millisecond, 200*time.Millisecond),

@@ -14,18 +14,14 @@ package ocep_test
 // promoted standby — so a primary crash is invisible in the output.
 
 import (
-	"bufio"
-	"net"
-	"net/http"
 	"os/exec"
-	"strconv"
-	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"ocep"
+	"ocep/internal/proctest"
 	"ocep/internal/workload"
 )
 
@@ -34,7 +30,7 @@ import (
 // protocol connections. A standby listens immediately — its session
 // gate rejects hellos retriably, but the socket answers — so the same
 // probe works for both roles.
-func startPoetdHA(t *testing.T, bin, addr, dataDir, metricsAddr string, out *syncBuffer, extra ...string) *exec.Cmd {
+func startPoetdHA(t *testing.T, bin, addr, dataDir, metricsAddr string, out *proctest.SyncBuffer, extra ...string) *exec.Cmd {
 	t.Helper()
 	args := []string{
 		"-listen", addr,
@@ -47,57 +43,7 @@ func startPoetdHA(t *testing.T, bin, addr, dataDir, metricsAddr string, out *syn
 		"-quiet",
 	}
 	args = append(args, extra...)
-	cmd := exec.Command(bin, args...)
-	cmd.Stdout = out
-	cmd.Stderr = out
-	if err := cmd.Start(); err != nil {
-		t.Fatalf("starting poetd: %v", err)
-	}
-	deadline := time.Now().Add(20 * time.Second)
-	for time.Now().Before(deadline) {
-		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
-		if err == nil {
-			_ = conn.Close()
-			return cmd
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	_ = cmd.Process.Kill()
-	t.Fatalf("poetd never came up on %s; output:\n%s", addr, out.String())
-	return nil
-}
-
-// scrapeMetric reads one un-labeled metric from a poetd telemetry
-// listener's Prometheus text exposition.
-func scrapeMetric(metricsAddr, name string) (float64, bool) {
-	resp, err := http.Get("http://" + metricsAddr + "/metrics")
-	if err != nil {
-		return 0, false
-	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 2 && fields[0] == name {
-			v, err := strconv.ParseFloat(fields[1], 64)
-			return v, err == nil
-		}
-	}
-	return 0, false
-}
-
-// waitMetric polls a scraped metric until it reaches target.
-func waitMetric(t *testing.T, what, metricsAddr, name string, target float64) {
-	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		if v, ok := scrapeMetric(metricsAddr, name); ok && v >= target {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	v, _ := scrapeMetric(metricsAddr, name)
-	t.Fatalf("timed out waiting for %s (%s at %v, want >= %v)", what, name, v, target)
+	return proctest.StartServer(t, bin, out, addr, args...)
 }
 
 // failoverCase is one case study for the kill-the-primary differential.
@@ -156,7 +102,7 @@ func TestFailoverKilledPrimaryMatchesFaultFreeRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping process-killing failover differential")
 	}
-	poetd := buildTool(t, "poetd")
+	poetd := proctest.BuildTool(t, "poetd")
 	for _, tc := range failoverCases() {
 		t.Run(tc.name, func(t *testing.T) { runFailoverCase(t, poetd, tc) })
 	}
@@ -178,9 +124,9 @@ func runFailoverCase(t *testing.T, poetd string, tc failoverCase) {
 		t.Fatal("fault-free run reported no matches; the differential comparison is vacuous")
 	}
 
-	addrP, addrS := freePort(t), freePort(t)
-	metricsP, metricsS := freePort(t), freePort(t)
-	out := &syncBuffer{}
+	addrP, addrS := proctest.FreePort(t), proctest.FreePort(t)
+	metricsP, metricsS := proctest.FreePort(t), proctest.FreePort(t)
+	out := &proctest.SyncBuffer{}
 	primary := startPoetdHA(t, poetd, addrP, t.TempDir(), metricsP, out)
 	defer func() {
 		if primary.ProcessState == nil {
@@ -200,7 +146,7 @@ func runFailoverCase(t *testing.T, poetd string, tc failoverCase) {
 	// Replication must be attached before events flow: from then on every
 	// acknowledgement is gated on the replica's confirmation, so anything
 	// the reporter considers delivered survives the primary.
-	waitMetric(t, "the standby's replication session",
+	proctest.WaitMetric(t, "the standby's replication session",
 		metricsP, "poet_wire_replica_sessions_total", 1)
 
 	pool := addrP + "," + addrS

@@ -7,7 +7,6 @@ package ocep_test
 
 import (
 	"fmt"
-	"io"
 	"net/http"
 	"os/exec"
 	"strings"
@@ -16,53 +15,18 @@ import (
 	"time"
 
 	"ocep"
+	"ocep/internal/proctest"
 )
-
-// probeURL performs one GET without retries.
-func probeURL(url string) (int, string, error) {
-	resp, err := http.Get(url)
-	if err != nil {
-		return 0, "", err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return 0, "", err
-	}
-	return resp.StatusCode, string(body), nil
-}
-
-// waitForStatus polls url until it returns the wanted status, failing
-// the test after 10s. It returns the matching body.
-func waitForStatus(t *testing.T, url string, want int) string {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	var last string
-	for time.Now().Before(deadline) {
-		code, body, err := probeURL(url)
-		if err == nil {
-			if code == want {
-				return body
-			}
-			last = fmt.Sprintf("status %d body %q", code, body)
-		} else {
-			last = err.Error()
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("%s never returned %d; last: %s", url, want, last)
-	return ""
-}
 
 func TestPoetdReadyzDuringOverload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping process-spawning test")
 	}
-	poetd := buildTool(t, "poetd")
-	addr := freePort(t)
-	metricsAddr := freePort(t)
+	poetd := proctest.BuildTool(t, "poetd")
+	addr := proctest.FreePort(t)
+	metricsAddr := proctest.FreePort(t)
 
-	out := &syncBuffer{}
+	out := &proctest.SyncBuffer{}
 	cmd := exec.Command(poetd,
 		"-listen", addr,
 		"-metrics-addr", metricsAddr,
@@ -82,7 +46,7 @@ func TestPoetdReadyzDuringOverload(t *testing.T) {
 
 	readyz := "http://" + metricsAddr + "/readyz"
 	healthz := "http://" + metricsAddr + "/healthz"
-	waitForStatus(t, readyz, http.StatusOK)
+	proctest.WaitForStatus(t, readyz, http.StatusOK)
 
 	// A head receive waiting on a send nobody reported, plus enough
 	// events behind it to overflow -max-pending: the collector refuses
@@ -100,12 +64,12 @@ func TestPoetdReadyzDuringOverload(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	body := waitForStatus(t, readyz, http.StatusServiceUnavailable)
+	body := proctest.WaitForStatus(t, readyz, http.StatusServiceUnavailable)
 	if !strings.Contains(body, "overload") {
 		t.Fatalf("/readyz 503 body does not name the overload check: %q", body)
 	}
 	// Liveness is unaffected by shedding.
-	if code, _, err := probeURL(healthz); err != nil || code != http.StatusOK {
+	if code, _, err := proctest.ProbeURL(healthz); err != nil || code != http.StatusOK {
 		t.Fatalf("/healthz while shedding = %d, %v; want 200", code, err)
 	}
 
@@ -119,7 +83,7 @@ func TestPoetdReadyzDuringOverload(t *testing.T) {
 	if err := rep2.Report(ocep.RawEvent{Trace: "p1", Seq: 1, Kind: ocep.KindSend, Type: "s", MsgID: 1}); err != nil {
 		t.Fatal(err)
 	}
-	waitForStatus(t, readyz, http.StatusOK)
+	proctest.WaitForStatus(t, readyz, http.StatusOK)
 	if err := rep.Flush(); err != nil {
 		t.Fatalf("parked reporter failed: %v", err)
 	}
@@ -136,7 +100,7 @@ func TestPoetdReadyzDuringRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping process-spawning test")
 	}
-	poetd := buildTool(t, "poetd")
+	poetd := proctest.BuildTool(t, "poetd")
 	dataDir := t.TempDir()
 
 	// Seed the data directory with a WAL big enough that replaying it
@@ -164,9 +128,9 @@ func TestPoetdReadyzDuringRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	addr := freePort(t)
-	metricsAddr := freePort(t)
-	out := &syncBuffer{}
+	addr := proctest.FreePort(t)
+	metricsAddr := proctest.FreePort(t)
+	out := &proctest.SyncBuffer{}
 	cmd := exec.Command(poetd,
 		"-listen", addr,
 		"-metrics-addr", metricsAddr,
@@ -191,7 +155,7 @@ func TestPoetdReadyzDuringRecovery(t *testing.T) {
 	saw503 := false
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		code, body, err := probeURL(readyz)
+		code, body, err := proctest.ProbeURL(readyz)
 		if err != nil {
 			time.Sleep(time.Millisecond)
 			continue
@@ -215,7 +179,7 @@ func TestPoetdReadyzDuringRecovery(t *testing.T) {
 	// deliberately exclude the recovered prefix — instruments attach
 	// after recovery — so check the recovery gauge, which counts the
 	// replayed records: one per event plus one per trace registration.)
-	m := parsePromText(t, scrape(t, "http://"+metricsAddr+"/metrics"))
+	m := proctest.ParsePromText(t, proctest.Scrape(t, "http://"+metricsAddr+"/metrics"))
 	if got := m["poet_recovery_wal_records"]; got < 4*perTrace {
 		t.Fatalf("recovered daemon replayed %v WAL records, want >= %d", got, 4*perTrace)
 	}

@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ocep/internal/event"
+	"ocep/internal/poet"
+	"ocep/internal/shard"
+)
+
+// This file implements the shard-count experiment behind `ocepbench
+// -shardscale`. A single collector linearizes every trace through one
+// ingest path; a sharded tier splits the traces across N real
+// poet.Server instances over TCP (with the full cross-shard frontier
+// exchange running between them), each ingesting its own 1/N of the
+// traces independently. The experiment drives the identical workload —
+// same traces, same events, same cross-shard ring messages — through
+// tiers of 1, 2, and 4 shards and reports each tier's ingest critical
+// path: the slowest shard's wire-to-acknowledged ingest time plus the
+// exchange-drain tail (until every cross-shard receive has been
+// released by a peer's exported send record). Shards are deliberately
+// timed one at a time — the tier's shards share no state, so on a host
+// with >= N cores they run concurrently and the tier's wall clock is
+// the max, not the sum; timing them serially makes the measurement
+// independent of how many cores this particular host happens to have.
+// Throughput against the critical path should scale with shard count;
+// the drain tail is the overhead the sharding design pays for a single
+// causally consistent answer.
+
+// shardScaleConfig sizes the experiment; tests shrink it.
+type shardScaleConfig struct {
+	// Counts are the tier widths swept (1 is the single-collector
+	// baseline every speedup is relative to).
+	Counts []int
+	// Traces is the number of traces; they are partitioned across the
+	// tier by the same rendezvous hash production routing uses.
+	Traces int
+	// Rounds is the number of workload rounds. Per round every trace
+	// reports Internal internal events and one ring send to its
+	// successor trace; the matching ring receives sit at each trace's
+	// tail (so releasing them never gates later sends, keeping the
+	// cross-shard cascade one hop deep). A receive crosses shards
+	// whenever the two traces hash to different homes.
+	Rounds int
+	// Internal is the internal-event count per trace per round.
+	Internal int
+}
+
+// ShardScale runs the experiment at paper scale, the entry point behind
+// `ocepbench -shardscale`. TargetEvents sizes the per-tier stream.
+func ShardScale(w io.Writer, cfg FigureConfig) error {
+	cfg = cfg.norm()
+	const traces, internal = 32, 8
+	rounds := cfg.TargetEvents / (traces * (internal + 2))
+	if rounds < 1 {
+		rounds = 1
+	}
+	return shardScale(w, shardScaleConfig{
+		Counts:   []int{1, 2, 4},
+		Traces:   traces,
+		Rounds:   rounds,
+		Internal: internal,
+	})
+}
+
+// shardTier is one running tier: n sharded collectors behind real TCP
+// servers, fully meshed with cross-shard followers.
+type shardTier struct {
+	collectors []*poet.Collector
+	servers    []*poet.Server
+	addrs      []string
+	followers  []*poet.ShardFollower
+}
+
+func startShardTier(n int) (*shardTier, error) {
+	tier := &shardTier{}
+	for i := 0; i < n; i++ {
+		c := poet.NewCollector()
+		if err := c.EnableSharding(i, n); err != nil {
+			tier.stop()
+			return nil, fmt.Errorf("bench: shardscale: %w", err)
+		}
+		srv := poet.NewServer(c, func(string, ...any) {})
+		srv.SetWireTiming(2*time.Millisecond, 20*time.Millisecond, 2*time.Second)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			tier.stop()
+			return nil, fmt.Errorf("bench: shardscale: %w", err)
+		}
+		tier.collectors = append(tier.collectors, c)
+		tier.servers = append(tier.servers, srv)
+		tier.addrs = append(tier.addrs, addr)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			f, err := poet.FollowShardPeer(tier.addrs[j], tier.collectors[i])
+			if err != nil {
+				tier.stop()
+				return nil, fmt.Errorf("bench: shardscale: %w", err)
+			}
+			tier.followers = append(tier.followers, f)
+		}
+	}
+	return tier, nil
+}
+
+func (t *shardTier) stop() {
+	for _, f := range t.followers {
+		f.Stop()
+	}
+	for _, s := range t.servers {
+		_ = s.Close()
+	}
+	for _, c := range t.collectors {
+		c.Close()
+	}
+}
+
+// delivered sums the delivered-event counts across the tier.
+func (t *shardTier) delivered() int {
+	n := 0
+	for _, c := range t.collectors {
+		n += c.Delivered()
+	}
+	return n
+}
+
+// drained reports whether every shard has released its whole stream —
+// cross-shard receives included.
+func (t *shardTier) drained() bool {
+	for _, c := range t.collectors {
+		if !c.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// shardScaleWorkload is the deterministic event list, grouped per trace
+// (only per-trace order matters on the wire; the pumps interleave).
+type shardScaleWorkload struct {
+	perTrace [][]poet.RawEvent
+	total    int
+}
+
+func genShardScaleWorkload(cfg shardScaleConfig) *shardScaleWorkload {
+	w := &shardScaleWorkload{perTrace: make([][]poet.RawEvent, cfg.Traces)}
+	seqs := make([]int, cfg.Traces)
+	push := func(trace int, kind event.Kind, typ string, msg uint64) {
+		seqs[trace]++
+		w.perTrace[trace] = append(w.perTrace[trace], poet.RawEvent{
+			Trace: fmt.Sprintf("p%d", trace), Seq: seqs[trace],
+			Kind: kind, Type: typ, MsgID: msg,
+		})
+		w.total++
+	}
+	// msg IDs: round r, trace i sends message r*Traces + i + 1.
+	for r := 0; r < cfg.Rounds; r++ {
+		for i := 0; i < cfg.Traces; i++ {
+			for k := 0; k < cfg.Internal; k++ {
+				push(i, event.KindInternal, "work", 0)
+			}
+			push(i, event.KindSend, "pass", uint64(r*cfg.Traces+i)+1)
+		}
+	}
+	// All receives at each trace's tail: trace i takes its
+	// predecessor's send from every round.
+	for i := 0; i < cfg.Traces; i++ {
+		from := (i - 1 + cfg.Traces) % cfg.Traces
+		for r := 0; r < cfg.Rounds; r++ {
+			push(i, event.KindReceive, "take", uint64(r*cfg.Traces+from)+1)
+		}
+	}
+	return w
+}
+
+// shardScalePoint is one tier width's measurement.
+type shardScalePoint struct {
+	// MaxShard is the slowest shard's wire-to-acknowledged ingest time
+	// — the tier's wall clock when the shards run on their own cores.
+	MaxShard time.Duration
+	// SumShards is the serial total across shards (what this host,
+	// which timed the shards one at a time, actually spent).
+	SumShards time.Duration
+	// Drain is the exchange tail: after every shard has acknowledged
+	// its stream, how long until every cross-shard receive is released.
+	Drain time.Duration
+	// Remote is the tier-wide applied remote-send record count.
+	Remote int
+}
+
+// critical is the tier's modeled parallel wall clock.
+func (p shardScalePoint) critical() time.Duration { return p.MaxShard + p.Drain }
+
+func shardScale(w io.Writer, cfg shardScaleConfig) error {
+	work := genShardScaleWorkload(cfg)
+	fmt.Fprintf(w, "Shard-count ingest scaling: %d traces, %d rounds, %d events (ring messages cross shards)\n",
+		cfg.Traces, cfg.Rounds, work.total)
+	fmt.Fprintf(w, "  critical path = slowest shard's ingest + exchange drain (shards are independent; timed serially so the result is core-count-independent)\n")
+	fmt.Fprintf(w, "  %-8s %9s %13s %10s %12s %9s %14s\n",
+		"shards", "events", "max-shard ms", "drain ms", "events/s", "speedup", "cross-shard")
+	var base float64
+	for _, n := range cfg.Counts {
+		// Best of three: a shared host's scheduling and GC noise easily
+		// dwarfs the tier-to-tier differences being measured.
+		var pt shardScalePoint
+		for rep := 0; rep < 3; rep++ {
+			runtime.GC()
+			tier, err := startShardTier(n)
+			if err != nil {
+				return err
+			}
+			p, err := pumpShardTier(tier, work)
+			tier.stop()
+			if err != nil {
+				return err
+			}
+			if rep == 0 || p.critical() < pt.critical() {
+				pt = p
+			}
+		}
+		evs := float64(work.total) / pt.critical().Seconds()
+		if base == 0 {
+			base = evs
+		}
+		fmt.Fprintf(w, "  %-8d %9d %13.1f %10.1f %12.0f %8.2fx %14d\n",
+			n, work.total,
+			float64(pt.MaxShard.Microseconds())/1000,
+			float64(pt.Drain.Microseconds())/1000,
+			evs, evs/base, pt.Remote)
+	}
+	fmt.Fprintf(w, "  differential: every tier delivered all %d events, cross-shard receives released by peer export streams\n\n",
+		work.total)
+	return nil
+}
+
+// pumpShardTier routes every trace to its home shard, ingests each
+// shard's stream through a real TCP reporter — one shard at a time, so
+// per-shard ingest cost is measured without the host's core count in
+// the way — then waits for the cross-shard exchange to release the
+// last receives.
+func pumpShardTier(tier *shardTier, work *shardScaleWorkload) (shardScalePoint, error) {
+	var pt shardScalePoint
+	n := len(tier.addrs)
+	part, err := shard.NewPartitioner(tier.addrs)
+	if err != nil {
+		return pt, fmt.Errorf("bench: shardscale: %w", err)
+	}
+	home := make(map[string]int, n)
+	for i, a := range tier.addrs {
+		home[a] = i
+	}
+	// Per-shard event lists, preserving each trace's order.
+	lists := make([][]poet.RawEvent, n)
+	for t, evs := range work.perTrace {
+		h := home[part.Assign(fmt.Sprintf("p%d", t))]
+		lists[h] = append(lists[h], evs...)
+	}
+	for i, a := range tier.addrs {
+		rep, err := poet.DialReporter(a)
+		if err != nil {
+			return pt, fmt.Errorf("bench: shardscale: dialing shard %d: %w", i, err)
+		}
+		start := time.Now()
+		for _, e := range lists[i] {
+			if err := rep.Report(e); err != nil {
+				_ = rep.Close()
+				return pt, fmt.Errorf("bench: shardscale: shard %d report: %w", i, err)
+			}
+		}
+		if err := rep.Flush(); err != nil {
+			_ = rep.Close()
+			return pt, fmt.Errorf("bench: shardscale: shard %d flush: %w", i, err)
+		}
+		wall := time.Since(start)
+		_ = rep.Close()
+		pt.SumShards += wall
+		if wall > pt.MaxShard {
+			pt.MaxShard = wall
+		}
+	}
+	// Everything is acknowledged; now wait for the cross-shard exchange
+	// to release the last receives.
+	drainStart := time.Now()
+	deadline := drainStart.Add(60 * time.Second)
+	for !tier.drained() || tier.delivered() != work.total {
+		if time.Now().After(deadline) {
+			return pt, fmt.Errorf("bench: shardscale: tier of %d stalled at %d/%d delivered",
+				n, tier.delivered(), work.total)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	pt.Drain = time.Since(drainStart)
+	for _, c := range tier.collectors {
+		pt.Remote += c.ShardStats().RemoteSends
+	}
+	return pt, nil
+}

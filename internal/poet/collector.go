@@ -132,6 +132,22 @@ type Collector struct {
 	// to confirm the current ingest position before withholding the ack
 	// for one interval (reporters simply retry).
 	replAckWait time.Duration
+	// sharded, when true, makes this collector one shard of a tier:
+	// trace IDs are striped across shards (a trace homed here gets a
+	// global ID congruent to shardID mod numShards), delivered sends are
+	// exported for peer shards, and a receive whose send was delivered
+	// on a peer is stamped from remoteSends (see shard.go).
+	sharded            bool
+	shardID, numShards int
+	// shardLocals counts the traces homed on this shard; the next one
+	// gets global ID shardID + numShards*shardLocals.
+	shardLocals int
+	// remoteSends maps a MsgID to the identity and timestamp of a send
+	// delivered on a peer shard, supplied by SupplyRemoteSend.
+	remoteSends map[uint64]remoteSend
+	// shardX is the cross-shard export log peer shards tail; nil until
+	// EnableSharding.
+	shardX *shardExportState
 	// tel holds the collector's telemetry instruments. All fields are
 	// nil until InstrumentMetrics attaches a registry; every write is a
 	// nil-safe no-op, so the uninstrumented hot path pays only nil
@@ -151,6 +167,8 @@ type collectorMetrics struct {
 	walEventRecs *telemetry.Counter
 	walTraceRecs *telemetry.Counter
 	blockedNs    *telemetry.Counter
+	shardExports *telemetry.Counter
+	shardRemote  *telemetry.Counter
 	queues       queueMetrics
 }
 
@@ -174,6 +192,8 @@ func (c *Collector) InstrumentMetrics(reg *telemetry.Registry) {
 		walEventRecs: reg.Counter("poet_wal_event_records_total", "Event records appended to the write-ahead log."),
 		walTraceRecs: reg.Counter("poet_wal_trace_records_total", "Trace-registration records appended to the write-ahead log."),
 		blockedNs:    reg.Counter("poet_delivery_blocked_ns_total", "Nanoseconds Report spent blocked on full subscriber queues (BackpressureBlock)."),
+		shardExports: reg.Counter("poet_shard_exports_total", "Send events appended to the cross-shard export log."),
+		shardRemote:  reg.Counter("poet_shard_remote_sends_total", "Fresh peer-shard send records applied by SupplyRemoteSend."),
 		queues: queueMetrics{
 			enqueued:  reg.Counter("poet_delivery_enqueued_total", "Events accepted into subscriber delivery queues (summed over subscribers)."),
 			handled:   reg.Counter("poet_delivery_handled_total", "Events consumed by batch subscriber handlers."),
@@ -482,7 +502,23 @@ func (c *Collector) RegisterTrace(name string) event.TraceID {
 }
 
 func (c *Collector) ensureTrace(name string) event.TraceID {
-	id := c.store.RegisterTrace(name)
+	var id event.TraceID
+	if c.sharded {
+		// Striped global IDs: every shard numbers its home traces in its
+		// own residue class mod numShards, so IDs (and therefore
+		// vector-clock positions) never collide across shards and a
+		// merged monitor sees one coherent coordinate space. The store
+		// tolerates the holes left for peer-homed traces.
+		var known bool
+		id, known = c.store.TraceByName(name)
+		if !known {
+			id = event.TraceID(c.shardID + c.numShards*c.shardLocals)
+			c.shardLocals++
+			c.store.NameTrace(id, name)
+		}
+	} else {
+		id = c.store.RegisterTrace(name)
+	}
 	for int(id) >= len(c.clocks) {
 		c.clocks = append(c.clocks, c.newClockLocked())
 		c.nextSeq = append(c.nextSeq, 1)
@@ -805,7 +841,7 @@ func (c *Collector) drain(t event.TraceID) {
 				break
 			}
 			if isRecvLike(raw.Kind) {
-				if _, sent := c.sends[raw.MsgID]; !sent {
+				if !c.hasSendLocked(raw.MsgID) {
 					if ws := c.recvWait[raw.MsgID]; len(ws) == 0 || ws[len(ws)-1] != tr {
 						c.recvWait[raw.MsgID] = append(ws, tr)
 					}
@@ -830,15 +866,24 @@ func (c *Collector) deliver(t event.TraceID, raw RawEvent) {
 	clock := c.clocks[t]
 	var partner event.ID
 	if isRecvLike(raw.Kind) {
-		sendID := c.sends[raw.MsgID]
-		sendEv := c.store.Get(sendID)
-		clock = clock.Merge(sendEv.VC)
-		partner = sendID
-		if c.retain > 0 {
-			// Under retention the sends map holds only open (unmatched)
-			// sends: a matched entry no longer pins the store against
-			// compaction, and the map stays bounded by the open-send count.
-			delete(c.sends, raw.MsgID)
+		if sendID, ok := c.sends[raw.MsgID]; ok {
+			sendEv := c.store.Get(sendID)
+			clock = clock.Merge(sendEv.VC)
+			partner = sendID
+			if c.retain > 0 {
+				// Under retention the sends map holds only open (unmatched)
+				// sends: a matched entry no longer pins the store against
+				// compaction, and the map stays bounded by the open-send count.
+				delete(c.sends, raw.MsgID)
+			}
+		} else {
+			// The send was delivered on a peer shard; its exported stamp
+			// stands in for the local event (see shard.go). Partner names
+			// the remote identity — the local store holds no event for it,
+			// so the back-patch below finds nil and skips.
+			rs := c.remoteSends[raw.MsgID]
+			clock = clock.Merge(rs.vc)
+			partner = rs.id
 		}
 	}
 	clock = clock.Tick(int(t))
@@ -863,6 +908,13 @@ func (c *Collector) deliver(t event.TraceID, raw RawEvent) {
 	c.nextSeq[t]++
 	if isSendLike(raw.Kind) && raw.MsgID != 0 {
 		c.sends[raw.MsgID] = e.ID
+		if c.sharded {
+			// Export every delivered send: the receive's home shard is
+			// unknowable here (its trace may not have reported yet), so
+			// peers filter on their side via SupplyRemoteSend idempotency.
+			c.shardX.appendLocked(shardExport{MsgID: raw.MsgID, ID: e.ID, VC: e.VC})
+			c.tel.shardExports.Inc()
+		}
 	}
 	c.delivered++
 	c.tel.delivered.Inc()

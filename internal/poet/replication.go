@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ocep/internal/backoff"
+	"ocep/internal/event"
 )
 
 // Warm-standby replication. A primary collector with the replication
@@ -52,11 +53,21 @@ const defaultReplAckWait = 500 * time.Millisecond
 var ErrPrimaryDrained = errors.New("poet: primary drained")
 
 // repRecord is one entry of the replication log: an explicit trace
-// registration (Trace non-empty) or an ingested event.
+// registration (Trace non-empty), a peer-shard send record applied by
+// SupplyRemoteSend (Remote non-nil), or an ingested event. Remote
+// records matter on a sharded primary: delivery order depends on when
+// remote sends became available, so the standby must apply them at the
+// same position of the record stream to rebuild the identical
+// linearization.
 type repRecord struct {
-	Trace string
-	Event RawEvent
+	Trace  string
+	Event  RawEvent
+	Remote *shardExport
 }
+
+// isEvent reports whether the record is an ingested event — the only
+// record kind replication offsets count.
+func (r repRecord) isEvent() bool { return r.Trace == "" && r.Remote == nil }
 
 // replState is the collector's replication bookkeeping, guarded by the
 // collector's mu.
@@ -77,7 +88,7 @@ type replState struct {
 
 func (r *replState) appendLocked(rec repRecord) {
 	r.log = append(r.log, rec)
-	if rec.Trace == "" {
+	if rec.isEvent() {
 		r.events++
 	}
 	r.notifyLocked()
@@ -270,7 +281,7 @@ func (c *Collector) replResumeIndex(events int) (int, error) {
 	}
 	seen := 0
 	for i, rec := range c.repl.log {
-		if rec.Trace == "" {
+		if rec.isEvent() {
 			seen++
 			if seen == events {
 				return i + 1, nil
@@ -375,9 +386,15 @@ func (s *Server) handleReplica(conn net.Conn, dec *gob.Decoder, h hello) error {
 		recs, next, head, ch := c.replRecordsFrom(idx)
 		for i := range recs {
 			msg := wireMsg{Head: head}
-			if recs[i].Trace != "" {
+			switch {
+			case recs[i].Trace != "":
 				msg.Trace = &wireTrace{Name: recs[i].Trace}
-			} else {
+			case recs[i].Remote != nil:
+				rs := recs[i].Remote
+				w := toWire(&event.Event{ID: rs.ID, VC: rs.VC})
+				w.MsgID = rs.MsgID
+				msg.Shard = w
+			default:
 				msg.Raw = &recs[i].Event
 				s.replicaEvents.Add(1)
 				s.tel.replicaEvents.Inc()
@@ -801,6 +818,15 @@ func (r *Replicator) session(conn net.Conn, dec *gob.Decoder) error {
 			r.signalAck() // keep our side of the liveness conversation
 		case msg.Trace != nil:
 			r.c.RegisterTrace(msg.Trace.Name)
+		case msg.Shard != nil:
+			e := fromWire(msg.Shard)
+			if err := r.c.SupplyRemoteSend(msg.Shard.MsgID, e.ID, e.VC); err != nil {
+				// The primary applied this remote send; a local refusal
+				// (e.g. sharding not enabled here) is a configuration
+				// divergence redialing cannot fix.
+				return &divergenceError{fmt.Errorf("poet replica: applying remote send %d: %w", msg.Shard.MsgID, err)}
+			}
+			r.signalAck()
 		case msg.Raw != nil:
 			err := r.c.Report(*msg.Raw)
 			if err != nil && !errors.Is(err, ErrStaleEvent) {

@@ -66,6 +66,9 @@ type Server struct {
 	deltaSessions   atomic.Int64
 	replicaSessions atomic.Int64
 	replicaEvents   atomic.Int64
+	shardSessions   atomic.Int64
+	shardRecords    atomic.Int64
+	shardVCEntries  atomic.Int64
 	drains          atomic.Int64
 	// sheddingConns counts target handlers currently parked in the
 	// overload retry loop; nonzero means the server is shedding load
@@ -192,6 +195,15 @@ type WireStats struct {
 	// ReplicationLag is the current number of ingested events not yet
 	// confirmed by every attached replica (0 with none attached).
 	ReplicationLag int
+	// ShardSessions counts accepted peer-shard (cross-shard exchange)
+	// sessions.
+	ShardSessions int
+	// ShardRecords counts export records streamed to peer shards.
+	ShardRecords int
+	// ShardVCEntries counts vector-timestamp entries sent on shard
+	// sessions (changed entries on delta sessions, full vectors on dense
+	// ones) — the wire cost of the cross-shard frontier.
+	ShardVCEntries int
 	// Drains counts Drain invocations (0 or 1 in practice: draining is
 	// terminal).
 	Drains int
@@ -200,23 +212,26 @@ type WireStats struct {
 // serverMetrics are the wire layer's instruments. All fields are nil
 // until InstrumentMetrics; writes are nil-safe no-ops.
 type serverMetrics struct {
-	targetConns   *telemetry.Counter
-	monitorConns  *telemetry.Counter
-	targetEvents  *telemetry.Counter
-	acksSent      *telemetry.Counter
-	heartbeats    *telemetry.Counter
-	stale         *telemetry.Counter
-	targetRes     *telemetry.Counter
-	monitorRes    *telemetry.Counter
-	peerTimeouts  *telemetry.Counter
-	monOverflows  *telemetry.Counter
-	loadSheds     *telemetry.Counter
-	monitorBytes  *telemetry.Counter
-	vcEntries     *telemetry.Counter
-	deltaSess     *telemetry.Counter
-	replicaConns  *telemetry.Counter
-	replicaEvents *telemetry.Counter
-	drains        *telemetry.Counter
+	targetConns    *telemetry.Counter
+	monitorConns   *telemetry.Counter
+	targetEvents   *telemetry.Counter
+	acksSent       *telemetry.Counter
+	heartbeats     *telemetry.Counter
+	stale          *telemetry.Counter
+	targetRes      *telemetry.Counter
+	monitorRes     *telemetry.Counter
+	peerTimeouts   *telemetry.Counter
+	monOverflows   *telemetry.Counter
+	loadSheds      *telemetry.Counter
+	monitorBytes   *telemetry.Counter
+	vcEntries      *telemetry.Counter
+	deltaSess      *telemetry.Counter
+	replicaConns   *telemetry.Counter
+	replicaEvents  *telemetry.Counter
+	shardConns     *telemetry.Counter
+	shardRecords   *telemetry.Counter
+	shardVCEntries *telemetry.Counter
+	drains         *telemetry.Counter
 }
 
 // InstrumentMetrics registers the server's wire metrics with reg. Call
@@ -228,23 +243,26 @@ func (s *Server) InstrumentMetrics(reg *telemetry.Registry) {
 		return
 	}
 	s.tel = serverMetrics{
-		targetConns:   reg.Counter("poet_wire_target_conns_total", "Accepted target (reporter) connections."),
-		monitorConns:  reg.Counter("poet_wire_monitor_conns_total", "Accepted monitor connections."),
-		targetEvents:  reg.Counter("poet_wire_target_events_total", "Event frames received from targets (before ingestion; includes stale retransmits)."),
-		acksSent:      reg.Counter("poet_wire_acks_sent_total", "serverAck frames sent to targets."),
-		heartbeats:    reg.Counter("poet_wire_heartbeats_sent_total", "Idle keep-alive frames sent to monitors."),
-		stale:         reg.Counter("poet_wire_stale_retransmits_total", "Retransmitted events absorbed as idempotent no-ops."),
-		targetRes:     reg.Counter("poet_wire_target_resumes_total", "Target hellos that named resumed traces."),
-		monitorRes:    reg.Counter("poet_wire_monitor_resumes_total", "Monitor hellos with a nonzero resume offset."),
-		peerTimeouts:  reg.Counter("poet_wire_peer_timeouts_total", "Target connections declared dead after peer-timeout silence."),
-		monOverflows:  reg.Counter("poet_wire_monitor_overflow_disconnects_total", "Monitors disconnected for overflowing their delivery queue."),
-		loadSheds:     reg.Counter("poet_wire_load_sheds_total", "Events shed back onto reporter buffers after an ErrOverloaded refusal."),
-		monitorBytes:  reg.Counter("poet_wire_monitor_bytes_total", "Bytes written to monitor connections (events, announcements, heartbeats, handshakes)."),
-		vcEntries:     reg.Counter("poet_wire_vc_entries_total", "Vector-timestamp entries sent to monitors (full vectors on dense connections, changed entries on delta connections)."),
-		deltaSess:     reg.Counter("poet_wire_delta_sessions_total", "Monitor sessions that negotiated delta-encoded timestamps."),
-		replicaConns:  reg.Counter("poet_wire_replica_sessions_total", "Accepted replica (warm-standby) sessions."),
-		replicaEvents: reg.Counter("poet_wire_replica_events_total", "Event records streamed to replica sessions."),
-		drains:        reg.Counter("poet_wire_drains_total", "Drain invocations (orderly shutdowns announced to peers)."),
+		targetConns:    reg.Counter("poet_wire_target_conns_total", "Accepted target (reporter) connections."),
+		monitorConns:   reg.Counter("poet_wire_monitor_conns_total", "Accepted monitor connections."),
+		targetEvents:   reg.Counter("poet_wire_target_events_total", "Event frames received from targets (before ingestion; includes stale retransmits)."),
+		acksSent:       reg.Counter("poet_wire_acks_sent_total", "serverAck frames sent to targets."),
+		heartbeats:     reg.Counter("poet_wire_heartbeats_sent_total", "Idle keep-alive frames sent to monitors."),
+		stale:          reg.Counter("poet_wire_stale_retransmits_total", "Retransmitted events absorbed as idempotent no-ops."),
+		targetRes:      reg.Counter("poet_wire_target_resumes_total", "Target hellos that named resumed traces."),
+		monitorRes:     reg.Counter("poet_wire_monitor_resumes_total", "Monitor hellos with a nonzero resume offset."),
+		peerTimeouts:   reg.Counter("poet_wire_peer_timeouts_total", "Target connections declared dead after peer-timeout silence."),
+		monOverflows:   reg.Counter("poet_wire_monitor_overflow_disconnects_total", "Monitors disconnected for overflowing their delivery queue."),
+		loadSheds:      reg.Counter("poet_wire_load_sheds_total", "Events shed back onto reporter buffers after an ErrOverloaded refusal."),
+		monitorBytes:   reg.Counter("poet_wire_monitor_bytes_total", "Bytes written to monitor connections (events, announcements, heartbeats, handshakes)."),
+		vcEntries:      reg.Counter("poet_wire_vc_entries_total", "Vector-timestamp entries sent to monitors (full vectors on dense connections, changed entries on delta connections)."),
+		deltaSess:      reg.Counter("poet_wire_delta_sessions_total", "Monitor sessions that negotiated delta-encoded timestamps."),
+		replicaConns:   reg.Counter("poet_wire_replica_sessions_total", "Accepted replica (warm-standby) sessions."),
+		replicaEvents:  reg.Counter("poet_wire_replica_events_total", "Event records streamed to replica sessions."),
+		shardConns:     reg.Counter("poet_wire_shard_sessions_total", "Accepted peer-shard (cross-shard exchange) sessions."),
+		shardRecords:   reg.Counter("poet_wire_shard_records_total", "Export records streamed to peer shards."),
+		shardVCEntries: reg.Counter("poet_wire_shard_vc_entries_total", "Vector-timestamp entries sent on shard sessions (changed entries on delta sessions)."),
+		drains:         reg.Counter("poet_wire_drains_total", "Drain invocations (orderly shutdowns announced to peers)."),
 	}
 	reg.GaugeFunc("poet_wire_shedding_connections", "Target connections currently parked in the overload retry loop.", func() int64 {
 		return s.sheddingConns.Load()
@@ -275,6 +293,9 @@ func (s *Server) WireStats() WireStats {
 		ReplicaSessions: int(s.replicaSessions.Load()),
 		ReplicaEvents:   int(s.replicaEvents.Load()),
 		ReplicationLag:  s.collector.ReplicationStats().Lag,
+		ShardSessions:   int(s.shardSessions.Load()),
+		ShardRecords:    int(s.shardRecords.Load()),
+		ShardVCEntries:  int(s.shardVCEntries.Load()),
 		Drains:          int(s.drains.Load()),
 	}
 	if d := s.collector.Durable(); d != nil {
@@ -428,7 +449,7 @@ func (s *Server) handle(conn net.Conn) error {
 	// the rejection is marked retriable so endpoint pools rotate to the
 	// live peer (or keep probing until promotion) instead of treating it
 	// as terminal. Query sessions pass: read-only state stays readable.
-	if h.Role == roleTarget || h.Role == roleMonitor || h.Role == roleReplica {
+	if h.Role == roleTarget || h.Role == roleMonitor || h.Role == roleReplica || h.Role == roleShard {
 		reason := ""
 		if s.Draining() {
 			reason = "server is draining; no new sessions"
@@ -449,6 +470,8 @@ func (s *Server) handle(conn net.Conn) error {
 		return s.handleMonitor(conn, h)
 	case roleReplica:
 		return s.handleReplica(conn, dec, h)
+	case roleShard:
+		return s.handleShard(conn, dec, h)
 	case roleQuery:
 		return s.handleQuery(conn, dec)
 	default:

@@ -1,0 +1,697 @@
+package poet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ocep/internal/backoff"
+	"ocep/internal/event"
+	"ocep/internal/pool"
+	"ocep/internal/vclock"
+)
+
+// Horizontal sharding. A sharded collector tier splits the trace space
+// across N collectors ("shards"): every trace has exactly one home
+// shard that ingests, stamps, and linearizes its events. Three pieces
+// make the composition equal to a single collector:
+//
+//   - Striped trace IDs: shard i numbers its home traces i, i+N,
+//     i+2N, … so global trace IDs (and therefore vector-clock
+//     positions) never collide across shards, and a merged monitor sees
+//     one coherent coordinate space without any renumbering.
+//   - The cross-shard exchange: delivering a send-like event appends a
+//     shardExport record — the send's identity, MsgID, and full vector
+//     timestamp — to an append-only export log. Peer shards tail that
+//     log over the normal OCEP-POET-2 port (hello role "shard"), with
+//     the timestamp delta-encoded exactly like monitor frames, so only
+//     the changed entries of the exporting shard's frontier travel.
+//     SupplyRemoteSend applies a record idempotently: a receive whose
+//     send was delivered on a peer merges the exported stamp instead of
+//     a local event's.
+//   - The merge layer (internal/shard): one monitor subscribes to every
+//     shard and interleaves the per-shard linearizations into a single
+//     causally-consistent one, holding back an event until the
+//     cross-shard part of its causal past (read off its timestamp) has
+//     been emitted.
+//
+// Exchange resume is deliberately from-zero: export records are
+// idempotent and self-describing, and after a crash recovery or a
+// failover the peer's export order need not match the dead session's,
+// so an offset-based resume could silently skip records. Re-streaming
+// the log is always correct; SupplyRemoteSend absorbs duplicates.
+//
+// Replication composes: a sharded primary appends every fresh remote
+// send to its replication record stream at the position it was applied
+// (repRecord.Remote), so a warm standby rebuilds the identical
+// linearization without tailing the peers itself — it must not, or
+// remote-send arrival timing would make its delivery order diverge from
+// the primary's. The standby starts its own peer followers only at
+// promotion.
+
+// shardExport is one record of the cross-shard export log: a delivered
+// send-like event reduced to what a peer needs to stamp its receive.
+type shardExport struct {
+	MsgID uint64
+	ID    event.ID
+	VC    vclock.Clock
+}
+
+// remoteSend is a peer shard's exported send, keyed by MsgID in
+// Collector.remoteSends.
+type remoteSend struct {
+	id event.ID
+	vc vclock.Clock
+}
+
+// shardExportState is the export log plus its growth notification,
+// guarded by the collector's mu.
+type shardExportState struct {
+	log []shardExport
+	ch  chan struct{}
+}
+
+func (x *shardExportState) appendLocked(rec shardExport) {
+	x.log = append(x.log, rec)
+	close(x.ch)
+	x.ch = make(chan struct{})
+}
+
+// EnableSharding makes the collector shard shardID of a numShards-wide
+// tier: its home traces get striped global IDs and its delivered sends
+// are exported for peer shards. Must be called at wiring time, before
+// any trace is registered or event ingested, and is incompatible with
+// SetRetention (the export log and remote-send table need the full
+// stream). Idempotent for identical arguments.
+func (c *Collector) EnableSharding(shardID, numShards int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if numShards < 1 || shardID < 0 || shardID >= numShards {
+		return fmt.Errorf("poet: invalid shard %d of %d", shardID, numShards)
+	}
+	if c.sharded {
+		if c.shardID == shardID && c.numShards == numShards {
+			return nil
+		}
+		return fmt.Errorf("poet: collector is already shard %d of %d", c.shardID, c.numShards)
+	}
+	if c.retain > 0 {
+		return errors.New("poet: sharding is incompatible with SetRetention (the export log and remote-send table need the full stream)")
+	}
+	if c.ingests > 0 || c.store.NumTraces() > 0 {
+		return errors.New("poet: EnableSharding must be called before any trace is registered")
+	}
+	c.sharded = true
+	c.shardID = shardID
+	c.numShards = numShards
+	c.remoteSends = make(map[uint64]remoteSend)
+	c.shardX = &shardExportState{ch: make(chan struct{})}
+	return nil
+}
+
+// Sharded reports whether EnableSharding has been called.
+func (c *Collector) Sharded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sharded
+}
+
+// ShardStats summarizes a shard's side of the cross-shard exchange.
+type ShardStats struct {
+	// Enabled reports whether the collector is sharded.
+	Enabled bool
+	// ShardID and NumShards are the EnableSharding arguments.
+	ShardID, NumShards int
+	// HomeTraces counts the traces homed on this shard.
+	HomeTraces int
+	// Exports is the export log length (delivered sends).
+	Exports int
+	// RemoteSends counts fresh peer-shard send records applied.
+	RemoteSends int
+}
+
+// ShardStats returns the collector's sharding counters.
+func (c *Collector) ShardStats() ShardStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ShardStats{Enabled: c.sharded, ShardID: c.shardID, NumShards: c.numShards}
+	if !c.sharded {
+		return st
+	}
+	st.HomeTraces = c.shardLocals
+	st.Exports = len(c.shardX.log)
+	st.RemoteSends = len(c.remoteSends)
+	return st
+}
+
+// hasSendLocked reports whether the send pairing msgID has been
+// delivered locally or supplied by a peer shard — the receive gate of
+// the delivery cascade.
+func (c *Collector) hasSendLocked(msgID uint64) bool {
+	if _, ok := c.sends[msgID]; ok {
+		return true
+	}
+	_, ok := c.remoteSends[msgID]
+	return ok
+}
+
+// SupplyRemoteSend applies one peer-shard export record: the identity
+// and vector timestamp of a send delivered on its home shard, keyed by
+// MsgID. Idempotent — duplicates (re-streamed logs, overlapping peer
+// sessions, a send that turns out to be local) are absorbed — so peers
+// may always re-stream from zero. A fresh record wakes any receives
+// that were gated on it, and on a replicating primary it is appended to
+// the record stream at this position so a standby applies it at the
+// same point of its rebuild.
+func (c *Collector) SupplyRemoteSend(msgID uint64, id event.ID, vc vclock.Clock) error {
+	if msgID == 0 {
+		return errors.New("poet: remote send has no message id")
+	}
+	c.mu.Lock()
+	if !c.sharded {
+		c.mu.Unlock()
+		return errors.New("poet: SupplyRemoteSend on an unsharded collector")
+	}
+	if c.sendersSeen[msgID] {
+		// The send is (or will be) delivered locally: the local stamp
+		// wins, and this record is our own export echoed around the tier.
+		c.mu.Unlock()
+		return nil
+	}
+	if _, ok := c.remoteSends[msgID]; ok {
+		c.mu.Unlock()
+		return nil
+	}
+	// Normalize to the collector's stamping representation; both copy,
+	// so the stored clock never aliases a decoder baseline.
+	if c.sparse {
+		vc = vclock.SparseOf(vc)
+	} else {
+		vc = vclock.DenseOf(vc)
+	}
+	c.remoteSends[msgID] = remoteSend{id: id, vc: vc}
+	if c.repl != nil {
+		c.repl.appendLocked(repRecord{Remote: &shardExport{MsgID: msgID, ID: id, VC: vc}})
+	}
+	c.tel.shardRemote.Inc()
+	if waiters := c.recvWait[msgID]; len(waiters) > 0 {
+		delete(c.recvWait, msgID)
+		for _, t := range waiters {
+			c.drain(t)
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// shardRecordsFrom returns the export-log suffix starting at idx, the
+// index just past it, and the growth channel (for an empty suffix).
+// Records are immutable once appended, so the slice is safe to read
+// without copying.
+func (c *Collector) shardRecordsFrom(idx int) (recs []shardExport, next int, ch <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	x := c.shardX
+	if idx < len(x.log) {
+		recs = x.log[idx:len(x.log):len(x.log)]
+	}
+	return recs, len(x.log), x.ch
+}
+
+// ---------------------------------------------------------------------
+// Server side: shard peer sessions.
+
+// handleShard streams the collector's export log to one peer shard: the
+// suffix past the peer's offset first, then live records as sends are
+// delivered, with idle heartbeats carrying the export head. Timestamps
+// are delta-encoded when the peer negotiated DeltaVC, so an idle or
+// slowly-changing frontier costs a handful of entries per record. The
+// peer never writes after its hello; a background read doubles as the
+// close detector.
+func (s *Server) handleShard(conn net.Conn, dec *gob.Decoder, h hello) error {
+	c := s.collector
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	writeMsg := func(msg *wireMsg) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		return enc.Encode(msg)
+	}
+	sendHello := func(ack helloAck) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		return enc.Encode(&ack)
+	}
+	if !c.Sharded() {
+		msg := "sharding not enabled on this collector"
+		_ = sendHello(helloAck{Error: msg})
+		return fmt.Errorf("shard peer %s: %s", conn.RemoteAddr(), msg)
+	}
+	_, head, _ := c.shardRecordsFrom(0)
+	if h.ResumeFrom < 0 || h.ResumeFrom > head {
+		msg := fmt.Sprintf("cannot resume shard exchange from offset %d (exported %d): this shard did not produce that stream", h.ResumeFrom, head)
+		_ = sendHello(helloAck{Error: msg})
+		return fmt.Errorf("shard peer %s: %s", conn.RemoteAddr(), msg)
+	}
+	if err := sendHello(helloAck{OK: true, DeltaVC: h.DeltaVC}); err != nil {
+		return fmt.Errorf("shard hello ack: %w", err)
+	}
+	s.shardSessions.Add(1)
+	s.tel.shardConns.Inc()
+	s.logf("poet server: shard peer %s attached at export offset %d", conn.RemoteAddr(), h.ResumeFrom)
+
+	// Shard peers never send after the hello; a background read doubles
+	// as a close detector.
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		_, _ = conn.Read(buf)
+		close(done)
+	}()
+
+	denc := &deltaEncoder{}
+	idx := h.ResumeFrom
+	hb := time.NewTimer(s.hbInterval)
+	defer hb.Stop()
+	drain := s.drainCh
+	for {
+		recs, next, ch := c.shardRecordsFrom(idx)
+		for i := range recs {
+			rec := recs[i]
+			var w *wireEvent
+			if h.DeltaVC {
+				// denc is touched only on this loop, so encoding order
+				// equals stream order — the delta baseline's invariant.
+				w = toWireDelta(&event.Event{ID: rec.ID, VC: rec.VC}, denc)
+				s.shardVCEntries.Add(int64(len(w.VCTr)))
+				s.tel.shardVCEntries.Add(int64(len(w.VCTr)))
+			} else {
+				w = toWire(&event.Event{ID: rec.ID, VC: rec.VC})
+				s.shardVCEntries.Add(int64(len(w.VC)))
+				s.tel.shardVCEntries.Add(int64(len(w.VC)))
+			}
+			w.MsgID = rec.MsgID
+			if err := writeMsg(&wireMsg{Shard: w, Head: next}); err != nil {
+				return fmt.Errorf("encoding to shard peer: %w", err)
+			}
+			s.shardRecords.Add(1)
+			s.tel.shardRecords.Inc()
+		}
+		idx = next
+		if len(recs) > 0 {
+			// Re-check for records appended while this batch encoded
+			// before parking.
+			backoff.ResetTimer(hb, s.hbInterval)
+			continue
+		}
+		select {
+		case <-ch:
+		case <-hb.C:
+			hb.Reset(s.hbInterval)
+			if err := writeMsg(&wireMsg{Heartbeat: true, Head: idx}); err != nil {
+				return fmt.Errorf("heartbeat to shard peer: %w", err)
+			}
+			s.heartbeats.Add(1)
+		case <-done:
+			return nil
+		case <-drain:
+			// Advise the peer to move to this shard's standby; keep
+			// serving until End/close for peers with nowhere to go.
+			drain = nil
+			if err := writeMsg(&wireMsg{Drain: true}); err != nil {
+				return fmt.Errorf("drain frame to shard peer: %w", err)
+			}
+		case <-s.closing:
+			err := writeMsg(&wireMsg{End: true})
+			_ = conn.Close()
+			return err
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Follower side: the ShardFollower client.
+
+// ShardOption configures FollowShardPeer.
+type ShardOption func(*shardCfg)
+
+type shardCfg struct {
+	reconnectBudget time.Duration
+	backoffBase     time.Duration
+	backoffMax      time.Duration
+	peerTimeout     time.Duration
+	dialTimeout     time.Duration
+	writeTimeout    time.Duration
+	logf            func(string, ...any)
+}
+
+func defaultShardCfg() shardCfg {
+	return shardCfg{
+		reconnectBudget: defaultReconnectBudget,
+		backoffBase:     defaultBackoffBase,
+		backoffMax:      defaultBackoffMax,
+		peerTimeout:     defaultPeerTimeout,
+		dialTimeout:     defaultDialTimeout,
+		writeTimeout:    defaultWriteTimeout,
+		logf:            func(string, ...any) {},
+	}
+}
+
+// WithShardReconnect bounds the cumulative backoff spent per outage
+// redialing the peer's endpoint pool before the follower finishes with
+// an ErrStreamInterrupted wrap.
+func WithShardReconnect(budget time.Duration) ShardOption {
+	return func(c *shardCfg) { c.reconnectBudget = budget }
+}
+
+// WithShardBackoff overrides the reconnect backoff schedule.
+func WithShardBackoff(base, max time.Duration) ShardOption {
+	return func(c *shardCfg) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithShardPeerTimeout overrides how long the follower waits for a
+// record or heartbeat before declaring the connection dead.
+func WithShardPeerTimeout(d time.Duration) ShardOption {
+	return func(c *shardCfg) {
+		if d > 0 {
+			c.peerTimeout = d
+		}
+	}
+}
+
+// WithShardLog routes shard-exchange diagnostics to logf.
+func WithShardLog(logf func(string, ...any)) ShardOption {
+	return func(c *shardCfg) {
+		if logf != nil {
+			c.logf = logf
+		}
+	}
+}
+
+// ShardFollowerStats are a follower's cumulative exchange counters.
+type ShardFollowerStats struct {
+	// Peer is the followed endpoint pool, as configured.
+	Peer string
+	// Received counts export records received, including idempotent
+	// duplicates from from-zero re-streams.
+	Received int
+	// Head is the peer's last reported export-log length.
+	Head int
+	// Lag is Head minus the records received on the current session,
+	// clamped at zero (sessions always re-stream from zero).
+	Lag int
+	// Reconnects counts successful session re-establishments.
+	Reconnects int
+}
+
+// ShardFollower tails one peer shard's export log into the local
+// collector via SupplyRemoteSend. The endpoint pool covers the peer's
+// failover pair ("primary,standby"): a drain notice or dead connection
+// rotates, a standby's retriable rejection keeps the pool probing until
+// promotion, and every (re)connection re-streams the export log from
+// zero — always correct, because SupplyRemoteSend absorbs duplicates.
+// The initial connection is asynchronous: at tier start-up the peers
+// come up in arbitrary order, so the first dial rides the same
+// reconnect budget as any outage.
+type ShardFollower struct {
+	peer string
+	eps  *pool.Pool
+	c    *Collector
+	cfg  shardCfg
+
+	mu         sync.Mutex
+	conn       net.Conn
+	received   int
+	got        int // records received on the current session
+	head       int
+	reconnects int
+	sessions   int
+	stopped    bool
+	err        error
+
+	stopCh chan struct{}
+	done   chan struct{}
+}
+
+// FollowShardPeer starts tailing the peer shard behind addrs (a
+// comma-separated failover pool) into c. It returns immediately; watch
+// Done and classify Err when the follower finishes: nil means Stop,
+// anything else means the peer stayed unreachable past the reconnect
+// budget or the exchange is misconfigured.
+func FollowShardPeer(addrs string, c *Collector, opts ...ShardOption) (*ShardFollower, error) {
+	cfg := defaultShardCfg()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	list := pool.ParseAddrs(addrs)
+	if len(list) == 0 {
+		return nil, fmt.Errorf("poet shard: %w", pool.ErrNoEndpoints)
+	}
+	if !c.Sharded() {
+		return nil, errors.New("poet shard: FollowShardPeer needs a sharded collector (EnableSharding first)")
+	}
+	f := &ShardFollower{
+		peer:   addrs,
+		eps:    pool.New(list, cfg.backoffBase, cfg.backoffMax),
+		c:      c,
+		cfg:    cfg,
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go f.run()
+	return f, nil
+}
+
+// shardApplyError marks causes redialing cannot fix: the local
+// collector refused a record the peer exported (configuration
+// divergence), or the delta stream desynchronized in a way a fresh
+// handshake would only repeat.
+type shardApplyError struct{ err error }
+
+func (e *shardApplyError) Error() string { return e.err.Error() }
+func (e *shardApplyError) Unwrap() error { return e.err }
+
+func (f *ShardFollower) run() {
+	defer close(f.done)
+	for {
+		conn, dec, delta, err := f.connect()
+		if err != nil {
+			f.finish(err)
+			return
+		}
+		if conn == nil {
+			f.finish(nil) // stopped mid-backoff
+			return
+		}
+		cause := f.session(conn, dec, delta)
+		_ = conn.Close()
+		if f.isStopped() {
+			f.finish(nil)
+			return
+		}
+		var ae *shardApplyError
+		if errors.As(cause, &ae) {
+			f.finish(cause)
+			return
+		}
+		// Transport or drain: redial through the pool.
+	}
+}
+
+// connect completes one handshake against the peer's pool, pacing full
+// failed rounds with the shared backoff until the per-outage budget is
+// exhausted.
+func (f *ShardFollower) connect() (net.Conn, *gob.Decoder, bool, error) {
+	var slept time.Duration
+	for {
+		if f.isStopped() {
+			return nil, nil, false, nil
+		}
+		addr := f.eps.Pick()
+		conn, dec, delta, err := f.handshake(addr)
+		if err == nil {
+			f.eps.Success(addr)
+			f.mu.Lock()
+			f.conn = conn
+			f.got = 0
+			f.sessions++
+			if f.sessions > 1 {
+				f.reconnects++
+			}
+			f.mu.Unlock()
+			f.cfg.logf("poet shard: following %s (export log from zero)", addr)
+			return conn, dec, delta, nil
+		}
+		if errors.Is(err, ErrSessionRejected) {
+			return nil, nil, false, err
+		}
+		d := f.eps.Fail(addr, err)
+		if d == 0 {
+			continue // healthy alternative: try it immediately
+		}
+		if slept+d > f.cfg.reconnectBudget {
+			sum := f.eps.ErrorSummary()
+			if sum == nil {
+				sum = err
+			}
+			return nil, nil, false, fmt.Errorf("poet shard: %w; peer %s unreachable for %v (%v)",
+				ErrStreamInterrupted, f.peer, f.cfg.reconnectBudget, sum)
+		}
+		slept += d
+		if !backoff.Sleep(d, f.stopCh) {
+			return nil, nil, false, nil
+		}
+	}
+}
+
+func (f *ShardFollower) handshake(addr string) (net.Conn, *gob.Decoder, bool, error) {
+	conn, err := net.DialTimeout("tcp", addr, f.cfg.dialTimeout)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("dial: %w", err)
+	}
+	enc := gob.NewEncoder(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(f.cfg.writeTimeout))
+	if err := enc.Encode(hello{Magic: wireMagic, Role: roleShard, ResumeFrom: 0, DeltaVC: true}); err != nil {
+		_ = conn.Close()
+		return nil, nil, false, fmt.Errorf("hello: %w", err)
+	}
+	dec := gob.NewDecoder(conn)
+	hsTimeout := f.cfg.peerTimeout
+	if hsTimeout < minHandshakeTimeout {
+		hsTimeout = minHandshakeTimeout
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(hsTimeout))
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil {
+		_ = conn.Close()
+		return nil, nil, false, fmt.Errorf("hello ack: %w", err)
+	}
+	if !ack.OK {
+		_ = conn.Close()
+		if ack.Retry {
+			return nil, nil, false, fmt.Errorf("session deferred: %s", ack.Error)
+		}
+		return nil, nil, false, fmt.Errorf("%w: %s", ErrSessionRejected, ack.Error)
+	}
+	return conn, dec, ack.DeltaVC, nil
+}
+
+// session applies one connection's export stream until it ends.
+func (f *ShardFollower) session(conn net.Conn, dec *gob.Decoder, delta bool) error {
+	ddec := &deltaDecoder{sparse: f.c.SparseClocks()}
+	addr := conn.RemoteAddr().String()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(f.cfg.peerTimeout))
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			if isTimeout(err) {
+				f.cfg.logf("poet shard: no record or heartbeat from %s in %v; reconnecting", addr, f.cfg.peerTimeout)
+			}
+			return err
+		}
+		if msg.Head > 0 {
+			f.mu.Lock()
+			if msg.Head > f.head {
+				f.head = msg.Head
+			}
+			f.mu.Unlock()
+		}
+		switch {
+		case msg.Drain, msg.End:
+			// The peer is going away; rotate toward its standby. When no
+			// alternative looks healthy on a mere drain notice, hold the
+			// session — the peer keeps exporting until its End frame.
+			if msg.End || f.eps.HealthyAlternative(addr) {
+				f.eps.Demote(addr)
+				return fmt.Errorf("peer %s %s", addr, map[bool]string{true: "ended its stream", false: "draining"}[msg.End])
+			}
+		case msg.Heartbeat:
+			// Head already tracked above.
+		case msg.Shard != nil:
+			var vc vclock.Clock
+			if delta {
+				c, err := ddec.decode(msg.Shard)
+				if err != nil {
+					return &shardApplyError{fmt.Errorf("poet shard: %w", err)}
+				}
+				vc = c
+			} else {
+				vc = vclock.VC(msg.Shard.VC)
+			}
+			id := event.ID{Trace: event.TraceID(msg.Shard.Trace), Index: msg.Shard.Index}
+			if err := f.c.SupplyRemoteSend(msg.Shard.MsgID, id, vc); err != nil {
+				return &shardApplyError{fmt.Errorf("poet shard: applying export %d from %s: %w", msg.Shard.MsgID, addr, err)}
+			}
+			f.mu.Lock()
+			f.received++
+			f.got++
+			f.mu.Unlock()
+		}
+	}
+}
+
+func (f *ShardFollower) isStopped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stopped
+}
+
+func (f *ShardFollower) finish(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Stop detaches from the peer. Wait on Done for the session goroutine.
+func (f *ShardFollower) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	conn := f.conn
+	f.mu.Unlock()
+	close(f.stopCh)
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// Done is closed when the follower has stopped, for any reason; Err
+// then says why.
+func (f *ShardFollower) Done() <-chan struct{} { return f.done }
+
+// Err returns why following ended: nil (Stop), an ErrStreamInterrupted
+// wrap (peer unreachable past the budget), a terminal
+// ErrSessionRejected wrap, or a shard apply error (configuration
+// divergence).
+func (f *ShardFollower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Stats returns the follower's exchange counters.
+func (f *ShardFollower) Stats() ShardFollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lag := f.head - f.got
+	if lag < 0 {
+		lag = 0
+	}
+	return ShardFollowerStats{
+		Peer:       f.peer,
+		Received:   f.received,
+		Head:       f.head,
+		Lag:        lag,
+		Reconnects: f.reconnects,
+	}
+}

@@ -1,0 +1,15 @@
+package poet
+
+import "ocep/internal/event"
+
+// EventSource is a linearized event stream a monitor can drain: Next
+// yields delivered events in causal order until io.EOF, and TraceName
+// resolves the collector-assigned trace IDs the events carry.
+// *MonitorClient is the single-collector source; internal/shard's
+// MergedClient is the sharded-tier one.
+type EventSource interface {
+	Next() (*event.Event, error)
+	TraceName(event.TraceID) (string, bool)
+}
+
+var _ EventSource = (*MonitorClient)(nil)

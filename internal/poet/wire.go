@@ -43,6 +43,10 @@ const (
 	// ingestion-ordered record stream (events plus explicit trace
 	// registrations) to keep an identical collector one failover away.
 	roleReplica = "replica"
+	// roleShard is a peer shard tailing this server's cross-shard export
+	// log: the stamped send events other shards need before they can
+	// deliver receives whose causal past lives here.
+	roleShard = "shard"
 )
 
 type hello struct {
@@ -143,8 +147,17 @@ type wireMsg struct {
 	Drain bool
 	// Head, on replica-session frames, is the server's current ingest
 	// count (event records), letting the replica compute its lag even
-	// while the stream is idle.
+	// while the stream is idle. On shard-session frames it is the export
+	// log length instead.
 	Head int
+	// Shard is one cross-shard export record: a stamped send event
+	// another shard may need to deliver a receive. Only the identity,
+	// timestamp, and MsgID fields are meaningful; the timestamp travels
+	// dense or delta-encoded exactly like monitor frames. Shard records
+	// also appear on replica sessions, placed at the position the
+	// primary applied them, so a standby rebuilds the identical
+	// linearization. New-in-struct gob field: no magic bump.
+	Shard *wireEvent
 }
 
 // replicaAck is one replica-to-server frame: the number of event
@@ -189,6 +202,10 @@ type wireEvent struct {
 	// VCFull marks the first frame of a connection's delta stream (a
 	// delta against the all-zero baseline).
 	VCFull bool
+	// MsgID identifies the message a cross-shard export record's send
+	// belongs to; zero on monitor frames. New-in-struct gob field: no
+	// magic bump.
+	MsgID uint64
 }
 
 func toWire(e *event.Event) *wireEvent {

@@ -28,7 +28,15 @@ import (
 type Health struct {
 	Addr                string
 	ConsecutiveFailures int
-	LastErr             error
+	// LastErr is the endpoint's most recent recorded error. It survives
+	// an intervening success: the streak reset clears the failure count,
+	// not the diagnostic, so a later all-down ErrorSummary can still name
+	// what each endpoint last said (e.g. "standby awaiting promotion").
+	LastErr error
+	// Load is the most recent load sample recorded by SetLoad;
+	// meaningful only when LoadKnown is true.
+	Load      int64
+	LoadKnown bool
 }
 
 type endpoint struct {
@@ -36,6 +44,11 @@ type endpoint struct {
 	fails  int
 	lastMu sync.Mutex // lastErr is read by ErrorSummary while Fail writes it
 	last   error
+	// load is the most recent SetLoad sample; loadKnown gates endpoints
+	// that have never been sampled out of LeastLoaded. Guarded by the
+	// pool's mu.
+	load      int64
+	loadKnown bool
 }
 
 // Pool is a rotation of endpoints with per-endpoint health. All methods
@@ -86,14 +99,16 @@ func (p *Pool) Pick() string {
 }
 
 // Success records a working session on addr: its failure streak and the
-// shared round backoff reset, and it becomes (stays) current.
+// shared round backoff reset, and it becomes (stays) current. The last
+// recorded error is deliberately kept: a success that interleaves with
+// a failed round must not erase the diagnostic before a later all-down
+// ErrorSummary can name it (only a fresh failure overwrites it).
 func (p *Pool) Success(addr string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i, ep := range p.eps {
 		if ep.addr == addr {
 			ep.fails = 0
-			ep.setErr(nil)
 			p.cur = i
 			break
 		}
@@ -164,6 +179,44 @@ func (p *Pool) advanceLocked() {
 	p.failovers++
 }
 
+// SetLoad records addr's most recent load sample — in the sharded tier,
+// a shard's pending-events gauge plus a shedding penalty, scraped from
+// its metrics endpoint. Samples feed LeastLoaded; endpoints never
+// sampled do not participate.
+func (p *Pool) SetLoad(addr string, load int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ep := range p.eps {
+		if ep.addr == addr {
+			ep.load = load
+			ep.loadKnown = true
+			return
+		}
+	}
+}
+
+// LeastLoaded returns the healthy endpoint (no current failure streak)
+// with the lowest recorded load sample, keeping priority order on ties.
+// ok is false when no healthy endpoint has been sampled — callers fall
+// back to their deterministic placement (the shard partitioner's hash).
+func (p *Pool) LeastLoaded() (addr string, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *endpoint
+	for _, ep := range p.eps {
+		if ep.fails > 0 || !ep.loadKnown {
+			continue
+		}
+		if best == nil || ep.load < best.load {
+			best = ep
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.addr, true
+}
+
 // Failovers counts how many times the pool moved off its current
 // endpoint, whether for failure or drain.
 func (p *Pool) Failovers() uint64 {
@@ -181,7 +234,13 @@ func (p *Pool) Snapshot() []Health {
 	defer p.mu.Unlock()
 	out := make([]Health, len(p.eps))
 	for i, ep := range p.eps {
-		out[i] = Health{Addr: ep.addr, ConsecutiveFailures: ep.fails, LastErr: ep.getErr()}
+		out[i] = Health{
+			Addr:                ep.addr,
+			ConsecutiveFailures: ep.fails,
+			LastErr:             ep.getErr(),
+			Load:                ep.load,
+			LoadKnown:           ep.loadKnown,
+		}
 	}
 	return out
 }

@@ -150,11 +150,77 @@ func TestErrorSummaryNamesEveryEndpoint(t *testing.T) {
 	if !errors.Is(sum, errB) {
 		t.Fatal("summary does not wrap the most recent per-endpoint error")
 	}
-	// Success clears the record.
+	// Success resets the failure streak but keeps the diagnostic: if the
+	// whole set later goes down, the summary can still name what each
+	// endpoint last said.
 	p.Success("a:1")
-	if msg := p.ErrorSummary().Error(); strings.Contains(msg, "a:1") {
-		t.Fatalf("summary still blames a recovered endpoint: %q", msg)
+	if msg := p.ErrorSummary().Error(); !strings.Contains(msg, "a:1") {
+		t.Fatalf("summary lost the recovered endpoint's last error: %q", msg)
 	}
+	if h := p.Snapshot()[0]; h.ConsecutiveFailures != 0 || h.LastErr == nil {
+		t.Fatalf("Success should clear the streak, not the diagnostic: %+v", h)
+	}
+}
+
+// Regression: a rotation that succeeds after a failed round used to
+// erase the failed endpoint's recorded error, so a later all-down
+// budget-exhaustion report could no longer say why the preferred
+// endpoint was skipped (e.g. "standby awaiting promotion").
+func TestSuccessKeepsLastErrorForLaterSummary(t *testing.T) {
+	p := New([]string{"primary:1", "standby:2"}, 0, 0)
+	p.Fail("primary:1", errors.New("session deferred: standby awaiting promotion"))
+	p.Success("standby:2")
+	// Both endpoints die later; the summary must still explain primary:1.
+	p.Fail("standby:2", errors.New("connection reset"))
+	p.Fail("primary:1", errors.New("connection refused"))
+	msg := p.ErrorSummary().Error()
+	if !strings.Contains(msg, "primary:1") || !strings.Contains(msg, "connection refused") {
+		t.Fatalf("summary missing primary:1's error: %q", msg)
+	}
+	if !strings.Contains(msg, "standby:2") || !strings.Contains(msg, "connection reset") {
+		t.Fatalf("summary missing standby:2's error: %q", msg)
+	}
+
+	// And the intermediate state — one endpoint failed, the other fine —
+	// keeps the diagnostic visible in health snapshots.
+	q := New([]string{"a:1", "b:2"}, 0, 0)
+	q.Fail("a:1", errors.New("no route to host"))
+	q.Success("b:2")
+	snap := q.Snapshot()
+	if snap[0].LastErr == nil || !strings.Contains(snap[0].LastErr.Error(), "no route") {
+		t.Fatalf("Success on a peer erased a:1's diagnostic: %+v", snap[0])
+	}
+}
+
+func TestSetLoadAndLeastLoaded(t *testing.T) {
+	p := New([]string{"s0", "s1", "s2"}, 0, 0)
+	if _, ok := p.LeastLoaded(); ok {
+		t.Fatal("LeastLoaded reported an endpoint before any sample")
+	}
+	p.SetLoad("s1", 40)
+	p.SetLoad("s2", 10)
+	if addr, ok := p.LeastLoaded(); !ok || addr != "s2" {
+		t.Fatalf("LeastLoaded = %q, %v; want s2", addr, ok)
+	}
+	// An unhealthy endpoint is excluded even if least loaded.
+	p.Fail("s2", errors.New("refused"))
+	if addr, ok := p.LeastLoaded(); !ok || addr != "s1" {
+		t.Fatalf("LeastLoaded with s2 down = %q, %v; want s1", addr, ok)
+	}
+	// Ties keep priority order.
+	p.Success("s2")
+	p.SetLoad("s0", 10)
+	p.SetLoad("s2", 10)
+	p.SetLoad("s1", 10)
+	if addr, ok := p.LeastLoaded(); !ok || addr != "s0" {
+		t.Fatalf("tied LeastLoaded = %q, %v; want priority order s0", addr, ok)
+	}
+	h := p.Snapshot()[0]
+	if !h.LoadKnown || h.Load != 10 {
+		t.Fatalf("snapshot missing load sample: %+v", h)
+	}
+	// Unknown address: a no-op, not a panic.
+	p.SetLoad("nope", 1)
 }
 
 func TestSuccessMakesEndpointCurrent(t *testing.T) {

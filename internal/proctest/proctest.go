@@ -1,0 +1,263 @@
+// Package proctest is the shared harness for process-level end-to-end
+// tests: suites that build the real cmd/ binaries, spawn them as child
+// processes, kill them mid-stream, and observe them through their TCP
+// and HTTP surfaces. The crash-recovery, failover, sharding, health-
+// probe, and metrics-scrape differentials all drive the same handful of
+// primitives — build a tool once per run, grab a free port, start a
+// daemon and wait until its socket answers, scrape a metric until it
+// reaches a target — so they live here instead of being re-derived per
+// suite.
+package proctest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ModuleRoot walks up from the working directory to the enclosing
+// go.mod, so helpers work no matter which package's test binary is
+// running (root-package suites run in the repo root, internal ones in
+// their own directory).
+func ModuleRoot(t testing.TB) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+var (
+	binMu  sync.Mutex
+	binDir string
+)
+
+// BuildTool compiles one cmd/ binary into a shared temp dir (once per
+// test-process run) and returns its path.
+func BuildTool(t testing.TB, name string) string {
+	t.Helper()
+	binMu.Lock()
+	defer binMu.Unlock()
+	if binDir == "" {
+		dir, err := os.MkdirTemp("", "ocep-bin-")
+		if err != nil {
+			t.Fatal(err)
+		}
+		binDir = dir
+	}
+	bin := filepath.Join(binDir, name)
+	if _, err := os.Stat(bin); err == nil {
+		return bin
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = ModuleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// FreePort reserves an ephemeral 127.0.0.1 port and returns its
+// "host:port" address. The listener is closed again, so there is a
+// small race window; fine for tests that bind it immediately.
+func FreePort(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// SyncBuffer is a mutex-guarded output buffer safe to poll while an
+// exec.Cmd writes into it.
+type SyncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *SyncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *SyncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// StartServer launches bin with args, wiring stdout and stderr to out,
+// and waits until probeAddr accepts a TCP connection — for a daemon
+// restarted against existing state, that means recovery has finished. A
+// warm standby counts as up too: its socket answers even while its
+// session gate rejects hellos retriably.
+func StartServer(t testing.TB, bin string, out *SyncBuffer, probeAddr string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", filepath.Base(bin), err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", probeAddr, 100*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			return cmd
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatalf("%s never came up on %s; output:\n%s", filepath.Base(bin), probeAddr, out.String())
+	return nil
+}
+
+// KillIfAlive hard-kills a child that has not already exited; the
+// deferred cleanup of every daemon-spawning test.
+func KillIfAlive(cmd *exec.Cmd) {
+	if cmd != nil && cmd.ProcessState == nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}
+}
+
+// ProbeURL performs one GET without retries.
+func ProbeURL(url string) (int, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(body), nil
+}
+
+// WaitForStatus polls url until it returns the wanted status, failing
+// the test after 10s. It returns the matching body.
+func WaitForStatus(t testing.TB, url string, want int) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		code, body, err := ProbeURL(url)
+		if err == nil {
+			if code == want {
+				return body
+			}
+			last = fmt.Sprintf("status %d body %q", code, body)
+		} else {
+			last = err.Error()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never returned %d; last: %s", url, want, last)
+	return ""
+}
+
+// Scrape GETs url until it answers 200, failing the test after 10s,
+// and returns the body.
+func Scrape(t testing.TB, url string) string {
+	t.Helper()
+	var lastErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				return string(body)
+			}
+			lastErr = fmt.Errorf("status %d, read err %v", resp.StatusCode, err)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("scraping %s: %v", url, lastErr)
+	return ""
+}
+
+// ParsePromText parses the Prometheus text exposition format into a
+// map from series (name plus label string, verbatim) to value.
+func ParsePromText(t testing.TB, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// ScrapeMetric reads one un-labeled metric from a daemon telemetry
+// listener's Prometheus text exposition.
+func ScrapeMetric(metricsAddr, name string) (float64, bool) {
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// WaitMetric polls a scraped metric until it reaches target.
+func WaitMetric(t testing.TB, what, metricsAddr, name string, target float64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := ScrapeMetric(metricsAddr, name); ok && v >= target {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	v, _ := ScrapeMetric(metricsAddr, name)
+	t.Fatalf("timed out waiting for %s (%s at %v, want >= %v)", what, name, v, target)
+}

@@ -1,0 +1,263 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"ocep/internal/event"
+	"ocep/internal/poet"
+)
+
+// Stream is the slice of a monitor client the merge layer consumes;
+// *poet.MonitorClient satisfies it. Next and TraceName are called from
+// a single goroutine per stream (the monitor-client contract).
+type Stream interface {
+	Next() (*event.Event, error)
+	TraceName(event.TraceID) (string, bool)
+}
+
+// mergeQueueMax bounds each per-shard queue: a shard far ahead of its
+// peers parks its pump instead of buffering without limit. It must
+// comfortably exceed any single burst of causally-unordered deliveries,
+// which cross-shard exchange latency bounds in practice.
+const mergeQueueMax = 1 << 14
+
+// item is one pumped event with the trace name captured on the pump
+// goroutine (where calling TraceName is safe).
+type item struct {
+	e    *event.Event
+	name string
+	ok   bool
+}
+
+// MergedClient interleaves the per-shard linearizations of a sharded
+// collector tier into a single causally-consistent stream. One pump
+// goroutine per shard drains its monitor client into a bounded queue;
+// Next emits the first queue head that is *ready* — every cross-shard
+// entry of its vector timestamp (trace t with t % numShards owned by
+// another shard) already emitted. Same-shard predecessors need no
+// check: the shard's own linearization provides them in order.
+//
+// Emission order is deterministic given the per-shard streams: ready
+// heads are taken in fixed shard order, so a re-run over identical
+// shard linearizations merges identically. Deadlock-freedom holds
+// because the tier exports a send before any peer delivers the
+// matching receive, so by induction on cross-shard edges some head is
+// always ready while events remain.
+//
+// MergedClient satisfies poet.EventSource; feed it straight to
+// Monitor.Run.
+type MergedClient struct {
+	streams []Stream
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [][]item
+	done    []bool  // pump i finished (EOF or error)
+	errs    []error // pump i's terminal error, if any
+	emitted map[event.TraceID]int32
+	names   map[event.TraceID]string
+	total   int
+	closed  bool
+}
+
+var _ poet.EventSource = (*MergedClient)(nil)
+
+// NewMergedClient merges streams, whose order assigns shard IDs:
+// streams[i] must be shard i of a len(streams)-wide tier (poetd's
+// -shard-id i), because trace homes are read off trace IDs as
+// t % len(streams).
+func NewMergedClient(streams []Stream) (*MergedClient, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("shard: no streams to merge")
+	}
+	m := &MergedClient{
+		streams: streams,
+		queues:  make([][]item, len(streams)),
+		done:    make([]bool, len(streams)),
+		errs:    make([]error, len(streams)),
+		emitted: make(map[event.TraceID]int32),
+		names:   make(map[event.TraceID]string),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := range streams {
+		go m.pump(i)
+	}
+	return m, nil
+}
+
+// pump drains one shard's stream into its queue.
+func (m *MergedClient) pump(i int) {
+	s := m.streams[i]
+	for {
+		e, err := s.Next()
+		if err != nil {
+			m.mu.Lock()
+			m.done[i] = true
+			if err != io.EOF {
+				m.errs[i] = err
+			}
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			return
+		}
+		name, ok := s.TraceName(e.ID.Trace)
+		m.mu.Lock()
+		for len(m.queues[i]) >= mergeQueueMax && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		m.queues[i] = append(m.queues[i], item{e: e, name: name, ok: ok})
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// readyLocked reports whether e, at the head of shard i's queue, may be
+// emitted: every vector-timestamp entry owned by another shard is
+// already covered by the emitted prefix.
+func (m *MergedClient) readyLocked(i int, e *event.Event) bool {
+	n := len(m.streams)
+	ready := true
+	e.VC.Range(func(t int, k int32) bool {
+		if t%n == i {
+			return true // same shard: per-stream order covers it
+		}
+		if m.emitted[event.TraceID(t)] >= k {
+			return true
+		}
+		ready = false
+		return false
+	})
+	return ready
+}
+
+// Next returns the next event of the merged linearization. It returns
+// io.EOF when every shard stream ended cleanly and all queues drained;
+// a shard stream's error surfaces once nothing more can be emitted. A
+// wedge — all pumps finished but some queued event's cross-shard past
+// never arrives — is reported as an explicit error rather than a hang.
+func (m *MergedClient) Next() (*event.Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return nil, io.EOF
+		}
+		for i := range m.queues {
+			if len(m.queues[i]) == 0 {
+				continue
+			}
+			it := m.queues[i][0]
+			if !m.readyLocked(i, it.e) {
+				continue
+			}
+			m.queues[i] = m.queues[i][1:]
+			t := it.e.ID.Trace
+			if int32(it.e.ID.Index) > m.emitted[t] {
+				m.emitted[t] = int32(it.e.ID.Index)
+			}
+			if it.ok {
+				m.names[t] = it.name
+			}
+			m.total++
+			m.cond.Broadcast() // queue space freed
+			return it.e, nil
+		}
+		allDone, allEmpty := true, true
+		for i := range m.queues {
+			if !m.done[i] {
+				allDone = false
+			}
+			if len(m.queues[i]) > 0 {
+				allEmpty = false
+			}
+		}
+		if allDone {
+			for _, err := range m.errs {
+				if err != nil {
+					return nil, fmt.Errorf("shard: merged stream broken: %w", err)
+				}
+			}
+			if allEmpty {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("shard: merge wedged: all %d shard streams ended with %d events still causally blocked (a shard's export stream is missing)",
+				len(m.streams), m.queuedLocked())
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *MergedClient) queuedLocked() int {
+	n := 0
+	for i := range m.queues {
+		n += len(m.queues[i])
+	}
+	return n
+}
+
+// TraceName reports the trace's name as announced by its home shard's
+// stream, available from the first emitted event of that trace on.
+func (m *MergedClient) TraceName(t event.TraceID) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name, ok := m.names[t]
+	return name, ok
+}
+
+// Emitted returns how many events the merged stream has produced.
+func (m *MergedClient) Emitted() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Close tears the merge down: pumps unpark and exit, a pending Next
+// returns io.EOF, and any underlying stream that is an io.Closer is
+// closed (so MonitorClient pumps blocked in Next unblock too).
+func (m *MergedClient) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	var first error
+	for _, s := range m.streams {
+		if c, ok := s.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// DialMergedMonitor dials every shard of a tier spec ("pool0;pool1;…",
+// each pool comma-separated, in shard-ID order) as a monitor client and
+// returns the merged stream. Options apply to every per-shard client.
+func DialMergedMonitor(spec string, opts ...poet.MonitorOption) (*MergedClient, error) {
+	pools := SplitSpec(spec)
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("shard: empty tier spec %q", spec)
+	}
+	streams := make([]Stream, len(pools))
+	for i, p := range pools {
+		c, err := poet.DialMonitor(p, opts...)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = streams[j].(io.Closer).Close()
+			}
+			return nil, fmt.Errorf("shard %d (%s): %w", i, p, err)
+		}
+		streams[i] = c
+	}
+	return NewMergedClient(streams)
+}

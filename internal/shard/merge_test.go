@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"ocep/internal/event"
+	"ocep/internal/vclock"
+)
+
+// scripted is a Stream fed from a channel, so tests control exactly
+// when each shard's events become available.
+type scripted struct {
+	ch     chan *event.Event
+	err    error
+	names  map[event.TraceID]string
+	closed chan struct{}
+}
+
+func newScripted(names map[event.TraceID]string) *scripted {
+	return &scripted{ch: make(chan *event.Event, 16), names: names, closed: make(chan struct{})}
+}
+
+func (s *scripted) Next() (*event.Event, error) {
+	e, ok := <-s.ch
+	if !ok {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, io.EOF
+	}
+	return e, nil
+}
+
+func (s *scripted) TraceName(t event.TraceID) (string, bool) {
+	n, ok := s.names[t]
+	return n, ok
+}
+
+func (s *scripted) Close() error {
+	close(s.closed)
+	return nil
+}
+
+func ev(trace, index int, vc ...int32) *event.Event {
+	return &event.Event{
+		ID:   event.ID{Trace: event.TraceID(trace), Index: index},
+		Kind: event.KindInternal,
+		Type: fmt.Sprintf("e%d-%d", trace, index),
+		VC:   vclock.VC(vc),
+	}
+}
+
+// Two shards, one message each way: shard 0 homes trace 0, shard 1
+// homes trace 1. The merge must hold the receive on each side until the
+// cross-shard send has been emitted, whatever order the streams produce
+// events in.
+func TestMergeOrdersCrossShardEdges(t *testing.T) {
+	s0 := newScripted(map[event.TraceID]string{0: "alpha"})
+	s1 := newScripted(map[event.TraceID]string{1: "beta"})
+	m, err := NewMergedClient([]Stream{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Deliver the receive (t1#1, depends on t0#1) before the send is
+	// available anywhere.
+	s1.ch <- ev(1, 1, 1, 1)
+
+	got := make(chan *event.Event, 4)
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			e, err := m.Next()
+			if err != nil {
+				errc <- err
+				return
+			}
+			got <- e
+		}
+	}()
+
+	select {
+	case e := <-got:
+		t.Fatalf("emitted %v before its cross-shard past", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	s0.ch <- ev(0, 1, 1, 0) // the send t1#1 was waiting for
+	s0.ch <- ev(0, 2, 2, 2) // receive of the reply, depends on t1#2
+	s1.ch <- ev(1, 2, 1, 2) // the reply send
+	close(s0.ch)
+	close(s1.ch)
+
+	var order []event.ID
+	for i := 0; i < 4; i++ {
+		// Don't race got against errc: the consumer fills got before it
+		// records io.EOF, so drain the events first.
+		select {
+		case e := <-got:
+			order = append(order, e.ID)
+		case <-time.After(2 * time.Second):
+			select {
+			case err := <-errc:
+				t.Fatalf("stream ended early after %v: %v", order, err)
+			default:
+				t.Fatalf("merge stalled after %v", order)
+			}
+		}
+	}
+	want := []event.ID{{Trace: 0, Index: 1}, {Trace: 1, Index: 1}, {Trace: 1, Index: 2}, {Trace: 0, Index: 2}}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("merged order = %v, want %v", order, want)
+		}
+	}
+	if err := <-errc; err != io.EOF {
+		t.Fatalf("final error = %v, want io.EOF", err)
+	}
+	if n, ok := m.TraceName(0); !ok || n != "alpha" {
+		t.Fatalf("TraceName(0) = %q, %v", n, ok)
+	}
+	if n, ok := m.TraceName(1); !ok || n != "beta" {
+		t.Fatalf("TraceName(1) = %q, %v", n, ok)
+	}
+	if m.Emitted() != 4 {
+		t.Fatalf("Emitted = %d", m.Emitted())
+	}
+}
+
+func TestMergeReportsWedgeInsteadOfHanging(t *testing.T) {
+	s0 := newScripted(nil)
+	s1 := newScripted(nil)
+	m, err := NewMergedClient([]Stream{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// t1#1 depends on t0#1, which shard 0's stream never produces.
+	s1.ch <- ev(1, 1, 1, 1)
+	close(s0.ch)
+	close(s1.ch)
+	_, nerr := m.Next()
+	if nerr == nil || nerr == io.EOF {
+		t.Fatalf("wedged merge returned %v, want an explicit error", nerr)
+	}
+}
+
+func TestMergePropagatesStreamError(t *testing.T) {
+	boom := errors.New("stream broken")
+	s0 := newScripted(nil)
+	s0.err = boom
+	m, err := NewMergedClient([]Stream{s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	close(s0.ch)
+	if _, nerr := m.Next(); !errors.Is(nerr, boom) {
+		t.Fatalf("Next = %v, want wrap of %v", nerr, boom)
+	}
+}
+
+func TestMergeCloseUnblocksAndClosesStreams(t *testing.T) {
+	s0 := newScripted(nil)
+	m, err := NewMergedClient([]Stream{s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.Next()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Fatalf("Next after Close = %v, want io.EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next still blocked after Close")
+	}
+	select {
+	case <-s0.closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("underlying stream not closed")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	close(s0.ch)
+}
+
+func TestNewMergedClientValidation(t *testing.T) {
+	if _, err := NewMergedClient(nil); err == nil {
+		t.Fatal("empty stream list accepted")
+	}
+}
+
+// A single-shard tier degrades to a pass-through: everything is
+// same-shard, so events flow in stream order.
+func TestMergeSingleShardPassThrough(t *testing.T) {
+	s0 := newScripted(map[event.TraceID]string{0: "only"})
+	m, err := NewMergedClient([]Stream{s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 1; i <= 5; i++ {
+		s0.ch <- ev(0, i, int32(i))
+	}
+	close(s0.ch)
+	for i := 1; i <= 5; i++ {
+		e, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.ID.Index != i {
+			t.Fatalf("event %d out of order: %v", i, e.ID)
+		}
+	}
+	if _, err := m.Next(); err != io.EOF {
+		t.Fatalf("tail = %v, want io.EOF", err)
+	}
+}

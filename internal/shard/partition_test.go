@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestPartitionerValidation(t *testing.T) {
+	if _, err := NewPartitioner(nil); err == nil {
+		t.Fatal("empty key list accepted")
+	}
+	if _, err := NewPartitioner([]string{"a", ""}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := NewPartitioner([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+}
+
+// The property the differential harness leans on: the home shard of a
+// trace depends only on tier membership, never on the order the peers
+// were listed in.
+func TestAssignStableUnderPeerReordering(t *testing.T) {
+	keys := []string{"shard-a:1", "shard-b:2", "shard-c:3", "shard-d:4", "shard-e:5"}
+	base, err := NewPartitioner(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	for i := 0; i < 500; i++ {
+		trace := fmt.Sprintf("trace-%d", i)
+		want[trace] = base.Assign(trace)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 20; round++ {
+		shuffled := append([]string(nil), keys...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		p, err := NewPartitioner(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trace, home := range want {
+			if got := p.Assign(trace); got != home {
+				t.Fatalf("round %d (%v): Assign(%q) = %q, want %q", round, shuffled, trace, got, home)
+			}
+		}
+	}
+}
+
+func TestAssignSpreadsAndSticks(t *testing.T) {
+	p, err := NewPartitioner([]string{"s0", "s1", "s2", "s3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for i := 0; i < 4000; i++ {
+		trace := fmt.Sprintf("proc-%d", i)
+		home := p.Assign(trace)
+		counts[home]++
+		if again := p.Assign(trace); again != home {
+			t.Fatalf("assignment moved: %q then %q", home, again)
+		}
+	}
+	for _, k := range p.Keys() {
+		// Rendezvous hashing over 4 shards should put roughly 1000 of
+		// 4000 traces on each; a shard below 600 or above 1400 means the
+		// hash is badly skewed.
+		if counts[k] < 600 || counts[k] > 1400 {
+			t.Fatalf("skewed distribution: %v", counts)
+		}
+	}
+}
+
+func TestPlacePinsAndRefusesMoves(t *testing.T) {
+	p, err := NewPartitioner([]string{"s0", "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place("hot", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Assign("hot"); got != "s1" {
+		t.Fatalf("Assign ignored explicit placement: %q", got)
+	}
+	if err := p.Place("hot", "s1"); err != nil {
+		t.Fatalf("idempotent re-place failed: %v", err)
+	}
+	if err := p.Place("hot", "s0"); err == nil {
+		t.Fatal("moving a homed trace was allowed")
+	}
+	if err := p.Place("x", "nope"); err == nil {
+		t.Fatal("placing on a non-member key was allowed")
+	}
+	if _, ok := p.Assigned("never-seen"); ok {
+		t.Fatal("Assigned invented an assignment")
+	}
+	if got := p.Assignments(); got["hot"] != "s1" {
+		t.Fatalf("Assignments = %v", got)
+	}
+}
+
+func TestSplitSpec(t *testing.T) {
+	got := SplitSpec(" p0 , s0 ; p1 ;; p2,s2 ")
+	want := []string{"p0,s0", "p1", "p2,s2"}
+	if len(got) != len(want) {
+		t.Fatalf("SplitSpec = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SplitSpec = %v, want %v", got, want)
+		}
+	}
+	if SplitSpec(" ; ;") != nil {
+		t.Fatal("blank spec should yield nil")
+	}
+}

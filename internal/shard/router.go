@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ocep/internal/pool"
+)
+
+// SplitSpec splits a tier spec into per-shard pool specs: ';' separates
+// shards, ',' separates one shard's failover pool, whitespace is
+// trimmed and empty segments dropped. "p0,s0;p1" describes a two-shard
+// tier whose first shard has a standby.
+func SplitSpec(spec string) []string {
+	var out []string
+	for _, part := range strings.Split(spec, ";") {
+		eps := pool.ParseAddrs(part)
+		if len(eps) == 0 {
+			continue
+		}
+		out = append(out, strings.Join(eps, ","))
+	}
+	return out
+}
+
+// TraceReporter is the slice of a reporter the router needs: internal/
+// poet's Reporter satisfies it, and tests substitute recorders.
+type TraceReporter[E any] interface {
+	Report(raw E) error
+}
+
+// Router fans a single Report stream out to a sharded tier: every raw
+// event goes to its trace's home shard, decided by the Partitioner on
+// first sight and sticky forever after. The zero-th type parameter is
+// the raw event type (poet.RawEvent in production) so the router does
+// not import the wire layer.
+type Router[E any] struct {
+	parts   *Partitioner
+	byKey   map[string]TraceReporter[E]
+	traceOf func(E) string
+
+	// loads, when set, biases first-sight placement toward the least
+	// loaded healthy shard instead of the hash. The decision still lands
+	// in the sticky table, so the trace never moves afterwards.
+	loads *pool.Pool
+
+	mu     sync.Mutex
+	routed map[string]int64 // events routed per shard key
+}
+
+// RouterOption configures NewRouter.
+type RouterOption[E any] func(*Router[E])
+
+// WithLoadAware biases first-sight trace placement toward the healthy
+// shard with the lowest load sample in p (whose endpoints must be the
+// router's shard keys; feed it with pool.SetLoad from scraped
+// pending-events/shedding gauges). Traces the pool cannot place — no
+// healthy sampled endpoint — fall back to rendezvous hashing, and every
+// decision is sticky either way.
+func WithLoadAware[E any](p *pool.Pool) RouterOption[E] {
+	return func(r *Router[E]) { r.loads = p }
+}
+
+// NewRouter builds a router over a tier: shards maps each shard key to
+// its reporter, traceOf extracts an event's trace name. The keys (in
+// any order) seed the partitioner.
+func NewRouter[E any](shards map[string]TraceReporter[E], traceOf func(E) string, opts ...RouterOption[E]) (*Router[E], error) {
+	keys := make([]string, 0, len(shards))
+	for k := range shards {
+		keys = append(keys, k)
+	}
+	parts, err := NewPartitioner(keys)
+	if err != nil {
+		return nil, err
+	}
+	if traceOf == nil {
+		return nil, fmt.Errorf("shard: NewRouter needs a traceOf extractor")
+	}
+	r := &Router[E]{
+		parts:   parts,
+		byKey:   shards,
+		traceOf: traceOf,
+		routed:  make(map[string]int64),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Report routes one raw event to its trace's home shard.
+func (r *Router[E]) Report(raw E) error {
+	trace := r.traceOf(raw)
+	key, ok := r.parts.Assigned(trace)
+	if !ok {
+		key = r.placeNew(trace)
+	}
+	r.mu.Lock()
+	r.routed[key]++
+	r.mu.Unlock()
+	return r.byKey[key].Report(raw)
+}
+
+// placeNew decides a first-sight trace's home shard: the least-loaded
+// healthy shard when load-aware routing has samples, the rendezvous
+// hash otherwise. Racing reporters of the same trace are harmless —
+// Place is idempotent for an equal decision and Assign re-reads the
+// sticky table.
+func (r *Router[E]) placeNew(trace string) string {
+	if r.loads != nil {
+		if addr, ok := r.loads.LeastLoaded(); ok {
+			if err := r.parts.Place(trace, addr); err == nil {
+				return addr
+			}
+			// Lost a placement race or the pool named a non-key: fall
+			// through to the sticky/hashed answer.
+		}
+	}
+	return r.parts.Assign(trace)
+}
+
+// Partitioner exposes the router's trace->shard table.
+func (r *Router[E]) Partitioner() *Partitioner { return r.parts }
+
+// Routed returns the events-routed count per shard key.
+func (r *Router[E]) Routed() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.routed))
+	for k, n := range r.routed {
+		out[k] = n
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ocep/internal/pool"
+)
+
+// recorder is a TraceReporter that remembers what it was given.
+type recorder struct {
+	got []string
+	err error
+}
+
+func (r *recorder) Report(raw string) error {
+	if r.err != nil {
+		return r.err
+	}
+	r.got = append(r.got, raw)
+	return nil
+}
+
+func newTestRouter(t *testing.T, recs map[string]*recorder, opts ...RouterOption[string]) *Router[string] {
+	t.Helper()
+	shards := make(map[string]TraceReporter[string], len(recs))
+	for k, r := range recs {
+		shards[k] = r
+	}
+	r, err := NewRouter(shards, func(s string) string { return s }, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouterRoutesByHomeShardAndSticks(t *testing.T) {
+	recs := map[string]*recorder{"s0": {}, "s1": {}, "s2": {}}
+	r := newTestRouter(t, recs)
+	for i := 0; i < 300; i++ {
+		trace := fmt.Sprintf("t%d", i%30) // 10 events per trace
+		if err := r.Report(trace); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every trace's events all landed on its assigned shard.
+	for i := 0; i < 30; i++ {
+		trace := fmt.Sprintf("t%d", i)
+		home, ok := r.Partitioner().Assigned(trace)
+		if !ok {
+			t.Fatalf("no assignment recorded for %s", trace)
+		}
+		n := 0
+		for _, got := range recs[home].got {
+			if got == trace {
+				n++
+			}
+		}
+		if n != 10 {
+			t.Fatalf("%s: %d of 10 events on home shard %s", trace, n, home)
+		}
+	}
+	total := int64(0)
+	for _, n := range r.Routed() {
+		total += n
+	}
+	if total != 300 {
+		t.Fatalf("Routed total = %d", total)
+	}
+}
+
+func TestRouterPropagatesReportErrors(t *testing.T) {
+	boom := errors.New("shard down")
+	recs := map[string]*recorder{"only": {err: boom}}
+	r := newTestRouter(t, recs)
+	if err := r.Report("x"); !errors.Is(err, boom) {
+		t.Fatalf("Report error = %v", err)
+	}
+}
+
+func TestRouterLoadAwarePlacement(t *testing.T) {
+	recs := map[string]*recorder{"s0": {}, "s1": {}}
+	loads := pool.New([]string{"s0", "s1"}, 0, 0)
+	loads.SetLoad("s0", 1000)
+	loads.SetLoad("s1", 5)
+	r := newTestRouter(t, recs, WithLoadAware[string](loads))
+	if err := r.Report("fresh-trace"); err != nil {
+		t.Fatal(err)
+	}
+	if home, _ := r.Partitioner().Assigned("fresh-trace"); home != "s1" {
+		t.Fatalf("load-aware placement chose %q, want the lightly loaded s1", home)
+	}
+	// The decision is sticky even after the load picture inverts.
+	loads.SetLoad("s0", 0)
+	if err := r.Report("fresh-trace"); err != nil {
+		t.Fatal(err)
+	}
+	if home, _ := r.Partitioner().Assigned("fresh-trace"); home != "s1" {
+		t.Fatal("home shard moved after a load change")
+	}
+	if len(recs["s1"].got) != 2 {
+		t.Fatalf("s1 saw %d events, want 2", len(recs["s1"].got))
+	}
+}
+
+func TestRouterLoadAwareFallsBackToHash(t *testing.T) {
+	recs := map[string]*recorder{"s0": {}, "s1": {}}
+	loads := pool.New([]string{"s0", "s1"}, 0, 0) // never sampled
+	r := newTestRouter(t, recs, WithLoadAware[string](loads))
+	plain := newTestRouter(t, map[string]*recorder{"s0": {}, "s1": {}})
+	for i := 0; i < 50; i++ {
+		trace := fmt.Sprintf("t%d", i)
+		if err := r.Report(trace); err != nil {
+			t.Fatal(err)
+		}
+		want := plain.Partitioner().Assign(trace)
+		if got, _ := r.Partitioner().Assigned(trace); got != want {
+			t.Fatalf("unsampled load-aware router diverged from hash: %q vs %q", got, want)
+		}
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(map[string]TraceReporter[string]{}, func(s string) string { return s }); err == nil {
+		t.Fatal("empty tier accepted")
+	}
+	if _, err := NewRouter(map[string]TraceReporter[string]{"a": &recorder{}}, nil); err == nil {
+		t.Fatal("nil traceOf accepted")
+	}
+}

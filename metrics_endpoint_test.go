@@ -7,74 +7,26 @@ package ocep_test
 
 import (
 	"encoding/json"
-	"fmt"
-	"io"
-	"net/http"
 	"os/exec"
-	"strconv"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"ocep"
+	"ocep/internal/proctest"
 	"ocep/internal/workload"
 )
-
-// parsePromText parses the Prometheus text exposition format into a
-// map from series (name plus label string, verbatim) to value.
-func parsePromText(t *testing.T, body string) map[string]float64 {
-	t.Helper()
-	out := make(map[string]float64)
-	for _, line := range strings.Split(body, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		i := strings.LastIndexByte(line, ' ')
-		if i < 0 {
-			t.Fatalf("unparseable metrics line %q", line)
-		}
-		v, err := strconv.ParseFloat(line[i+1:], 64)
-		if err != nil {
-			t.Fatalf("unparseable value in %q: %v", line, err)
-		}
-		out[line[:i]] = v
-	}
-	return out
-}
-
-func scrape(t *testing.T, url string) string {
-	t.Helper()
-	var lastErr error
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(url)
-		if err == nil {
-			body, err := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if err == nil && resp.StatusCode == http.StatusOK {
-				return string(body)
-			}
-			lastErr = fmt.Errorf("status %d, read err %v", resp.StatusCode, err)
-		} else {
-			lastErr = err
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	t.Fatalf("scraping %s: %v", url, lastErr)
-	return ""
-}
 
 func TestPoetdMetricsEndpoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping process-spawning test")
 	}
-	poetd := buildTool(t, "poetd")
-	addr := freePort(t)
-	metricsAddr := freePort(t)
+	poetd := proctest.BuildTool(t, "poetd")
+	addr := proctest.FreePort(t)
+	metricsAddr := proctest.FreePort(t)
 
-	out := &syncBuffer{}
+	out := &proctest.SyncBuffer{}
 	cmd := exec.Command(poetd,
 		"-listen", addr,
 		"-metrics-addr", metricsAddr,
@@ -95,7 +47,7 @@ func TestPoetdMetricsEndpoint(t *testing.T) {
 
 	// The metrics endpoint must come up (scrape retries until it does)
 	// and expose runtime metrics before any traffic.
-	body := scrape(t, "http://"+metricsAddr+"/metrics")
+	body := proctest.Scrape(t, "http://"+metricsAddr+"/metrics")
 	if !strings.Contains(body, "# TYPE go_goroutines gauge") {
 		t.Fatalf("initial scrape missing runtime metrics:\n%s", body)
 	}
@@ -121,7 +73,7 @@ func TestPoetdMetricsEndpoint(t *testing.T) {
 	}
 	rep.Close()
 
-	m := parsePromText(t, scrape(t, "http://"+metricsAddr+"/metrics"))
+	m := proctest.ParsePromText(t, proctest.Scrape(t, "http://"+metricsAddr+"/metrics"))
 	n := float64(len(sink.events))
 	checks := []struct {
 		name string
@@ -156,7 +108,7 @@ func TestPoetdMetricsEndpoint(t *testing.T) {
 
 	// /debug/vars serves the same registry as valid JSON.
 	var vars map[string]any
-	if err := json.Unmarshal([]byte(scrape(t, "http://"+metricsAddr+"/debug/vars")), &vars); err != nil {
+	if err := json.Unmarshal([]byte(proctest.Scrape(t, "http://"+metricsAddr+"/debug/vars")), &vars); err != nil {
 		t.Fatalf("/debug/vars is not valid JSON: %v", err)
 	}
 	if v, ok := vars["poet_ingested_events_total"].(float64); !ok || v != n {

@@ -92,6 +92,9 @@ type (
 	// MonitorClient receives the linearized stream from a POET server,
 	// resuming its session across connection failures.
 	MonitorClient = poet.MonitorClient
+	// EventSource is any linearized stream Monitor.Run can drain: a
+	// MonitorClient, or a sharded tier's MergedClient.
+	EventSource = poet.EventSource
 	// ReporterOption configures DialReporter.
 	ReporterOption = poet.ReporterOption
 	// MonitorOption configures DialMonitor.
@@ -804,10 +807,11 @@ func (m *Monitor) DeliveryStats() DeliveryStats {
 	return sub.Stats()
 }
 
-// Run drains a TCP monitor client until the stream ends, feeding every
-// event. It returns the first feed or transport error, or nil on a clean
-// end of stream.
-func (m *Monitor) Run(client *poet.MonitorClient) error {
+// Run drains a linearized event source — a TCP monitor client, or the
+// merged stream of a sharded tier — until it ends, feeding every event.
+// It returns the first feed or transport error, or nil on a clean end
+// of stream.
+func (m *Monitor) Run(client poet.EventSource) error {
 	for {
 		e, err := client.Next()
 		if err == io.EOF {
