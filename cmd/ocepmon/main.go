@@ -39,6 +39,15 @@
 // cross-shard send it observed — and matches against that, so the
 // output is identical to running the same workload through a single
 // collector.
+//
+// Two flags govern how the merge behaves when a shard stalls:
+// -wedge-timeout bounds how long the merged stream may make no progress
+// before the run fails with a diagnosis naming the stalled shard and
+// the blocking (trace, clock) frontier entry (default 0: wait forever,
+// as a transient partition heals into a byte-identical run), and
+// -degrade-after opts in to graceful degradation, declaring a shard
+// lost after that long and matching the surviving streams with
+// causally-incomplete events counted rather than hidden.
 package main
 
 import (
@@ -81,6 +90,8 @@ func run() error {
 		printStats = flag.Bool("stats", false, "print matcher statistics when the stream ends")
 		explain    = flag.Bool("explain", false, "print the causal evidence for each match")
 		reconnect  = flag.Duration("reconnect", 30*time.Second, "cumulative backoff budget for resuming a dead connection (0 disables reconnection)")
+		wedgeAfter = flag.Duration("wedge-timeout", 0, "sharded tier only: report a wedge (naming the stalled shard and blocking frontier entry) when the merge emits nothing for this long instead of waiting forever (0 = wait forever)")
+		degrade    = flag.Duration("degrade-after", 0, "sharded tier only: declare a shard lost after this long without progress and keep matching the remaining streams, counting causally-incomplete events (0 = never degrade)")
 		maxSteps   = flag.Int("max-steps", 0, "abort a trigger's search after n candidate steps (0 = unlimited)")
 		deadline   = flag.Duration("deadline", 0, "abort a trigger's search after this wall-clock time (0 = none)")
 		historyCap = flag.Int("history-cap", 0, "bound per-(leaf,trace) histories with coverage-aware eviction (0 = unbounded)")
@@ -122,7 +133,14 @@ func run() error {
 		Close() error
 	}
 	if strings.Contains(*addr, ";") {
-		merged, err := shard.DialMergedMonitor(*addr,
+		mopts := []shard.MergeOption{shard.WithMergeLog(log.Printf)}
+		if *wedgeAfter > 0 {
+			mopts = append(mopts, shard.WithWedgeTimeout(*wedgeAfter))
+		}
+		if *degrade > 0 {
+			mopts = append(mopts, shard.WithDegradeAfter(*degrade))
+		}
+		merged, err := shard.DialMergedMonitor(*addr, mopts,
 			ocep.WithMonitorReconnect(*reconnect),
 			ocep.WithMonitorLog(log.Printf))
 		if err != nil {

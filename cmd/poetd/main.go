@@ -138,6 +138,18 @@ func main() {
 	}
 }
 
+// breakerName renders a follower breaker state for probe bodies.
+func breakerName(state int) string {
+	switch state {
+	case poet.BreakerOpen:
+		return "open"
+	case poet.BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 func run() error {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:7524", "address to listen on")
@@ -165,8 +177,9 @@ func run() error {
 		followBudget = flag.Duration("follow-reconnect", 0, "cumulative backoff budget before an unreachable primary is declared dead and the standby promotes itself (0 = default 10s)")
 		drainWait    = flag.Duration("drain-timeout", poet.DefaultDrainWait, "on SIGTERM, how long the graceful drain waits for targets to flush and replicas to catch up before closing")
 
-		shardID = flag.Int("shard-id", -1, "this daemon's 0-based shard ID within the -peers tier; -1 disables sharding")
-		peers   = flag.String("peers", "", "the whole collector tier, ';'-separated and ordered by shard ID; each entry is that shard's comma-separated failover pool (required with -shard-id)")
+		shardID   = flag.Int("shard-id", -1, "this daemon's 0-based shard ID within the -peers tier; -1 disables sharding")
+		peers     = flag.String("peers", "", "the whole collector tier, ';'-separated and ordered by shard ID; each entry is that shard's comma-separated failover pool (required with -shard-id)")
+		peerStall = flag.Duration("peer-stall-timeout", 10*time.Second, "declare a peer's export stream stalled after this long without a record, heartbeat, or successful handshake: /readyz answers 503 naming the peer and held-event debt (0 disables the watchdog)")
 	)
 	flag.Parse()
 
@@ -386,7 +399,11 @@ func run() error {
 	// the primary's replication stream must be the only writer of its
 	// state, or the standby's linearization could diverge from the
 	// primary's.
-	var shardFollowers []*poet.ShardFollower
+	type shardPeer struct {
+		id int
+		f  *poet.ShardFollower
+	}
+	var shardFollowers []shardPeer
 	startShardFollowers := func() {
 		if *shardID < 0 || len(shardPools) < 2 || shardFollowers != nil {
 			return
@@ -395,29 +412,102 @@ func run() error {
 			if i == *shardID {
 				continue
 			}
-			f, err := poet.FollowShardPeer(p, collector, poet.WithShardLog(logf))
+			// The breaker keeps a daemon useful next to a dead peer: after
+			// two exhausted reconnect budgets the follower stops burning
+			// dial loops and probes every 5s until the peer returns.
+			f, err := poet.FollowShardPeer(p, collector,
+				poet.WithShardLog(logf),
+				poet.WithShardBreaker(2, 5*time.Second))
 			if err != nil {
 				log.Printf("shard peer %d (%s): %v", i, p, err)
 				continue
 			}
-			shardFollowers = append(shardFollowers, f)
+			peer := shardPeer{id: i, f: f}
+			shardFollowers = append(shardFollowers, peer)
+			// Per-peer follower health on every /readyz body, even while
+			// the probe passes: operators see lag and breaker state before
+			// the stall threshold trips.
+			health.RegisterInfo(fmt.Sprintf("shard-peer-%d", i), func() string {
+				st := peer.f.Stats()
+				return fmt.Sprintf("pool=%s connected=%v lag=%d reconnects=%d breaker=%s last-contact=%s",
+					st.Peer, st.Connected, st.Lag, st.Reconnects, breakerName(st.BreakerState),
+					st.SinceContact.Round(time.Millisecond))
+			})
 		}
 		log.Printf("shard %d/%d: following %d peer export streams", *shardID, len(shardPools), len(shardFollowers))
+		peersSnap := shardFollowers
+		// The stall watchdog: a peer silent past -peer-stall-timeout means
+		// this shard may be holding receives indefinitely, so the balancer
+		// should stop routing new sessions here until the exchange heals.
+		health.RegisterCheck("shard-peers", func() error {
+			if *peerStall <= 0 {
+				return nil
+			}
+			var stalled []string
+			for _, sp := range peersSnap {
+				if sp.f.Stalled(*peerStall) {
+					st := sp.f.Stats()
+					stalled = append(stalled, fmt.Sprintf("peer %d (%s) silent for %s, breaker=%s",
+						sp.id, st.Peer, st.SinceContact.Round(time.Millisecond), breakerName(st.BreakerState)))
+				}
+			}
+			if len(stalled) == 0 {
+				return nil
+			}
+			ss := collector.ShardStats()
+			return fmt.Errorf("export stream stalled past %v: %s; %d receives held (oldest %s)",
+				*peerStall, strings.Join(stalled, "; "), ss.HeldEvents, ss.OldestHeld.Round(time.Millisecond))
+		})
+		health.RegisterInfo("shard-held", func() string {
+			ss := collector.ShardStats()
+			if ss.HeldEvents == 0 {
+				return "0 receives held on the cross-shard exchange"
+			}
+			return fmt.Sprintf("%d receives held on the cross-shard exchange (oldest %s)",
+				ss.HeldEvents, ss.OldestHeld.Round(time.Millisecond))
+		})
 		if *metrics != "" && len(shardFollowers) > 0 {
 			followers := shardFollowers
 			reg.GaugeFunc("poet_shard_peer_lag_records", "Cross-shard send records peers have exported that this shard has not yet applied, summed over all peers.", func() int64 {
 				var lag int64
-				for _, f := range followers {
-					lag += int64(f.Stats().Lag)
+				for _, sp := range followers {
+					lag += int64(sp.f.Stats().Lag)
 				}
 				return lag
 			})
 			reg.GaugeFunc("poet_shard_peer_reconnects", "Peer export-stream reconnects, summed over all peers.", func() int64 {
 				var n int64
-				for _, f := range followers {
-					n += int64(f.Stats().Reconnects)
+				for _, sp := range followers {
+					n += int64(sp.f.Stats().Reconnects)
 				}
 				return n
+			})
+			reg.GaugeFunc("poet_shard_peer_breaker_state", "Worst circuit-breaker state over all peer followers (0 closed, 1 half-open, 2 open).", func() int64 {
+				var worst int64
+				for _, sp := range followers {
+					if s := int64(sp.f.Stats().BreakerState); s > worst {
+						worst = s
+					}
+				}
+				return worst
+			})
+			reg.GaugeFunc("poet_shard_peer_stalled", "Peer export streams currently silent past -peer-stall-timeout.", func() int64 {
+				var n int64
+				for _, sp := range followers {
+					if sp.f.Stalled(*peerStall) {
+						n++
+					}
+				}
+				return n
+			})
+			reg.GaugeFunc("poet_shard_peer_last_contact_ms", "Age in milliseconds of the stalest peer's last sign of life.", func() int64 {
+				var worst time.Duration
+				for _, sp := range followers {
+					if s := sp.f.Stats().SinceContact; s > worst {
+						worst = s
+					}
+				}
+				return worst.Milliseconds()
 			})
 		}
 	}
@@ -501,8 +591,8 @@ waitLoop:
 		following.Stop()
 		<-following.Done()
 	}
-	for _, f := range shardFollowers {
-		f.Stop()
+	for _, sp := range shardFollowers {
+		sp.f.Stop()
 	}
 	log.Printf("shutting down: %d events delivered, %d pending",
 		collector.Delivered(), collector.Pending())

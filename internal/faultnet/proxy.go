@@ -3,9 +3,12 @@
 // degrades the link on demand — added latency, partial (chunked)
 // writes that split application messages across many TCP segments,
 // mid-stream connection resets, byte-budgeted kills, and blackholes
-// that stall forwarding without closing anything. The faults are the
-// ones a fault-tolerant wire layer must survive, produced
-// deterministically enough to assert on.
+// that stall forwarding without closing anything. Latency, blackholes,
+// and silent drops can be scoped to one direction of the link, so a
+// test can partition the export path of a sharded tier while the
+// reverse path stays healthy — the asymmetric failure a real network
+// produces. The faults are the ones a fault-tolerant wire layer must
+// survive, produced deterministically enough to assert on.
 package faultnet
 
 import (
@@ -16,20 +19,60 @@ import (
 	"time"
 )
 
+// Direction selects which side of a proxied link a fault applies to.
+type Direction int
+
+const (
+	// ClientToServer is the upstream direction: bytes flowing from the
+	// dialing client toward the proxied target.
+	ClientToServer Direction = iota
+	// ServerToClient is the downstream direction: bytes flowing from
+	// the proxied target back to the client.
+	ServerToClient
+	// Both applies a fault symmetrically; the non-Dir setter methods
+	// are shorthand for it.
+	Both
+)
+
+// String names the direction for diagnostics.
+func (d Direction) String() string {
+	switch d {
+	case ClientToServer:
+		return "client->server"
+	case ServerToClient:
+		return "server->client"
+	default:
+		return "both"
+	}
+}
+
+// sides expands a Direction into the pump indexes it covers.
+func (d Direction) sides() []int {
+	switch d {
+	case ClientToServer:
+		return []int{0}
+	case ServerToClient:
+		return []int{1}
+	default:
+		return []int{0, 1}
+	}
+}
+
 // Proxy forwards TCP connections to a fixed target address, applying
 // the currently configured faults to every byte it relays. All fault
 // knobs are safe to flip while connections are live; latency, chunking,
-// and blackholes apply to in-flight connections immediately, while a
-// kill budget is armed per connection at accept time.
+// blackholes, and drops apply to in-flight connections immediately,
+// while a kill budget is armed per connection at accept time.
 type Proxy struct {
 	target string
 	ln     net.Listener
 
-	latency   atomic.Int64 // nanoseconds added per read-forward hop
-	chunk     atomic.Int64 // max bytes per downstream write; 0 = unlimited
-	chunkGap  atomic.Int64 // nanoseconds between chunks of one write
-	killAfter atomic.Int64 // per-connection byte budget armed at accept; 0 = off
-	blackhole atomic.Bool  // stall all forwarding without closing
+	latency   [2]atomic.Int64 // per-direction nanoseconds added per read-forward hop
+	blackhole [2]atomic.Bool  // per-direction: stall forwarding without closing
+	drop      [2]atomic.Bool  // per-direction: silently discard forwarded bytes
+	chunk     atomic.Int64    // max bytes per downstream write; 0 = unlimited
+	chunkGap  atomic.Int64    // nanoseconds between chunks of one write
+	killAfter atomic.Int64    // per-connection byte budget armed at accept; 0 = off
 
 	conns  atomic.Int64 // total accepted
 	resets atomic.Int64 // connections reset by CutAll or a kill budget
@@ -84,7 +127,15 @@ func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 
 // SetLatency adds d of one-way delay to every forwarded read (applies
 // in both directions, so round trips grow by ~2d).
-func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+func (p *Proxy) SetLatency(d time.Duration) { p.SetLatencyDir(Both, d) }
+
+// SetLatencyDir adds d of delay to every forwarded read in one
+// direction only (or Both); the other direction keeps its own setting.
+func (p *Proxy) SetLatencyDir(dir Direction, d time.Duration) {
+	for _, s := range dir.sides() {
+		p.latency[s].Store(int64(d))
+	}
+}
 
 // SetChunk caps downstream writes at n bytes, splitting every relayed
 // buffer into n-byte TCP writes with gap between them. This lands
@@ -106,7 +157,30 @@ func (p *Proxy) SetKillAfter(n int64) { p.killAfter.Store(n) }
 // without closing anything — bytes pile up untransmitted, as in a
 // partition whose TCP sessions have not yet timed out. Unset to let
 // traffic flow again.
-func (p *Proxy) SetBlackhole(on bool) { p.blackhole.Store(on) }
+func (p *Proxy) SetBlackhole(on bool) { p.SetBlackholeDir(Both, on) }
+
+// SetBlackholeDir stalls forwarding in one direction only (or Both):
+// the stalled pump parks without closing, so TCP backpressure
+// eventually reaches the sender, while the reverse direction keeps
+// flowing — an asymmetric partition. Unset to let the queued bytes
+// drain.
+func (p *Proxy) SetBlackholeDir(dir Direction, on bool) {
+	for _, s := range dir.sides() {
+		p.blackhole[s].Store(on)
+	}
+}
+
+// SetDropDir silently discards every byte forwarded in one direction
+// (or Both) while the connection — and the reverse direction — stay
+// open: a one-way cut. Unlike a blackhole the sender observes write
+// progress, so it keeps transmitting into the void; the receiver sees
+// an idle but live peer. Unset to resume forwarding (bytes dropped in
+// between are gone, as on a real lossy cut).
+func (p *Proxy) SetDropDir(dir Direction, on bool) {
+	for _, s := range dir.sides() {
+		p.drop[s].Store(on)
+	}
+}
 
 // CutAll resets every live proxied connection (TCP RST, not FIN) and
 // returns how many were cut. New connections are still accepted: this
@@ -188,14 +262,15 @@ func (p *Proxy) acceptLoop() {
 		p.links[l] = struct{}{}
 		p.mu.Unlock()
 		p.wg.Add(2)
-		go p.pump(l, client, server)
-		go p.pump(l, server, client)
+		go p.pump(l, 0, client, server) // ClientToServer
+		go p.pump(l, 1, server, client) // ServerToClient
 	}
 }
 
-// pump relays one direction of a link, applying the live fault knobs to
-// every buffer it forwards.
-func (p *Proxy) pump(l *link, src, dst net.Conn) {
+// pump relays one direction of a link (side 0 = client->server, side 1
+// = server->client), applying the live fault knobs to every buffer it
+// forwards.
+func (p *Proxy) pump(l *link, side int, src, dst net.Conn) {
 	defer p.wg.Done()
 	defer func() {
 		// Either side ending ends the link; a half-open proxy session is
@@ -210,7 +285,7 @@ func (p *Proxy) pump(l *link, src, dst net.Conn) {
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
-			for p.blackhole.Load() {
+			for p.blackhole[side].Load() {
 				// Stall without closing. The poll is coarse; a blackhole is
 				// measured in hundreds of milliseconds in tests.
 				time.Sleep(5 * time.Millisecond)
@@ -221,8 +296,12 @@ func (p *Proxy) pump(l *link, src, dst net.Conn) {
 					return
 				}
 			}
-			if d := p.latency.Load(); d > 0 {
+			if d := p.latency[side].Load(); d > 0 {
 				time.Sleep(time.Duration(d))
+			}
+			if p.drop[side].Load() {
+				// One-way cut: the bytes vanish, the link stays up.
+				continue
 			}
 			if !p.forward(l, dst, buf[:n]) {
 				return

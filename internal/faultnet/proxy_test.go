@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -236,4 +237,127 @@ func TestProxyConcurrentConnections(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// A one-direction blackhole stalls only the selected side: with the
+// return path blackholed, writes keep flowing to the server but echoes
+// never come back; clearing it releases the queued bytes.
+func TestProxyAsymmetricBlackhole(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("pre-fault")
+	if got := roundTrip(t, conn, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q want %q", got, msg)
+	}
+
+	p.SetBlackholeDir(ServerToClient, true)
+	if _, err := conn.Write([]byte("into the hole")); err != nil {
+		t.Fatalf("client->server write should still flow: %v", err)
+	}
+	buf := make([]byte, 64)
+	_ = conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("read %d echoed bytes through a server->client blackhole", n)
+	} else if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read = %v, want a deadline timeout (connection must stay open)", err)
+	}
+
+	// Healing releases the held bytes: nothing was lost.
+	p.SetBlackholeDir(ServerToClient, false)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got := make([]byte, len("into the hole"))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(got) != "into the hole" {
+		t.Fatalf("post-heal echo = %q", got)
+	}
+}
+
+// A directional drop discards bytes silently while the link stays up:
+// the sender observes write progress, the receiver sees an idle peer,
+// and traffic dropped during the cut is gone after healing.
+func TestProxyAsymmetricDrop(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	p.SetDropDir(ClientToServer, true)
+	if _, err := conn.Write([]byte("lost forever")); err != nil {
+		t.Fatalf("write into a drop must succeed (sender sees progress): %v", err)
+	}
+	buf := make([]byte, 64)
+	_ = conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("read %d bytes echoed from a dropped request", n)
+	} else if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read = %v, want a deadline timeout", err)
+	}
+
+	// Heal: new traffic flows, the dropped bytes never arrive.
+	p.SetDropDir(ClientToServer, false)
+	msg := []byte("after heal")
+	if got := roundTrip(t, conn, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("post-heal echo = %q want %q", got, msg)
+	}
+}
+
+// Directional latency penalizes only one side: a server->client delay
+// slows the echo, a client->server setting of zero leaves the upstream
+// untouched, and clearing restores the round trip.
+func TestProxyAsymmetricLatency(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("timed")
+
+	p.SetLatencyDir(ServerToClient, 120*time.Millisecond)
+	start := time.Now()
+	if got := roundTrip(t, conn, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q want %q", got, msg)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("round trip %v with 120ms server->client latency", d)
+	}
+
+	p.SetLatencyDir(ServerToClient, 0)
+	start = time.Now()
+	if got := roundTrip(t, conn, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q want %q", got, msg)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("round trip %v after clearing latency", d)
+	}
+}
+
+// The symmetric setters are shorthand for Both: SetBlackhole(false)
+// clears a blackhole installed directionally.
+func TestProxyDirectionBothCoversDirectional(t *testing.T) {
+	p := startProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	p.SetBlackholeDir(ClientToServer, true)
+	p.SetBlackhole(false)
+	msg := []byte("cleared symmetrically")
+	if got := roundTrip(t, conn, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q want %q", got, msg)
+	}
+	for _, d := range []Direction{ClientToServer, ServerToClient, Both} {
+		if d.String() == "" {
+			t.Fatalf("Direction(%d) has no name", d)
+		}
+	}
 }

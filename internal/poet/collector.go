@@ -83,6 +83,11 @@ type Collector struct {
 	sends map[uint64]event.ID
 	// recvWait maps a MsgID to traces whose delivery head waits for it.
 	recvWait map[uint64][]event.TraceID
+	// heldRemote records when a sharded collector first held a receive
+	// on a MsgID no local sender has claimed — the send should arrive
+	// via the cross-shard exchange, so its age measures exchange health
+	// (the stall watchdog's held-event gauges read it).
+	heldRemote map[uint64]time.Time
 	// sendersSeen guards against duplicate MsgIDs on the send side.
 	sendersSeen map[uint64]bool
 	handlers    map[int]Handler
@@ -209,6 +214,12 @@ func (c *Collector) InstrumentMetrics(reg *telemetry.Registry) {
 	}
 	reg.GaugeFunc("poet_pending_events", "Buffered raw events awaiting causal predecessors.", func() int64 {
 		return int64(c.Pending())
+	})
+	reg.GaugeFunc("poet_shard_held_events", "Receives held because their send has not arrived from a peer shard (0 when unsharded).", func() int64 {
+		return int64(c.ShardStats().HeldEvents)
+	})
+	reg.GaugeFunc("poet_shard_oldest_held_ms", "Age in milliseconds of the longest-held cross-shard receive (0 when none).", func() int64 {
+		return c.ShardStats().OldestHeld.Milliseconds()
 	})
 	reg.GaugeFunc("poet_traces", "Registered traces.", func() int64 {
 		c.mu.Lock()
@@ -823,6 +834,9 @@ func (c *Collector) reportLocked(raw RawEvent) error {
 			return fmt.Errorf("poet: duplicate message id %d from %q/%d", raw.MsgID, raw.Trace, raw.Seq)
 		}
 		c.sendersSeen[raw.MsgID] = true
+		// The sender turned out to be local after all: any receive held
+		// on it is waiting on local delivery order, not a peer shard.
+		delete(c.heldRemote, raw.MsgID)
 	}
 	c.pending[t][raw.Seq] = raw
 	c.drain(t)
@@ -844,6 +858,14 @@ func (c *Collector) drain(t event.TraceID) {
 				if !c.hasSendLocked(raw.MsgID) {
 					if ws := c.recvWait[raw.MsgID]; len(ws) == 0 || ws[len(ws)-1] != tr {
 						c.recvWait[raw.MsgID] = append(ws, tr)
+					}
+					if c.sharded && !c.sendersSeen[raw.MsgID] {
+						// No local sender claims this message: the send must
+						// arrive from a peer shard. Stamp the first-held time
+						// so the watchdog gauges can age it.
+						if _, ok := c.heldRemote[raw.MsgID]; !ok {
+							c.heldRemote[raw.MsgID] = time.Now()
+						}
 					}
 					break
 				}

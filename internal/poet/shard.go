@@ -108,6 +108,7 @@ func (c *Collector) EnableSharding(shardID, numShards int) error {
 	c.shardID = shardID
 	c.numShards = numShards
 	c.remoteSends = make(map[uint64]remoteSend)
+	c.heldRemote = make(map[uint64]time.Time)
 	c.shardX = &shardExportState{ch: make(chan struct{})}
 	return nil
 }
@@ -131,6 +132,14 @@ type ShardStats struct {
 	Exports int
 	// RemoteSends counts fresh peer-shard send records applied.
 	RemoteSends int
+	// HeldEvents counts receives currently held because their send has
+	// not arrived from a peer shard — the cross-shard exchange's
+	// in-flight debt. Nonzero transiently; growing means a peer's
+	// export stream is stalled.
+	HeldEvents int
+	// OldestHeld is the age of the longest-held such receive (zero when
+	// none are held).
+	OldestHeld time.Duration
 }
 
 // ShardStats returns the collector's sharding counters.
@@ -144,6 +153,20 @@ func (c *Collector) ShardStats() ShardStats {
 	st.HomeTraces = c.shardLocals
 	st.Exports = len(c.shardX.log)
 	st.RemoteSends = len(c.remoteSends)
+	now := time.Now()
+	for m, since := range c.heldRemote {
+		ws := c.recvWait[m]
+		if len(ws) == 0 {
+			// The waiter drained some other way (e.g. the trace ended);
+			// drop the stale stamp rather than age it forever.
+			delete(c.heldRemote, m)
+			continue
+		}
+		st.HeldEvents += len(ws)
+		if age := now.Sub(since); age > st.OldestHeld {
+			st.OldestHeld = age
+		}
+	}
 	return st
 }
 
@@ -197,6 +220,7 @@ func (c *Collector) SupplyRemoteSend(msgID uint64, id event.ID, vc vclock.Clock)
 		c.repl.appendLocked(repRecord{Remote: &shardExport{MsgID: msgID, ID: id, VC: vc}})
 	}
 	c.tel.shardRemote.Inc()
+	delete(c.heldRemote, msgID)
 	if waiters := c.recvWait[msgID]; len(waiters) > 0 {
 		delete(c.recvWait, msgID)
 		for _, t := range waiters {
@@ -347,6 +371,8 @@ type shardCfg struct {
 	peerTimeout     time.Duration
 	dialTimeout     time.Duration
 	writeTimeout    time.Duration
+	breakerAfter    int
+	breakerProbe    time.Duration
 	logf            func(string, ...any)
 }
 
@@ -384,6 +410,22 @@ func WithShardPeerTimeout(d time.Duration) ShardOption {
 	}
 }
 
+// WithShardBreaker arms the follower's circuit breaker: after n
+// consecutive exhausted reconnect budgets the follower stops burning
+// dial loops and opens the breaker, probing the peer's endpoints once
+// every probe interval (half-open) until one accepts again, at which
+// point the breaker closes and normal following resumes. Without a
+// breaker (the default) an exhausted budget finishes the follower with
+// an ErrStreamInterrupted wrap, as before.
+func WithShardBreaker(n int, probe time.Duration) ShardOption {
+	return func(c *shardCfg) {
+		if n > 0 && probe > 0 {
+			c.breakerAfter = n
+			c.breakerProbe = probe
+		}
+	}
+}
+
 // WithShardLog routes shard-exchange diagnostics to logf.
 func WithShardLog(logf func(string, ...any)) ShardOption {
 	return func(c *shardCfg) {
@@ -392,6 +434,18 @@ func WithShardLog(logf func(string, ...any)) ShardOption {
 		}
 	}
 }
+
+// Breaker states, exported both through ShardFollowerStats and as the
+// poet_shard_peer_breaker_state gauge values.
+const (
+	// BreakerClosed: the follower dials and follows normally.
+	BreakerClosed = 0
+	// BreakerHalfOpen: a probe is in flight after the open interval.
+	BreakerHalfOpen = 1
+	// BreakerOpen: the peer exhausted its reconnect budgets; the
+	// follower only probes periodically.
+	BreakerOpen = 2
+)
 
 // ShardFollowerStats are a follower's cumulative exchange counters.
 type ShardFollowerStats struct {
@@ -407,6 +461,19 @@ type ShardFollowerStats struct {
 	Lag int
 	// Reconnects counts successful session re-establishments.
 	Reconnects int
+	// Connected reports whether a session is currently established.
+	Connected bool
+	// SinceContact is the age of the last sign of life from the peer —
+	// any decoded record, heartbeat, or successful handshake. At
+	// creation it measures from follower start, so a tier that is still
+	// coming up reads as recent contact, not a stall.
+	SinceContact time.Duration
+	// BreakerState is the circuit breaker's current state
+	// (BreakerClosed / BreakerHalfOpen / BreakerOpen).
+	BreakerState int
+	// BudgetExhaustions counts reconnect budgets exhausted since the
+	// last established session (resets to zero when one connects).
+	BudgetExhaustions int
 }
 
 // ShardFollower tails one peer shard's export log into the local
@@ -419,20 +486,25 @@ type ShardFollowerStats struct {
 // come up in arbitrary order, so the first dial rides the same
 // reconnect budget as any outage.
 type ShardFollower struct {
-	peer string
-	eps  *pool.Pool
-	c    *Collector
-	cfg  shardCfg
+	peer  string
+	eps   *pool.Pool
+	addrs []string
+	c     *Collector
+	cfg   shardCfg
 
-	mu         sync.Mutex
-	conn       net.Conn
-	received   int
-	got        int // records received on the current session
-	head       int
-	reconnects int
-	sessions   int
-	stopped    bool
-	err        error
+	mu          sync.Mutex
+	conn        net.Conn
+	received    int
+	got         int // records received on the current session
+	head        int
+	reconnects  int
+	sessions    int
+	connected   bool
+	lastContact time.Time
+	breaker     int // BreakerClosed / BreakerHalfOpen / BreakerOpen
+	exhaustions int // reconnect budgets exhausted since last session
+	stopped     bool
+	err         error
 
 	stopCh chan struct{}
 	done   chan struct{}
@@ -456,12 +528,14 @@ func FollowShardPeer(addrs string, c *Collector, opts ...ShardOption) (*ShardFol
 		return nil, errors.New("poet shard: FollowShardPeer needs a sharded collector (EnableSharding first)")
 	}
 	f := &ShardFollower{
-		peer:   addrs,
-		eps:    pool.New(list, cfg.backoffBase, cfg.backoffMax),
-		c:      c,
-		cfg:    cfg,
-		stopCh: make(chan struct{}),
-		done:   make(chan struct{}),
+		peer:        addrs,
+		eps:         pool.New(list, cfg.backoffBase, cfg.backoffMax),
+		addrs:       list,
+		c:           c,
+		cfg:         cfg,
+		lastContact: time.Now(),
+		stopCh:      make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	go f.run()
 	return f, nil
@@ -481,11 +555,26 @@ func (f *ShardFollower) run() {
 	for {
 		conn, dec, delta, err := f.connect()
 		if err != nil {
-			f.finish(err)
-			return
+			if f.cfg.breakerAfter > 0 && errors.Is(err, ErrStreamInterrupted) {
+				f.mu.Lock()
+				f.exhaustions++
+				tripped := f.exhaustions >= f.cfg.breakerAfter
+				f.mu.Unlock()
+				if !tripped {
+					continue // burn another reconnect budget before tripping
+				}
+				conn, dec, delta, err = f.breakerLoop(err)
+				if err != nil {
+					f.finish(err)
+					return
+				}
+			} else {
+				f.finish(err)
+				return
+			}
 		}
 		if conn == nil {
-			f.finish(nil) // stopped mid-backoff
+			f.finish(nil) // stopped mid-backoff or mid-probe
 			return
 		}
 		cause := f.session(conn, dec, delta)
@@ -503,6 +592,63 @@ func (f *ShardFollower) run() {
 	}
 }
 
+// breakerLoop holds the breaker open after cause exhausted the
+// configured number of reconnect budgets: instead of continuous dial
+// loops, the follower sleeps the probe interval, then (half-open) tries
+// one handshake against each pool endpoint. A success closes the
+// breaker and returns the fresh session; a terminal rejection surfaces;
+// anything else reopens. Returns a nil conn when stopped.
+func (f *ShardFollower) breakerLoop(cause error) (net.Conn, *gob.Decoder, bool, error) {
+	f.setBreaker(BreakerOpen)
+	f.cfg.logf("poet shard: breaker OPEN for peer %s after %d exhausted reconnect budgets (%v); probing every %v",
+		f.peer, f.cfg.breakerAfter, cause, f.cfg.breakerProbe)
+	for {
+		if !backoff.Sleep(f.cfg.breakerProbe, f.stopCh) {
+			return nil, nil, false, nil
+		}
+		f.setBreaker(BreakerHalfOpen)
+		for _, addr := range f.addrs {
+			if f.isStopped() {
+				return nil, nil, false, nil
+			}
+			conn, dec, delta, err := f.handshake(addr)
+			if err == nil {
+				f.eps.Success(addr)
+				f.registerSession(conn)
+				f.setBreaker(BreakerClosed)
+				f.cfg.logf("poet shard: breaker closed; following %s again (export log from zero)", addr)
+				return conn, dec, delta, nil
+			}
+			if errors.Is(err, ErrSessionRejected) {
+				return nil, nil, false, err
+			}
+		}
+		f.setBreaker(BreakerOpen)
+	}
+}
+
+func (f *ShardFollower) setBreaker(state int) {
+	f.mu.Lock()
+	f.breaker = state
+	f.mu.Unlock()
+}
+
+// registerSession records a fresh session's bookkeeping: the handshake
+// counts as peer contact, and per-session counters restart.
+func (f *ShardFollower) registerSession(conn net.Conn) {
+	f.mu.Lock()
+	f.conn = conn
+	f.got = 0
+	f.sessions++
+	if f.sessions > 1 {
+		f.reconnects++
+	}
+	f.connected = true
+	f.exhaustions = 0
+	f.lastContact = time.Now()
+	f.mu.Unlock()
+}
+
 // connect completes one handshake against the peer's pool, pacing full
 // failed rounds with the shared backoff until the per-outage budget is
 // exhausted.
@@ -516,14 +662,7 @@ func (f *ShardFollower) connect() (net.Conn, *gob.Decoder, bool, error) {
 		conn, dec, delta, err := f.handshake(addr)
 		if err == nil {
 			f.eps.Success(addr)
-			f.mu.Lock()
-			f.conn = conn
-			f.got = 0
-			f.sessions++
-			if f.sessions > 1 {
-				f.reconnects++
-			}
-			f.mu.Unlock()
+			f.registerSession(conn)
 			f.cfg.logf("poet shard: following %s (export log from zero)", addr)
 			return conn, dec, delta, nil
 		}
@@ -583,6 +722,11 @@ func (f *ShardFollower) handshake(addr string) (net.Conn, *gob.Decoder, bool, er
 
 // session applies one connection's export stream until it ends.
 func (f *ShardFollower) session(conn net.Conn, dec *gob.Decoder, delta bool) error {
+	defer func() {
+		f.mu.Lock()
+		f.connected = false
+		f.mu.Unlock()
+	}()
 	ddec := &deltaDecoder{sparse: f.c.SparseClocks()}
 	addr := conn.RemoteAddr().String()
 	for {
@@ -594,6 +738,9 @@ func (f *ShardFollower) session(conn net.Conn, dec *gob.Decoder, delta bool) err
 			}
 			return err
 		}
+		f.mu.Lock()
+		f.lastContact = time.Now()
+		f.mu.Unlock()
 		if msg.Head > 0 {
 			f.mu.Lock()
 			if msg.Head > f.head {
@@ -688,10 +835,33 @@ func (f *ShardFollower) Stats() ShardFollowerStats {
 		lag = 0
 	}
 	return ShardFollowerStats{
-		Peer:       f.peer,
-		Received:   f.received,
-		Head:       f.head,
-		Lag:        lag,
-		Reconnects: f.reconnects,
+		Peer:              f.peer,
+		Received:          f.received,
+		Head:              f.head,
+		Lag:               lag,
+		Reconnects:        f.reconnects,
+		Connected:         f.connected,
+		SinceContact:      time.Since(f.lastContact),
+		BreakerState:      f.breaker,
+		BudgetExhaustions: f.exhaustions,
 	}
+}
+
+// Stalled reports whether the peer has shown no sign of life — no
+// record, heartbeat, or successful handshake — for at least threshold.
+// A non-positive threshold disables the check, and a stopped follower
+// is never stalled (it is simply gone). This is the stall watchdog's
+// predicate: a peer whose export stream is silent past the threshold is
+// holding back every receive gated on its sends, so readiness probes
+// should surface it by name.
+func (f *ShardFollower) Stalled(threshold time.Duration) bool {
+	if threshold <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped {
+		return false
+	}
+	return time.Since(f.lastContact) >= threshold
 }

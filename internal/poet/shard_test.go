@@ -3,11 +3,13 @@ package poet
 import (
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"testing"
 	"time"
 
 	"ocep/internal/event"
+	"ocep/internal/faultnet"
 	"ocep/internal/telemetry"
 	"ocep/internal/vclock"
 )
@@ -468,5 +470,165 @@ func TestShardSessionWireStats(t *testing.T) {
 	// record would.
 	if ws.ShardVCEntries >= 20*2 {
 		t.Fatalf("delta shard session sent %d VC entries for 20 single-trace exports", ws.ShardVCEntries)
+	}
+}
+
+// Held-event accounting: a receive gated on a missing peer export shows
+// up in ShardStats with an age, and clears when the export arrives — or
+// when the sender turns out to be local after all.
+func TestShardStatsCountsHeldReceives(t *testing.T) {
+	c := NewCollector()
+	if err := c.EnableSharding(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(RawEvent{Trace: "b", Seq: 1, Kind: event.KindReceive, Type: "recv", MsgID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	st := c.ShardStats()
+	if st.HeldEvents != 1 {
+		t.Fatalf("HeldEvents = %d, want 1", st.HeldEvents)
+	}
+	if st.OldestHeld <= 0 {
+		t.Fatalf("OldestHeld = %v, want > 0", st.OldestHeld)
+	}
+	if err := c.SupplyRemoteSend(42, event.ID{Trace: 0, Index: 1}, vclock.VC{1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.ShardStats(); st.HeldEvents != 0 || st.OldestHeld != 0 {
+		t.Fatalf("after SupplyRemoteSend: %+v, want no held receives", st)
+	}
+
+	// A sender that shows up locally clears the held stamp too: the
+	// receive is then waiting on local delivery order, not on a peer.
+	if err := c.Report(RawEvent{Trace: "b", Seq: 2, Kind: event.KindReceive, Type: "recv", MsgID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.ShardStats(); st.HeldEvents != 1 {
+		t.Fatalf("HeldEvents = %d before the local send, want 1", st.HeldEvents)
+	}
+	if err := c.Report(RawEvent{Trace: "d", Seq: 1, Kind: event.KindSend, Type: "send", MsgID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.ShardStats(); st.HeldEvents != 0 {
+		t.Fatalf("HeldEvents = %d after the local send delivered, want 0", st.HeldEvents)
+	}
+}
+
+// The circuit breaker: a peer that exhausts the configured number of
+// reconnect budgets flips the follower to open instead of finishing it;
+// periodic half-open probes reconnect once the peer appears, and the
+// exchange then works normally.
+func TestShardFollowerBreakerOpensAndRecovers(t *testing.T) {
+	// Reserve an address the peer will eventually listen on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	follower := NewCollector()
+	if err := follower.EnableSharding(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FollowShardPeer(addr, follower,
+		WithShardLog(t.Logf),
+		WithShardReconnect(30*time.Millisecond),
+		WithShardBackoff(2*time.Millisecond, 5*time.Millisecond),
+		WithShardBreaker(2, 25*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { f.Stop(); <-f.Done() }()
+
+	waitShard(t, "breaker to open", func() bool {
+		st := f.Stats()
+		return st.BreakerState == BreakerOpen && st.BudgetExhaustions >= 2
+	})
+	select {
+	case <-f.Done():
+		t.Fatalf("follower finished (%v) instead of holding the breaker open", f.Err())
+	default:
+	}
+
+	// The peer comes up: a half-open probe must find it, close the
+	// breaker, and stream the export log.
+	exporter := NewCollector()
+	if err := exporter.EnableSharding(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := exporter.Report(RawEvent{Trace: "a", Seq: i, Kind: event.KindSend, Type: "send", MsgID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(exporter, t.Logf)
+	if _, err := srv.Listen(addr); err != nil {
+		t.Skipf("reserved address %s re-taken: %v", addr, err)
+	}
+	defer srv.Close()
+
+	waitShard(t, "breaker to close and records to stream", func() bool {
+		return f.Stats().BreakerState == BreakerClosed && follower.ShardStats().RemoteSends == 3
+	})
+	if st := f.Stats(); st.BudgetExhaustions != 0 {
+		t.Fatalf("BudgetExhaustions = %d after recovery, want 0", st.BudgetExhaustions)
+	}
+}
+
+// The stall watchdog predicate: a blackholed export stream ages past
+// the threshold, a healed one comes back under it, and a stopped or
+// unconfigured watchdog never reports a stall.
+func TestShardFollowerStalledOnSilentPeer(t *testing.T) {
+	exporter := NewCollector()
+	if err := exporter.EnableSharding(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(exporter, t.Logf)
+	srv.SetWireTiming(20*time.Millisecond, 30*time.Millisecond, 2*time.Second)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy, err := faultnet.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	follower := NewCollector()
+	if err := follower.EnableSharding(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FollowShardPeer(proxy.Addr(), follower,
+		WithShardLog(t.Logf),
+		WithShardPeerTimeout(300*time.Millisecond),
+		WithShardReconnect(60*time.Second),
+		WithShardBackoff(5*time.Millisecond, 20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { f.Stop(); <-f.Done() }()
+
+	waitShard(t, "initial contact", func() bool { return !f.Stalled(50 * time.Millisecond) })
+	if f.Stalled(0) {
+		t.Fatal("zero threshold must disable the watchdog")
+	}
+
+	// Partition the peer's export direction: records and heartbeats stop,
+	// handshake acks are swallowed, so contact ages past the threshold.
+	proxy.SetBlackholeDir(faultnet.ServerToClient, true)
+	waitShard(t, "stall detection", func() bool { return f.Stalled(150 * time.Millisecond) })
+
+	// Heal: the follower re-establishes contact and the stall clears.
+	proxy.SetBlackholeDir(faultnet.ServerToClient, false)
+	waitShard(t, "stall recovery", func() bool { return !f.Stalled(150 * time.Millisecond) })
+
+	f.Stop()
+	<-f.Done()
+	if f.Stalled(time.Nanosecond) {
+		t.Fatal("a stopped follower must not report a stall")
 	}
 }

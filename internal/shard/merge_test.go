@@ -145,8 +145,168 @@ func TestMergeReportsWedgeInsteadOfHanging(t *testing.T) {
 	close(s0.ch)
 	close(s1.ch)
 	_, nerr := m.Next()
-	if nerr == nil || nerr == io.EOF {
-		t.Fatalf("wedged merge returned %v, want an explicit error", nerr)
+	var w *WedgeError
+	if !errors.As(nerr, &w) {
+		t.Fatalf("wedged merge returned %v, want *WedgeError", nerr)
+	}
+	if !w.StreamsEnded {
+		t.Fatalf("StreamsEnded = false on an all-ended wedge: %v", w)
+	}
+	if w.Shard != 0 || w.Trace != 0 || w.Need != 1 || w.Have != 0 {
+		t.Fatalf("diagnosis = shard %d trace %d need %d have %d, want shard 0 trace 0 need 1 have 0", w.Shard, w.Trace, w.Need, w.Have)
+	}
+	if len(w.QueueDepths) != 2 || w.QueueDepths[0] != 0 || w.QueueDepths[1] != 1 {
+		t.Fatalf("QueueDepths = %v, want [0 1]", w.QueueDepths)
+	}
+	if st := m.MergeStats(); st.Wedges != 1 {
+		t.Fatalf("Wedges = %d, want 1", st.Wedges)
+	}
+}
+
+// A live wedge: streams still open, an event queued whose cross-shard
+// past is not arriving. With a wedge bound the merge must diagnose it
+// within the bound instead of blocking forever, stay usable for
+// wait-and-retry, and resume emission once the missing past heals.
+func TestMergeReportsLiveWedgeWhileStreamsOpen(t *testing.T) {
+	s0 := newScripted(nil)
+	s1 := newScripted(nil)
+	m, err := NewMergedClient([]Stream{s0, s1}, WithWedgeTimeout(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// t1#1 depends on t0#1; shard 0's stream stays open but silent.
+	s1.ch <- ev(1, 1, 1, 1)
+
+	start := time.Now()
+	_, nerr := m.Next()
+	var w *WedgeError
+	if !errors.As(nerr, &w) {
+		t.Fatalf("stalled merge returned %v, want *WedgeError", nerr)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("wedge took %v to diagnose, bound was 60ms", elapsed)
+	}
+	if w.StreamsEnded {
+		t.Fatal("StreamsEnded = true while both streams are open")
+	}
+	if w.Shard != 0 || w.Trace != 0 || w.Need != 1 || w.Have != 0 {
+		t.Fatalf("diagnosis = shard %d trace %d need %d have %d, want shard 0 trace 0 need 1 have 0", w.Shard, w.Trace, w.Need, w.Have)
+	}
+	if w.Waited < 60*time.Millisecond {
+		t.Fatalf("Waited = %v, want >= the 60ms bound", w.Waited)
+	}
+
+	// Wait-and-retry: heal the stall and the same merge resumes.
+	s0.ch <- ev(0, 1, 1, 0)
+	var order []event.ID
+	for len(order) < 2 {
+		e, err := m.Next()
+		if err != nil {
+			var retry *WedgeError
+			if errors.As(err, &retry) {
+				continue // the heal raced the next bound; retry
+			}
+			t.Fatalf("Next after heal = %v (got %v)", err, order)
+		}
+		order = append(order, e.ID)
+	}
+	want := []event.ID{{Trace: 0, Index: 1}, {Trace: 1, Index: 1}}
+	if order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("post-heal order = %v, want %v", order, want)
+	}
+	close(s0.ch)
+	close(s1.ch)
+	if _, err := m.Next(); err != io.EOF {
+		t.Fatalf("tail = %v, want io.EOF", err)
+	}
+	if st := m.MergeStats(); st.Wedges < 1 || st.Incomplete != 0 || st.ShardsLost != 0 {
+		t.Fatalf("stats = %+v, want >=1 wedge and no degradation", st)
+	}
+}
+
+// An idle merge — nothing queued anywhere — is not a stall: Next keeps
+// waiting past the wedge bound without inventing a WedgeError.
+func TestMergeIdleIsNotAWedge(t *testing.T) {
+	s0 := newScripted(nil)
+	s1 := newScripted(nil)
+	m, err := NewMergedClient([]Stream{s0, s1}, WithWedgeTimeout(40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.Next()
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("idle merge returned %v before any event", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+	s0.ch <- ev(0, 1, 1, 0)
+	if err := <-errc; err != nil {
+		t.Fatalf("Next = %v after event arrived", err)
+	}
+	close(s0.ch)
+	close(s1.ch)
+	if _, err := m.Next(); err != io.EOF {
+		t.Fatalf("tail = %v, want io.EOF", err)
+	}
+}
+
+// DegradeAfter: once the blocking shard is declared lost, held events
+// flow annotated as causally incomplete, and the shard's stream
+// producing again revives the causal holds.
+func TestMergeDegradeEmitsIncomplete(t *testing.T) {
+	s0 := newScripted(nil)
+	s1 := newScripted(map[event.TraceID]string{1: "beta"})
+	m, err := NewMergedClient([]Stream{s0, s1}, WithDegradeAfter(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// t1#1 depends on t0#1, which shard 0 does not produce in time.
+	s1.ch <- ev(1, 1, 1, 1)
+	e, nerr := m.Next()
+	if nerr != nil {
+		t.Fatalf("degraded Next = %v, want the held event", nerr)
+	}
+	if e.ID != (event.ID{Trace: 1, Index: 1}) {
+		t.Fatalf("degraded Next emitted %v", e.ID)
+	}
+	st := m.MergeStats()
+	if st.Incomplete != 1 || st.ShardsLost != 1 {
+		t.Fatalf("stats after degradation = %+v, want Incomplete 1, ShardsLost 1", st)
+	}
+	if len(st.Lost) != 1 || st.Lost[0] != 0 {
+		t.Fatalf("Lost = %v, want [0]", st.Lost)
+	}
+
+	// The lost shard's stream comes back: it is live again, and its
+	// events (plus anything depending on them) flow normally.
+	s0.ch <- ev(0, 1, 1, 0)
+	e, nerr = m.Next()
+	if nerr != nil || e.ID != (event.ID{Trace: 0, Index: 1}) {
+		t.Fatalf("revived shard's event = %v, %v", e, nerr)
+	}
+	s1.ch <- ev(1, 2, 1, 2) // same-shard successor, complete past
+	e, nerr = m.Next()
+	if nerr != nil || e.ID != (event.ID{Trace: 1, Index: 2}) {
+		t.Fatalf("post-revival event = %v, %v", e, nerr)
+	}
+	st = m.MergeStats()
+	if len(st.Lost) != 0 {
+		t.Fatalf("Lost = %v after revival, want empty", st.Lost)
+	}
+	if st.Incomplete != 1 {
+		t.Fatalf("Incomplete = %d after revival, want still 1", st.Incomplete)
+	}
+	close(s0.ch)
+	close(s1.ch)
+	if _, err := m.Next(); err != io.EOF {
+		t.Fatalf("tail = %v, want io.EOF", err)
 	}
 }
 

@@ -14,14 +14,16 @@ import (
 // load balancers and orchestration stop routing to the instance
 // without killing it. Zero value is ready with no checks.
 type Health struct {
-	mu     sync.Mutex
-	names  []string
-	checks map[string]func() error
+	mu        sync.Mutex
+	names     []string
+	checks    map[string]func() error
+	infoNames []string
+	infos     map[string]func() string
 }
 
 // NewHealth returns an empty health aggregator.
 func NewHealth() *Health {
-	return &Health{checks: make(map[string]func() error)}
+	return &Health{checks: make(map[string]func() error), infos: make(map[string]func() string)}
 }
 
 // RegisterCheck adds (or replaces) a named readiness check. The check
@@ -39,6 +41,24 @@ func (h *Health) RegisterCheck(name string, check func() error) {
 		sort.Strings(h.names)
 	}
 	h.checks[name] = check
+}
+
+// RegisterInfo adds (or replaces) a named informational line appended
+// to every /readyz body — on 200 and 503 alike — without affecting the
+// verdict. Use it for state an operator reading the probe should see
+// even while it passes (e.g. per-peer follower lag and breaker state).
+// An info func returning "" is omitted from that response.
+func (h *Health) RegisterInfo(name string, info func() string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.infos == nil {
+		h.infos = make(map[string]func() string)
+	}
+	if _, ok := h.infos[name]; !ok {
+		h.infoNames = append(h.infoNames, name)
+		sort.Strings(h.infoNames)
+	}
+	h.infos[name] = info
 }
 
 // checkResult is one check's outcome for a readiness evaluation.
@@ -86,7 +106,8 @@ func (h *Health) Healthz() http.Handler {
 
 // Readyz returns the readiness handler: 200 with one "<name> ok" line
 // per check when everything passes, 503 with the failing checks' error
-// texts otherwise.
+// texts otherwise. Registered info lines follow the check lines in
+// either case.
 func (h *Health) Readyz() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		results := h.run()
@@ -109,6 +130,18 @@ func (h *Health) Readyz() http.Handler {
 		}
 		if len(results) == 0 {
 			fmt.Fprintln(w, "ok")
+		}
+		h.mu.Lock()
+		infoNames := append([]string(nil), h.infoNames...)
+		infos := make([]func() string, len(infoNames))
+		for i, n := range infoNames {
+			infos[i] = h.infos[n]
+		}
+		h.mu.Unlock()
+		for i, n := range infoNames {
+			if line := infos[i](); line != "" {
+				fmt.Fprintf(w, "%s: %s\n", n, line)
+			}
 		}
 	})
 }

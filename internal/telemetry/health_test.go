@@ -75,3 +75,37 @@ func TestHealthMount(t *testing.T) {
 		}
 	}
 }
+
+func TestReadyzInfoLines(t *testing.T) {
+	h := NewHealth()
+	h.RegisterCheck("collector", func() error { return nil })
+	lag := "lag=3 breaker=closed"
+	h.RegisterInfo("shard-peer-1", func() string { return lag })
+	h.RegisterInfo("empty", func() string { return "" })
+	code, body := probe(t, h.Readyz())
+	if code != 200 {
+		t.Fatalf("readyz = %d, want 200 (info lines never fail the probe)", code)
+	}
+	if !strings.Contains(body, "shard-peer-1: lag=3 breaker=closed") {
+		t.Fatalf("info line missing from 200 body: %q", body)
+	}
+	if strings.Contains(body, "empty") {
+		t.Fatalf("empty info line not omitted: %q", body)
+	}
+	// Info lines survive on the 503 body too, after the failing check.
+	h.RegisterCheck("wal", func() error { return errors.New("recovering") })
+	lag = "lag=9 breaker=open"
+	code, body = probe(t, h.Readyz())
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("failing check = %d, want 503", code)
+	}
+	if !strings.Contains(body, "wal: recovering") || !strings.Contains(body, "shard-peer-1: lag=9 breaker=open") {
+		t.Fatalf("503 body lost the info line: %q", body)
+	}
+	// Re-registering replaces, not duplicates.
+	h.RegisterInfo("shard-peer-1", func() string { return "replaced" })
+	_, body = probe(t, h.Readyz())
+	if strings.Count(body, "shard-peer-1") != 1 || !strings.Contains(body, "shard-peer-1: replaced") {
+		t.Fatalf("re-registered info line duplicated or stale: %q", body)
+	}
+}

@@ -80,7 +80,7 @@ func runShardedTier(t *testing.T, tc failoverCase, events []ocep.RawEvent, pools
 		t.Fatal(err)
 	}
 
-	merged, err := shard.DialMergedMonitor(spec,
+	merged, err := shard.DialMergedMonitor(spec, nil,
 		ocep.WithMonitorBackoff(5*time.Millisecond, 200*time.Millisecond),
 		ocep.WithMonitorReconnect(60*time.Second),
 		ocep.WithMonitorLog(t.Logf))
